@@ -1,0 +1,35 @@
+//! Benchmark E2 — the cardiac assist system (Section 5.1): compositional
+//! aggregation versus the monolithic baseline, end to end (model generation plus
+//! unreliability at mission time 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_core::analysis::{unreliability, AnalysisOptions, Method};
+use dft_core::baseline::monolithic_ctmc;
+use dft_core::casestudies::cas;
+use std::hint::black_box;
+
+fn bench_cas(c: &mut Criterion) {
+    let dft = cas();
+    let compositional = AnalysisOptions::default();
+    let monolithic = AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() };
+
+    c.bench_function("cas/compositional-unreliability", |bench| {
+        bench.iter(|| unreliability(black_box(&dft), 1.0, &compositional).expect("analysis"))
+    });
+    c.bench_function("cas/monolithic-unreliability", |bench| {
+        bench.iter(|| unreliability(black_box(&dft), 1.0, &monolithic).expect("analysis"))
+    });
+    c.bench_function("cas/monolithic-state-space-generation", |bench| {
+        bench.iter(|| monolithic_ctmc(black_box(&dft)).expect("generation"))
+    });
+    c.bench_function("cas/dft-to-ioimc-community", |bench| {
+        bench.iter(|| dft_core::convert::convert(black_box(&dft)).expect("conversion"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cas
+}
+criterion_main!(benches);

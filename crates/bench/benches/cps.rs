@@ -1,0 +1,39 @@
+//! Benchmark E3/E4 — the cascaded PAND system (Section 5.2): the modularity
+//! showcase where compositional aggregation beats the monolithic chain by more
+//! than an order of magnitude in state count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_core::analysis::{aggregated_model, unreliability, AnalysisOptions, Method};
+use dft_core::baseline::monolithic_ctmc;
+use dft_core::casestudies::cps;
+use dftmc_bench::single_and_module;
+use std::hint::black_box;
+
+fn bench_cps(c: &mut Criterion) {
+    let dft = cps();
+    let compositional = AnalysisOptions::default();
+    let monolithic = AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() };
+
+    c.bench_function("cps/compositional-unreliability", |bench| {
+        bench.iter(|| unreliability(black_box(&dft), 1.0, &compositional).expect("analysis"))
+    });
+    c.bench_function("cps/monolithic-unreliability", |bench| {
+        bench.iter(|| unreliability(black_box(&dft), 1.0, &monolithic).expect("analysis"))
+    });
+    c.bench_function("cps/monolithic-state-space-generation", |bench| {
+        bench.iter(|| monolithic_ctmc(black_box(&dft)).expect("generation"))
+    });
+
+    // Figure 9: aggregating one AND module on its own.
+    let module = single_and_module(4, 1.0);
+    c.bench_function("cps/module-a-aggregation", |bench| {
+        bench.iter(|| aggregated_model(black_box(&module)).expect("aggregation"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cps
+}
+criterion_main!(benches);

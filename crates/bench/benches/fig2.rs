@@ -1,0 +1,63 @@
+//! Benchmark E1 — the Figure 2 pipeline (compose, hide, aggregate) on elementary
+//! models, measuring the cost of the three core I/O-IMC operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ioimc::bisim::minimize;
+use ioimc::compose::compose;
+use ioimc::hide::hide;
+use ioimc::{Action, IoImc, IoImcBuilder};
+use std::hint::black_box;
+
+fn chain(name: &str, stages: usize, rate: f64, input: Option<Action>, output: Action) -> IoImc {
+    let mut b = IoImcBuilder::new(name);
+    let states = b.add_states(stages + 2);
+    b.initial(states[0]);
+    let mut current = 0;
+    if let Some(input) = input {
+        b.input(states[0], input, states[1]);
+        current = 1;
+    }
+    for i in current..stages + current {
+        if i + 1 < states.len() {
+            b.markovian(states[i], rate, states[i + 1]);
+        }
+    }
+    b.output(states[stages + current.min(1)], output, states[stages + 1]);
+    b.build().expect("valid chain model")
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let a = Action::new("bench_fig2_a");
+    let b_sig = Action::new("bench_fig2_b");
+    let left = chain("A", 3, 1.3, None, a);
+    let right = chain("B", 3, 1.3, Some(a), b_sig);
+
+    c.bench_function("fig2/compose", |bench| {
+        bench.iter(|| compose(black_box(&left), black_box(&right)).expect("composable"))
+    });
+
+    let composed = compose(&left, &right).expect("composable");
+    c.bench_function("fig2/hide", |bench| {
+        bench.iter(|| hide(black_box(&composed), &[a]).expect("hides"))
+    });
+
+    let hidden = hide(&composed, &[a]).expect("hides");
+    c.bench_function("fig2/aggregate", |bench| {
+        bench.iter(|| minimize(black_box(&hidden)))
+    });
+
+    c.bench_function("fig2/full-pipeline", |bench| {
+        bench.iter(|| {
+            let composed = compose(black_box(&left), black_box(&right)).expect("composable");
+            let hidden = hide(&composed, &[a]).expect("hides");
+            minimize(&hidden)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmark E8 — the repair extension (Section 7.2): unavailability analysis of
+//! repairable static trees of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft::{DftBuilder, Dormancy};
+use dft_core::analysis::{unavailability, AnalysisOptions};
+use std::hint::black_box;
+
+fn repairable_voting(n: usize) -> dft::Dft {
+    let mut b = DftBuilder::new();
+    let events: Vec<_> = (0..n)
+        .map(|i| {
+            b.repairable_basic_event(&format!("R{i}"), 0.5, Dormancy::Hot, 5.0)
+                .expect("valid BE")
+        })
+        .collect();
+    let k = ((n + 1) / 2) as u32;
+    let top = b.voting_gate("system", k, &events).expect("valid gate");
+    b.build(top).expect("wellformed DFT")
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair/unavailability");
+    for n in [2usize, 3, 4] {
+        let dft = repairable_voting(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dft, |bench, dft| {
+            bench.iter(|| unavailability(black_box(dft), &AnalysisOptions::default()).expect("analysis"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repair
+}
+criterion_main!(benches);

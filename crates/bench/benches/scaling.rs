@@ -1,0 +1,54 @@
+//! Benchmark E9 — scaling behaviour (the discussion closing Section 5.2): the
+//! cascaded-PAND family with growing module width (modular, compositional
+//! aggregation shines) and the highly connected family (little independent
+//! structure, the advantage shrinks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft_core::analysis::{unreliability, AnalysisOptions, Method};
+use dft_core::casestudies::cascaded_pand;
+use dftmc_bench::highly_connected;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let compositional = AnalysisOptions::default();
+    let monolithic = AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() };
+
+    let mut group = c.benchmark_group("scaling/cascaded-pand");
+    for width in [2usize, 3, 4] {
+        let dft = cascaded_pand(width, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("compositional", width),
+            &dft,
+            |bench, dft| {
+                bench.iter(|| unreliability(black_box(dft), 1.0, &compositional).expect("analysis"))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("monolithic", width), &dft, |bench, dft| {
+            bench.iter(|| unreliability(black_box(dft), 1.0, &monolithic).expect("analysis"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/highly-connected");
+    for n in [3usize, 4, 5] {
+        let dft = highly_connected(n, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("compositional", n),
+            &dft,
+            |bench, dft| {
+                bench.iter(|| unreliability(black_box(dft), 1.0, &compositional).expect("analysis"))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &dft, |bench, dft| {
+            bench.iter(|| unreliability(black_box(dft), 1.0, &monolithic).expect("analysis"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

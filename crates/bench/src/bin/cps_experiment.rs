@@ -1,0 +1,28 @@
+//! Experiments E3/E4: regenerates the cascaded-PAND results of Section 5.2 and
+//! Figure 9.
+//!
+//! Run with `cargo run --release -p dftmc-bench --bin cps_experiment`.
+
+fn main() {
+    let e = dftmc_bench::run_cps_experiment().expect("the CPS analyses");
+    println!("== E3/E4: cascaded PAND system (Section 5.2, Figures 8/9) ==\n");
+    println!("{:<38} {:>12} {:>12}", "metric", "paper", "measured");
+    let row = |name: &str, c: &dftmc_bench::Comparison| {
+        println!("{:<38} {:>12} {:>12}", name, c.paper.unwrap(), c.measured);
+    };
+    println!(
+        "{:<38} {:>12} {:>12.5}",
+        "unreliability at t=1",
+        e.unreliability.paper.unwrap(),
+        e.unreliability.measured
+    );
+    row("compositional peak states", &e.peak_states);
+    row("compositional peak transitions", &e.peak_transitions);
+    row("monolithic states", &e.monolithic_states);
+    row("monolithic transitions", &e.monolithic_transitions);
+    println!();
+    println!(
+        "Figure 9: one AND module aggregates to {} states (order of identical failures is irrelevant)",
+        e.module_a_states
+    );
+}

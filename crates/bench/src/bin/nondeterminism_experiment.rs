@@ -1,0 +1,23 @@
+//! Experiment E5: the Figure-6(a) configuration (an FDEP trigger feeding both
+//! inputs of a PAND gate) analysed as a CTMDP, reporting unreliability bounds and
+//! the deterministic resolution of the DIFTree-style baseline.
+//!
+//! Run with `cargo run --release -p dftmc-bench --bin nondeterminism_experiment`.
+
+fn main() {
+    println!("== E5: simultaneity and non-determinism (Section 4.4, Figure 6a) ==\n");
+    println!(
+        "{:>14} {:>14} {:>14} {:>22}",
+        "mission time", "lower bound", "upper bound", "baseline (det. order)"
+    );
+    let rows = dftmc_bench::run_nondeterminism_experiment(&[0.25, 0.5, 1.0, 2.0, 4.0])
+        .expect("analysis runs");
+    for row in rows {
+        println!(
+            "{:>14} {:>14.6} {:>14.6} {:>22.6}",
+            row.mission_time, row.lower, row.upper, row.baseline
+        );
+    }
+    println!("\nThe baseline resolves the simultaneous failures deterministically (left to");
+    println!("right), so its value always lies inside the scheduler bounds.");
+}

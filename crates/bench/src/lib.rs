@@ -1,0 +1,388 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! experiment here (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers):
+//!
+//! * **E2 (CAS, Section 5.1)** — [`run_cas_experiment`]
+//! * **E3/E4 (CPS, Section 5.2, Figures 8/9)** — [`run_cps_experiment`]
+//! * **E5 (Figure 6)** — [`run_nondeterminism_experiment`]
+//! * **E8 (Figures 13–15)** — [`run_repair_experiment`]
+//! * **E9 (scaling discussion of Section 5.2)** — [`run_scaling_experiment`]
+//!
+//! The experiment binaries in `src/bin/` print these results as tables; the
+//! Criterion benches in `benches/` measure the analysis run times.
+
+use dft::{Dft, DftBuilder, Dormancy, ElementId};
+use dft_core::analysis::{unreliability, AnalysisOptions, Method};
+use dft_core::baseline::monolithic_ctmc;
+use dft_core::casestudies::{cas, cascaded_pand, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cps};
+use dft_core::Result;
+
+/// Paper-vs-measured record for a single scalar result.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// Value reported in the paper (if any).
+    pub paper: Option<f64>,
+    /// Value measured by this implementation.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Relative deviation from the paper value, when one exists.
+    pub fn relative_error(&self) -> Option<f64> {
+        self.paper.map(|p| ((self.measured - p) / p).abs())
+    }
+}
+
+/// Results of the cardiac-assist-system experiment (E2).
+#[derive(Debug, Clone)]
+pub struct CasExperiment {
+    /// Unreliability at mission time 1 (paper: 0.6579).
+    pub unreliability: Comparison,
+    /// Unreliability from the monolithic baseline.
+    pub monolithic_unreliability: f64,
+    /// Peak intermediate size during compositional aggregation (states).
+    pub peak_states: usize,
+    /// Aggregated model sizes of the three independent units (states).
+    pub module_states: Vec<(String, usize)>,
+    /// Size of the monolithic chain over the full system (states).
+    pub monolithic_states: usize,
+}
+
+/// Runs the CAS experiment.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed case study).
+pub fn run_cas_experiment() -> Result<CasExperiment> {
+    let dft = cas();
+    let options = AnalysisOptions::default();
+    let comp = unreliability(&dft, 1.0, &options)?;
+    let mono = unreliability(
+        &dft,
+        1.0,
+        &AnalysisOptions { method: Method::Monolithic, ..options },
+    )?;
+    let mut module_states = Vec::new();
+    for (name, module) in [
+        ("CPU_unit", cas_cpu_unit()),
+        ("Motor_unit", cas_motor_unit()),
+        ("Pump_unit", cas_pump_unit()),
+    ] {
+        let (model, _) = dft_core::analysis::aggregated_model(&module)?;
+        module_states.push((name.to_owned(), model.num_states()));
+    }
+    Ok(CasExperiment {
+        unreliability: Comparison {
+            paper: Some(dft_core::casestudies::CAS_PAPER_UNRELIABILITY),
+            measured: comp.probability(),
+        },
+        monolithic_unreliability: mono.probability(),
+        peak_states: comp.aggregation_stats().expect("compositional run").peak.states,
+        module_states,
+        monolithic_states: monolithic_ctmc(&dft)?.num_states(),
+    })
+}
+
+/// Results of the cascaded-PAND experiment (E3/E4).
+#[derive(Debug, Clone)]
+pub struct CpsExperiment {
+    /// Unreliability at mission time 1 (paper: 0.00135).
+    pub unreliability: Comparison,
+    /// Peak intermediate states during compositional aggregation (paper: 156).
+    pub peak_states: Comparison,
+    /// Peak intermediate transitions (paper: 490).
+    pub peak_transitions: Comparison,
+    /// Monolithic chain states (paper: 4113).
+    pub monolithic_states: Comparison,
+    /// Monolithic chain transitions (paper: 24608).
+    pub monolithic_transitions: Comparison,
+    /// States of the aggregated I/O-IMC of one AND module (Figure 9).
+    pub module_a_states: usize,
+}
+
+/// Runs the CPS experiment.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed case study).
+pub fn run_cps_experiment() -> Result<CpsExperiment> {
+    use dft_core::casestudies::{CPS_PAPER_MONOLITHIC, CPS_PAPER_PEAK, CPS_PAPER_UNRELIABILITY};
+    let dft = cps();
+    let comp = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
+    let stats = comp.aggregation_stats().expect("compositional run").clone();
+    let mono = monolithic_ctmc(&dft)?;
+
+    let module_a = single_and_module(4, 1.0);
+    let (module_model, _) = dft_core::analysis::aggregated_model(&module_a)?;
+
+    Ok(CpsExperiment {
+        unreliability: Comparison {
+            paper: Some(CPS_PAPER_UNRELIABILITY),
+            measured: comp.probability(),
+        },
+        peak_states: Comparison {
+            paper: Some(CPS_PAPER_PEAK.0 as f64),
+            measured: stats.peak.states as f64,
+        },
+        peak_transitions: Comparison {
+            paper: Some(CPS_PAPER_PEAK.1 as f64),
+            measured: stats.peak.transitions() as f64,
+        },
+        monolithic_states: Comparison {
+            paper: Some(CPS_PAPER_MONOLITHIC.0 as f64),
+            measured: mono.num_states() as f64,
+        },
+        monolithic_transitions: Comparison {
+            paper: Some(CPS_PAPER_MONOLITHIC.1 as f64),
+            measured: mono.num_transitions() as f64,
+        },
+        module_a_states: module_model.num_states(),
+    })
+}
+
+/// A single AND module of `width` identical rate-`rate` basic events (module A of
+/// Figure 8/9).
+pub fn single_and_module(width: usize, rate: f64) -> Dft {
+    let mut b = DftBuilder::new();
+    let events: Vec<ElementId> = (0..width)
+        .map(|i| b.basic_event(&format!("A_{i}"), rate, Dormancy::Hot).expect("valid BE"))
+        .collect();
+    let top = b.and_gate("A", &events).expect("valid gate");
+    b.build(top).expect("wellformed module")
+}
+
+/// One row of the scaling experiment (E9).
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of basic events per AND module.
+    pub width: usize,
+    /// Total number of basic events.
+    pub basic_events: usize,
+    /// Peak states during compositional aggregation.
+    pub compositional_peak: usize,
+    /// States of the monolithic chain.
+    pub monolithic_states: usize,
+    /// Unreliability at mission time 1 (agreement check between the methods).
+    pub unreliability: f64,
+}
+
+/// Runs the scaling experiment over the cascaded-PAND family: for growing module
+/// width, compare the compositional peak against the monolithic chain size.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn run_scaling_experiment(max_width: usize) -> Result<Vec<ScalingRow>> {
+    let mut rows = Vec::new();
+    for width in 1..=max_width {
+        let dft = cascaded_pand(width, 1.0);
+        let comp = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
+        let mono = monolithic_ctmc(&dft)?;
+        rows.push(ScalingRow {
+            width,
+            basic_events: dft.num_basic_events(),
+            compositional_peak: comp.aggregation_stats().expect("compositional").peak.states,
+            monolithic_states: mono.num_states(),
+            unreliability: comp.probability(),
+        });
+    }
+    Ok(rows)
+}
+
+/// A "highly connected" DFT family for the negative result the paper mentions at
+/// the end of Section 5.2: `n` basic events, every pair feeding a shared AND gate,
+/// all gates collected under one OR.  There are no independent modules, so
+/// compositional aggregation has little structure to exploit.
+pub fn highly_connected(n: usize, rate: f64) -> Dft {
+    let mut b = DftBuilder::new();
+    let events: Vec<ElementId> = (0..n)
+        .map(|i| b.basic_event(&format!("hc_{i}"), rate, Dormancy::Hot).expect("valid BE"))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push(
+                b.and_gate(&format!("hc_and_{i}_{j}"), &[events[i], events[j]])
+                    .expect("valid gate"),
+            );
+        }
+    }
+    let top = b.or_gate("hc_top", &pairs).expect("valid gate");
+    b.build(top).expect("wellformed DFT")
+}
+
+/// One row of the connectivity experiment: modular versus highly connected trees
+/// of the same size.
+#[derive(Debug, Clone)]
+pub struct ConnectivityRow {
+    /// Number of basic events.
+    pub basic_events: usize,
+    /// Peak states for the highly connected tree.
+    pub connected_peak: usize,
+    /// Peak states for a modular tree with the same number of events
+    /// (cascaded-PAND family).
+    pub modular_peak: usize,
+}
+
+/// Runs the connectivity experiment (the qualitative claim that compositional
+/// aggregation helps less for highly connected DFTs).
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn run_connectivity_experiment(sizes: &[usize]) -> Result<Vec<ConnectivityRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let connected = highly_connected(n, 1.0);
+        let connected_peak = unreliability(&connected, 1.0, &AnalysisOptions::default())?
+            .aggregation_stats()
+            .expect("compositional")
+            .peak
+            .states;
+        // A modular tree with a comparable number of events: width n/3 rounded up.
+        let width = n.div_ceil(3).max(1);
+        let modular = cascaded_pand(width, 1.0);
+        let modular_peak = unreliability(&modular, 1.0, &AnalysisOptions::default())?
+            .aggregation_stats()
+            .expect("compositional")
+            .peak
+            .states;
+        rows.push(ConnectivityRow { basic_events: n, connected_peak, modular_peak });
+    }
+    Ok(rows)
+}
+
+/// Results of the repairable-system experiment (E8).
+#[derive(Debug, Clone)]
+pub struct RepairExperiment {
+    /// Computed unavailability of the Figure-15 system.
+    pub unavailability: Comparison,
+    /// Number of states of the final aggregated model.
+    pub final_states: usize,
+}
+
+/// Runs the repairable AND experiment of Figure 15 with the given rates.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn run_repair_experiment(
+    failure_a: f64,
+    failure_b: f64,
+    repair_rate: f64,
+) -> Result<RepairExperiment> {
+    let mut b = DftBuilder::new();
+    let a = b.repairable_basic_event("A", failure_a, Dormancy::Hot, repair_rate)?;
+    let bb = b.repairable_basic_event("B", failure_b, Dormancy::Hot, repair_rate)?;
+    let top = b.and_gate("system", &[a, bb])?;
+    let dft = b.build(top)?;
+    let result = dft_core::analysis::unavailability(&dft, &AnalysisOptions::default())?;
+    let exact = (failure_a / (failure_a + repair_rate)) * (failure_b / (failure_b + repair_rate));
+    Ok(RepairExperiment {
+        unavailability: Comparison { paper: Some(exact), measured: result.unavailability },
+        final_states: result.final_model.states,
+    })
+}
+
+/// Results of the non-determinism experiment (E5, Figure 6(a)).
+#[derive(Debug, Clone)]
+pub struct NondeterminismRow {
+    /// Mission time.
+    pub mission_time: f64,
+    /// Lower bound over schedulers.
+    pub lower: f64,
+    /// Upper bound over schedulers.
+    pub upper: f64,
+    /// The deterministic resolution chosen by the DIFTree-style baseline.
+    pub baseline: f64,
+}
+
+/// Runs the Figure-6(a) experiment for a range of mission times.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<Vec<NondeterminismRow>> {
+    let mut b = DftBuilder::new();
+    let t = b.basic_event("T", 0.5, Dormancy::Hot)?;
+    let a = b.basic_event("A", 1.0, Dormancy::Hot)?;
+    let bb = b.basic_event("B", 1.0, Dormancy::Hot)?;
+    let _f = b.fdep_gate("FDEP", t, &[a, bb])?;
+    let top = b.pand_gate("system", &[a, bb])?;
+    let dft = b.build(top)?;
+    let mut rows = Vec::new();
+    for &mission_time in times {
+        let comp = unreliability(&dft, mission_time, &AnalysisOptions::default())?;
+        let mono = unreliability(
+            &dft,
+            mission_time,
+            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+        )?;
+        let (lower, upper) = comp.bounds();
+        rows.push(NondeterminismRow { mission_time, lower, upper, baseline: mono.probability() });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_experiment_reproduces_the_paper() {
+        let e = run_cas_experiment().unwrap();
+        assert!(e.unreliability.relative_error().unwrap() < 1e-3);
+        assert!((e.monolithic_unreliability - e.unreliability.measured).abs() < 1e-6);
+        assert_eq!(e.module_states.len(), 3);
+    }
+
+    #[test]
+    fn cps_experiment_reproduces_the_paper() {
+        let e = run_cps_experiment().unwrap();
+        assert!(e.unreliability.relative_error().unwrap() < 0.01);
+        assert_eq!(e.monolithic_states.measured as usize, 4113);
+        assert_eq!(e.monolithic_transitions.measured as usize, 24608);
+        assert!(e.module_a_states <= 6);
+    }
+
+    #[test]
+    fn scaling_experiment_shows_the_gap_growing() {
+        let rows = run_scaling_experiment(3).unwrap();
+        assert_eq!(rows.len(), 3);
+        // The monolithic chain outgrows the compositional peak as width increases.
+        let last = rows.last().unwrap();
+        assert!(last.monolithic_states > last.compositional_peak);
+    }
+
+    #[test]
+    fn connectivity_experiment_runs() {
+        let rows = run_connectivity_experiment(&[3, 4]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.connected_peak > 0 && r.modular_peak > 0));
+    }
+
+    #[test]
+    fn repair_experiment_matches_the_closed_form() {
+        let e = run_repair_experiment(1.0, 2.0, 10.0).unwrap();
+        assert!(e.unavailability.relative_error().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn nondeterminism_experiment_produces_proper_intervals() {
+        let rows = run_nondeterminism_experiment(&[0.5, 1.0]).unwrap();
+        for row in rows {
+            assert!(row.lower < row.upper);
+            assert!(row.baseline >= row.lower - 1e-9 && row.baseline <= row.upper + 1e-9);
+        }
+    }
+
+    #[test]
+    fn highly_connected_trees_have_no_nontrivial_modules() {
+        let dft = highly_connected(4, 1.0);
+        let modules = dft::modules::independent_modules(&dft);
+        // Only the top gate roots an independent module.
+        assert_eq!(modules.len(), 1);
+    }
+}

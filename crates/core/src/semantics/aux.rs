@@ -1,0 +1,199 @@
+//! Auxiliary I/O-IMCs: firing auxiliary, activation auxiliary, inhibition
+//! auxiliary and the monitor used for unavailability analysis.
+//!
+//! The paper introduces small helper processes wherever one element's behaviour is
+//! influenced by signals of elements that are not its inputs in the tree:
+//!
+//! * the **firing auxiliary (FA)** of an FDEP dependent event ORs the event's own
+//!   failure with the failure of the trigger(s) (Figure 5);
+//! * the **activation auxiliary (AA)** ORs the claim signals of all spare gates
+//!   sharing a spare into the spare's single activation signal (Section 4);
+//! * the **inhibition auxiliary (IA)** lets a failure be preempted by the prior
+//!   failure of an inhibitor (Figure 12);
+//! * the **monitor** is our small addition for the repairable extension: it tracks
+//!   whether the top event is currently failed, labelling its "down" state with an
+//!   atomic proposition so that steady-state analysis can measure unavailability.
+
+use crate::{Error, Result};
+use ioimc::{Action, IoImc, IoImcBuilder};
+
+/// Builds an OR-shaped auxiliary: as soon as any of the `inputs` occurs, `output`
+/// is emitted (once), after which the auxiliary rests in an absorbing state.
+///
+/// Used both for the FDEP firing auxiliary (inputs: the dependent's own failure and
+/// the triggers' failures; output: the dependent's observable failure) and for the
+/// activation auxiliary (inputs: the claim signals of the sharing spare gates;
+/// output: the spare's activation signal).
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] if `inputs` is empty.
+pub fn or_auxiliary(name: &str, inputs: &[Action], output: Action) -> Result<IoImc> {
+    if inputs.is_empty() {
+        return Err(Error::Unsupported {
+            message: format!("auxiliary '{name}' needs at least one input"),
+        });
+    }
+    let mut b = IoImcBuilder::new(name.to_owned());
+    let waiting = b.add_state();
+    let firing = b.add_state();
+    let done = b.add_state();
+    b.initial(waiting);
+    for &input in inputs {
+        b.input(waiting, input, firing);
+    }
+    b.output(firing, output, done);
+    b.build().map_err(Error::from)
+}
+
+/// Builds the inhibition auxiliary of Figure 12: the failure `subject` is
+/// propagated as `output` unless one of the `inhibitors` occurs first, in which
+/// case the auxiliary moves to an absorbing operational state and `output` is never
+/// emitted.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] if `inhibitors` is empty.
+pub fn inhibition_auxiliary(
+    name: &str,
+    subject: Action,
+    inhibitors: &[Action],
+    output: Action,
+) -> Result<IoImc> {
+    if inhibitors.is_empty() {
+        return Err(Error::Unsupported {
+            message: format!("inhibition auxiliary '{name}' needs at least one inhibitor"),
+        });
+    }
+    let mut b = IoImcBuilder::new(name.to_owned());
+    let waiting = b.add_state();
+    let firing = b.add_state();
+    let fired = b.add_state();
+    let blocked = b.add_state();
+    b.initial(waiting);
+    b.input(waiting, subject, firing);
+    for &inhibitor in inhibitors {
+        b.input(waiting, inhibitor, blocked);
+    }
+    b.output(firing, output, fired);
+    b.build().map_err(Error::from)
+}
+
+/// Builds the monitor process for (un)availability analysis: it follows the top
+/// event's failure and (optionally) repair signals and labels its "down" state with
+/// the atomic proposition `"down"`.
+///
+/// Without a repair signal the down state is absorbing, which makes the labelled
+/// states usable for unreliability queries as well.
+pub fn monitor(name: &str, failure: Action, repair: Option<Action>) -> Result<IoImc> {
+    let mut b = IoImcBuilder::new(name.to_owned());
+    let up = b.add_state();
+    let down = b.add_state();
+    b.initial(up);
+    b.input(up, failure, down);
+    if let Some(repair) = repair {
+        b.input(down, repair, up);
+    }
+    let prop = b.prop("down");
+    b.set_prop(down, prop);
+    b.build().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::Label;
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    #[test]
+    fn firing_auxiliary_ors_its_inputs() {
+        let fa = or_auxiliary(
+            "FA A",
+            &[act("aux_fs_A"), act("aux_f_T")],
+            act("aux_f_A"),
+        )
+        .unwrap();
+        assert_eq!(fa.num_states(), 3);
+        assert!(fa.validate().is_ok());
+        // Both inputs lead to the same firing state.
+        let targets: Vec<_> = fa.interactive_from(fa.initial()).iter().map(|t| t.to).collect();
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0], targets[1]);
+        assert!(fa
+            .interactive()
+            .iter()
+            .any(|t| t.label == Label::Output(act("aux_f_A"))));
+    }
+
+    #[test]
+    fn activation_auxiliary_handles_many_sources() {
+        let aa = or_auxiliary(
+            "AA S",
+            &[act("aux_a_S__G1"), act("aux_a_S__G2"), act("aux_a_S__G3")],
+            act("aux_a_S"),
+        )
+        .unwrap();
+        assert_eq!(aa.num_states(), 3);
+        assert_eq!(aa.interactive_from(aa.initial()).len(), 3);
+    }
+
+    #[test]
+    fn empty_auxiliary_is_rejected() {
+        assert!(or_auxiliary("FA empty", &[], act("aux_out_empty")).is_err());
+        assert!(inhibition_auxiliary("IA empty", act("aux_s_e"), &[], act("aux_o_e")).is_err());
+    }
+
+    #[test]
+    fn inhibition_blocks_when_the_inhibitor_fires_first() {
+        let ia = inhibition_auxiliary(
+            "IA B",
+            act("aux_fs_B"),
+            &[act("aux_f_A")],
+            act("aux_f_B"),
+        )
+        .unwrap();
+        assert_eq!(ia.num_states(), 4);
+        let blocked = ia
+            .interactive_from(ia.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("aux_f_A")))
+            .unwrap()
+            .to;
+        // The blocked state is absorbing and never emits the failure.
+        assert!(ia.interactive_from(blocked).is_empty());
+        // The normal path does emit it.
+        let firing = ia
+            .interactive_from(ia.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("aux_fs_B")))
+            .unwrap()
+            .to;
+        assert!(ia
+            .interactive_from(firing)
+            .iter()
+            .any(|t| t.label == Label::Output(act("aux_f_B"))));
+    }
+
+    #[test]
+    fn monitor_without_repair_is_absorbing() {
+        let m = monitor("monitor", act("aux_f_sys"), None).unwrap();
+        assert_eq!(m.num_states(), 2);
+        let down = m.prop("down").unwrap();
+        assert_eq!(m.states_with_prop(down).len(), 1);
+        let down_state = m.states_with_prop(down)[0];
+        assert!(m.interactive_from(down_state).is_empty());
+    }
+
+    #[test]
+    fn monitor_with_repair_toggles() {
+        let m = monitor("monitor", act("aux_f_sys_r"), Some(act("aux_r_sys_r"))).unwrap();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_interactive(), 2);
+        let down = m.prop("down").unwrap();
+        let down_state = m.states_with_prop(down)[0];
+        assert_eq!(m.interactive_from(down_state).len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The basic-event I/O-IMC (Figure 3 of the paper; Figure 13 for the repairable
+//! variant).
+//!
+//! A basic event waits (dormant) until it is activated, racing a possible dormant
+//! failure; once active it fails with its nominal rate; failing means moving to a
+//! *firing* state from which the failure signal is emitted immediately, after
+//! which the event rests in the absorbing *fired* state.  A repairable basic event
+//! leaves the fired state with its repair rate and announces the repair.
+
+use crate::{Error, Result};
+use ioimc::{Action, IoImc, IoImcBuilder};
+
+/// Parameters of a basic-event model.
+#[derive(Debug, Clone)]
+pub struct BasicEventSpec {
+    /// Name used for the generated model (diagnostics only).
+    pub name: String,
+    /// Failure rate λ while active.
+    pub active_rate: f64,
+    /// Failure rate α·λ while dormant (0 for a cold event, λ for a hot one).
+    pub dormant_rate: f64,
+    /// Activation signal to listen to; `None` for an always-active event.
+    pub activation: Option<Action>,
+    /// The failure signal to emit.
+    pub firing: Action,
+    /// Repair rate µ and repair signal, for the repairable extension.
+    pub repair: Option<(f64, Action)>,
+}
+
+/// Builds the I/O-IMC of a basic event.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] for non-positive active rates or negative dormant
+/// rates (the `dft` crate validates these earlier; the check here keeps the
+/// generator safe to use stand-alone).
+pub fn basic_event(spec: &BasicEventSpec) -> Result<IoImc> {
+    if !(spec.active_rate.is_finite() && spec.active_rate > 0.0) {
+        return Err(Error::Unsupported {
+            message: format!("basic event '{}' has invalid active rate", spec.name),
+        });
+    }
+    if !(spec.dormant_rate.is_finite() && spec.dormant_rate >= 0.0) {
+        return Err(Error::Unsupported {
+            message: format!("basic event '{}' has invalid dormant rate", spec.name),
+        });
+    }
+
+    let mut b = IoImcBuilder::new(format!("BE {}", spec.name));
+
+    // A basic event is effectively always-active if it has no activation signal or
+    // if dormancy does not change its rate (hot event).
+    let effectively_active =
+        spec.activation.is_none() || (spec.dormant_rate - spec.active_rate).abs() < f64::EPSILON;
+
+    let active = b.add_state();
+    let firing = b.add_state();
+    let fired = b.add_state();
+    b.markovian(active, spec.active_rate, firing);
+    b.output(firing, spec.firing, fired);
+
+    if effectively_active {
+        b.initial(active);
+        // Still declare the activation input so composition with an activation
+        // auxiliary stays possible (the signal is simply ignored).
+        if let Some(a) = spec.activation {
+            b.declare_input(a);
+        }
+    } else {
+        let activation = spec.activation.expect("checked by effectively_active");
+        let dormant = b.add_state();
+        b.initial(dormant);
+        b.input(dormant, activation, active);
+        if spec.dormant_rate > 0.0 {
+            b.markovian(dormant, spec.dormant_rate, firing);
+        }
+    }
+
+    if let Some((mu, repair_signal)) = spec.repair {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(Error::Unsupported {
+                message: format!("basic event '{}' has invalid repair rate", spec.name),
+            });
+        }
+        // After repair the component returns to its active mode: repair implies the
+        // component is (re)installed and running.
+        let repairing = b.add_state();
+        b.markovian(fired, mu, repairing);
+        b.output(repairing, repair_signal, active);
+    }
+
+    b.build().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::Label;
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    fn spec(name: &str) -> BasicEventSpec {
+        BasicEventSpec {
+            name: name.to_owned(),
+            active_rate: 2.0,
+            dormant_rate: 0.0,
+            activation: None,
+            firing: act(&format!("f_{name}")),
+            repair: None,
+        }
+    }
+
+    #[test]
+    fn always_active_event_is_a_three_state_chain() {
+        let m = basic_event(&spec("be_active")).unwrap();
+        assert_eq!(m.num_states(), 3);
+        assert_eq!(m.num_markovian(), 1);
+        assert_eq!(m.num_interactive(), 1);
+        assert!(m.interactive()[0].label.is_output());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn cold_event_waits_for_activation() {
+        let mut s = spec("be_cold");
+        s.activation = Some(act("a_be_cold"));
+        let m = basic_event(&s).unwrap();
+        assert_eq!(m.num_states(), 4);
+        // Initially no Markovian transition is enabled (cold: dormant rate 0).
+        assert!(m.markovian_from(m.initial()).is_empty());
+        assert!(m
+            .interactive_from(m.initial())
+            .iter()
+            .any(|t| t.label == Label::Input(act("a_be_cold"))));
+    }
+
+    #[test]
+    fn warm_event_races_dormant_failure_and_activation() {
+        let mut s = spec("be_warm");
+        s.activation = Some(act("a_be_warm"));
+        s.dormant_rate = 0.5;
+        let m = basic_event(&s).unwrap();
+        assert_eq!(m.num_states(), 4);
+        let initial_rates: Vec<f64> =
+            m.markovian_from(m.initial()).iter().map(|t| t.rate).collect();
+        assert_eq!(initial_rates, vec![0.5]);
+        // After activation the full rate applies.
+        let active = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label.is_input())
+            .map(|t| t.to)
+            .unwrap();
+        let active_rates: Vec<f64> = m.markovian_from(active).iter().map(|t| t.rate).collect();
+        assert_eq!(active_rates, vec![2.0]);
+    }
+
+    #[test]
+    fn hot_event_ignores_activation() {
+        let mut s = spec("be_hot");
+        s.activation = Some(act("a_be_hot"));
+        s.dormant_rate = 2.0;
+        let m = basic_event(&s).unwrap();
+        // Behaves like an always-active event, but still declares the input.
+        assert_eq!(m.num_states(), 3);
+        assert!(m.signature().is_input(act("a_be_hot")));
+    }
+
+    #[test]
+    fn repairable_event_returns_to_active() {
+        let mut s = spec("be_repair");
+        s.repair = Some((5.0, act("r_be_repair")));
+        let m = basic_event(&s).unwrap();
+        assert_eq!(m.num_states(), 4);
+        // fired --mu--> repairing --r!--> active
+        let repair_out = m
+            .interactive()
+            .iter()
+            .find(|t| t.label == Label::Output(act("r_be_repair")))
+            .unwrap();
+        assert_eq!(repair_out.to, m.initial());
+        assert_eq!(m.num_markovian(), 2);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let mut s = spec("be_bad");
+        s.active_rate = 0.0;
+        assert!(basic_event(&s).is_err());
+        let mut s2 = spec("be_bad2");
+        s2.dormant_rate = -1.0;
+        assert!(basic_event(&s2).is_err());
+        let mut s3 = spec("be_bad3");
+        s3.repair = Some((f64::NAN, act("r_be_bad3")));
+        assert!(basic_event(&s3).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Elementary I/O-IMC models of the DFT elements.
+//!
+//! Each sub-module builds the I/O-IMC of one kind of element, generalised to any
+//! number of inputs as in the technical report the paper refers to:
+//!
+//! * [`be`] — basic events (cold/warm/hot, optionally repairable; Figure 3 and 13),
+//! * [`threshold`] — AND, OR and voting gates, optionally repairable (Figure 14),
+//! * [`pand`] — the priority-AND gate (Figure 4),
+//! * [`spare`] — the spare gate with sharing, contention and dormant/active
+//!   behaviour (Figure 11),
+//! * [`aux`] — the auxiliaries: firing auxiliary of the FDEP gate (Figure 5), the
+//!   activation auxiliary, the inhibition auxiliary (Figure 12) and the monitor
+//!   used for unavailability analysis.
+//!
+//! The generators are deliberately independent of the `dft` crate (they take plain
+//! actions) so they can be unit-tested in isolation and reused to define new DFT
+//! elements, as Section 7 of the paper advocates.
+
+pub mod aux;
+pub mod be;
+pub mod pand;
+pub mod spare;
+pub mod threshold;
+
+pub use aux::{inhibition_auxiliary, monitor, or_auxiliary};
+pub use be::{basic_event, BasicEventSpec};
+pub use pand::{pand_gate, PandSpec};
+pub use spare::{spare_gate, SpareInput, SpareSpec};
+pub use threshold::{threshold_gate, ThresholdRepair, ThresholdSpec};

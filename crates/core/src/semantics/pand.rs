@@ -1,0 +1,168 @@
+//! The priority-AND gate (Figure 4 of the paper).
+//!
+//! A PAND gate fires when all its inputs have failed *and* they failed in
+//! left-to-right order.  As soon as some input fails out of order, the gate can
+//! never fire any more and moves to an absorbing operational state (the state
+//! marked with an X in the paper's figure).
+
+use crate::{Error, Result};
+use ioimc::{Action, IoImc, IoImcBuilder};
+
+/// Parameters of a priority-AND gate model.
+#[derive(Debug, Clone)]
+pub struct PandSpec {
+    /// Name used for the generated model (diagnostics only).
+    pub name: String,
+    /// Failure signals of the inputs, in priority (left-to-right) order.
+    pub inputs: Vec<Action>,
+    /// The failure signal the gate emits.
+    pub firing: Action,
+}
+
+/// Builds the I/O-IMC of a PAND gate.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] if the gate has fewer than two inputs or the same
+/// failure signal appears twice (the failure order of a signal with respect to
+/// itself is not meaningful).
+pub fn pand_gate(spec: &PandSpec) -> Result<IoImc> {
+    let n = spec.inputs.len();
+    if n < 2 {
+        return Err(Error::Unsupported {
+            message: format!("PAND gate '{}' needs at least two inputs", spec.name),
+        });
+    }
+    for (i, a) in spec.inputs.iter().enumerate() {
+        if spec.inputs[..i].contains(a) {
+            return Err(Error::Unsupported {
+                message: format!(
+                    "PAND gate '{}' has the same input signal {} twice",
+                    spec.name,
+                    a.name()
+                ),
+            });
+        }
+    }
+
+    let mut b = IoImcBuilder::new(format!("PAND {}", spec.name));
+    // progress[j] = "the first j inputs have failed, in order".
+    let progress: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+    let firing = b.add_state();
+    let fired = b.add_state();
+    let dead = b.add_state(); // absorbing operational state (wrong order)
+    b.initial(progress[0]);
+    b.output(firing, spec.firing, fired);
+
+    for j in 0..n {
+        let from = progress[j];
+        // The expected next input advances the progress counter.
+        let advance_to = if j + 1 == n { firing } else { progress[j + 1] };
+        b.input(from, spec.inputs[j], advance_to);
+        // Any later input failing now violates the order.
+        for &later in &spec.inputs[j + 1..] {
+            b.input(from, later, dead);
+        }
+        // Earlier inputs have already failed; their signals are ignored
+        // (input-enabledness gives the implicit self-loops).
+    }
+
+    b.build().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::{Label, StateId};
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    fn spec(name: &str, inputs: &[&str]) -> PandSpec {
+        PandSpec {
+            name: name.to_owned(),
+            inputs: inputs.iter().map(|n| act(n)).collect(),
+            firing: act(&format!("f_{name}")),
+        }
+    }
+
+    #[test]
+    fn two_input_pand_matches_figure_4() {
+        let m = pand_gate(&spec("pand2", &["pand2_a", "pand2_b"])).unwrap();
+        // initial, after-A, firing, fired, dead.
+        assert_eq!(m.num_states(), 5);
+        assert!(m.validate().is_ok());
+        // From the initial state: A advances, B kills.
+        let from_initial = m.interactive_from(m.initial());
+        assert_eq!(from_initial.len(), 2);
+        let a_target = from_initial
+            .iter()
+            .find(|t| t.label == Label::Input(act("pand2_a")))
+            .unwrap()
+            .to;
+        let b_target = from_initial
+            .iter()
+            .find(|t| t.label == Label::Input(act("pand2_b")))
+            .unwrap()
+            .to;
+        assert_ne!(a_target, b_target);
+        // The dead state is absorbing: no outgoing transitions.
+        assert!(m.interactive_from(b_target).is_empty());
+        assert!(m.markovian_from(b_target).is_empty());
+        // The in-order path eventually emits the firing signal.
+        let after_a = m.interactive_from(a_target);
+        let firing_state = after_a
+            .iter()
+            .find(|t| t.label == Label::Input(act("pand2_b")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(firing_state)
+            .iter()
+            .any(|t| t.label == Label::Output(act("f_pand2"))));
+    }
+
+    #[test]
+    fn three_input_pand_requires_strict_order() {
+        let m = pand_gate(&spec("pand3", &["pand3_a", "pand3_b", "pand3_c"])).unwrap();
+        // progress 0..2, firing, fired, dead.
+        assert_eq!(m.num_states(), 6);
+        // From progress 1 (A failed), C failing kills the gate.
+        let after_a = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("pand3_a")))
+            .unwrap()
+            .to;
+        let c_target = m
+            .interactive_from(after_a)
+            .iter()
+            .find(|t| t.label == Label::Input(act("pand3_c")))
+            .unwrap()
+            .to;
+        assert!(m.interactive_from(c_target).is_empty(), "wrong order must deadlock");
+    }
+
+    #[test]
+    fn out_of_order_first_failure_kills_immediately() {
+        let m = pand_gate(&spec("pand_oo", &["pand_oo_a", "pand_oo_b", "pand_oo_c"])).unwrap();
+        let from_initial = m.interactive_from(m.initial());
+        let dead_targets: Vec<StateId> = from_initial
+            .iter()
+            .filter(|t| {
+                t.label == Label::Input(act("pand_oo_b"))
+                    || t.label == Label::Input(act("pand_oo_c"))
+            })
+            .map(|t| t.to)
+            .collect();
+        assert_eq!(dead_targets.len(), 2);
+        assert_eq!(dead_targets[0], dead_targets[1]);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(pand_gate(&spec("pand_bad", &["only"])).is_err());
+        assert!(pand_gate(&spec("pand_bad2", &["pand_dup", "pand_dup"])).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! The spare gate (Figure 11 of the paper, generalised).
+//!
+//! The spare gate is the most intricate DFT element.  It manages an ordered list of
+//! inputs — a primary and one or more spares — and relies on the lowest-indexed
+//! input that is still *usable* (neither failed nor taken by a contending spare
+//! gate).  When the gate is itself active it *claims* the input it relies on by
+//! emitting an activation/claim signal `a_{X,G}`; contending gates hear the claim
+//! and mark the spare unusable.  When every input is failed or unusable the gate
+//! fires.  A spare gate that is itself used inside a spare module stays dormant
+//! until its own activation signal arrives; while dormant it tracks failures and
+//! contending claims but does not claim or activate anything — exactly the
+//! behaviour Section 6.1 of the paper describes for complex spares.
+
+use crate::{Error, Result};
+use ioimc::{Action, IoImc, IoImcBuilder, StateId};
+use std::collections::HashMap;
+
+/// One input of a spare gate.
+#[derive(Debug, Clone)]
+pub struct SpareInput {
+    /// The input's failure signal.
+    pub failure: Action,
+    /// The claim signal this gate emits when it starts relying on the input
+    /// (`None` if no claim is needed, e.g. the primary of an always-active gate).
+    pub claim: Option<Action>,
+    /// Claim signals of *other* spare gates sharing this input; hearing one makes
+    /// the input unusable.
+    pub contenders: Vec<Action>,
+}
+
+/// Parameters of a spare-gate model.
+#[derive(Debug, Clone)]
+pub struct SpareSpec {
+    /// Name used for the generated model (diagnostics only).
+    pub name: String,
+    /// The inputs in priority order; index 0 is the primary.
+    pub inputs: Vec<SpareInput>,
+    /// The failure signal the gate emits.
+    pub firing: Action,
+    /// The gate's own activation signal (`None` for an always-active gate).
+    pub activation: Option<Action>,
+}
+
+/// Upper limit on the number of inputs (the state space tracks the usable subset).
+const MAX_INPUTS: usize = 16;
+
+/// Builds the I/O-IMC of a spare gate.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] if the gate has fewer than two or more than 16
+/// inputs.
+pub fn spare_gate(spec: &SpareSpec) -> Result<IoImc> {
+    let n = spec.inputs.len();
+    if n < 2 {
+        return Err(Error::Unsupported {
+            message: format!("spare gate '{}' needs a primary and at least one spare", spec.name),
+        });
+    }
+    if n > MAX_INPUTS {
+        return Err(Error::Unsupported {
+            message: format!(
+                "spare gate '{}' has {} inputs; at most {} are supported",
+                spec.name, n, MAX_INPUTS
+            ),
+        });
+    }
+
+    let mut b = IoImcBuilder::new(format!("SPARE {}", spec.name));
+
+    /// Operational state of the gate.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    struct Key {
+        active: bool,
+        usable: u32,
+        /// Whether the input the gate currently relies on has been claimed (always
+        /// `true` when no claim is required or the gate is dormant).
+        claimed: bool,
+    }
+
+    let current = |usable: u32| -> Option<usize> {
+        if usable == 0 {
+            None
+        } else {
+            Some(usable.trailing_zeros() as usize)
+        }
+    };
+
+    // Normalise the `claimed` flag so equivalent situations share a state.
+    let normalise = |mut key: Key| -> Key {
+        match current(key.usable) {
+            None => {
+                key.claimed = true;
+            }
+            Some(cur) => {
+                if !key.active || spec.inputs[cur].claim.is_none() {
+                    key.claimed = true;
+                }
+            }
+        }
+        key
+    };
+
+    let firing = b.add_state();
+    let fired = b.add_state();
+    b.output(firing, spec.firing, fired);
+
+    let mut states: HashMap<Key, StateId> = HashMap::new();
+    let mut worklist: Vec<Key> = Vec::new();
+
+    let all_usable = (1u32 << n) - 1;
+    let initial_key = normalise(Key {
+        active: spec.activation.is_none(),
+        usable: all_usable,
+        claimed: false,
+    });
+    let initial = b.add_state();
+    states.insert(initial_key, initial);
+    worklist.push(initial_key);
+    b.initial(initial);
+
+    // Interning helper: all-failed states collapse onto the firing state.
+    fn intern(
+        b: &mut IoImcBuilder,
+        states: &mut HashMap<Key, StateId>,
+        worklist: &mut Vec<Key>,
+        firing: StateId,
+        key: Key,
+    ) -> StateId {
+        if key.usable == 0 {
+            return firing;
+        }
+        if let Some(&s) = states.get(&key) {
+            return s;
+        }
+        let s = b.add_state();
+        states.insert(key, s);
+        worklist.push(key);
+        s
+    }
+
+    while let Some(key) = worklist.pop() {
+        let from = states[&key];
+        let cur = current(key.usable).expect("usable states have a current input");
+
+        // Claim the current input if the gate is active and has not done so yet.
+        if key.active && !key.claimed {
+            let claim = spec.inputs[cur].claim.expect("normalisation keeps claim=false only when a claim exists");
+            let to_key = normalise(Key { claimed: true, ..key });
+            let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
+            b.output(from, claim, to);
+        }
+
+        // Activation of the gate itself.
+        if !key.active {
+            if let Some(activation) = spec.activation {
+                let to_key = normalise(Key { active: true, claimed: false, ..key });
+                let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
+                b.input(from, activation, to);
+            }
+        }
+
+        // Failures and contending claims make inputs unusable.
+        for j in 0..n {
+            if key.usable & (1 << j) == 0 {
+                continue;
+            }
+            let after_loss = |key: Key| -> Key {
+                let mut next = key;
+                next.usable &= !(1 << j);
+                if j == cur {
+                    next.claimed = false;
+                }
+                normalise(next)
+            };
+
+            let to_key = after_loss(key);
+            let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
+            b.input(from, spec.inputs[j].failure, to);
+
+            for &contender in &spec.inputs[j].contenders {
+                // If we already claimed the input a contender cannot take it away
+                // (the contender heard our claim first); otherwise we lose it.
+                if j == cur && key.claimed && key.active && spec.inputs[j].claim.is_some() {
+                    continue;
+                }
+                let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
+                b.input(from, contender, to);
+            }
+        }
+    }
+
+    b.build().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::Label;
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    fn simple_input(prefix: &str, name: &str) -> SpareInput {
+        SpareInput {
+            failure: act(&format!("f_{prefix}_{name}")),
+            claim: None,
+            contenders: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unshared_always_active_gate_fires_after_all_inputs() {
+        let spec = SpareSpec {
+            name: "sp_basic".to_owned(),
+            inputs: vec![simple_input("sp_basic", "p"), simple_input("sp_basic", "s")],
+            firing: act("f_sp_basic"),
+            activation: None,
+        };
+        let m = spare_gate(&spec).unwrap();
+        assert!(m.validate().is_ok());
+        // usable {p,s}, {s}, {p}, firing, fired.
+        assert_eq!(m.num_states(), 5);
+        // Primary fails, spare fails -> firing.
+        let after_p = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_basic_p")))
+            .unwrap()
+            .to;
+        let firing_state = m
+            .interactive_from(after_p)
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_basic_s")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(firing_state)
+            .iter()
+            .any(|t| t.label == Label::Output(act("f_sp_basic"))));
+    }
+
+    #[test]
+    fn claims_are_emitted_when_switching_to_a_spare() {
+        let spec = SpareSpec {
+            name: "sp_claim".to_owned(),
+            inputs: vec![
+                simple_input("sp_claim", "p"),
+                SpareInput {
+                    failure: act("f_sp_claim_s"),
+                    claim: Some(act("a_sp_claim_s__g")),
+                    contenders: Vec::new(),
+                },
+            ],
+            firing: act("f_sp_claim"),
+            activation: None,
+        };
+        let m = spare_gate(&spec).unwrap();
+        // After the primary fails the gate must claim the spare.
+        let after_p = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_claim_p")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(after_p)
+            .iter()
+            .any(|t| t.label == Label::Output(act("a_sp_claim_s__g"))));
+        // But not before.
+        assert!(!m
+            .interactive_from(m.initial())
+            .iter()
+            .any(|t| t.label.is_output() && t.label.action() == act("a_sp_claim_s__g")));
+    }
+
+    #[test]
+    fn contender_claims_make_the_spare_unusable() {
+        let spec = SpareSpec {
+            name: "sp_shared".to_owned(),
+            inputs: vec![
+                simple_input("sp_shared", "p"),
+                SpareInput {
+                    failure: act("f_sp_shared_s"),
+                    claim: Some(act("a_sp_shared_s__g1")),
+                    contenders: vec![act("a_sp_shared_s__g2")],
+                },
+            ],
+            firing: act("f_sp_shared"),
+            activation: None,
+        };
+        let m = spare_gate(&spec).unwrap();
+        assert!(m.signature().is_input(act("a_sp_shared_s__g2")));
+        // If the contender claims the spare and then the primary fails, the gate
+        // fires (no usable inputs left).
+        let after_contender = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("a_sp_shared_s__g2")))
+            .unwrap()
+            .to;
+        let after_primary = m
+            .interactive_from(after_contender)
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_shared_p")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(after_primary)
+            .iter()
+            .any(|t| t.label == Label::Output(act("f_sp_shared"))));
+    }
+
+    #[test]
+    fn dormant_gate_claims_only_after_activation() {
+        let spec = SpareSpec {
+            name: "sp_dormant".to_owned(),
+            inputs: vec![
+                SpareInput {
+                    failure: act("f_sp_dormant_p"),
+                    claim: Some(act("a_sp_dormant_p__g")),
+                    contenders: Vec::new(),
+                },
+                SpareInput {
+                    failure: act("f_sp_dormant_s"),
+                    claim: Some(act("a_sp_dormant_s__g")),
+                    contenders: Vec::new(),
+                },
+            ],
+            firing: act("f_sp_dormant"),
+            activation: Some(act("a_sp_dormant")),
+        };
+        let m = spare_gate(&spec).unwrap();
+        // Initially dormant: no claim output enabled.
+        assert!(!m.interactive_from(m.initial()).iter().any(|t| t.label.is_output()));
+        // After activation the primary is claimed.
+        let after_activation = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("a_sp_dormant")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(after_activation)
+            .iter()
+            .any(|t| t.label == Label::Output(act("a_sp_dormant_p__g"))));
+    }
+
+    #[test]
+    fn dormant_gate_with_all_inputs_failed_still_fires() {
+        let spec = SpareSpec {
+            name: "sp_dormant_fail".to_owned(),
+            inputs: vec![
+                simple_input("sp_dormant_fail", "p"),
+                simple_input("sp_dormant_fail", "s"),
+            ],
+            firing: act("f_sp_dormant_fail"),
+            activation: Some(act("a_sp_dormant_fail")),
+        };
+        let m = spare_gate(&spec).unwrap();
+        // Fail both inputs while dormant; the gate must reach its firing state.
+        let after_p = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_dormant_fail_p")))
+            .unwrap()
+            .to;
+        let after_both = m
+            .interactive_from(after_p)
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_dormant_fail_s")))
+            .unwrap()
+            .to;
+        assert!(m
+            .interactive_from(after_both)
+            .iter()
+            .any(|t| t.label == Label::Output(act("f_sp_dormant_fail"))));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let spec = SpareSpec {
+            name: "sp_bad".to_owned(),
+            inputs: vec![simple_input("sp_bad", "p")],
+            firing: act("f_sp_bad"),
+            activation: None,
+        };
+        assert!(spare_gate(&spec).is_err());
+    }
+
+    #[test]
+    fn three_inputs_are_claimed_in_priority_order() {
+        let spec = SpareSpec {
+            name: "sp_three".to_owned(),
+            inputs: vec![
+                simple_input("sp_three", "p"),
+                SpareInput {
+                    failure: act("f_sp_three_s1"),
+                    claim: Some(act("a_sp_three_s1__g")),
+                    contenders: Vec::new(),
+                },
+                SpareInput {
+                    failure: act("f_sp_three_s2"),
+                    claim: Some(act("a_sp_three_s2__g")),
+                    contenders: Vec::new(),
+                },
+            ],
+            firing: act("f_sp_three"),
+            activation: None,
+        };
+        let m = spare_gate(&spec).unwrap();
+        // After the primary fails, spare 1 (not spare 2) is claimed.
+        let after_p = m
+            .interactive_from(m.initial())
+            .iter()
+            .find(|t| t.label == Label::Input(act("f_sp_three_p")))
+            .unwrap()
+            .to;
+        let outputs: Vec<Action> = m
+            .interactive_from(after_p)
+            .iter()
+            .filter(|t| t.label.is_output())
+            .map(|t| t.label.action())
+            .collect();
+        assert_eq!(outputs, vec![act("a_sp_three_s1__g")]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Static (threshold) gates: AND, OR and K-out-of-M voting, optionally repairable.
+//!
+//! All three static gates are instances of one threshold construction: the gate
+//! fires as soon as at least `k` of its `n` inputs have failed (`k = 1` is OR,
+//! `k = n` is AND).  Because each input announces its failure with its own signal,
+//! the gate has to remember *which* inputs have failed, so the operational part of
+//! the state space is the set of failed-input subsets — exactly the generalisation
+//! of the elementary models sketched in the paper.
+//!
+//! The repairable variant (Figure 14 for the AND gate) additionally reacts to the
+//! repair signals of its inputs and emits its own repair signal when the number of
+//! failed inputs drops below the threshold again.
+
+use crate::{Error, Result};
+use ioimc::{Action, IoImc, IoImcBuilder, StateId};
+use std::collections::HashMap;
+
+/// Repair-related parameters of a threshold gate.
+#[derive(Debug, Clone)]
+pub struct ThresholdRepair {
+    /// Repair signal of each input (`None` for inputs that can never be repaired),
+    /// aligned with [`ThresholdSpec::inputs`].
+    pub input_repairs: Vec<Option<Action>>,
+    /// The repair signal the gate itself emits when it becomes operational again.
+    pub repair_output: Action,
+}
+
+/// Parameters of a threshold (AND/OR/voting) gate model.
+#[derive(Debug, Clone)]
+pub struct ThresholdSpec {
+    /// Name used for the generated model (diagnostics only).
+    pub name: String,
+    /// Failure threshold `k` (1 = OR, number of inputs = AND).
+    pub k: u32,
+    /// Failure signals of the inputs.
+    pub inputs: Vec<Action>,
+    /// The failure signal the gate emits.
+    pub firing: Action,
+    /// Repair behaviour, if the gate participates in a repairable analysis.
+    pub repair: Option<ThresholdRepair>,
+}
+
+/// Upper limit on the number of inputs: the operational state space is the set of
+/// failed-input subsets, so it grows as `2^n`.
+const MAX_INPUTS: usize = 20;
+
+/// Builds the I/O-IMC of a threshold gate.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] if the threshold is out of range, the gate has
+/// more than 20 inputs, or the repair specification is inconsistent.
+pub fn threshold_gate(spec: &ThresholdSpec) -> Result<IoImc> {
+    let n = spec.inputs.len();
+    if n == 0 || spec.k == 0 || spec.k as usize > n {
+        return Err(Error::Unsupported {
+            message: format!(
+                "threshold gate '{}': threshold {} outside 1..={}",
+                spec.name, spec.k, n
+            ),
+        });
+    }
+    if n > MAX_INPUTS {
+        return Err(Error::Unsupported {
+            message: format!(
+                "threshold gate '{}' has {} inputs; at most {} are supported",
+                spec.name, n, MAX_INPUTS
+            ),
+        });
+    }
+    if let Some(repair) = &spec.repair {
+        if repair.input_repairs.len() != n {
+            return Err(Error::Unsupported {
+                message: format!(
+                    "threshold gate '{}': repair vector length {} does not match {} inputs",
+                    spec.name,
+                    repair.input_repairs.len(),
+                    n
+                ),
+            });
+        }
+        return repairable_threshold(spec, repair);
+    }
+    unrepairable_threshold(spec)
+}
+
+/// Indices of inputs that carry the given action (an element may feed the same
+/// gate twice, in which case one failure signal flips several input slots).
+fn slots_for(inputs: &[Action], action: Action) -> Vec<usize> {
+    inputs.iter().enumerate().filter(|&(_, &a)| a == action).map(|(i, _)| i).collect()
+}
+
+fn unrepairable_threshold(spec: &ThresholdSpec) -> Result<IoImc> {
+    let n = spec.inputs.len();
+    let k = spec.k as usize;
+    let mut b = IoImcBuilder::new(format!("{} ({}/{})", spec.name, k, n));
+
+    // Interned operational states keyed by failed-input bitmask (|mask| < k).
+    let mut states: HashMap<u32, StateId> = HashMap::new();
+    let mut worklist: Vec<u32> = Vec::new();
+    let firing = b.add_state();
+    let fired = b.add_state();
+    b.output(firing, spec.firing, fired);
+
+    let initial = b.add_state();
+    states.insert(0, initial);
+    worklist.push(0);
+    b.initial(initial);
+
+    while let Some(mask) = worklist.pop() {
+        let from = states[&mask];
+        // Distinct actions only: one action may cover several input slots.
+        let mut seen_actions: Vec<Action> = Vec::new();
+        for &action in &spec.inputs {
+            if seen_actions.contains(&action) {
+                continue;
+            }
+            seen_actions.push(action);
+            let mut next = mask;
+            for slot in slots_for(&spec.inputs, action) {
+                next |= 1 << slot;
+            }
+            if next == mask {
+                continue;
+            }
+            if (next.count_ones() as usize) >= k {
+                b.input(from, action, firing);
+            } else {
+                let to = match states.get(&next) {
+                    Some(&s) => s,
+                    None => {
+                        let s = b.add_state();
+                        states.insert(next, s);
+                        worklist.push(next);
+                        s
+                    }
+                };
+                b.input(from, action, to);
+            }
+        }
+    }
+
+    b.build().map_err(Error::from)
+}
+
+fn repairable_threshold(spec: &ThresholdSpec, repair: &ThresholdRepair) -> Result<IoImc> {
+    let n = spec.inputs.len();
+    let k = spec.k as usize;
+    let mut b = IoImcBuilder::new(format!("{} repairable ({}/{})", spec.name, k, n));
+
+    // Phases of the gate's life cycle.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum Phase {
+        Operational,
+        Firing,
+        Fired,
+        RepairFiring,
+    }
+    type Key = (u32, Phase);
+
+    let mut states: HashMap<Key, StateId> = HashMap::new();
+    let mut worklist: Vec<Key> = Vec::new();
+
+    let initial_key = (0u32, Phase::Operational);
+    let initial = b.add_state();
+    states.insert(initial_key, initial);
+    worklist.push(initial_key);
+    b.initial(initial);
+
+    // Intern helper.
+    fn intern(
+        b: &mut IoImcBuilder,
+        states: &mut HashMap<(u32, Phase), StateId>,
+        worklist: &mut Vec<(u32, Phase)>,
+        key: (u32, Phase),
+    ) -> StateId {
+        if let Some(&s) = states.get(&key) {
+            return s;
+        }
+        let s = b.add_state();
+        states.insert(key, s);
+        worklist.push(key);
+        s
+    }
+
+    while let Some((mask, phase)) = worklist.pop() {
+        let from = states[&(mask, phase)];
+        let failed = mask.count_ones() as usize;
+
+        // Phase-changing immediate outputs.
+        match phase {
+            Phase::Firing => {
+                let to = intern(&mut b, &mut states, &mut worklist, (mask, Phase::Fired));
+                b.output(from, spec.firing, to);
+            }
+            Phase::RepairFiring => {
+                let next_phase =
+                    if failed >= k { Phase::Firing } else { Phase::Operational };
+                let to = intern(&mut b, &mut states, &mut worklist, (mask, next_phase));
+                b.output(from, repair.repair_output, to);
+            }
+            Phase::Operational | Phase::Fired => {}
+        }
+
+        // Failure inputs.
+        let mut seen_actions: Vec<Action> = Vec::new();
+        for &action in &spec.inputs {
+            if seen_actions.contains(&action) {
+                continue;
+            }
+            seen_actions.push(action);
+            let mut next_mask = mask;
+            for slot in slots_for(&spec.inputs, action) {
+                next_mask |= 1 << slot;
+            }
+            if next_mask == mask {
+                continue;
+            }
+            let next_failed = next_mask.count_ones() as usize;
+            let next_phase = match phase {
+                Phase::Operational if next_failed >= k => Phase::Firing,
+                other => other,
+            };
+            let to = intern(&mut b, &mut states, &mut worklist, (next_mask, next_phase));
+            b.input(from, action, to);
+        }
+
+        // Repair inputs.
+        let mut seen_repairs: Vec<Action> = Vec::new();
+        for (slot, maybe_repair) in repair.input_repairs.iter().enumerate() {
+            let Some(action) = maybe_repair else { continue };
+            if seen_repairs.contains(action) {
+                continue;
+            }
+            seen_repairs.push(*action);
+            let action = *action;
+            let mut next_mask = mask;
+            // A repair signal repairs every slot fed by the same element.
+            for s in repair
+                .input_repairs
+                .iter()
+                .enumerate()
+                .filter(|&(_, r)| *r == Some(action))
+                .map(|(i, _)| i)
+            {
+                next_mask &= !(1 << s);
+            }
+            let _ = slot;
+            if next_mask == mask {
+                continue;
+            }
+            let next_failed = next_mask.count_ones() as usize;
+            let next_phase = match phase {
+                Phase::Fired if next_failed < k => Phase::RepairFiring,
+                other => other,
+            };
+            let to = intern(&mut b, &mut states, &mut worklist, (next_mask, next_phase));
+            b.input(from, action, to);
+        }
+    }
+
+    b.build().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::Label;
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    fn spec(name: &str, k: u32, inputs: &[&str]) -> ThresholdSpec {
+        ThresholdSpec {
+            name: name.to_owned(),
+            k,
+            inputs: inputs.iter().map(|n| act(n)).collect(),
+            firing: act(&format!("f_{name}")),
+            repair: None,
+        }
+    }
+
+    #[test]
+    fn or_gate_is_small() {
+        let m = threshold_gate(&spec("th_or", 1, &["th_or_a", "th_or_b", "th_or_c"])).unwrap();
+        // initial, firing, fired.
+        assert_eq!(m.num_states(), 3);
+        // Three inputs all lead to the firing state.
+        assert_eq!(m.interactive_from(m.initial()).len(), 3);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn and_gate_tracks_subsets() {
+        let m = threshold_gate(&spec("th_and", 2, &["th_and_a", "th_and_b"])).unwrap();
+        // {}, {a}, {b}, firing, fired.
+        assert_eq!(m.num_states(), 5);
+        assert!(m
+            .interactive()
+            .iter()
+            .any(|t| t.label == Label::Output(act("f_th_and"))));
+    }
+
+    #[test]
+    fn voting_two_of_three() {
+        let m = threshold_gate(&spec("th_vote", 2, &["th_v_a", "th_v_b", "th_v_c"])).unwrap();
+        // {}, three singletons, firing, fired.
+        assert_eq!(m.num_states(), 6);
+    }
+
+    #[test]
+    fn and_gate_with_four_inputs() {
+        let m = threshold_gate(&spec(
+            "th_and4",
+            4,
+            &["th4_a", "th4_b", "th4_c", "th4_d"],
+        ))
+        .unwrap();
+        // All proper subsets (15) + firing + fired.
+        assert_eq!(m.num_states(), 17);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_inputs_fail_together() {
+        // AND over the same signal twice fires on the first (and only) failure.
+        let m = threshold_gate(&spec("th_dup", 2, &["th_dup_a", "th_dup_a"])).unwrap();
+        assert_eq!(m.num_states(), 3);
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        assert!(threshold_gate(&spec("th_bad", 0, &["x1"])).is_err());
+        assert!(threshold_gate(&spec("th_bad2", 3, &["x1", "x2"])).is_err());
+        assert!(threshold_gate(&spec("th_bad3", 1, &[])).is_err());
+        let many: Vec<String> = (0..25).map(|i| format!("th_many_{i}")).collect();
+        let many_refs: Vec<&str> = many.iter().map(|s| s.as_str()).collect();
+        assert!(threshold_gate(&spec("th_bad4", 1, &many_refs)).is_err());
+    }
+
+    #[test]
+    fn repairable_and_gate_has_repair_output() {
+        let mut s = spec("th_rep", 2, &["th_rep_a", "th_rep_b"]);
+        s.repair = Some(ThresholdRepair {
+            input_repairs: vec![Some(act("r_th_rep_a")), Some(act("r_th_rep_b"))],
+            repair_output: act("r_th_rep"),
+        });
+        let m = threshold_gate(&s).unwrap();
+        assert!(m.validate().is_ok());
+        assert!(m.signature().is_output(act("r_th_rep")));
+        assert!(m.signature().is_input(act("r_th_rep_a")));
+        // The repairable AND gate of the paper (Figure 14) has more states than the
+        // unrepairable one (5): failures can now be undone.
+        assert!(m.num_states() > 5, "got {} states", m.num_states());
+        // The gate must be able to fire, repair, and fire again: check that a
+        // repair output transition exists and does not lead to a deadlock.
+        let repair_transition = m
+            .interactive()
+            .iter()
+            .find(|t| t.label == Label::Output(act("r_th_rep")))
+            .expect("repair output present");
+        assert!(!m.interactive_from(repair_transition.to).is_empty());
+    }
+
+    #[test]
+    fn repairable_spec_length_is_checked() {
+        let mut s = spec("th_rep_bad", 1, &["th_rb_a", "th_rb_b"]);
+        s.repair = Some(ThresholdRepair {
+            input_repairs: vec![Some(act("r_th_rb_a"))],
+            repair_output: act("r_th_rb"),
+        });
+        assert!(threshold_gate(&s).is_err());
+    }
+
+    #[test]
+    fn partially_repairable_inputs_are_supported() {
+        let mut s = spec("th_partial", 2, &["th_p_a", "th_p_b"]);
+        s.repair = Some(ThresholdRepair {
+            input_repairs: vec![Some(act("r_th_p_a")), None],
+            repair_output: act("r_th_partial"),
+        });
+        let m = threshold_gate(&s).unwrap();
+        assert!(m.validate().is_ok());
+        assert!(m.signature().is_input(act("r_th_p_a")));
+    }
+}

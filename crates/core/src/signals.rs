@@ -1,0 +1,81 @@
+//! Naming conventions for the actions of the I/O-IMC community.
+//!
+//! Every DFT element `X` communicates through a small set of signals (Section 4 of
+//! the paper).  Centralising the name construction here keeps the generators, the
+//! conversion and the tests consistent:
+//!
+//! | signal                | name               | meaning                                            |
+//! |-----------------------|--------------------|----------------------------------------------------|
+//! | firing                | `f_X`              | `X` has failed (as seen by the rest of the tree)    |
+//! | isolated firing       | `fs_X`             | `X` failed *by itself*, before its firing auxiliary |
+//! | repair                | `r_X`              | `X` has been repaired                               |
+//! | activation            | `a_X`              | `X` (a spare module root) switches to active mode   |
+//! | activation claim      | `a_X__G`           | spare gate `G` claims / activates its input `X`     |
+
+use dft::{Dft, ElementId};
+use ioimc::Action;
+
+/// The firing (failure) signal of an element, as observed by its parents.
+pub fn firing(dft: &Dft, element: ElementId) -> Action {
+    Action::new(&format!("f_{}", dft.name(element)))
+}
+
+/// The *isolated* firing signal of an element that has a firing auxiliary: the
+/// element's own failure before functional dependencies are factored in.
+pub fn isolated_firing(dft: &Dft, element: ElementId) -> Action {
+    Action::new(&format!("fs_{}", dft.name(element)))
+}
+
+/// The repair signal of an element (repairable extension, Section 7.2).
+pub fn repair(dft: &Dft, element: ElementId) -> Action {
+    Action::new(&format!("r_{}", dft.name(element)))
+}
+
+/// The activation signal of a spare-module root: the output of its activation
+/// auxiliary, listened to by every element of the module.
+pub fn activation(dft: &Dft, element: ElementId) -> Action {
+    Action::new(&format!("a_{}", dft.name(element)))
+}
+
+/// The claim signal `a_{X,G}`: spare gate `gate` claims (and thereby activates) its
+/// input `input`.
+pub fn claim(dft: &Dft, input: ElementId, gate: ElementId) -> Action {
+    Action::new(&format!("a_{}__{}", dft.name(input), dft.name(gate)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft::{DftBuilder, Dormancy};
+
+    fn sample() -> Dft {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("P", 1.0, Dormancy::Hot).unwrap();
+        let s = b.basic_event("S", 1.0, Dormancy::Cold).unwrap();
+        let g = b.spare_gate("G", &[p, s]).unwrap();
+        b.build(g).unwrap()
+    }
+
+    #[test]
+    fn names_follow_the_convention() {
+        let dft = sample();
+        let p = dft.by_name("P").unwrap();
+        let s = dft.by_name("S").unwrap();
+        let g = dft.by_name("G").unwrap();
+        assert_eq!(firing(&dft, p).name(), "f_P");
+        assert_eq!(isolated_firing(&dft, p).name(), "fs_P");
+        assert_eq!(repair(&dft, p).name(), "r_P");
+        assert_eq!(activation(&dft, s).name(), "a_S");
+        assert_eq!(claim(&dft, s, g).name(), "a_S__G");
+    }
+
+    #[test]
+    fn distinct_elements_get_distinct_signals() {
+        let dft = sample();
+        let p = dft.by_name("P").unwrap();
+        let s = dft.by_name("S").unwrap();
+        assert_ne!(firing(&dft, p), firing(&dft, s));
+        assert_ne!(firing(&dft, p), isolated_firing(&dft, p));
+        assert_ne!(firing(&dft, p), repair(&dft, p));
+    }
+}

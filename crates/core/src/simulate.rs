@@ -1,0 +1,268 @@
+//! Monte-Carlo estimation of DFT measures.
+//!
+//! Compositional aggregation keeps state spaces small, but very large or very
+//! highly connected DFTs (the negative case the paper mentions at the end of
+//! Section 5.2) can still exceed what numerical analysis handles comfortably.
+//! This module provides a discrete-event Monte-Carlo estimator for the
+//! unreliability as a pragmatic fallback and as a statistical cross-check of the
+//! analytical pipelines.
+//!
+//! The simulator shares the failure-propagation logic (FDEP cascades, spare
+//! switching, PAND ordering) with the monolithic baseline, so it validates the
+//! *stochastic and numerical* parts of the tool chain independently: failure times
+//! are sampled per basic event with the memoryless-resampling trick for dormancy
+//! changes (a warm spare's remaining lifetime is re-drawn at its active rate the
+//! moment it is activated, which is exact for exponential distributions).
+
+use crate::baseline::Explorer;
+use crate::{Error, Result};
+use dft::Dft;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the Monte-Carlo estimator.
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// Number of independent system lifetimes to simulate.
+    pub samples: usize,
+    /// Seed of the pseudo-random number generator (fixed seed ⇒ reproducible
+    /// estimates).
+    pub seed: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions { samples: 100_000, seed: 0x5eed_d1f7 }
+    }
+}
+
+/// A Monte-Carlo estimate with its statistical error.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationEstimate {
+    /// Estimated probability.
+    pub probability: f64,
+    /// Standard error of the estimate (binomial).
+    pub std_error: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl SimulationEstimate {
+    /// Half-width of the 95 % confidence interval.
+    pub fn confidence_95(&self) -> f64 {
+        1.96 * self.std_error
+    }
+}
+
+fn sample_exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Estimates the unreliability at `mission_time` by simulating independent system
+/// lifetimes.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] for DFT features the event-driven propagation
+/// does not cover (the same set as the monolithic baseline: no repair, no
+/// inhibition gates, FDEP dependents must be basic events) or when `samples` is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use dft::{DftBuilder, Dormancy};
+/// use dft_core::simulate::{simulate_unreliability, SimulationOptions};
+/// # fn main() -> Result<(), dft_core::Error> {
+/// let mut b = DftBuilder::new();
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let top = b.or_gate("Top", &[x])?;
+/// let dft = b.build(top)?;
+/// let options = SimulationOptions { samples: 20_000, ..SimulationOptions::default() };
+/// let estimate = simulate_unreliability(&dft, 1.0, &options)?;
+/// let exact = 1.0 - (-1.0f64).exp();
+/// assert!((estimate.probability - exact).abs() < 4.0 * estimate.std_error + 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_unreliability(
+    dft: &Dft,
+    mission_time: f64,
+    options: &SimulationOptions,
+) -> Result<SimulationEstimate> {
+    if options.samples == 0 {
+        return Err(Error::Unsupported {
+            message: "the Monte-Carlo estimator needs at least one sample".to_owned(),
+        });
+    }
+    if !(mission_time.is_finite() && mission_time >= 0.0) {
+        return Err(Error::Unsupported {
+            message: format!("invalid mission time {mission_time}"),
+        });
+    }
+    let explorer = Explorer::new(dft)?;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut failures = 0usize;
+
+    for _ in 0..options.samples {
+        if simulate_one(dft, &explorer, mission_time, &mut rng) {
+            failures += 1;
+        }
+    }
+
+    let n = options.samples as f64;
+    let p = failures as f64 / n;
+    let std_error = (p * (1.0 - p) / n).sqrt();
+    Ok(SimulationEstimate { probability: p, std_error, samples: options.samples })
+}
+
+/// Simulates one system lifetime; returns `true` if the top event occurs within
+/// the mission time.
+fn simulate_one(dft: &Dft, explorer: &Explorer<'_>, mission_time: f64, rng: &mut StdRng) -> bool {
+    let bes = explorer.basic_events().to_vec();
+    let mut state = explorer.initial_state();
+    let mut now = 0.0f64;
+
+    // Scheduled failure times per basic event at their *current* rate; re-sampled
+    // whenever the rate changes (valid thanks to memorylessness).
+    let mut rates: Vec<f64> = bes.iter().map(|&be| explorer.be_rate(&state, be)).collect();
+    let mut next_failure: Vec<f64> =
+        rates.iter().map(|&r| sample_exponential(rng, r)).collect();
+
+    loop {
+        if explorer.element_failed(&state, dft.top()) {
+            return true;
+        }
+        // Earliest pending failure among operational basic events.
+        let mut winner: Option<(usize, f64)> = None;
+        for (i, &_be) in bes.iter().enumerate() {
+            if state.failed[i] {
+                continue;
+            }
+            let at = now + next_failure[i];
+            if at.is_finite() && winner.map(|(_, best)| at < best).unwrap_or(true) {
+                winner = Some((i, at));
+            }
+        }
+        let Some((index, at)) = winner else { return false };
+        if at > mission_time {
+            return false;
+        }
+        now = at;
+        state = explorer.apply_failure(&state, bes[index]);
+        if explorer.element_failed(&state, dft.top()) {
+            return true;
+        }
+        // Rates may have changed (spares were activated by the switch we just
+        // performed).  Re-sample every operational clock at its current rate,
+        // relative to the new `now`: by memorylessness of the exponential
+        // distribution this is equivalent to carrying residual lifetimes, at the
+        // cost of a few extra random draws.
+        for (i, &be) in bes.iter().enumerate() {
+            if !state.failed[i] {
+                rates[i] = explorer.be_rate(&state, be);
+                next_failure[i] = sample_exponential(rng, rates[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{unreliability, AnalysisOptions};
+    use crate::casestudies::{cas, CAS_PAPER_UNRELIABILITY};
+    use dft::{DftBuilder, Dormancy};
+
+    fn options(samples: usize, seed: u64) -> SimulationOptions {
+        SimulationOptions { samples, seed }
+    }
+
+    #[test]
+    fn single_component_matches_the_exponential_cdf() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("sim_X", 0.8, Dormancy::Hot).unwrap();
+        let top = b.or_gate("sim_Top", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let estimate = simulate_unreliability(&dft, 1.0, &options(40_000, 7)).unwrap();
+        let exact = 1.0 - (-0.8f64).exp();
+        assert!(
+            (estimate.probability - exact).abs() < 4.0 * estimate.std_error + 1e-3,
+            "{} vs {exact}",
+            estimate.probability
+        );
+        assert!(estimate.std_error > 0.0);
+        assert!(estimate.confidence_95() > estimate.std_error);
+    }
+
+    #[test]
+    fn cold_spare_matches_the_analytic_erlang() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("sim_P", 1.0, Dormancy::Hot).unwrap();
+        let s = b.basic_event("sim_S", 1.0, Dormancy::Cold).unwrap();
+        let top = b.spare_gate("sim_Spare", &[p, s]).unwrap();
+        let dft = b.build(top).unwrap();
+        let estimate = simulate_unreliability(&dft, 1.0, &options(40_000, 11)).unwrap();
+        let exact = 1.0 - 2.0 * (-1.0f64).exp();
+        assert!(
+            (estimate.probability - exact).abs() < 4.0 * estimate.std_error + 1e-3,
+            "{} vs {exact}",
+            estimate.probability
+        );
+    }
+
+    #[test]
+    fn cas_simulation_agrees_with_the_analytical_pipelines() {
+        let dft = cas();
+        let estimate = simulate_unreliability(&dft, 1.0, &options(30_000, 2024)).unwrap();
+        assert!(
+            (estimate.probability - CAS_PAPER_UNRELIABILITY).abs()
+                < 4.0 * estimate.std_error + 2e-3,
+            "simulated {} vs paper {CAS_PAPER_UNRELIABILITY}",
+            estimate.probability
+        );
+        let analytical = unreliability(&dft, 1.0, &AnalysisOptions::default()).unwrap();
+        assert!(
+            (estimate.probability - analytical.probability()).abs()
+                < 4.0 * estimate.std_error + 2e-3
+        );
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("sim_R1", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("sim_R2", 2.0, Dormancy::Hot).unwrap();
+        let top = b.and_gate("sim_RTop", &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let a = simulate_unreliability(&dft, 1.0, &options(5_000, 99)).unwrap();
+        let b2 = simulate_unreliability(&dft, 1.0, &options(5_000, 99)).unwrap();
+        assert_eq!(a.probability, b2.probability);
+        let c = simulate_unreliability(&dft, 1.0, &options(5_000, 100)).unwrap();
+        assert!((a.probability - c.probability).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_mission_time_never_fails() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("sim_Z", 1.0, Dormancy::Hot).unwrap();
+        let top = b.or_gate("sim_ZTop", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let estimate = simulate_unreliability(&dft, 0.0, &options(1_000, 1)).unwrap();
+        assert_eq!(estimate.probability, 0.0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("sim_E", 1.0, Dormancy::Hot).unwrap();
+        let top = b.or_gate("sim_ETop", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        assert!(simulate_unreliability(&dft, 1.0, &options(0, 1)).is_err());
+        assert!(simulate_unreliability(&dft, -1.0, &options(10, 1)).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! DFT elements: basic events and gates.
+
+use std::fmt;
+
+/// Identifier of an element within one [`Dft`](crate::tree::Dft).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub(crate) u32);
+
+impl ElementId {
+    /// Creates an element id from a raw index.
+    pub fn new(index: u32) -> ElementId {
+        ElementId(index)
+    }
+
+    /// The raw index of this element.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The dormancy class of a basic event (Section 2 of the paper).
+///
+/// A dormant basic event fails with its nominal rate λ multiplied by the dormancy
+/// factor α:
+///
+/// * **cold** (α = 0): cannot fail while dormant,
+/// * **hot** (α = 1): the failure rate is unaffected by dormancy,
+/// * **warm** (0 < α < 1): the rate is reduced but not zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dormancy {
+    /// Cold spare behaviour, α = 0.
+    Cold,
+    /// Hot spare behaviour, α = 1.
+    Hot,
+    /// Warm spare behaviour with the given factor 0 < α < 1.
+    Warm(f64),
+}
+
+impl Dormancy {
+    /// The dormancy factor α.
+    pub fn factor(self) -> f64 {
+        match self {
+            Dormancy::Cold => 0.0,
+            Dormancy::Hot => 1.0,
+            Dormancy::Warm(alpha) => alpha,
+        }
+    }
+
+    /// Classifies a raw dormancy factor.
+    ///
+    /// Values ≤ 0 map to [`Dormancy::Cold`], values ≥ 1 map to [`Dormancy::Hot`].
+    pub fn from_factor(alpha: f64) -> Dormancy {
+        if alpha <= 0.0 {
+            Dormancy::Cold
+        } else if alpha >= 1.0 {
+            Dormancy::Hot
+        } else {
+            Dormancy::Warm(alpha)
+        }
+    }
+}
+
+impl fmt::Display for Dormancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dormancy::Cold => write!(f, "cold"),
+            Dormancy::Hot => write!(f, "hot"),
+            Dormancy::Warm(a) => write!(f, "warm({a})"),
+        }
+    }
+}
+
+/// A basic event: a leaf of the fault tree representing a physical component with
+/// an exponentially distributed time to failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasicEvent {
+    /// Active failure rate λ.
+    pub rate: f64,
+    /// Dormancy class (determines the dormant failure rate α·λ).
+    pub dormancy: Dormancy,
+    /// Repair rate µ, if the component is repairable (Section 7.2 extension).
+    pub repair_rate: Option<f64>,
+}
+
+impl BasicEvent {
+    /// The failure rate while dormant, α·λ.
+    pub fn dormant_rate(&self) -> f64 {
+        self.rate * self.dormancy.factor()
+    }
+}
+
+/// The kind of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Static AND gate: fails when all inputs have failed.
+    And,
+    /// Static OR gate: fails when any input has failed.
+    Or,
+    /// Static voting (K-out-of-M) gate: fails when at least `k` inputs have failed.
+    Voting {
+        /// Failure threshold.
+        k: u32,
+    },
+    /// Priority-AND: fails when all inputs fail *in left-to-right order*.
+    Pand,
+    /// Spare gate: input 0 is the primary, the remaining inputs are spares claimed
+    /// in order; fails when the primary and every spare is failed or unavailable.
+    Spare,
+    /// Functional dependency: input 0 is the trigger, the remaining inputs are the
+    /// dependent elements whose failure is forced when the trigger fires.  Its
+    /// output is a dummy (never used for the failure computation).
+    Fdep,
+    /// Sequence enforcing gate: inputs can only fail from left to right (the paper
+    /// notes it can be emulated by a cold spare gate; we model it directly).
+    Seq,
+    /// Inhibition (Section 7.1 extension): the gate propagates the failure of input
+    /// 0 unless one of the remaining (inhibitor) inputs failed first.
+    Inhibit,
+}
+
+impl GateKind {
+    /// Returns `true` for the dynamic gates (PAND, SPARE, FDEP, SEQ, Inhibit), whose
+    /// semantics depends on the order of input failures.
+    pub fn is_dynamic(self) -> bool {
+        !matches!(self, GateKind::And | GateKind::Or | GateKind::Voting { .. })
+    }
+
+    /// Short lower-case name, matching the Galileo keywords where they exist.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Voting { .. } => "vot",
+            GateKind::Pand => "pand",
+            GateKind::Spare => "spare",
+            GateKind::Fdep => "fdep",
+            GateKind::Seq => "seq",
+            GateKind::Inhibit => "inhibit",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Voting { k } => write!(f, "{k}-of-n"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// A gate with ordered inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// What kind of gate this is.
+    pub kind: GateKind,
+    /// The ordered inputs (order matters for PAND, SPARE, FDEP, SEQ and Inhibit).
+    pub inputs: Vec<ElementId>,
+    /// Repair rate of the *gate itself*; only meaningful for repairable analyses
+    /// where gates recover as soon as enough inputs are repaired (the gate-level
+    /// value is unused in that case and normally `None`).
+    pub repairable: bool,
+}
+
+/// A DFT element: either a basic event or a gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A leaf basic event.
+    BasicEvent(BasicEvent),
+    /// An internal gate.
+    Gate(Gate),
+}
+
+impl Element {
+    /// Returns the basic event data if this element is a basic event.
+    pub fn as_basic_event(&self) -> Option<&BasicEvent> {
+        match self {
+            Element::BasicEvent(be) => Some(be),
+            Element::Gate(_) => None,
+        }
+    }
+
+    /// Returns the gate data if this element is a gate.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match self {
+            Element::Gate(g) => Some(g),
+            Element::BasicEvent(_) => None,
+        }
+    }
+
+    /// The inputs of this element (empty for basic events).
+    pub fn inputs(&self) -> &[ElementId] {
+        match self {
+            Element::BasicEvent(_) => &[],
+            Element::Gate(g) => &g.inputs,
+        }
+    }
+
+    /// Returns `true` if this element is a dynamic gate.
+    pub fn is_dynamic_gate(&self) -> bool {
+        matches!(self, Element::Gate(g) if g.kind.is_dynamic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormancy_factors() {
+        assert_eq!(Dormancy::Cold.factor(), 0.0);
+        assert_eq!(Dormancy::Hot.factor(), 1.0);
+        assert_eq!(Dormancy::Warm(0.3).factor(), 0.3);
+        assert_eq!(Dormancy::from_factor(0.0), Dormancy::Cold);
+        assert_eq!(Dormancy::from_factor(1.0), Dormancy::Hot);
+        assert_eq!(Dormancy::from_factor(1.5), Dormancy::Hot);
+        assert_eq!(Dormancy::from_factor(-0.2), Dormancy::Cold);
+        assert_eq!(Dormancy::from_factor(0.5), Dormancy::Warm(0.5));
+        assert_eq!(Dormancy::Cold.to_string(), "cold");
+        assert_eq!(Dormancy::Warm(0.25).to_string(), "warm(0.25)");
+    }
+
+    #[test]
+    fn dormant_rate_is_scaled() {
+        let be = BasicEvent { rate: 2.0, dormancy: Dormancy::Warm(0.5), repair_rate: None };
+        assert_eq!(be.dormant_rate(), 1.0);
+        let cold = BasicEvent { rate: 2.0, dormancy: Dormancy::Cold, repair_rate: None };
+        assert_eq!(cold.dormant_rate(), 0.0);
+    }
+
+    #[test]
+    fn gate_kind_classification() {
+        assert!(!GateKind::And.is_dynamic());
+        assert!(!GateKind::Or.is_dynamic());
+        assert!(!GateKind::Voting { k: 2 }.is_dynamic());
+        assert!(GateKind::Pand.is_dynamic());
+        assert!(GateKind::Spare.is_dynamic());
+        assert!(GateKind::Fdep.is_dynamic());
+        assert!(GateKind::Seq.is_dynamic());
+        assert!(GateKind::Inhibit.is_dynamic());
+        assert_eq!(GateKind::Voting { k: 2 }.to_string(), "2-of-n");
+        assert_eq!(GateKind::Pand.to_string(), "pand");
+    }
+
+    #[test]
+    fn element_accessors() {
+        let be = Element::BasicEvent(BasicEvent {
+            rate: 1.0,
+            dormancy: Dormancy::Hot,
+            repair_rate: None,
+        });
+        assert!(be.as_basic_event().is_some());
+        assert!(be.as_gate().is_none());
+        assert!(be.inputs().is_empty());
+        assert!(!be.is_dynamic_gate());
+
+        let gate = Element::Gate(Gate {
+            kind: GateKind::Spare,
+            inputs: vec![ElementId::new(0), ElementId::new(1)],
+            repairable: false,
+        });
+        assert!(gate.as_gate().is_some());
+        assert!(gate.as_basic_event().is_none());
+        assert_eq!(gate.inputs().len(), 2);
+        assert!(gate.is_dynamic_gate());
+    }
+
+    #[test]
+    fn element_id_display() {
+        assert_eq!(ElementId::new(4).to_string(), "e4");
+        assert_eq!(ElementId::new(4).index(), 4);
+    }
+}

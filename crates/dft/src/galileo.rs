@@ -1,0 +1,431 @@
+//! The Galileo textual DFT format.
+//!
+//! The paper's tool chain "takes as input a DFT specified in the Galileo DFT
+//! format" (Section 5.1).  This module parses and prints the line-oriented subset
+//! used by the case studies:
+//!
+//! ```text
+//! toplevel "System";
+//! "System" or "CPU_unit" "Motor_unit" "Pump_unit";
+//! "CPU_unit" wsp "P" "B";
+//! "CPU_fdep" fdep "Trigger" "P" "B";
+//! "Votes" 2of3 "V1" "V2" "V3";
+//! "P" lambda=0.5 dorm=0.0;
+//! "B" lambda=0.5 dorm=0.5;
+//! ```
+//!
+//! * Quotation marks around names are optional; a trailing `;` per line is
+//!   expected but tolerated if missing; `//` and `#` start comments.
+//! * Gate keywords: `and`, `or`, `pand`, `fdep`, `seq`, `inhibit`, `KofM` (voting),
+//!   and the three spare flavours `csp`, `wsp`, `hsp` (all map to a spare gate —
+//!   in a DFT the dormancy is a property of the spare's basic events, the keyword
+//!   merely documents intent).
+//! * Basic events take `lambda=<rate>` and optionally `dorm=<factor>` and
+//!   `repair=<rate>` (our Section 7.2 extension).
+
+use crate::builder::DftBuilder;
+use crate::element::{Dormancy, Element, GateKind};
+use crate::tree::Dft;
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum RawDef {
+    Gate { kind: GateKind, inputs: Vec<String> },
+    BasicEvent { rate: f64, dormancy: f64, repair: Option<f64> },
+}
+
+fn strip_quotes(token: &str) -> String {
+    token.trim_matches('"').to_owned()
+}
+
+fn parse_voting_keyword(keyword: &str) -> Option<u32> {
+    // "2of3", "3of5", ...; the trailing number is redundant with the input count.
+    let lower = keyword.to_ascii_lowercase();
+    let (k, rest) = lower.split_once("of")?;
+    let k: u32 = k.parse().ok()?;
+    let _m: u32 = rest.parse().ok()?;
+    Some(k)
+}
+
+/// Parses a Galileo DFT description.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with a line number for syntactic problems, and the
+/// usual construction/validation errors for semantic ones (unknown elements,
+/// invalid rates, cyclic definitions, arity violations).
+pub fn parse(input: &str) -> Result<Dft> {
+    let mut toplevel: Option<String> = None;
+    let mut defs: Vec<(usize, String, RawDef)> = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let without_comment = raw_line.split("//").next().unwrap_or("");
+        let without_comment = without_comment.split('#').next().unwrap_or("");
+        let line = without_comment.trim().trim_end_matches(';').trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(strip_quotes).collect();
+        if tokens[0].eq_ignore_ascii_case("toplevel") {
+            if tokens.len() != 2 {
+                return Err(Error::Parse {
+                    line: line_no,
+                    message: "expected: toplevel \"<name>\";".to_owned(),
+                });
+            }
+            toplevel = Some(tokens[1].clone());
+            continue;
+        }
+        if tokens.len() < 2 {
+            return Err(Error::Parse {
+                line: line_no,
+                message: format!("cannot parse '{line}'"),
+            });
+        }
+        let name = tokens[0].clone();
+        if by_name.contains_key(&name) {
+            return Err(Error::DuplicateName { name });
+        }
+
+        let keyword = tokens[1].to_ascii_lowercase();
+        let def = if keyword.contains('=') {
+            // Basic event: parse key=value pairs.
+            let mut rate: Option<f64> = None;
+            let mut dormancy = 1.0;
+            let mut repair: Option<f64> = None;
+            for pair in &tokens[1..] {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(Error::Parse {
+                        line: line_no,
+                        message: format!("expected key=value, got '{pair}'"),
+                    });
+                };
+                let value: f64 = value.parse().map_err(|_| Error::Parse {
+                    line: line_no,
+                    message: format!("cannot parse number '{value}'"),
+                })?;
+                match key.to_ascii_lowercase().as_str() {
+                    "lambda" | "rate" => rate = Some(value),
+                    "dorm" | "dormancy" => dormancy = value,
+                    "repair" | "mu" => repair = Some(value),
+                    other => {
+                        return Err(Error::Parse {
+                            line: line_no,
+                            message: format!("unknown basic-event attribute '{other}'"),
+                        })
+                    }
+                }
+            }
+            let rate = rate.ok_or(Error::Parse {
+                line: line_no,
+                message: format!("basic event '{name}' needs lambda=<rate>"),
+            })?;
+            RawDef::BasicEvent { rate, dormancy, repair }
+        } else {
+            let kind = match keyword.as_str() {
+                "and" => GateKind::And,
+                "or" => GateKind::Or,
+                "pand" => GateKind::Pand,
+                "fdep" => GateKind::Fdep,
+                "seq" => GateKind::Seq,
+                "inhibit" => GateKind::Inhibit,
+                "spare" | "csp" | "wsp" | "hsp" => GateKind::Spare,
+                other => match parse_voting_keyword(other) {
+                    Some(k) => GateKind::Voting { k },
+                    None => {
+                        return Err(Error::Parse {
+                            line: line_no,
+                            message: format!("unknown gate type '{other}'"),
+                        })
+                    }
+                },
+            };
+            let inputs: Vec<String> = tokens[2..].to_vec();
+            if inputs.is_empty() {
+                return Err(Error::Parse {
+                    line: line_no,
+                    message: format!("gate '{name}' has no inputs"),
+                });
+            }
+            RawDef::Gate { kind, inputs }
+        };
+        by_name.insert(name.clone(), defs.len());
+        defs.push((line_no, name, def));
+    }
+
+    let toplevel = toplevel.ok_or(Error::Parse {
+        line: 0,
+        message: "missing 'toplevel' declaration".to_owned(),
+    })?;
+
+    // Insert definitions bottom-up (inputs first) with an explicit stack so deep
+    // trees cannot overflow the call stack.  Cycles among definitions are detected
+    // via the in-progress marker.
+    let mut builder = DftBuilder::new();
+    let mut built: HashMap<String, crate::element::ElementId> = HashMap::new();
+    let mut in_progress: Vec<bool> = vec![false; defs.len()];
+
+    fn build_one(
+        name: &str,
+        defs: &[(usize, String, RawDef)],
+        by_name: &HashMap<String, usize>,
+        builder: &mut DftBuilder,
+        built: &mut HashMap<String, crate::element::ElementId>,
+        in_progress: &mut [bool],
+    ) -> Result<crate::element::ElementId> {
+        if let Some(&id) = built.get(name) {
+            return Ok(id);
+        }
+        let &def_index = by_name
+            .get(name)
+            .ok_or_else(|| Error::UnknownElement { name: name.to_owned() })?;
+        if in_progress[def_index] {
+            return Err(Error::Cyclic { name: name.to_owned() });
+        }
+        in_progress[def_index] = true;
+        let (_, _, def) = &defs[def_index];
+        let id = match def {
+            RawDef::BasicEvent { rate, dormancy, repair } => {
+                let dormancy = Dormancy::from_factor(*dormancy);
+                match repair {
+                    Some(mu) => builder.repairable_basic_event(name, *rate, dormancy, *mu)?,
+                    None => builder.basic_event(name, *rate, dormancy)?,
+                }
+            }
+            RawDef::Gate { kind, inputs } => {
+                let mut input_ids = Vec::with_capacity(inputs.len());
+                for input in inputs {
+                    input_ids.push(build_one(input, defs, by_name, builder, built, in_progress)?);
+                }
+                match kind {
+                    GateKind::And => builder.and_gate(name, &input_ids)?,
+                    GateKind::Or => builder.or_gate(name, &input_ids)?,
+                    GateKind::Voting { k } => builder.voting_gate(name, *k, &input_ids)?,
+                    GateKind::Pand => builder.pand_gate(name, &input_ids)?,
+                    GateKind::Spare => builder.spare_gate(name, &input_ids)?,
+                    GateKind::Seq => builder.seq_gate(name, &input_ids)?,
+                    GateKind::Fdep => {
+                        builder.fdep_gate(name, input_ids[0], &input_ids[1..])?
+                    }
+                    GateKind::Inhibit => {
+                        builder.inhibit_gate(name, input_ids[0], &input_ids[1..])?
+                    }
+                }
+            }
+        };
+        in_progress[def_index] = false;
+        built.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    // Build every definition so that FDEP gates not reachable from the top event
+    // are part of the model too.
+    for (_, name, _) in &defs {
+        build_one(name, &defs, &by_name, &mut builder, &mut built, &mut in_progress)?;
+    }
+    let top = *built
+        .get(&toplevel)
+        .ok_or_else(|| Error::UnknownElement { name: toplevel.clone() })?;
+    builder.build(top)
+}
+
+/// Prints a DFT in Galileo syntax; [`parse`] ∘ [`to_galileo`] is the identity up to
+/// formatting.
+pub fn to_galileo(dft: &Dft) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("toplevel \"{}\";\n", dft.name(dft.top())));
+    for id in dft.elements() {
+        let name = dft.name(id);
+        match dft.element(id) {
+            Element::Gate(gate) => {
+                let keyword = match gate.kind {
+                    GateKind::And => "and".to_owned(),
+                    GateKind::Or => "or".to_owned(),
+                    GateKind::Pand => "pand".to_owned(),
+                    GateKind::Spare => "wsp".to_owned(),
+                    GateKind::Fdep => "fdep".to_owned(),
+                    GateKind::Seq => "seq".to_owned(),
+                    GateKind::Inhibit => "inhibit".to_owned(),
+                    GateKind::Voting { k } => format!("{k}of{}", gate.inputs.len()),
+                };
+                let inputs: Vec<String> = gate
+                    .inputs
+                    .iter()
+                    .map(|&i| format!("\"{}\"", dft.name(i)))
+                    .collect();
+                out.push_str(&format!("\"{name}\" {keyword} {};\n", inputs.join(" ")));
+            }
+            Element::BasicEvent(be) => {
+                let mut line = format!("\"{name}\" lambda={}", be.rate);
+                line.push_str(&format!(" dorm={}", be.dormancy.factor()));
+                if let Some(mu) = be.repair_rate {
+                    line.push_str(&format!(" repair={mu}"));
+                }
+                out.push_str(&line);
+                out.push_str(";\n");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAS_LIKE: &str = r#"
+        // A fragment in the style of the cardiac assist system.
+        toplevel "System";
+        "System" or "CPU_unit" "Pump_unit";
+        "CPU_unit" wsp "P" "B";
+        "CPU_fdep" fdep "Trigger" "P" "B";
+        "Trigger" or "CS" "SS";
+        "Pump_unit" and "Pump_A" "Pump_B";
+        "Pump_A" csp "PA" "PS";
+        "Pump_B" csp "PB" "PS";
+        "CS" lambda=0.2;
+        "SS" lambda=0.2;
+        "P"  lambda=0.5;
+        "B"  lambda=0.5 dorm=0.5;
+        "PA" lambda=1.0;
+        "PB" lambda=1.0;
+        "PS" lambda=1.0 dorm=0.0;
+    "#;
+
+    #[test]
+    fn parses_a_cas_like_model() {
+        let dft = parse(CAS_LIKE).unwrap();
+        assert_eq!(dft.name(dft.top()), "System");
+        assert_eq!(dft.num_basic_events(), 7);
+        assert_eq!(dft.num_gates(), 7);
+        assert_eq!(dft.spare_gates().len(), 3);
+        assert_eq!(dft.fdep_gates().len(), 1);
+        let b = dft.by_name("B").unwrap();
+        let be = dft.element(b).as_basic_event().unwrap();
+        assert_eq!(be.dormancy.factor(), 0.5);
+        let ps = dft.by_name("PS").unwrap();
+        assert_eq!(dft.element(ps).as_basic_event().unwrap().dormancy, Dormancy::Cold);
+    }
+
+    #[test]
+    fn round_trips_through_printing() {
+        let dft = parse(CAS_LIKE).unwrap();
+        let printed = to_galileo(&dft);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed.num_elements(), dft.num_elements());
+        assert_eq!(reparsed.num_gates(), dft.num_gates());
+        assert_eq!(reparsed.name(reparsed.top()), dft.name(dft.top()));
+        for id in dft.elements() {
+            let name = dft.name(id);
+            assert!(reparsed.by_name(name).is_some(), "{name} lost in round trip");
+        }
+    }
+
+    #[test]
+    fn voting_gates_parse() {
+        let text = r#"
+            toplevel "T";
+            "T" 2of3 "A" "B" "C";
+            "A" lambda=1.0;
+            "B" lambda=1.0;
+            "C" lambda=1.0;
+        "#;
+        let dft = parse(text).unwrap();
+        let top = dft.element(dft.top()).as_gate().unwrap();
+        assert_eq!(top.kind, GateKind::Voting { k: 2 });
+    }
+
+    #[test]
+    fn repairable_events_parse() {
+        let text = r#"
+            toplevel "T";
+            "T" and "A" "B";
+            "A" lambda=1.0 repair=5.0;
+            "B" lambda=2.0 mu=3.0;
+        "#;
+        let dft = parse(text).unwrap();
+        assert!(dft.is_repairable());
+        let a = dft.element(dft.by_name("A").unwrap()).as_basic_event().unwrap();
+        assert_eq!(a.repair_rate, Some(5.0));
+    }
+
+    #[test]
+    fn missing_toplevel_is_an_error() {
+        let text = r#""T" and "A" "B"; "A" lambda=1.0; "B" lambda=1.0;"#;
+        assert!(matches!(parse(text), Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn unknown_gate_type_is_an_error() {
+        let text = r#"
+            toplevel "T";
+            "T" xor "A" "B";
+            "A" lambda=1.0;
+            "B" lambda=1.0;
+        "#;
+        match parse(text) {
+            Err(Error::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_input_is_an_error() {
+        let text = r#"
+            toplevel "T";
+            "T" and "A" "Ghost";
+            "A" lambda=1.0;
+        "#;
+        assert!(matches!(parse(text), Err(Error::UnknownElement { .. })));
+    }
+
+    #[test]
+    fn cyclic_definitions_are_detected() {
+        let text = r#"
+            toplevel "T";
+            "T" and "U";
+            "U" or "T";
+        "#;
+        assert!(matches!(parse(text), Err(Error::Cyclic { .. })));
+    }
+
+    #[test]
+    fn duplicate_definitions_are_detected() {
+        let text = r#"
+            toplevel "T";
+            "T" and "A" "B";
+            "A" lambda=1.0;
+            "A" lambda=2.0;
+            "B" lambda=1.0;
+        "#;
+        assert!(matches!(parse(text), Err(Error::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn missing_lambda_is_an_error() {
+        let text = r#"
+            toplevel "T";
+            "T" and "A" "B";
+            "A" dorm=0.5;
+            "B" lambda=1.0;
+        "#;
+        assert!(matches!(parse(text), Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = r#"
+            # full line comment
+            toplevel "T";
+
+            "T" and "A" "B"; // trailing comment
+            "A" lambda=1.0;
+            "B" lambda=1.0;
+        "#;
+        let dft = parse(text).unwrap();
+        assert_eq!(dft.num_elements(), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Independent-module detection.
+//!
+//! Section 5.2 of the paper contrasts the DIFTree modularisation (which cannot
+//! exploit independent sub-trees underneath dynamic gates) with the I/O-IMC
+//! approach (which can).  This module provides the structural notion both rely on:
+//! a gate `m` is an *independent module* if no element outside the subtree rooted
+//! at `m` references anything strictly inside that subtree.  FDEP gates are parents
+//! of their dependent events in our representation, so functional dependencies
+//! crossing a subtree boundary correctly prevent it from being a module.
+
+use crate::element::{ElementId, GateKind};
+use crate::tree::Dft;
+use std::collections::BTreeSet;
+
+/// Information about one independent module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleInfo {
+    /// The module's root element (a gate).
+    pub root: ElementId,
+    /// All elements of the module (including the root).
+    pub members: Vec<ElementId>,
+    /// Whether the module contains a dynamic gate.
+    pub dynamic: bool,
+}
+
+/// Returns every gate that roots an independent module, together with its members.
+///
+/// The top element always roots a module.  Results are sorted by root id.
+///
+/// # Examples
+///
+/// ```
+/// use dft::{DftBuilder, Dormancy};
+/// use dft::modules::independent_modules;
+/// # fn main() -> Result<(), dft::Error> {
+/// let mut b = DftBuilder::new();
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let y = b.basic_event("Y", 1.0, Dormancy::Hot)?;
+/// let a = b.and_gate("A", &[x, y])?;
+/// let z = b.basic_event("Z", 1.0, Dormancy::Hot)?;
+/// let top = b.pand_gate("Top", &[a, z])?;
+/// let dft = b.build(top)?;
+/// let modules = independent_modules(&dft);
+/// // Both the AND gate and the top PAND gate are independent modules.
+/// assert_eq!(modules.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn independent_modules(dft: &Dft) -> Vec<ModuleInfo> {
+    let mut out = Vec::new();
+    for id in dft.elements() {
+        if dft.element(id).as_gate().is_none() {
+            continue;
+        }
+        let members: BTreeSet<ElementId> = dft.descendants(id).into_iter().collect();
+        let mut independent = true;
+        'outer: for &member in &members {
+            if member == id {
+                continue;
+            }
+            for &parent in dft.parents(member) {
+                if !members.contains(&parent) {
+                    independent = false;
+                    break 'outer;
+                }
+            }
+        }
+        if independent {
+            let dynamic = members.iter().any(|&m| dft.element(m).is_dynamic_gate());
+            out.push(ModuleInfo { root: id, members: members.into_iter().collect(), dynamic });
+        }
+    }
+    out
+}
+
+/// Returns the independent modules that the DIFTree methodology can actually solve
+/// separately: modules whose *parent gates are all static* (an independent module
+/// below a dynamic gate cannot be replaced by a constant-probability basic event,
+/// cf. Section 2 of the paper).
+pub fn diftree_solvable_modules(dft: &Dft) -> Vec<ModuleInfo> {
+    independent_modules(dft)
+        .into_iter()
+        .filter(|m| {
+            dft.parents(m.root).iter().all(|&p| {
+                matches!(
+                    dft.element(p).as_gate().map(|g| g.kind),
+                    Some(GateKind::And) | Some(GateKind::Or) | Some(GateKind::Voting { .. })
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DftBuilder;
+    use crate::element::Dormancy;
+
+    /// A miniature cascaded-PAND structure: PAND over two AND modules.
+    fn cascaded() -> Dft {
+        let mut b = DftBuilder::new();
+        let a1 = b.basic_event("A1", 1.0, Dormancy::Hot).unwrap();
+        let a2 = b.basic_event("A2", 1.0, Dormancy::Hot).unwrap();
+        let b1 = b.basic_event("B1", 1.0, Dormancy::Hot).unwrap();
+        let b2 = b.basic_event("B2", 1.0, Dormancy::Hot).unwrap();
+        let module_a = b.and_gate("ModA", &[a1, a2]).unwrap();
+        let module_b = b.and_gate("ModB", &[b1, b2]).unwrap();
+        let top = b.pand_gate("Top", &[module_a, module_b]).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn and_modules_under_a_pand_are_independent() {
+        let dft = cascaded();
+        let modules = independent_modules(&dft);
+        let roots: Vec<&str> = modules.iter().map(|m| dft.name(m.root)).collect();
+        assert!(roots.contains(&"ModA"));
+        assert!(roots.contains(&"ModB"));
+        assert!(roots.contains(&"Top"));
+        let mod_a = modules.iter().find(|m| dft.name(m.root) == "ModA").unwrap();
+        assert_eq!(mod_a.members.len(), 3);
+        assert!(!mod_a.dynamic);
+        let top = modules.iter().find(|m| dft.name(m.root) == "Top").unwrap();
+        assert!(top.dynamic);
+    }
+
+    #[test]
+    fn diftree_cannot_solve_modules_under_dynamic_gates() {
+        let dft = cascaded();
+        let solvable = diftree_solvable_modules(&dft);
+        // Only the top module itself (no parents) qualifies; the AND modules are
+        // below a PAND gate.
+        let roots: Vec<&str> = solvable.iter().map(|m| dft.name(m.root)).collect();
+        assert_eq!(roots, vec!["Top"]);
+    }
+
+    #[test]
+    fn shared_events_break_independence() {
+        let mut b = DftBuilder::new();
+        let shared = b.basic_event("Shared", 1.0, Dormancy::Hot).unwrap();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let left = b.and_gate("Left", &[shared, x]).unwrap();
+        let right = b.or_gate("Right", &[shared]).unwrap();
+        let top = b.or_gate("Top", &[left, right]).unwrap();
+        let dft = b.build(top).unwrap();
+        let modules = independent_modules(&dft);
+        let roots: Vec<&str> = modules.iter().map(|m| dft.name(m.root)).collect();
+        // Left and Right both reference the shared event, so neither is a module.
+        assert!(!roots.contains(&"Left"));
+        assert!(!roots.contains(&"Right"));
+        assert!(roots.contains(&"Top"));
+    }
+
+    #[test]
+    fn fdep_across_subtrees_breaks_independence() {
+        let mut b = DftBuilder::new();
+        let t = b.basic_event("T", 1.0, Dormancy::Hot).unwrap();
+        let c = b.basic_event("C", 1.0, Dormancy::Hot).unwrap();
+        let d = b.basic_event("D", 1.0, Dormancy::Hot).unwrap();
+        let module = b.and_gate("Module", &[c, d]).unwrap();
+        let _fdep = b.fdep_gate("Fdep", t, &[c]).unwrap();
+        let top = b.or_gate("Top", &[module, t]).unwrap();
+        let dft = b.build(top).unwrap();
+        let modules = independent_modules(&dft);
+        let roots: Vec<&str> = modules.iter().map(|m| dft.name(m.root)).collect();
+        // C is functionally dependent on a trigger outside "Module".
+        assert!(!roots.contains(&"Module"));
+    }
+}

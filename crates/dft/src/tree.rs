@@ -1,0 +1,257 @@
+//! The DFT structure: a named DAG of elements with a designated top event.
+
+use crate::element::{Element, ElementId, GateKind};
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// A validated dynamic fault tree.
+///
+/// Construct one with [`DftBuilder`](crate::builder::DftBuilder) or by parsing the
+/// Galileo format ([`galileo::parse`](crate::galileo::parse)).
+#[derive(Debug, Clone)]
+pub struct Dft {
+    pub(crate) names: Vec<String>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) by_name: HashMap<String, ElementId>,
+    pub(crate) top: ElementId,
+    /// `parents[e]` lists every gate that has `e` among its inputs.
+    pub(crate) parents: Vec<Vec<ElementId>>,
+}
+
+impl Dft {
+    pub(crate) fn assemble(
+        names: Vec<String>,
+        elements: Vec<Element>,
+        by_name: HashMap<String, ElementId>,
+        top: ElementId,
+    ) -> Dft {
+        let mut parents = vec![Vec::new(); elements.len()];
+        for (i, e) in elements.iter().enumerate() {
+            for &input in e.inputs() {
+                parents[input.index()].push(ElementId::new(i as u32));
+            }
+        }
+        Dft { names, elements, by_name, top, parents }
+    }
+
+    /// Number of elements (basic events plus gates).
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of basic events.
+    pub fn num_basic_events(&self) -> usize {
+        self.elements.iter().filter(|e| e.as_basic_event().is_some()).count()
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.elements.len() - self.num_basic_events()
+    }
+
+    /// The top (system failure) element.
+    pub fn top(&self) -> ElementId {
+        self.top
+    }
+
+    /// The element with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this DFT.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// The name of the element with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this DFT.
+    pub fn name(&self, id: ElementId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks an element up by name.
+    pub fn by_name(&self, name: &str) -> Option<ElementId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks an element up by name, returning an error mentioning the name if it
+    /// does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownElement`].
+    pub fn require(&self, name: &str) -> Result<ElementId> {
+        self.by_name(name).ok_or_else(|| Error::UnknownElement { name: name.to_owned() })
+    }
+
+    /// Iterates over all element ids in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = ElementId> {
+        (0..self.elements.len() as u32).map(ElementId::new)
+    }
+
+    /// Ids of all basic events.
+    pub fn basic_events(&self) -> Vec<ElementId> {
+        self.elements().filter(|&e| self.element(e).as_basic_event().is_some()).collect()
+    }
+
+    /// Ids of all gates of the given kind.
+    pub fn gates_of_kind(&self, kind: GateKind) -> Vec<ElementId> {
+        self.elements()
+            .filter(|&e| matches!(self.element(e).as_gate(), Some(g) if g.kind == kind))
+            .collect()
+    }
+
+    /// Ids of all spare gates.
+    pub fn spare_gates(&self) -> Vec<ElementId> {
+        self.gates_of_kind(GateKind::Spare)
+    }
+
+    /// Ids of all FDEP gates.
+    pub fn fdep_gates(&self) -> Vec<ElementId> {
+        self.gates_of_kind(GateKind::Fdep)
+    }
+
+    /// The gates that use `id` as one of their inputs.
+    pub fn parents(&self, id: ElementId) -> &[ElementId] {
+        &self.parents[id.index()]
+    }
+
+    /// All elements reachable from `root` through inputs, including `root` itself.
+    pub fn descendants(&self, root: ElementId) -> Vec<ElementId> {
+        let mut seen = vec![false; self.elements.len()];
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        seen[root.index()] = true;
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            for &input in self.element(e).inputs() {
+                if !seen[input.index()] {
+                    seen[input.index()] = true;
+                    stack.push(input);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Returns `true` if the DFT contains at least one dynamic gate.
+    pub fn is_dynamic(&self) -> bool {
+        self.elements.iter().any(|e| e.is_dynamic_gate())
+    }
+
+    /// Returns `true` if any basic event has a repair rate.
+    pub fn is_repairable(&self) -> bool {
+        self.elements
+            .iter()
+            .any(|e| matches!(e.as_basic_event(), Some(be) if be.repair_rate.is_some()))
+    }
+
+    /// A topological order of the elements (inputs before the gates that use them).
+    ///
+    /// The DFT is guaranteed acyclic after validation, so this always succeeds for
+    /// validated trees.
+    pub fn topological_order(&self) -> Vec<ElementId> {
+        let n = self.elements.len();
+        let mut indegree: Vec<usize> = vec![0; n];
+        for e in &self.elements {
+            let _ = e;
+        }
+        for id in self.elements() {
+            indegree[id.index()] = self.element(id).inputs().len();
+        }
+        let mut queue: Vec<ElementId> =
+            self.elements().filter(|&e| indegree[e.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(e) = queue.pop() {
+            order.push(e);
+            for &parent in self.parents(e) {
+                indegree[parent.index()] -= 1;
+                if indegree[parent.index()] == 0 {
+                    queue.push(parent);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DftBuilder;
+    use crate::element::Dormancy;
+
+    fn sample() -> Dft {
+        let mut b = DftBuilder::new();
+        let a = b.basic_event("A", 1.0, Dormancy::Hot).unwrap();
+        let c = b.basic_event("C", 2.0, Dormancy::Cold).unwrap();
+        let s = b.spare_gate("S", &[a, c]).unwrap();
+        let d = b.basic_event("D", 0.5, Dormancy::Hot).unwrap();
+        let top = b.or_gate("Top", &[s, d]).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn basic_structure_queries() {
+        let dft = sample();
+        assert_eq!(dft.num_elements(), 5);
+        assert_eq!(dft.num_basic_events(), 3);
+        assert_eq!(dft.num_gates(), 2);
+        assert_eq!(dft.name(dft.top()), "Top");
+        assert!(dft.is_dynamic());
+        assert!(!dft.is_repairable());
+        assert_eq!(dft.spare_gates().len(), 1);
+        assert_eq!(dft.fdep_gates().len(), 0);
+        assert!(dft.by_name("A").is_some());
+        assert!(dft.by_name("missing").is_none());
+        assert!(dft.require("C").is_ok());
+        assert!(dft.require("missing").is_err());
+    }
+
+    #[test]
+    fn parents_are_tracked() {
+        let dft = sample();
+        let a = dft.by_name("A").unwrap();
+        let s = dft.by_name("S").unwrap();
+        let top = dft.by_name("Top").unwrap();
+        assert_eq!(dft.parents(a), &[s]);
+        assert_eq!(dft.parents(s), &[top]);
+        assert!(dft.parents(top).is_empty());
+    }
+
+    #[test]
+    fn descendants_include_root_and_leaves() {
+        let dft = sample();
+        let s = dft.by_name("S").unwrap();
+        let descendants = dft.descendants(s);
+        assert_eq!(descendants.len(), 3);
+        assert!(descendants.contains(&dft.by_name("A").unwrap()));
+        assert!(descendants.contains(&dft.by_name("C").unwrap()));
+        assert!(descendants.contains(&s));
+    }
+
+    #[test]
+    fn topological_order_respects_inputs() {
+        let dft = sample();
+        let order = dft.topological_order();
+        assert_eq!(order.len(), dft.num_elements());
+        let position: std::collections::HashMap<ElementId, usize> =
+            order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        for e in dft.elements() {
+            for &input in dft.element(e).inputs() {
+                assert!(position[&input] < position[&e], "input must precede gate");
+            }
+        }
+    }
+
+    #[test]
+    fn gates_of_kind_filters() {
+        let dft = sample();
+        assert_eq!(dft.gates_of_kind(GateKind::Or).len(), 1);
+        assert_eq!(dft.gates_of_kind(GateKind::And).len(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Wellformedness validation of DFTs.
+//!
+//! The checks follow the formal syntax of the paper (a DFT is a directed acyclic
+//! graph with typed vertices) plus the restrictions that keep the *generalised*
+//! spare semantics of Section 6 meaningful:
+//!
+//! * gates have sensible arities (a voting gate's threshold is within range, an
+//!   FDEP gate has a trigger and at least one dependent, …);
+//! * the graph is acyclic;
+//! * every input of a spare gate roots an *independent subtree*: no element outside
+//!   that subtree uses one of its strict descendants, and the root itself is only
+//!   used by spare gates (sharing a spare between spare gates is allowed, sharing
+//!   between a spare gate and, say, an AND gate is not — the activation status
+//!   would be ambiguous, cf. Section 6.1);
+//! * an element is the *primary* (first input) of at most one spare gate.
+
+use crate::element::{Element, ElementId, GateKind};
+use crate::tree::Dft;
+use crate::{Error, Result};
+use std::collections::BTreeSet;
+
+/// Validates a DFT.
+///
+/// # Errors
+///
+/// Returns the first violation found, with a message naming the offending
+/// elements.
+pub fn validate(dft: &Dft) -> Result<()> {
+    check_arities(dft)?;
+    check_acyclic(dft)?;
+    check_spare_inputs(dft)?;
+    Ok(())
+}
+
+fn check_arities(dft: &Dft) -> Result<()> {
+    for id in dft.elements() {
+        let Element::Gate(gate) = dft.element(id) else { continue };
+        let name = dft.name(id).to_owned();
+        let n = gate.inputs.len();
+        let err = |message: String| Err(Error::InvalidGate { name: name.clone(), message });
+        match gate.kind {
+            GateKind::And | GateKind::Or => {
+                if n == 0 {
+                    return err("needs at least one input".to_owned());
+                }
+            }
+            GateKind::Voting { k } => {
+                if n == 0 {
+                    return err("needs at least one input".to_owned());
+                }
+                if k == 0 || k as usize > n {
+                    return err(format!("voting threshold {k} outside 1..={n}"));
+                }
+            }
+            GateKind::Pand | GateKind::Seq => {
+                if n < 2 {
+                    return err("needs at least two inputs".to_owned());
+                }
+            }
+            GateKind::Spare => {
+                if n < 2 {
+                    return err("needs a primary and at least one spare".to_owned());
+                }
+                let distinct: BTreeSet<ElementId> = gate.inputs.iter().copied().collect();
+                if distinct.len() != n {
+                    return err("the same element appears twice among the inputs".to_owned());
+                }
+            }
+            GateKind::Fdep => {
+                if n < 2 {
+                    return err("needs a trigger and at least one dependent event".to_owned());
+                }
+                if gate.inputs[1..].contains(&gate.inputs[0]) {
+                    return err("the trigger cannot also be a dependent event".to_owned());
+                }
+            }
+            GateKind::Inhibit => {
+                if n < 2 {
+                    return err("needs a subject and at least one inhibitor".to_owned());
+                }
+                if gate.inputs[1..].contains(&gate.inputs[0]) {
+                    return err("an element cannot inhibit itself".to_owned());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_acyclic(dft: &Dft) -> Result<()> {
+    // Colours: 0 = unvisited, 1 = on stack, 2 = done.
+    let n = dft.num_elements();
+    let mut colour = vec![0u8; n];
+    for start in dft.elements() {
+        if colour[start.index()] != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (node, next input index).
+        let mut stack: Vec<(ElementId, usize)> = vec![(start, 0)];
+        colour[start.index()] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let inputs = dft.element(node).inputs();
+            if *next < inputs.len() {
+                let child = inputs[*next];
+                *next += 1;
+                match colour[child.index()] {
+                    0 => {
+                        colour[child.index()] = 1;
+                        stack.push((child, 0));
+                    }
+                    1 => {
+                        return Err(Error::Cyclic { name: dft.name(child).to_owned() });
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[node.index()] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_spare_inputs(dft: &Dft) -> Result<()> {
+    let mut primaries: BTreeSet<ElementId> = BTreeSet::new();
+    for gate_id in dft.spare_gates() {
+        let gate = dft.element(gate_id).as_gate().expect("spare_gates returns gates");
+        // An element may serve as the primary of at most one spare gate.
+        let primary = gate.inputs[0];
+        if !primaries.insert(primary) {
+            return Err(Error::Wellformedness {
+                message: format!(
+                    "element '{}' is the primary of more than one spare gate",
+                    dft.name(primary)
+                ),
+            });
+        }
+        for &input in &gate.inputs {
+            // The independence restriction of Section 6.1 concerns *complex* spare
+            // modules (sub-trees).  Basic events used as primaries or spares may be
+            // observed by other gates (e.g. the CAS watches its primary motor with
+            // a PAND gate), exactly as in the original DFT formalism.
+            if dft.element(input).as_gate().is_none() {
+                continue;
+            }
+            let subtree: BTreeSet<ElementId> = dft.descendants(input).into_iter().collect();
+            // Strict descendants must not be referenced from outside the subtree.
+            for &member in &subtree {
+                if member == input {
+                    continue;
+                }
+                for &parent in dft.parents(member) {
+                    if !subtree.contains(&parent) {
+                        return Err(Error::Wellformedness {
+                            message: format!(
+                                "spare-gate input '{}' of '{}' is not an independent subtree: \
+                                 '{}' is also used by '{}'",
+                                dft.name(input),
+                                dft.name(gate_id),
+                                dft.name(member),
+                                dft.name(parent)
+                            ),
+                        });
+                    }
+                }
+            }
+            // The subtree root itself may only be used by spare gates (sharing).
+            for &parent in dft.parents(input) {
+                let parent_kind =
+                    dft.element(parent).as_gate().map(|g| g.kind).expect("parents are gates");
+                if parent_kind != GateKind::Spare && parent_kind != GateKind::Fdep {
+                    return Err(Error::Wellformedness {
+                        message: format!(
+                            "spare-gate input '{}' is also an input of the {} gate '{}'; \
+                             spare modules may only be shared among spare gates",
+                            dft.name(input),
+                            parent_kind,
+                            dft.name(parent)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DftBuilder;
+    use crate::element::{BasicEvent, Dormancy, Gate};
+    use std::collections::HashMap;
+
+    #[test]
+    fn valid_tree_passes() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("Y", 1.0, Dormancy::Cold).unwrap();
+        let s = b.spare_gate("S", &[x, y]).unwrap();
+        let dft = b.build(s).unwrap();
+        assert!(validate(&dft).is_ok());
+    }
+
+    #[test]
+    fn voting_threshold_is_checked() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("Y", 1.0, Dormancy::Hot).unwrap();
+        let v = b.voting_gate("V", 3, &[x, y]).unwrap();
+        assert!(matches!(b.build(v), Err(Error::InvalidGate { .. })));
+
+        let mut b2 = DftBuilder::new();
+        let x = b2.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b2.basic_event("Y", 1.0, Dormancy::Hot).unwrap();
+        let v = b2.voting_gate("V", 0, &[x, y]).unwrap();
+        assert!(b2.build(v).is_err());
+    }
+
+    #[test]
+    fn spare_gate_needs_a_spare() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let s = b.spare_gate("S", &[x]).unwrap();
+        assert!(b.build(s).is_err());
+    }
+
+    #[test]
+    fn fdep_trigger_cannot_be_dependent() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let f = b.fdep_gate("F", x, &[x]).unwrap();
+        assert!(b.build(f).is_err());
+    }
+
+    #[test]
+    fn sharing_a_complex_spare_with_a_static_gate_is_rejected() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("P", 1.0, Dormancy::Hot).unwrap();
+        let c = b.basic_event("C", 1.0, Dormancy::Cold).unwrap();
+        let d = b.basic_event("D", 1.0, Dormancy::Cold).unwrap();
+        let module = b.and_gate("SpareModule", &[c, d]).unwrap();
+        let spare = b.spare_gate("SpareGate", &[p, module]).unwrap();
+        // The complex spare module is also an input of an AND gate: ambiguous
+        // activation (who activates it?).
+        let and = b.and_gate("And", &[module, spare]).unwrap();
+        assert!(matches!(b.build(and), Err(Error::Wellformedness { .. })));
+    }
+
+    #[test]
+    fn a_basic_event_primary_may_be_watched_by_other_gates() {
+        // The CAS motor unit: MA is the primary of the spare gate *and* the second
+        // input of a PAND gate observing the switch.
+        let mut b = DftBuilder::new();
+        let ms = b.basic_event("MS", 0.01, Dormancy::Hot).unwrap();
+        let ma = b.basic_event("MA", 1.0, Dormancy::Hot).unwrap();
+        let mb = b.basic_event("MB", 1.0, Dormancy::Cold).unwrap();
+        let switch = b.pand_gate("Switch", &[ms, ma]).unwrap();
+        let motors = b.spare_gate("Motors", &[ma, mb]).unwrap();
+        let unit = b.or_gate("Motor_unit", &[switch, motors]).unwrap();
+        assert!(b.build(unit).is_ok());
+    }
+
+    #[test]
+    fn sharing_a_spare_between_spare_gates_is_allowed() {
+        let mut b = DftBuilder::new();
+        let pa = b.basic_event("PA", 1.0, Dormancy::Hot).unwrap();
+        let pb = b.basic_event("PB", 1.0, Dormancy::Hot).unwrap();
+        let ps = b.basic_event("PS", 1.0, Dormancy::Cold).unwrap();
+        let ga = b.spare_gate("GA", &[pa, ps]).unwrap();
+        let gb = b.spare_gate("GB", &[pb, ps]).unwrap();
+        let top = b.and_gate("Top", &[ga, gb]).unwrap();
+        assert!(b.build(top).is_ok());
+    }
+
+    #[test]
+    fn primary_shared_between_two_spare_gates_is_rejected() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("P", 1.0, Dormancy::Hot).unwrap();
+        let s1 = b.basic_event("S1", 1.0, Dormancy::Cold).unwrap();
+        let s2 = b.basic_event("S2", 1.0, Dormancy::Cold).unwrap();
+        let g1 = b.spare_gate("G1", &[p, s1]).unwrap();
+        let g2 = b.spare_gate("G2", &[p, s2]).unwrap();
+        let top = b.and_gate("Top", &[g1, g2]).unwrap();
+        assert!(matches!(b.build(top), Err(Error::Wellformedness { .. })));
+    }
+
+    #[test]
+    fn non_independent_spare_subtree_is_rejected() {
+        let mut b = DftBuilder::new();
+        let c = b.basic_event("C", 1.0, Dormancy::Hot).unwrap();
+        let d = b.basic_event("D", 1.0, Dormancy::Hot).unwrap();
+        let spare_module = b.and_gate("SpareModule", &[c, d]).unwrap();
+        let p = b.basic_event("P", 1.0, Dormancy::Hot).unwrap();
+        let g = b.spare_gate("G", &[p, spare_module]).unwrap();
+        // D (a strict descendant of the spare module) is also used elsewhere.
+        let top = b.or_gate("Top", &[g, d]).unwrap();
+        assert!(matches!(b.build(top), Err(Error::Wellformedness { .. })));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        // Cycles cannot be built through the builder, so assemble a malformed DFT
+        // directly: A -> B -> A.
+        let names = vec!["A".to_owned(), "B".to_owned()];
+        let elements = vec![
+            Element::Gate(Gate {
+                kind: GateKind::Or,
+                inputs: vec![ElementId::new(1)],
+                repairable: false,
+            }),
+            Element::Gate(Gate {
+                kind: GateKind::Or,
+                inputs: vec![ElementId::new(0)],
+                repairable: false,
+            }),
+        ];
+        let by_name: HashMap<String, ElementId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ElementId::new(i as u32)))
+            .collect();
+        let dft = Dft::assemble(names, elements, by_name, ElementId::new(0));
+        assert!(matches!(validate(&dft), Err(Error::Cyclic { .. })));
+    }
+
+    #[test]
+    fn empty_and_gate_is_rejected() {
+        let names = vec!["G".to_owned(), "X".to_owned()];
+        let elements = vec![
+            Element::Gate(Gate { kind: GateKind::And, inputs: vec![], repairable: false }),
+            Element::BasicEvent(BasicEvent {
+                rate: 1.0,
+                dormancy: Dormancy::Hot,
+                repair_rate: None,
+            }),
+        ];
+        let by_name: HashMap<String, ElementId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ElementId::new(i as u32)))
+            .collect();
+        let dft = Dft::assemble(names, elements, by_name, ElementId::new(0));
+        assert!(matches!(validate(&dft), Err(Error::InvalidGate { .. })));
+    }
+}

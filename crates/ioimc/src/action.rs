@@ -1,0 +1,173 @@
+//! Interned action names.
+//!
+//! Actions are the communication alphabet of I/O-IMCs.  The same action name is
+//! referenced from many models (a firing signal `f_A` appears as an output of the
+//! element `A` and as an input of every gate listening to `A`), so action names are
+//! interned process-wide and [`Action`] is a cheap `Copy` handle.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The role an action plays in a particular model.
+///
+/// The same [`Action`] can be an output for one I/O-IMC and an input for another;
+/// the kind is therefore a property of a transition or a signature entry, not of
+/// the action itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// A delayable input action, written `a?`.
+    Input,
+    /// An immediate output action, written `a!`.
+    Output,
+    /// An immediate internal action, written `a;`.
+    Internal,
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::Input => write!(f, "?"),
+            ActionKind::Output => write!(f, "!"),
+            ActionKind::Internal => write!(f, ";"),
+        }
+    }
+}
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { by_name: HashMap::new(), names: Vec::new() })
+    })
+}
+
+/// An interned action name.
+///
+/// Two `Action` values compare equal if and only if they were created from the same
+/// string.  The ordering is by interning index and therefore stable within a
+/// process run but not across runs; use [`Action::name`] when a stable order is
+/// required.
+///
+/// # Examples
+///
+/// ```
+/// use ioimc::Action;
+/// let a = Action::new("f_pump");
+/// let b = Action::new("f_pump");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "f_pump");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    id: u32,
+}
+
+impl Action {
+    /// Interns `name` and returns the corresponding action handle.
+    pub fn new(name: &str) -> Action {
+        let mut guard = interner().lock().expect("action interner poisoned");
+        if let Some(&id) = guard.by_name.get(name) {
+            return Action { id };
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = guard.names.len() as u32;
+        guard.names.push(leaked);
+        guard.by_name.insert(leaked, id);
+        Action { id }
+    }
+
+    /// Returns the name this action was interned from.
+    pub fn name(&self) -> &'static str {
+        let guard = interner().lock().expect("action interner poisoned");
+        guard.names[self.id as usize]
+    }
+
+    /// Returns the process-wide interning index of this action.
+    ///
+    /// Mostly useful for building dense per-action tables.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Action({})", self.name())
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Action {
+    fn from(name: &str) -> Action {
+        Action::new(name)
+    }
+}
+
+impl From<String> for Action {
+    fn from(name: String) -> Action {
+        Action::new(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Action::new("alpha");
+        let b = Action::new("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_names_are_distinct_actions() {
+        let a = Action::new("left");
+        let b = Action::new("right");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let a = Action::new("f_system");
+        assert_eq!(a.name(), "f_system");
+        assert_eq!(a.to_string(), "f_system");
+        assert_eq!(format!("{a:?}"), "Action(f_system)");
+    }
+
+    #[test]
+    fn from_impls_intern() {
+        let a: Action = "sig".into();
+        let b: Action = String::from("sig").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ActionKind::Input.to_string(), "?");
+        assert_eq!(ActionKind::Output.to_string(), "!");
+        assert_eq!(ActionKind::Internal.to_string(), ";");
+    }
+
+    #[test]
+    fn interning_many_actions_is_consistent() {
+        let actions: Vec<Action> =
+            (0..256).map(|i| Action::new(&format!("bulk_action_{i}"))).collect();
+        for (i, act) in actions.iter().enumerate() {
+            assert_eq!(act.name(), format!("bulk_action_{i}"));
+            assert_eq!(*act, Action::new(&format!("bulk_action_{i}")));
+        }
+    }
+}

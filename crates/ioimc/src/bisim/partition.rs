@@ -1,0 +1,384 @@
+//! Signature-based partition refinement.
+//!
+//! [`refine`] computes an equivalence on the states of an I/O-IMC and [`quotient`]
+//! builds the corresponding reduced model.  Two modes are supported:
+//!
+//! * **strong** — two states are equivalent only if they agree on atomic
+//!   propositions, have the same interactive moves into the same blocks, and the
+//!   same cumulative Markovian rate into every block (ordinary lumpability).
+//! * **weak** (branching-style) — internal transitions that stay inside the current
+//!   block are treated as invisible: a state may take any number of such *inert*
+//!   steps before exhibiting a visible move, and the Markovian rate condition is
+//!   evaluated at the non-urgent states reachable by inert steps (maximal
+//!   progress: urgent states never let time pass).
+//!
+//! The weak mode computes a refinement of weak bisimilarity for I/O-IMCs, so
+//! merging the states of one block never changes any property expressible over the
+//! visible actions, the Markovian timing and the atomic propositions — in
+//! particular the failure-time distribution of a DFT.
+
+use crate::model::{InteractiveTransition, IoImc, Label, MarkovianTransition, StateId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A partition of the states of a model into equivalence blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block_of[s]` is the block index of state `s`.
+    pub block_of: Vec<u32>,
+    /// Number of blocks.
+    pub num_blocks: u32,
+}
+
+impl Partition {
+    /// The block of `state`.
+    pub fn block(&self, state: StateId) -> u32 {
+        self.block_of[state.index()]
+    }
+
+    /// Returns the states of each block.
+    pub fn blocks(&self) -> Vec<Vec<StateId>> {
+        let mut out = vec![Vec::new(); self.num_blocks as usize];
+        for (i, &b) in self.block_of.iter().enumerate() {
+            out[b as usize].push(StateId::new(i as u32));
+        }
+        out
+    }
+}
+
+/// Canonical form of a per-block Markovian rate map.
+type RateMap = Vec<(u32, u64)>;
+
+fn rate_map(model: &IoImc, state: StateId, block_of: &[u32]) -> RateMap {
+    let mut sums: BTreeMap<u32, f64> = BTreeMap::new();
+    for t in model.markovian_from(state) {
+        *sums.entry(block_of[t.to.index()]).or_insert(0.0) += t.rate;
+    }
+    sums.into_iter().map(|(b, r)| (b, r.to_bits())).collect()
+}
+
+/// Key describing one visible move: (label kind, action id, target block).
+type Move = (u8, u32, u32);
+
+fn move_key(label: Label, target_block: u32) -> Move {
+    match label {
+        Label::Input(a) => (0, a.id(), target_block),
+        Label::Output(a) => (1, a.id(), target_block),
+        Label::Internal(a) => (2, a.id(), target_block),
+    }
+}
+
+/// The refinement signature of a single state under the current partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateSignature {
+    old_block: u32,
+    moves: Vec<Move>,
+    rates: Vec<RateMap>,
+}
+
+/// States reachable from `state` through *inert* internal transitions (internal
+/// transitions whose target stays in the same block), including `state` itself.
+fn inert_reach(model: &IoImc, state: StateId, block_of: &[u32]) -> Vec<StateId> {
+    let own_block = block_of[state.index()];
+    let mut seen = vec![state];
+    let mut stack = vec![state];
+    while let Some(s) = stack.pop() {
+        for t in model.interactive_from(s) {
+            if t.label.is_internal()
+                && block_of[t.to.index()] == own_block
+                && !seen.contains(&t.to)
+            {
+                seen.push(t.to);
+                stack.push(t.to);
+            }
+        }
+    }
+    seen
+}
+
+fn signature(model: &IoImc, state: StateId, block_of: &[u32], weak: bool) -> StateSignature {
+    let own_block = block_of[state.index()];
+    let mut moves: BTreeSet<Move> = BTreeSet::new();
+    let mut rates: BTreeSet<RateMap> = BTreeSet::new();
+
+    if weak {
+        for u in inert_reach(model, state, block_of) {
+            for t in model.interactive_from(u) {
+                let target_block = block_of[t.to.index()];
+                let inert = t.label.is_internal() && target_block == own_block;
+                if !inert {
+                    moves.insert(move_key(t.label, target_block));
+                }
+            }
+            if !model.is_urgent(u) {
+                rates.insert(rate_map(model, u, block_of));
+            }
+        }
+    } else {
+        for t in model.interactive_from(state) {
+            moves.insert(move_key(t.label, block_of[t.to.index()]));
+        }
+        rates.insert(rate_map(model, state, block_of));
+    }
+
+    StateSignature {
+        old_block: own_block,
+        moves: moves.into_iter().collect(),
+        rates: rates.into_iter().collect(),
+    }
+}
+
+/// Computes the coarsest signature-stable partition of `model`.
+///
+/// The initial partition separates states by their atomic-proposition labelling, so
+/// proposition-labelled states (e.g. the "system down" marker used for
+/// unavailability analysis) are never merged with unlabelled ones.
+pub fn refine(model: &IoImc, weak: bool) -> Partition {
+    let n = model.num_states();
+    if n == 0 {
+        return Partition { block_of: Vec::new(), num_blocks: 0 };
+    }
+
+    // Initial partition: by proposition mask.
+    let mut block_of: Vec<u32> = vec![0; n];
+    let mut prop_blocks: HashMap<u64, u32> = HashMap::new();
+    let mut num_blocks = 0u32;
+    for s in model.states() {
+        let mask = model.prop_mask(s);
+        let block = *prop_blocks.entry(mask).or_insert_with(|| {
+            let b = num_blocks;
+            num_blocks += 1;
+            b
+        });
+        block_of[s.index()] = block;
+    }
+
+    loop {
+        let mut sig_blocks: HashMap<StateSignature, u32> = HashMap::new();
+        let mut next_block_of: Vec<u32> = vec![0; n];
+        let mut next_num_blocks = 0u32;
+        for s in model.states() {
+            let sig = signature(model, s, &block_of, weak);
+            let block = *sig_blocks.entry(sig).or_insert_with(|| {
+                let b = next_num_blocks;
+                next_num_blocks += 1;
+                b
+            });
+            next_block_of[s.index()] = block;
+        }
+        let stable = next_num_blocks == num_blocks;
+        block_of = next_block_of;
+        num_blocks = next_num_blocks;
+        if stable {
+            break;
+        }
+    }
+
+    Partition { block_of, num_blocks }
+}
+
+/// Builds the quotient model of `model` under `partition`.
+///
+/// In weak mode, internal transitions between states of the same block are dropped
+/// (they are unobservable), and the Markovian behaviour of a block is taken from
+/// its non-urgent members (which, by construction of the refinement, all carry the
+/// same cumulative rates).
+pub fn quotient(model: &IoImc, partition: &Partition, weak: bool) -> IoImc {
+    let nb = partition.num_blocks as usize;
+    let block_of = &partition.block_of;
+
+    let mut props = vec![0u64; nb];
+    for s in model.states() {
+        props[block_of[s.index()] as usize] |= model.prop_mask(s);
+    }
+
+    let mut interactive: Vec<InteractiveTransition> = Vec::new();
+    for t in model.interactive() {
+        let from = block_of[t.from.index()];
+        let to = block_of[t.to.index()];
+        if weak && t.label.is_internal() && from == to {
+            continue;
+        }
+        interactive.push(InteractiveTransition {
+            from: StateId::new(from),
+            label: t.label,
+            to: StateId::new(to),
+        });
+    }
+
+    let mut markovian: Vec<MarkovianTransition> = Vec::new();
+    // For each block take the cumulative rates of one representative state.  In
+    // strong mode every member agrees; in weak mode every *non-urgent* member
+    // agrees and urgent members contribute nothing (maximal progress).
+    let mut representative: Vec<Option<StateId>> = vec![None; nb];
+    for s in model.states() {
+        let b = block_of[s.index()] as usize;
+        let eligible = if weak { !model.is_urgent(s) } else { true };
+        if eligible && representative[b].is_none() {
+            representative[b] = Some(s);
+        }
+    }
+    for (b, rep) in representative.iter().enumerate() {
+        if let Some(rep) = rep {
+            let mut sums: BTreeMap<u32, f64> = BTreeMap::new();
+            for t in model.markovian_from(*rep) {
+                *sums.entry(block_of[t.to.index()]).or_insert(0.0) += t.rate;
+            }
+            for (to, rate) in sums {
+                if rate > 0.0 {
+                    markovian.push(MarkovianTransition {
+                        from: StateId::new(b as u32),
+                        rate,
+                        to: StateId::new(to),
+                    });
+                }
+            }
+        }
+    }
+
+    IoImc::from_parts(
+        model.name().to_owned(),
+        model.signature().clone(),
+        nb as u32,
+        StateId::new(block_of[model.initial().index()]),
+        interactive,
+        markovian,
+        model.prop_names.clone(),
+        props,
+    )
+    .restrict_to_reachable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::builder::IoImcBuilder;
+
+    fn act(n: &str) -> Action {
+        Action::new(n)
+    }
+
+    #[test]
+    fn strong_refinement_lumps_symmetric_states() {
+        // Classic lumping: two intermediate states with identical rates to the same
+        // absorbing state.
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(4);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.markovian(s[0], 1.0, s[2]);
+        b.markovian(s[1], 5.0, s[3]);
+        b.markovian(s[2], 5.0, s[3]);
+        let m = b.build().unwrap();
+        let p = refine(&m, false);
+        assert_eq!(p.num_blocks, 3);
+        assert_eq!(p.block(s[1]), p.block(s[2]));
+        let q = quotient(&m, &p, false);
+        assert_eq!(q.num_states(), 3);
+        // Initial state's lumped rate must be 2.0.
+        let total: f64 = q.markovian_from(q.initial()).iter().map(|t| t.rate).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_refinement_distinguishes_different_rates() {
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(4);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.markovian(s[0], 1.0, s[2]);
+        b.markovian(s[1], 5.0, s[3]);
+        b.markovian(s[2], 7.0, s[3]);
+        let m = b.build().unwrap();
+        let p = refine(&m, false);
+        assert_ne!(p.block(s[1]), p.block(s[2]));
+    }
+
+    #[test]
+    fn weak_refinement_absorbs_inert_internal_steps() {
+        let tau = act("part_tau");
+        let f = act("part_f");
+        // s1 --tau--> s2 --f!--> s3   versus   s4 --f!--> s3: s1, s2, s4 all
+        // weakly offer f! and nothing else.
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(5);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.markovian(s[0], 1.0, s[4]);
+        b.internal(s[1], tau, s[2]);
+        b.output(s[2], f, s[3]);
+        b.output(s[4], f, s[3]);
+        let m = b.build().unwrap();
+        let p = refine(&m, true);
+        assert_eq!(p.block(s[1]), p.block(s[2]));
+        assert_eq!(p.block(s[1]), p.block(s[4]));
+        let q = quotient(&m, &p, true);
+        assert_eq!(q.num_states(), 3);
+    }
+
+    #[test]
+    fn weak_refinement_respects_markovian_timing() {
+        let tau = act("part_tau2");
+        // s1 --tau--> s2 --(rate 5)--> s3   vs   s4 --(rate 9)--> s3:
+        // s1 and s4 must not be merged (different timing).
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(5);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.markovian(s[0], 1.0, s[4]);
+        b.internal(s[1], tau, s[2]);
+        b.markovian(s[2], 5.0, s[3]);
+        b.markovian(s[4], 9.0, s[3]);
+        let m = b.build().unwrap();
+        let p = refine(&m, true);
+        assert_ne!(p.block(s[1]), p.block(s[4]));
+        // But s1 and s2 are equivalent: the inert step costs no time.
+        assert_eq!(p.block(s[1]), p.block(s[2]));
+    }
+
+    #[test]
+    fn propositions_split_the_initial_partition() {
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(2);
+        b.initial(s[0]);
+        let down = b.prop("down");
+        b.set_prop(s[1], down);
+        let m = b.build().unwrap();
+        let p = refine(&m, true);
+        assert_eq!(p.num_blocks, 2);
+    }
+
+    #[test]
+    fn quotient_preserves_visible_outputs() {
+        let f = act("part_f_preserved");
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(3);
+        b.initial(s[0]);
+        b.markovian(s[0], 2.0, s[1]);
+        b.output(s[1], f, s[2]);
+        let m = b.build().unwrap();
+        let p = refine(&m, true);
+        let q = quotient(&m, &p, true);
+        assert!(q.interactive().iter().any(|t| t.label == Label::Output(f)));
+        assert_eq!(q.num_states(), 3);
+    }
+
+    #[test]
+    fn partition_blocks_enumeration_is_consistent() {
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(3);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.markovian(s[0], 1.0, s[2]);
+        let m = b.build().unwrap();
+        let p = refine(&m, false);
+        let blocks = p.blocks();
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, m.num_states());
+        for (bi, states) in blocks.iter().enumerate() {
+            for &st in states {
+                assert_eq!(p.block(st), bi as u32);
+            }
+        }
+    }
+}

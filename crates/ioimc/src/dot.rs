@@ -1,0 +1,115 @@
+//! Graphviz (DOT) export.
+//!
+//! Rendering intermediate models is invaluable when debugging gate semantics; the
+//! drawing conventions follow the paper: Markovian transitions are dashed and
+//! labelled with their rate, interactive transitions are solid and labelled
+//! `a?`/`a!`/`a;`, the initial state is marked, and proposition-labelled states are
+//! shaded.
+
+use crate::model::IoImc;
+use std::fmt::Write as _;
+
+/// Renders `model` as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use ioimc::{Action, IoImcBuilder, dot::to_dot};
+/// # fn main() -> Result<(), ioimc::Error> {
+/// let mut b = IoImcBuilder::new("tiny");
+/// let s = b.add_states(2);
+/// b.initial(s[0]);
+/// b.markovian(s[0], 0.5, s[1]);
+/// let m = b.build()?;
+/// let dot = to_dot(&m);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("0.5"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(model: &IoImc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(model.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __init [shape=point];");
+    let _ = writeln!(out, "  __init -> s{};", model.initial().index());
+    for s in model.states() {
+        let mut attrs = Vec::new();
+        let props: Vec<&str> = model
+            .prop_names()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| model.prop_mask(s) & (1u64 << i) != 0)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        if !props.is_empty() {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightgray".to_owned());
+            attrs.push(format!("xlabel=\"{}\"", escape(&props.join(","))));
+        }
+        let _ = writeln!(out, "  s{} [label=\"{}\"{}{}];", s.index(), s.index(),
+            if attrs.is_empty() { "" } else { ", " }, attrs.join(", "));
+    }
+    for t in model.interactive() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\"];",
+            t.from.index(),
+            t.to.index(),
+            escape(&t.label.to_string())
+        );
+    }
+    for t in model.markovian() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\", style=dashed];",
+            t.from.index(),
+            t.to.index(),
+            t.rate
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::builder::IoImcBuilder;
+
+    #[test]
+    fn dot_output_contains_all_transitions() {
+        let mut b = IoImcBuilder::new("dot test \"quoted\"");
+        let s = b.add_states(3);
+        b.initial(s[0]);
+        b.markovian(s[0], 2.5, s[1]);
+        b.output(s[1], Action::new("dot_fire"), s[2]);
+        let down = b.prop("down");
+        b.set_prop(s[2], down);
+        let m = b.build().unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("2.5"));
+        assert!(dot.contains("dot_fire!"));
+        assert!(dot.contains("lightgray"));
+        assert!(dot.contains("\\\"quoted\\\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn initial_state_is_marked() {
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(2);
+        b.initial(s[1]);
+        b.markovian(s[1], 1.0, s[0]);
+        let m = b.build().unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("__init -> s1"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Model statistics.
+//!
+//! The paper's experimental claims are largely about state-space sizes (e.g. the
+//! cascaded PAND system peaks at 156 states / 490 transitions under compositional
+//! aggregation versus 4113 states / 24608 transitions for the monolithic
+//! approach).  [`ModelStats`] is the record the benchmark harness collects for each
+//! intermediate model.
+
+use crate::model::IoImc;
+use std::fmt;
+
+/// Size statistics of one I/O-IMC.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelStats {
+    /// Number of states.
+    pub states: usize,
+    /// Number of interactive transitions.
+    pub interactive_transitions: usize,
+    /// Number of Markovian transitions.
+    pub markovian_transitions: usize,
+    /// Number of input actions in the signature.
+    pub inputs: usize,
+    /// Number of output actions in the signature.
+    pub outputs: usize,
+    /// Number of internal actions in the signature.
+    pub internals: usize,
+}
+
+impl ModelStats {
+    /// Collects the statistics of `model`.
+    pub fn of(model: &IoImc) -> ModelStats {
+        ModelStats {
+            states: model.num_states(),
+            interactive_transitions: model.num_interactive(),
+            markovian_transitions: model.num_markovian(),
+            inputs: model.signature().num_inputs(),
+            outputs: model.signature().num_outputs(),
+            internals: model.signature().num_internals(),
+        }
+    }
+
+    /// Total number of transitions.
+    pub fn transitions(&self) -> usize {
+        self.interactive_transitions + self.markovian_transitions
+    }
+
+    /// Componentwise maximum, used to track the *peak* intermediate size during
+    /// compositional aggregation.
+    pub fn max(self, other: ModelStats) -> ModelStats {
+        ModelStats {
+            states: self.states.max(other.states),
+            interactive_transitions: self
+                .interactive_transitions
+                .max(other.interactive_transitions),
+            markovian_transitions: self.markovian_transitions.max(other.markovian_transitions),
+            inputs: self.inputs.max(other.inputs),
+            outputs: self.outputs.max(other.outputs),
+            internals: self.internals.max(other.internals),
+        }
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions ({} interactive, {} Markovian)",
+            self.states,
+            self.transitions(),
+            self.interactive_transitions,
+            self.markovian_transitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::builder::IoImcBuilder;
+
+    #[test]
+    fn stats_reflect_the_model() {
+        let mut b = IoImcBuilder::new("m");
+        let s = b.add_states(3);
+        b.initial(s[0]);
+        b.markovian(s[0], 1.0, s[1]);
+        b.output(s[1], Action::new("stats_f"), s[2]);
+        b.input(s[0], Action::new("stats_g"), s[2]);
+        let m = b.build().unwrap();
+        let stats = ModelStats::of(&m);
+        assert_eq!(stats.states, 3);
+        assert_eq!(stats.interactive_transitions, 2);
+        assert_eq!(stats.markovian_transitions, 1);
+        assert_eq!(stats.transitions(), 3);
+        assert_eq!(stats.inputs, 1);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.internals, 0);
+        assert!(stats.to_string().contains("3 states"));
+    }
+
+    #[test]
+    fn max_is_componentwise() {
+        let a = ModelStats { states: 10, interactive_transitions: 3, ..Default::default() };
+        let b = ModelStats { states: 4, interactive_transitions: 9, ..Default::default() };
+        let m = a.max(b);
+        assert_eq!(m.states, 10);
+        assert_eq!(m.interactive_transitions, 9);
+    }
+}

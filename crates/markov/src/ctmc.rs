@@ -1,0 +1,316 @@
+//! Continuous-time Markov chains and transient (uniformisation) analysis.
+
+use crate::poisson::poisson_weights;
+use crate::sparse::CsrMatrix;
+use crate::{Error, Result};
+
+/// A continuous-time Markov chain with a single initial state.
+///
+/// The chain is stored as a rate matrix of off-diagonal entries; absorbing states
+/// simply have no outgoing transitions.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    num_states: usize,
+    initial: usize,
+    rates: CsrMatrix,
+    exit_rates: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Builds a CTMC from `(from, to, rate)` transitions.
+    ///
+    /// Self-loop transitions are ignored (they have no observable effect on a
+    /// CTMC); duplicate transitions are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a state index is out of range, a rate is not finite and
+    /// strictly positive, or the initial state is out of range.
+    pub fn from_transitions(
+        num_states: usize,
+        initial: usize,
+        transitions: &[(u32, u32, f64)],
+    ) -> Result<Ctmc> {
+        if initial >= num_states {
+            return Err(Error::InvalidState {
+                state: initial as u32,
+                num_states: num_states as u32,
+            });
+        }
+        for &(_, _, rate) in transitions {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(Error::InvalidValue { value: rate });
+            }
+        }
+        let filtered: Vec<(u32, u32, f64)> =
+            transitions.iter().copied().filter(|&(f, t, _)| f != t).collect();
+        let rates = CsrMatrix::from_triplets(num_states, num_states, &filtered)?;
+        let exit_rates = (0..num_states).map(|s| rates.row_sum(s)).collect();
+        Ok(Ctmc { num_states, initial, rates, exit_rates })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of (off-diagonal) transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.rates.num_entries()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The rate matrix (off-diagonal entries only).
+    pub fn rates(&self) -> &CsrMatrix {
+        &self.rates
+    }
+
+    /// Total exit rate of `state`.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.exit_rates[state]
+    }
+
+    /// The largest exit rate, used as the uniformisation constant.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit_rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Builds the uniformised DTMC `P = I + Q / lambda` as a sparse matrix.
+    ///
+    /// `lambda` must be at least the maximal exit rate.
+    fn uniformised(&self, lambda: f64) -> Result<CsrMatrix> {
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(self.num_transitions() + self.num_states);
+        for s in 0..self.num_states {
+            let (cols, vals) = self.rates.row(s);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((s as u32, c, v / lambda));
+            }
+            let stay = 1.0 - self.exit_rates[s] / lambda;
+            if stay > 0.0 {
+                triplets.push((s as u32, s as u32, stay));
+            }
+        }
+        CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)
+    }
+
+    /// Computes the transient state distribution at time `t` starting from the
+    /// initial state, with truncation error bounded by `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for negative/NaN `t` or an `epsilon` outside
+    /// `(0, 1)`.
+    pub fn transient(&self, t: f64, epsilon: f64) -> Result<Vec<f64>> {
+        if !t.is_finite() || t < 0.0 {
+            return Err(Error::InvalidValue { value: t });
+        }
+        let mut pi = vec![0.0; self.num_states];
+        pi[self.initial] = 1.0;
+        if t == 0.0 {
+            return Ok(pi);
+        }
+        let lambda = self.max_exit_rate();
+        if lambda == 0.0 {
+            // No transitions anywhere: distribution never changes.
+            return Ok(pi);
+        }
+        let p = self.uniformised(lambda)?;
+        let weights = poisson_weights(lambda * t, epsilon)?;
+        let mut result = vec![0.0; self.num_states];
+        let mut current = pi;
+        for (k, &w) in weights.weights.iter().enumerate() {
+            if k > 0 {
+                current = p.vec_mul(&current)?;
+            }
+            if w > 0.0 {
+                for (r, &c) in result.iter_mut().zip(current.iter()) {
+                    *r += w * c;
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Probability of reaching a `goal` state within time `t` (time-bounded
+    /// reachability).  Goal states are made absorbing, so the result is the
+    /// cumulative probability of having *ever* visited a goal state by time `t` —
+    /// exactly the unreliability measure of a DFT whose goal states are the system
+    /// failure states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `goal.len() != num_states`, and the
+    /// same errors as [`transient`](Self::transient) otherwise.
+    pub fn reachability(&self, goal: &[bool], t: f64, epsilon: f64) -> Result<f64> {
+        if goal.len() != self.num_states {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_states,
+                actual: goal.len(),
+            });
+        }
+        // Make goal states absorbing.
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+        for s in 0..self.num_states {
+            if goal[s] {
+                continue;
+            }
+            let (cols, vals) = self.rates.row(s);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((s as u32, c, v));
+            }
+        }
+        let absorbed = Ctmc {
+            num_states: self.num_states,
+            initial: self.initial,
+            rates: CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)?,
+            exit_rates: {
+                let m = CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)?;
+                (0..self.num_states).map(|s| m.row_sum(s)).collect()
+            },
+        };
+        let pi = absorbed.transient(t, epsilon)?;
+        Ok(goal.iter().zip(pi.iter()).filter(|&(&g, _)| g).map(|(_, &p)| p).sum())
+    }
+
+    /// Probability of *ever* reaching a `goal` state (unbounded reachability),
+    /// computed by value iteration on the embedded jump chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong goal length or
+    /// [`Error::NoConvergence`] if value iteration does not converge.
+    pub fn reachability_unbounded(&self, goal: &[bool], tolerance: f64) -> Result<f64> {
+        if goal.len() != self.num_states {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_states,
+                actual: goal.len(),
+            });
+        }
+        let mut value: Vec<f64> = goal.iter().map(|&g| if g { 1.0 } else { 0.0 }).collect();
+        let max_iter = 100_000;
+        for _ in 0..max_iter {
+            let mut delta: f64 = 0.0;
+            let mut next = value.clone();
+            for s in 0..self.num_states {
+                if goal[s] || self.exit_rates[s] == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.rates.row(s);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v / self.exit_rates[s] * value[c as usize];
+                }
+                delta = delta.max((acc - value[s]).abs());
+                next[s] = acc;
+            }
+            value = next;
+            if delta < tolerance {
+                return Ok(value[self.initial]);
+            }
+        }
+        Err(Error::NoConvergence { iterations: max_iter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_exponential_failure() {
+        // 0 --lambda--> 1 (absorbing). P(fail by t) = 1 - exp(-lambda t).
+        let lambda = 0.7;
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, lambda)]).unwrap();
+        for t in [0.0, 0.5, 1.0, 3.0] {
+            let p = ctmc.reachability(&[false, true], t, 1e-12).unwrap();
+            let exact = 1.0 - (-lambda * t).exp();
+            assert!((p - exact).abs() < 1e-9, "t={t}: {p} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn two_stage_erlang() {
+        // 0 --l--> 1 --l--> 2: time to absorption is Erlang(2, l).
+        let l = 2.0;
+        let t = 1.3;
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, l), (1, 2, l)]).unwrap();
+        let p = ctmc.reachability(&[false, false, true], t, 1e-12).unwrap();
+        let exact = 1.0 - (-l * t).exp() * (1.0 + l * t);
+        assert!((p - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_of_two_components() {
+        // Two independent exponential(1) components, system fails when both fail.
+        // State encoding: 0 = both up, 1 = one down, 2 = both down.
+        let ctmc =
+            Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let t = 1.0;
+        let p = ctmc.reachability(&[false, false, true], t, 1e-12).unwrap();
+        let exact = (1.0 - (-t as f64).exp()).powi(2);
+        assert!((p - exact).abs() < 1e-9, "{p} vs {exact}");
+    }
+
+    #[test]
+    fn transient_distribution_sums_to_one() {
+        let ctmc = Ctmc::from_transitions(
+            4,
+            0,
+            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 0.5), (2, 3, 0.25), (3, 0, 1.0)],
+        )
+        .unwrap();
+        for t in [0.1, 1.0, 10.0] {
+            let pi = ctmc.transient(t, 1e-12).unwrap();
+            let total: f64 = pi.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(pi.iter().all(|&p| p >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn reachability_at_time_zero_counts_initial_goal() {
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, 1.0)]).unwrap();
+        assert_eq!(ctmc.reachability(&[true, false], 0.0, 1e-9).unwrap(), 1.0);
+        assert_eq!(ctmc.reachability(&[false, true], 0.0, 1e-9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn absorbing_chain_without_transitions() {
+        let ctmc = Ctmc::from_transitions(1, 0, &[]).unwrap();
+        let pi = ctmc.transient(5.0, 1e-9).unwrap();
+        assert_eq!(pi, vec![1.0]);
+        assert_eq!(ctmc.max_exit_rate(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_reachability_of_transient_goal() {
+        // 0 -> 1 with rate 1, 0 -> 2 with rate 3; goal = {1}: P = 1/4.
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (0, 2, 3.0)]).unwrap();
+        let p = ctmc.reachability_unbounded(&[false, true, false], 1e-12).unwrap();
+        assert!((p - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(Ctmc::from_transitions(2, 5, &[]).is_err());
+        assert!(Ctmc::from_transitions(2, 0, &[(0, 1, -1.0)]).is_err());
+        assert!(Ctmc::from_transitions(2, 0, &[(0, 1, f64::NAN)]).is_err());
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, 1.0)]).unwrap();
+        assert!(ctmc.reachability(&[true], 1.0, 1e-9).is_err());
+        assert!(ctmc.transient(-1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let a = Ctmc::from_transitions(2, 0, &[(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        let b = Ctmc::from_transitions(2, 0, &[(0, 1, 1.0)]).unwrap();
+        let t = 0.8;
+        let pa = a.reachability(&[false, true], t, 1e-12).unwrap();
+        let pb = b.reachability(&[false, true], t, 1e-12).unwrap();
+        assert!((pa - pb).abs() < 1e-9);
+    }
+}

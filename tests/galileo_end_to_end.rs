@@ -1,0 +1,73 @@
+//! End-to-end test through the Galileo textual format: parse the cardiac assist
+//! system exactly as a Galileo user would write it, analyse it, and compare with
+//! the programmatically built model — mirroring the paper's tool chain, which
+//! "takes as input a DFT specified in the Galileo DFT format".
+
+use dftmc::dft::galileo::{parse, to_galileo};
+use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft_core::casestudies::{cas, CAS_PAPER_UNRELIABILITY};
+
+const CAS_GALILEO: &str = r#"
+    toplevel "System";
+    "System"     or "CPU_unit" "Motor_unit" "Pump_unit";
+
+    // CPU unit: warm spare CPU, both CPUs depend on the trigger.
+    "CPU_unit"   wsp "P" "B";
+    "Trigger"    or "CS" "SS";
+    "CPU_FDEP"   fdep "Trigger" "P" "B";
+    "CS" lambda=0.2;
+    "SS" lambda=0.2;
+    "P"  lambda=0.5;
+    "B"  lambda=0.5 dorm=0.5;
+
+    // Motor unit: cold spare motor, switch only matters if it fails first.
+    "Motor_unit" or "MP" "Motors";
+    "MP"         pand "MS" "MA";
+    "Motors"     csp "MA" "MB";
+    "MS" lambda=0.01;
+    "MA" lambda=1.0;
+    "MB" lambda=1.0 dorm=0.0;
+
+    // Pump unit: two primary pumps sharing one cold spare.
+    "Pump_unit"  and "Pump_A" "Pump_B";
+    "Pump_A"     csp "PA" "PS";
+    "Pump_B"     csp "PB" "PS";
+    "PA" lambda=1.0;
+    "PB" lambda=1.0;
+    "PS" lambda=1.0 dorm=0.0;
+"#;
+
+#[test]
+fn galileo_cas_matches_the_paper_value() {
+    let dft = parse(CAS_GALILEO).expect("the CAS parses");
+    assert_eq!(dft.num_basic_events(), 10);
+    let r = unreliability(&dft, 1.0, &AnalysisOptions::default()).expect("analysis succeeds");
+    assert!(
+        (r.probability() - CAS_PAPER_UNRELIABILITY).abs() < 5e-4,
+        "parsed CAS gives {}",
+        r.probability()
+    );
+}
+
+#[test]
+fn galileo_cas_matches_the_builder_cas() {
+    let parsed = parse(CAS_GALILEO).expect("the CAS parses");
+    let built = cas();
+    let options = AnalysisOptions::default();
+    for t in [0.5, 1.0, 2.0] {
+        let a = unreliability(&parsed, t, &options).unwrap().probability();
+        let b = unreliability(&built, t, &options).unwrap().probability();
+        assert!((a - b).abs() < 1e-9, "t={t}: parsed {a} vs built {b}");
+    }
+}
+
+#[test]
+fn printing_and_reparsing_preserves_the_measure() {
+    let original = parse(CAS_GALILEO).expect("the CAS parses");
+    let printed = to_galileo(&original);
+    let reparsed = parse(&printed).expect("printed output parses");
+    let options = AnalysisOptions::default();
+    let a = unreliability(&original, 1.0, &options).unwrap().probability();
+    let b = unreliability(&reparsed, 1.0, &options).unwrap().probability();
+    assert!((a - b).abs() < 1e-9);
+}
