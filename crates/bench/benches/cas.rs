@@ -1,35 +1,53 @@
-//! Benchmark E2 — the cardiac assist system (Section 5.1): compositional
-//! aggregation versus the monolithic baseline, end to end (model generation plus
-//! unreliability at mission time 1).
+//! Benchmark E2 — the cardiac assist system (Section 5.1).
+//!
+//! The session engine splits every analysis into a **build** phase (conversion +
+//! compositional aggregation, or monolithic chain generation) and a **query**
+//! phase (uniformisation against the cached model); this bench measures the two
+//! phases separately for both methods, plus the legacy one-shot entry point that
+//! pays for both on every call.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dft_core::analysis::{unreliability, AnalysisOptions, Method};
-use dft_core::baseline::monolithic_ctmc;
 use dft_core::casestudies::cas;
-use std::hint::black_box;
+use dft_core::engine::Analyzer;
+use dftmc_bench::timing::{print_header, report};
 
-fn bench_cas(c: &mut Criterion) {
+fn main() {
     let dft = cas();
     let compositional = AnalysisOptions::default();
-    let monolithic = AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() };
+    let monolithic = AnalysisOptions {
+        method: Method::Monolithic,
+        ..AnalysisOptions::default()
+    };
+    let sweep: Vec<f64> = (1..=25).map(|i| i as f64 * 0.2).collect();
 
-    c.bench_function("cas/compositional-unreliability", |bench| {
-        bench.iter(|| unreliability(black_box(&dft), 1.0, &compositional).expect("analysis"))
+    print_header("E2: cardiac assist system");
+
+    report("cas/compositional/build", 20, || {
+        Analyzer::new(&dft, compositional.clone()).expect("build")
     });
-    c.bench_function("cas/monolithic-unreliability", |bench| {
-        bench.iter(|| unreliability(black_box(&dft), 1.0, &monolithic).expect("analysis"))
+    let analyzer = Analyzer::new(&dft, compositional.clone()).expect("build");
+    report("cas/compositional/query-point", 20, || {
+        analyzer.unreliability(1.0).expect("query")
     });
-    c.bench_function("cas/monolithic-state-space-generation", |bench| {
-        bench.iter(|| monolithic_ctmc(black_box(&dft)).expect("generation"))
+    report("cas/compositional/query-curve-25pts", 20, || {
+        analyzer.unreliability_curve(&sweep).expect("query")
     });
-    c.bench_function("cas/dft-to-ioimc-community", |bench| {
-        bench.iter(|| dft_core::convert::convert(black_box(&dft)).expect("conversion"))
+    report("cas/compositional/one-shot-legacy", 20, || {
+        unreliability(&dft, 1.0, &compositional).expect("analysis")
+    });
+
+    report("cas/monolithic/build", 20, || {
+        Analyzer::new(&dft, monolithic.clone()).expect("build")
+    });
+    let mono = Analyzer::new(&dft, monolithic.clone()).expect("build");
+    report("cas/monolithic/query-point", 20, || {
+        mono.unreliability(1.0).expect("query")
+    });
+    report("cas/monolithic/query-curve-25pts", 20, || {
+        mono.unreliability_curve(&sweep).expect("query")
+    });
+
+    report("cas/dft-to-ioimc-community", 20, || {
+        dft_core::convert::convert(&dft).expect("conversion")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cas
-}
-criterion_main!(benches);

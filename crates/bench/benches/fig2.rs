@@ -1,12 +1,11 @@
 //! Benchmark E1 — the Figure 2 pipeline (compose, hide, aggregate) on elementary
 //! models, measuring the cost of the three core I/O-IMC operations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dftmc_bench::timing::{print_header, report};
 use ioimc::bisim::minimize;
 use ioimc::compose::compose;
 use ioimc::hide::hide;
 use ioimc::{Action, IoImc, IoImcBuilder};
-use std::hint::black_box;
 
 fn chain(name: &str, stages: usize, rate: f64, input: Option<Action>, output: Action) -> IoImc {
     let mut b = IoImcBuilder::new(name);
@@ -26,38 +25,27 @@ fn chain(name: &str, stages: usize, rate: f64, input: Option<Action>, output: Ac
     b.build().expect("valid chain model")
 }
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
     let a = Action::new("bench_fig2_a");
     let b_sig = Action::new("bench_fig2_b");
     let left = chain("A", 3, 1.3, None, a);
     let right = chain("B", 3, 1.3, Some(a), b_sig);
 
-    c.bench_function("fig2/compose", |bench| {
-        bench.iter(|| compose(black_box(&left), black_box(&right)).expect("composable"))
+    print_header("E1: Figure 2 pipeline");
+
+    report("fig2/compose", 30, || {
+        compose(&left, &right).expect("composable")
     });
 
     let composed = compose(&left, &right).expect("composable");
-    c.bench_function("fig2/hide", |bench| {
-        bench.iter(|| hide(black_box(&composed), &[a]).expect("hides"))
-    });
+    report("fig2/hide", 30, || hide(&composed, &[a]).expect("hides"));
 
     let hidden = hide(&composed, &[a]).expect("hides");
-    c.bench_function("fig2/aggregate", |bench| {
-        bench.iter(|| minimize(black_box(&hidden)))
-    });
+    report("fig2/aggregate", 30, || minimize(&hidden));
 
-    c.bench_function("fig2/full-pipeline", |bench| {
-        bench.iter(|| {
-            let composed = compose(black_box(&left), black_box(&right)).expect("composable");
-            let hidden = hide(&composed, &[a]).expect("hides");
-            minimize(&hidden)
-        })
+    report("fig2/full-pipeline", 30, || {
+        let composed = compose(&left, &right).expect("composable");
+        let hidden = hide(&composed, &[a]).expect("hides");
+        minimize(&hidden)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_fig2
-}
-criterion_main!(benches);

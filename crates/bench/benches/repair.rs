@@ -1,38 +1,28 @@
 //! Benchmark E8 — the repair extension (Section 7.2): unavailability analysis of
-//! repairable static trees of growing size.
+//! repairable static trees of growing size, split into the session build and the
+//! steady-state / first-passage queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dft::{DftBuilder, Dormancy};
-use dft_core::analysis::{unavailability, AnalysisOptions};
-use std::hint::black_box;
+use dft_core::analysis::AnalysisOptions;
+use dft_core::engine::Analyzer;
+use dftmc_bench::repairable_voting;
+use dftmc_bench::timing::{print_header, report};
 
-fn repairable_voting(n: usize) -> dft::Dft {
-    let mut b = DftBuilder::new();
-    let events: Vec<_> = (0..n)
-        .map(|i| {
-            b.repairable_basic_event(&format!("R{i}"), 0.5, Dormancy::Hot, 5.0)
-                .expect("valid BE")
-        })
-        .collect();
-    let k = ((n + 1) / 2) as u32;
-    let top = b.voting_gate("system", k, &events).expect("valid gate");
-    b.build(top).expect("wellformed DFT")
-}
+fn main() {
+    print_header("E8: repairable voting systems");
 
-fn bench_repair(c: &mut Criterion) {
-    let mut group = c.benchmark_group("repair/unavailability");
     for n in [2usize, 3, 4] {
-        let dft = repairable_voting(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &dft, |bench, dft| {
-            bench.iter(|| unavailability(black_box(dft), &AnalysisOptions::default()).expect("analysis"))
+        let dft = repairable_voting(n, 0.5, 5.0);
+        report(&format!("repair/{n}-components/build"), 10, || {
+            Analyzer::new(&dft, AnalysisOptions::default()).expect("build")
+        });
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).expect("build");
+        report(
+            &format!("repair/{n}-components/query-unavailability"),
+            10,
+            || analyzer.unavailability().expect("query"),
+        );
+        report(&format!("repair/{n}-components/query-mttf"), 10, || {
+            analyzer.mttf().expect("query")
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_repair
-}
-criterion_main!(benches);

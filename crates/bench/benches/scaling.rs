@@ -1,54 +1,60 @@
 //! Benchmark E9 — scaling behaviour (the discussion closing Section 5.2): the
 //! cascaded-PAND family with growing module width (modular, compositional
 //! aggregation shines) and the highly connected family (little independent
-//! structure, the advantage shrinks).
+//! structure, the advantage shrinks).  Each point measures the session build and
+//! a 10-point mission-time sweep against it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dft_core::analysis::{unreliability, AnalysisOptions, Method};
+use dft_core::analysis::{AnalysisOptions, Method};
 use dft_core::casestudies::cascaded_pand;
+use dft_core::engine::Analyzer;
 use dftmc_bench::highly_connected;
-use std::hint::black_box;
+use dftmc_bench::timing::{print_header, report};
 
-fn bench_scaling(c: &mut Criterion) {
+fn sweep() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 * 0.25).collect()
+}
+
+fn bench_family(label: &str, dfts: &[(usize, dft::Dft)]) {
     let compositional = AnalysisOptions::default();
-    let monolithic = AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() };
-
-    let mut group = c.benchmark_group("scaling/cascaded-pand");
-    for width in [2usize, 3, 4] {
-        let dft = cascaded_pand(width, 1.0);
-        group.bench_with_input(
-            BenchmarkId::new("compositional", width),
-            &dft,
-            |bench, dft| {
-                bench.iter(|| unreliability(black_box(dft), 1.0, &compositional).expect("analysis"))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("monolithic", width), &dft, |bench, dft| {
-            bench.iter(|| unreliability(black_box(dft), 1.0, &monolithic).expect("analysis"))
+    let monolithic = AnalysisOptions {
+        method: Method::Monolithic,
+        ..AnalysisOptions::default()
+    };
+    let times = sweep();
+    for (size, dft) in dfts {
+        report(&format!("{label}/{size}/compositional-build"), 10, || {
+            Analyzer::new(dft, compositional.clone()).expect("build")
         });
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("scaling/highly-connected");
-    for n in [3usize, 4, 5] {
-        let dft = highly_connected(n, 1.0);
-        group.bench_with_input(
-            BenchmarkId::new("compositional", n),
-            &dft,
-            |bench, dft| {
-                bench.iter(|| unreliability(black_box(dft), 1.0, &compositional).expect("analysis"))
-            },
+        let analyzer = Analyzer::new(dft, compositional.clone()).expect("build");
+        report(
+            &format!("{label}/{size}/compositional-sweep-10pts"),
+            10,
+            || analyzer.unreliability_curve(&times).expect("query"),
         );
-        group.bench_with_input(BenchmarkId::new("monolithic", n), &dft, |bench, dft| {
-            bench.iter(|| unreliability(black_box(dft), 1.0, &monolithic).expect("analysis"))
+        report(&format!("{label}/{size}/monolithic-build"), 10, || {
+            Analyzer::new(dft, monolithic.clone()).expect("build")
         });
+        let mono = Analyzer::new(dft, monolithic.clone()).expect("build");
+        report(
+            &format!("{label}/{size}/monolithic-sweep-10pts"),
+            10,
+            || mono.unreliability_curve(&times).expect("query"),
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scaling
+fn main() {
+    print_header("E9: scaling families");
+
+    let cascaded: Vec<(usize, dft::Dft)> = [2usize, 3, 4]
+        .iter()
+        .map(|&w| (w, cascaded_pand(w, 1.0)))
+        .collect();
+    bench_family("scaling/cascaded-pand", &cascaded);
+
+    let connected: Vec<(usize, dft::Dft)> = [3usize, 4, 5]
+        .iter()
+        .map(|&n| (n, highly_connected(n, 1.0)))
+        .collect();
+    bench_family("scaling/highly-connected", &connected);
 }
-criterion_main!(benches);

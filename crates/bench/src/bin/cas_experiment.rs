@@ -6,19 +6,37 @@ fn main() {
     let e = dftmc_bench::run_cas_experiment().expect("the CAS analyses");
     println!("== E2: cardiac assist system (Section 5.1) ==\n");
     println!("unreliability at mission time 1");
-    println!("  paper / Galileo        : {:.4}", e.unreliability.paper.unwrap());
+    println!(
+        "  paper / Galileo        : {:.4}",
+        e.unreliability.paper.unwrap()
+    );
     println!("  compositional (ours)   : {:.4}", e.unreliability.measured);
-    println!("  monolithic baseline    : {:.4}", e.monolithic_unreliability);
+    println!(
+        "  monolithic baseline    : {:.4}",
+        e.monolithic_unreliability
+    );
     println!(
         "  relative error         : {:.2}%",
         e.unreliability.relative_error().unwrap() * 100.0
     );
     println!();
     println!("state-space sizes");
-    println!("  compositional peak (full system) : {} states", e.peak_states);
-    println!("  monolithic chain  (full system)  : {} states", e.monolithic_states);
+    println!(
+        "  compositional peak (full system) : {} states",
+        e.peak_states
+    );
+    println!(
+        "  monolithic chain  (full system)  : {} states",
+        e.monolithic_states
+    );
     println!("  aggregated module I/O-IMCs (paper reports ~6 states each):");
     for (name, states) in &e.module_states {
         println!("    {name:<11}: {states} states");
     }
+    println!();
+    println!(
+        "session phases: build {} (one aggregation), query {}",
+        dftmc_bench::timing::format_duration(e.timings.build),
+        dftmc_bench::timing::format_duration(e.timings.query)
+    );
 }

@@ -25,4 +25,10 @@ fn main() {
         "Figure 9: one AND module aggregates to {} states (order of identical failures is irrelevant)",
         e.module_a_states
     );
+    println!();
+    println!(
+        "session phases: build {} (one aggregation), query {}",
+        dftmc_bench::timing::format_duration(e.timings.build),
+        dftmc_bench::timing::format_duration(e.timings.query)
+    );
 }

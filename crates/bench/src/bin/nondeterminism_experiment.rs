@@ -10,9 +10,9 @@ fn main() {
         "{:>14} {:>14} {:>14} {:>22}",
         "mission time", "lower bound", "upper bound", "baseline (det. order)"
     );
-    let rows = dftmc_bench::run_nondeterminism_experiment(&[0.25, 0.5, 1.0, 2.0, 4.0])
+    let e = dftmc_bench::run_nondeterminism_experiment(&[0.25, 0.5, 1.0, 2.0, 4.0])
         .expect("analysis runs");
-    for row in rows {
+    for row in &e.rows {
         println!(
             "{:>14} {:>14.6} {:>14.6} {:>22.6}",
             row.mission_time, row.lower, row.upper, row.baseline
@@ -20,4 +20,9 @@ fn main() {
     }
     println!("\nThe baseline resolves the simultaneous failures deterministically (left to");
     println!("right), so its value always lies inside the scheduler bounds.");
+    println!(
+        "\nsession phases: build {} (one aggregation), whole-sweep query {}",
+        dftmc_bench::timing::format_duration(e.timings.build),
+        dftmc_bench::timing::format_duration(e.timings.query)
+    );
 }

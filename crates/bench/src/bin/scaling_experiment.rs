@@ -22,10 +22,15 @@ fn main() {
     }
 
     println!("\n== E9b: highly connected family (no independent modules) ==\n");
-    println!("{:>8} {:>18} {:>28}", "events", "connected peak", "modular peak (same #events)");
-    for row in dftmc_bench::run_connectivity_experiment(&[3, 4, 5, 6]).expect("connectivity runs")
-    {
-        println!("{:>8} {:>18} {:>28}", row.basic_events, row.connected_peak, row.modular_peak);
+    println!(
+        "{:>8} {:>18} {:>28}",
+        "events", "connected peak", "modular peak (same #events)"
+    );
+    for row in dftmc_bench::run_connectivity_experiment(&[3, 4, 5, 6]).expect("connectivity runs") {
+        println!(
+            "{:>8} {:>18} {:>28}",
+            row.basic_events, row.connected_peak, row.modular_peak
+        );
     }
     println!("\nThe compositional advantage grows with modularity and shrinks for highly");
     println!("connected trees, as the paper observes at the end of Section 5.2.");

@@ -1,8 +1,7 @@
 //! Shared infrastructure for the benchmark harness.
 //!
 //! Every table and figure of the paper's evaluation has a corresponding
-//! experiment here (see `DESIGN.md` for the experiment index and
-//! `EXPERIMENTS.md` for paper-vs-measured numbers):
+//! experiment here:
 //!
 //! * **E2 (CAS, Section 5.1)** — [`run_cas_experiment`]
 //! * **E3/E4 (CPS, Section 5.2, Figures 8/9)** — [`run_cps_experiment`]
@@ -11,13 +10,25 @@
 //! * **E9 (scaling discussion of Section 5.2)** — [`run_scaling_experiment`]
 //!
 //! The experiment binaries in `src/bin/` print these results as tables; the
-//! Criterion benches in `benches/` measure the analysis run times.
+//! benches in `benches/` measure run times with the dependency-free harness in
+//! [`timing`].
+//!
+//! All experiments run on the [`Analyzer`] session engine, which separates the
+//! **build** phase (conversion + compositional aggregation, paid once) from the
+//! **query** phase (uniformisation / steady state, paid per measure).  The
+//! [`PhaseTimings`] attached to the experiment results report the two phases
+//! separately — the build/query split is the engine's raison d'être, so the
+//! harness measures it everywhere.
 
 use dft::{Dft, DftBuilder, Dormancy, ElementId};
-use dft_core::analysis::{unreliability, AnalysisOptions, Method};
-use dft_core::baseline::monolithic_ctmc;
-use dft_core::casestudies::{cas, cascaded_pand, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cps};
+use dft_core::analysis::{AnalysisOptions, Method};
+use dft_core::casestudies::{cas, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cascaded_pand, cps};
+use dft_core::engine::Analyzer;
+use dft_core::query::Measure;
 use dft_core::Result;
+use std::time::{Duration, Instant};
+
+pub mod timing;
 
 /// Paper-vs-measured record for a single scalar result.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +46,23 @@ impl Comparison {
     }
 }
 
+/// Wall-clock cost of the two phases of an [`Analyzer`] session.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Build phase: validation, conversion and compositional aggregation
+    /// ([`Analyzer::new`]), paid once per session.
+    pub build: Duration,
+    /// Query phase: every measure evaluated against the cached model.
+    pub query: Duration,
+}
+
+fn monolithic_options() -> AnalysisOptions {
+    AnalysisOptions {
+        method: Method::Monolithic,
+        ..AnalysisOptions::default()
+    }
+}
+
 /// Results of the cardiac-assist-system experiment (E2).
 #[derive(Debug, Clone)]
 pub struct CasExperiment {
@@ -48,6 +76,8 @@ pub struct CasExperiment {
     pub module_states: Vec<(String, usize)>,
     /// Size of the monolithic chain over the full system (states).
     pub monolithic_states: usize,
+    /// Build/query wall-clock split of the compositional session.
+    pub timings: PhaseTimings,
 }
 
 /// Runs the CAS experiment.
@@ -57,13 +87,17 @@ pub struct CasExperiment {
 /// Propagates analysis errors (none occur for the fixed case study).
 pub fn run_cas_experiment() -> Result<CasExperiment> {
     let dft = cas();
-    let options = AnalysisOptions::default();
-    let comp = unreliability(&dft, 1.0, &options)?;
-    let mono = unreliability(
-        &dft,
-        1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..options },
-    )?;
+
+    let build_start = Instant::now();
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    let build = build_start.elapsed();
+    let query_start = Instant::now();
+    let comp = analyzer.unreliability(1.0)?;
+    let query = query_start.elapsed();
+
+    let mono_analyzer = Analyzer::new(&dft, monolithic_options())?;
+    let mono = mono_analyzer.unreliability(1.0)?;
+
     let mut module_states = Vec::new();
     for (name, module) in [
         ("CPU_unit", cas_cpu_unit()),
@@ -76,12 +110,17 @@ pub fn run_cas_experiment() -> Result<CasExperiment> {
     Ok(CasExperiment {
         unreliability: Comparison {
             paper: Some(dft_core::casestudies::CAS_PAPER_UNRELIABILITY),
-            measured: comp.probability(),
+            measured: comp.value(),
         },
-        monolithic_unreliability: mono.probability(),
-        peak_states: comp.aggregation_stats().expect("compositional run").peak.states,
+        monolithic_unreliability: mono.value(),
+        peak_states: analyzer
+            .aggregation_stats()
+            .expect("compositional run")
+            .peak
+            .states,
         module_states,
-        monolithic_states: monolithic_ctmc(&dft)?.num_states(),
+        monolithic_states: mono_analyzer.model_stats().states,
+        timings: PhaseTimings { build, query },
     })
 }
 
@@ -100,6 +139,8 @@ pub struct CpsExperiment {
     pub monolithic_transitions: Comparison,
     /// States of the aggregated I/O-IMC of one AND module (Figure 9).
     pub module_a_states: usize,
+    /// Build/query wall-clock split of the compositional session.
+    pub timings: PhaseTimings,
 }
 
 /// Runs the CPS experiment.
@@ -110,9 +151,17 @@ pub struct CpsExperiment {
 pub fn run_cps_experiment() -> Result<CpsExperiment> {
     use dft_core::casestudies::{CPS_PAPER_MONOLITHIC, CPS_PAPER_PEAK, CPS_PAPER_UNRELIABILITY};
     let dft = cps();
-    let comp = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
-    let stats = comp.aggregation_stats().expect("compositional run").clone();
-    let mono = monolithic_ctmc(&dft)?;
+
+    let build_start = Instant::now();
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    let build = build_start.elapsed();
+    let query_start = Instant::now();
+    let comp = analyzer.unreliability(1.0)?;
+    let query = query_start.elapsed();
+    let stats = analyzer.aggregation_stats().expect("compositional run");
+
+    let mono_analyzer = Analyzer::new(&dft, monolithic_options())?;
+    let mono = mono_analyzer.model_stats();
 
     let module_a = single_and_module(4, 1.0);
     let (module_model, _) = dft_core::analysis::aggregated_model(&module_a)?;
@@ -120,7 +169,7 @@ pub fn run_cps_experiment() -> Result<CpsExperiment> {
     Ok(CpsExperiment {
         unreliability: Comparison {
             paper: Some(CPS_PAPER_UNRELIABILITY),
-            measured: comp.probability(),
+            measured: comp.value(),
         },
         peak_states: Comparison {
             paper: Some(CPS_PAPER_PEAK.0 as f64),
@@ -132,13 +181,14 @@ pub fn run_cps_experiment() -> Result<CpsExperiment> {
         },
         monolithic_states: Comparison {
             paper: Some(CPS_PAPER_MONOLITHIC.0 as f64),
-            measured: mono.num_states() as f64,
+            measured: mono.states as f64,
         },
         monolithic_transitions: Comparison {
             paper: Some(CPS_PAPER_MONOLITHIC.1 as f64),
-            measured: mono.num_transitions() as f64,
+            measured: mono.markovian_transitions as f64,
         },
         module_a_states: module_model.num_states(),
+        timings: PhaseTimings { build, query },
     })
 }
 
@@ -147,10 +197,28 @@ pub fn run_cps_experiment() -> Result<CpsExperiment> {
 pub fn single_and_module(width: usize, rate: f64) -> Dft {
     let mut b = DftBuilder::new();
     let events: Vec<ElementId> = (0..width)
-        .map(|i| b.basic_event(&format!("A_{i}"), rate, Dormancy::Hot).expect("valid BE"))
+        .map(|i| {
+            b.basic_event(&format!("A_{i}"), rate, Dormancy::Hot)
+                .expect("valid BE")
+        })
         .collect();
     let top = b.and_gate("A", &events).expect("valid gate");
     b.build(top).expect("wellformed module")
+}
+
+/// A repairable k-out-of-n voting system over identical components, used by the
+/// repair bench (E8).
+pub fn repairable_voting(n: usize, failure_rate: f64, repair_rate: f64) -> Dft {
+    let mut b = DftBuilder::new();
+    let events: Vec<ElementId> = (0..n)
+        .map(|i| {
+            b.repairable_basic_event(&format!("R{i}"), failure_rate, Dormancy::Hot, repair_rate)
+                .expect("valid BE")
+        })
+        .collect();
+    let k = (n.div_ceil(2)) as u32;
+    let top = b.voting_gate("system", k, &events).expect("valid gate");
+    b.build(top).expect("wellformed DFT")
 }
 
 /// One row of the scaling experiment (E9).
@@ -178,14 +246,18 @@ pub fn run_scaling_experiment(max_width: usize) -> Result<Vec<ScalingRow>> {
     let mut rows = Vec::new();
     for width in 1..=max_width {
         let dft = cascaded_pand(width, 1.0);
-        let comp = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
-        let mono = monolithic_ctmc(&dft)?;
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+        let mono_analyzer = Analyzer::new(&dft, monolithic_options())?;
         rows.push(ScalingRow {
             width,
             basic_events: dft.num_basic_events(),
-            compositional_peak: comp.aggregation_stats().expect("compositional").peak.states,
-            monolithic_states: mono.num_states(),
-            unreliability: comp.probability(),
+            compositional_peak: analyzer
+                .aggregation_stats()
+                .expect("compositional")
+                .peak
+                .states,
+            monolithic_states: mono_analyzer.model_stats().states,
+            unreliability: analyzer.unreliability(1.0)?.value(),
         });
     }
     Ok(rows)
@@ -198,7 +270,10 @@ pub fn run_scaling_experiment(max_width: usize) -> Result<Vec<ScalingRow>> {
 pub fn highly_connected(n: usize, rate: f64) -> Dft {
     let mut b = DftBuilder::new();
     let events: Vec<ElementId> = (0..n)
-        .map(|i| b.basic_event(&format!("hc_{i}"), rate, Dormancy::Hot).expect("valid BE"))
+        .map(|i| {
+            b.basic_event(&format!("hc_{i}"), rate, Dormancy::Hot)
+                .expect("valid BE")
+        })
         .collect();
     let mut pairs = Vec::new();
     for i in 0..n {
@@ -233,23 +308,25 @@ pub struct ConnectivityRow {
 ///
 /// Propagates analysis errors.
 pub fn run_connectivity_experiment(sizes: &[usize]) -> Result<Vec<ConnectivityRow>> {
+    let peak_of = |dft: &Dft| -> Result<usize> {
+        let analyzer = Analyzer::new(dft, AnalysisOptions::default())?;
+        Ok(analyzer
+            .aggregation_stats()
+            .expect("compositional")
+            .peak
+            .states)
+    };
     let mut rows = Vec::new();
     for &n in sizes {
-        let connected = highly_connected(n, 1.0);
-        let connected_peak = unreliability(&connected, 1.0, &AnalysisOptions::default())?
-            .aggregation_stats()
-            .expect("compositional")
-            .peak
-            .states;
+        let connected_peak = peak_of(&highly_connected(n, 1.0))?;
         // A modular tree with a comparable number of events: width n/3 rounded up.
         let width = n.div_ceil(3).max(1);
-        let modular = cascaded_pand(width, 1.0);
-        let modular_peak = unreliability(&modular, 1.0, &AnalysisOptions::default())?
-            .aggregation_stats()
-            .expect("compositional")
-            .peak
-            .states;
-        rows.push(ConnectivityRow { basic_events: n, connected_peak, modular_peak });
+        let modular_peak = peak_of(&cascaded_pand(width, 1.0))?;
+        rows.push(ConnectivityRow {
+            basic_events: n,
+            connected_peak,
+            modular_peak,
+        });
     }
     Ok(rows)
 }
@@ -259,11 +336,16 @@ pub fn run_connectivity_experiment(sizes: &[usize]) -> Result<Vec<ConnectivityRo
 pub struct RepairExperiment {
     /// Computed unavailability of the Figure-15 system.
     pub unavailability: Comparison,
+    /// Mean time to first system failure of the same session.
+    pub mttf: f64,
     /// Number of states of the final aggregated model.
     pub final_states: usize,
 }
 
 /// Runs the repairable AND experiment of Figure 15 with the given rates.
+///
+/// One [`Analyzer`] session answers both the steady-state unavailability and the
+/// mean time to first failure.
 ///
 /// # Errors
 ///
@@ -278,11 +360,17 @@ pub fn run_repair_experiment(
     let bb = b.repairable_basic_event("B", failure_b, Dormancy::Hot, repair_rate)?;
     let top = b.and_gate("system", &[a, bb])?;
     let dft = b.build(top)?;
-    let result = dft_core::analysis::unavailability(&dft, &AnalysisOptions::default())?;
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    let unavailability = analyzer.unavailability()?.value();
+    let mttf = analyzer.mttf()?.value();
     let exact = (failure_a / (failure_a + repair_rate)) * (failure_b / (failure_b + repair_rate));
     Ok(RepairExperiment {
-        unavailability: Comparison { paper: Some(exact), measured: result.unavailability },
-        final_states: result.final_model.states,
+        unavailability: Comparison {
+            paper: Some(exact),
+            measured: unavailability,
+        },
+        mttf,
+        final_states: analyzer.model_stats().states,
     })
 }
 
@@ -299,12 +387,27 @@ pub struct NondeterminismRow {
     pub baseline: f64,
 }
 
+/// Results of the non-determinism experiment: the whole mission-time sweep from a
+/// single build of each pipeline.
+#[derive(Debug, Clone)]
+pub struct NondeterminismExperiment {
+    /// One row per requested mission time, in request order.
+    pub rows: Vec<NondeterminismRow>,
+    /// Build/query wall-clock split of the compositional session; the query phase
+    /// covers the *entire* sweep (one value-iteration pass).
+    pub timings: PhaseTimings,
+}
+
 /// Runs the Figure-6(a) experiment for a range of mission times.
+///
+/// The experiment is the archetypal sweep workload: the compositional session is
+/// built once and the whole curve is answered by a single
+/// [`Measure::UnreliabilityCurve`] query.
 ///
 /// # Errors
 ///
 /// Propagates analysis errors.
-pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<Vec<NondeterminismRow>> {
+pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<NondeterminismExperiment> {
     let mut b = DftBuilder::new();
     let t = b.basic_event("T", 0.5, Dormancy::Hot)?;
     let a = b.basic_event("A", 1.0, Dormancy::Hot)?;
@@ -312,18 +415,35 @@ pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<Vec<Nondeterminism
     let _f = b.fdep_gate("FDEP", t, &[a, bb])?;
     let top = b.pand_gate("system", &[a, bb])?;
     let dft = b.build(top)?;
-    let mut rows = Vec::new();
-    for &mission_time in times {
-        let comp = unreliability(&dft, mission_time, &AnalysisOptions::default())?;
-        let mono = unreliability(
-            &dft,
-            mission_time,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
-        )?;
-        let (lower, upper) = comp.bounds();
-        rows.push(NondeterminismRow { mission_time, lower, upper, baseline: mono.probability() });
-    }
-    Ok(rows)
+
+    let build_start = Instant::now();
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    let build = build_start.elapsed();
+    let query_start = Instant::now();
+    let curve = analyzer.query(Measure::UnreliabilityCurve(times))?;
+    let query = query_start.elapsed();
+
+    let mono_analyzer = Analyzer::new(&dft, monolithic_options())?;
+    let baseline = mono_analyzer.query(Measure::UnreliabilityCurve(times))?;
+
+    let rows = curve
+        .points()
+        .iter()
+        .zip(baseline.points())
+        .map(|(comp, mono)| {
+            let (lower, upper) = comp.bounds();
+            NondeterminismRow {
+                mission_time: comp.time().expect("curve points carry their time"),
+                lower,
+                upper,
+                baseline: mono.value(),
+            }
+        })
+        .collect();
+    Ok(NondeterminismExperiment {
+        rows,
+        timings: PhaseTimings { build, query },
+    })
 }
 
 #[cfg(test)]
@@ -360,19 +480,23 @@ mod tests {
     fn connectivity_experiment_runs() {
         let rows = run_connectivity_experiment(&[3, 4]).unwrap();
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.connected_peak > 0 && r.modular_peak > 0));
+        assert!(rows
+            .iter()
+            .all(|r| r.connected_peak > 0 && r.modular_peak > 0));
     }
 
     #[test]
     fn repair_experiment_matches_the_closed_form() {
         let e = run_repair_experiment(1.0, 2.0, 10.0).unwrap();
         assert!(e.unavailability.relative_error().unwrap() < 1e-6);
+        assert!(e.mttf.is_finite() && e.mttf > 0.0);
     }
 
     #[test]
     fn nondeterminism_experiment_produces_proper_intervals() {
-        let rows = run_nondeterminism_experiment(&[0.5, 1.0]).unwrap();
-        for row in rows {
+        let e = run_nondeterminism_experiment(&[0.5, 1.0]).unwrap();
+        assert_eq!(e.rows.len(), 2);
+        for row in e.rows {
             assert!(row.lower < row.upper);
             assert!(row.baseline >= row.lower - 1e-9 && row.baseline <= row.upper + 1e-9);
         }
@@ -384,5 +508,12 @@ mod tests {
         let modules = dft::modules::independent_modules(&dft);
         // Only the top gate roots an independent module.
         assert_eq!(modules.len(), 1);
+    }
+
+    #[test]
+    fn repairable_voting_builds() {
+        let dft = repairable_voting(3, 0.5, 5.0);
+        assert_eq!(dft.num_basic_events(), 3);
+        assert!(dft.is_repairable());
     }
 }

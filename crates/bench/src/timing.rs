@@ -1,0 +1,124 @@
+//! A small, dependency-free wall-clock benchmarking harness.
+//!
+//! The container image carries no external crates, so the benches in `benches/`
+//! cannot use Criterion.  This module provides the minimum they need: run a
+//! closure a fixed number of times after a warm-up, record total/mean/min, and
+//! print an aligned table row.  The benches are registered with
+//! `harness = false`, so `cargo bench -p dftmc-bench` simply executes their
+//! `main` functions.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The timing record of one benchmarked closure.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Name of the benchmark (printed in the first column).
+    pub name: String,
+    /// Number of measured iterations (the warm-up iteration is excluded).
+    pub iters: u32,
+    /// Total wall-clock time over all measured iterations.
+    pub total: Duration,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest single iteration.
+    pub min: Duration,
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<48} {:>12} {:>12} {:>8}",
+            self.name,
+            format_duration(self.mean),
+            format_duration(self.min),
+            self.iters
+        )
+    }
+}
+
+/// Formats a duration with an SI prefix suited to its magnitude.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Prints the table header matching [`Sample`]'s `Display` columns.
+pub fn print_header(title: &str) {
+    println!("== {title} ==\n");
+    println!(
+        "{:<48} {:>12} {:>12} {:>8}",
+        "benchmark", "mean", "min", "iters"
+    );
+    println!("{}", "-".repeat(84));
+}
+
+/// Runs `f` once as a warm-up and then `iters` measured times, returning the
+/// timing record.  The closure's result is passed through [`black_box`] so the
+/// optimiser cannot discard the computation.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+    assert!(iters > 0, "at least one iteration is required");
+    black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    Sample {
+        name: name.to_owned(),
+        iters,
+        total,
+        mean: total / iters,
+        min,
+    }
+}
+
+/// Runs [`bench`] and prints the sample as a table row, returning it for further
+/// inspection.
+pub fn report<T>(name: &str, iters: u32, f: impl FnMut() -> T) -> Sample {
+    let sample = bench(name, iters, f);
+    println!("{sample}");
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations() {
+        let mut calls = 0u32;
+        let sample = bench("noop", 5, || calls += 1);
+        // One warm-up call plus five measured calls.
+        assert_eq!(calls, 6);
+        assert_eq!(sample.iters, 5);
+        assert!(sample.min <= sample.mean);
+        assert!(sample.total >= sample.min);
+    }
+
+    #[test]
+    fn durations_format_with_suitable_units() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert!(format_duration(Duration::from_micros(250)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(250)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(12)).ends_with(" s"));
+    }
+}

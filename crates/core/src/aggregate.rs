@@ -67,7 +67,10 @@ pub struct AggregationOptions {
 
 impl Default for AggregationOptions {
     fn default() -> Self {
-        AggregationOptions { keep: Vec::new(), minimize_elements: true }
+        AggregationOptions {
+            keep: Vec::new(),
+            minimize_elements: true,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ impl Default for AggregationOptions {
 /// # Panics
 ///
 /// Panics if the community is empty.
-pub fn aggregate(models: &[IoImc], options: &AggregationOptions) -> Result<(IoImc, AggregationStats)> {
+pub fn aggregate(
+    models: &[IoImc],
+    options: &AggregationOptions,
+) -> Result<(IoImc, AggregationStats)> {
     assert!(!models.is_empty(), "cannot aggregate an empty community");
     let keep: BTreeSet<Action> = options.keep.iter().copied().collect();
 
@@ -113,8 +119,11 @@ pub fn aggregate(models: &[IoImc], options: &AggregationOptions) -> Result<(IoIm
             .flat_map(|m| m.signature().inputs().collect::<Vec<_>>())
             .chain(keep.iter().copied())
             .collect();
-        let to_hide: Vec<Action> =
-            composed.signature().outputs().filter(|a| !needed.contains(a)).collect();
+        let to_hide: Vec<Action> = composed
+            .signature()
+            .outputs()
+            .filter(|a| !needed.contains(a))
+            .collect();
         let hidden = hide(&composed, &to_hide)?;
         let reduced = minimize(&hidden);
         stats.record_intermediate(ModelStats::of(&reduced));
@@ -145,10 +154,7 @@ fn pick_pair(community: &[IoImc]) -> (usize, usize) {
         for j in (i + 1)..n {
             let a = &community[i];
             let b = &community[j];
-            let communicates = a
-                .signature()
-                .outputs()
-                .any(|o| b.signature().is_input(o))
+            let communicates = a.signature().outputs().any(|o| b.signature().is_input(o))
                 || b.signature().outputs().any(|o| a.signature().is_input(o));
             let cost = a.num_states().saturating_mul(b.num_states());
             let candidate = (communicates, cost, i, j);
@@ -200,7 +206,11 @@ mod tests {
         assert!(final_model.signature().is_output(community.top_failure));
         // Two independent exponential failures then the AND fires: the aggregated
         // model needs only a handful of states.
-        assert!(final_model.num_states() <= 6, "got {}", final_model.num_states());
+        assert!(
+            final_model.num_states() <= 6,
+            "got {}",
+            final_model.num_states()
+        );
         assert_eq!(stats.steps.len(), 2);
         assert!(stats.peak.states >= final_model.num_states());
         assert!(stats.final_model.states > 0);
@@ -235,7 +245,9 @@ mod tests {
         let top = b.or_gate("ag3_Top", &[x, y]).unwrap();
         let dft = b.build(top).unwrap();
         let community = convert(&dft).unwrap();
-        let no_keep = aggregate(&community.models, &AggregationOptions::default()).unwrap().0;
+        let no_keep = aggregate(&community.models, &AggregationOptions::default())
+            .unwrap()
+            .0;
         // Without a keep set every output ends up hidden.
         assert_eq!(no_keep.signature().num_outputs(), 0);
         let with_keep = aggregate(

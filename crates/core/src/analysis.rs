@@ -1,4 +1,4 @@
-//! System-level reliability measures.
+//! System-level reliability measures — the legacy one-shot entry points.
 //!
 //! This module wires the pipeline of the paper end to end:
 //!
@@ -11,20 +11,42 @@
 //! Two analysis methods are offered: the paper's **compositional aggregation** and
 //! the DIFTree-style **monolithic** baseline ([`crate::baseline`]), selectable via
 //! [`AnalysisOptions::method`] so that benchmarks can compare both on the same DFT.
+//!
+//! # Prefer the [`Analyzer`](crate::engine::Analyzer) session API
+//!
+//! [`unreliability`], [`unavailability`] and [`mean_time_to_failure`] are retained
+//! for backwards compatibility, but each call rebuilds the whole aggregation
+//! pipeline from scratch.  They are now thin wrappers that construct a one-shot
+//! [`Analyzer`](crate::engine::Analyzer) and immediately discard it, so they
+//! return exactly the engine's values — at N times the construction cost when
+//! asked N questions.  New code, and anything that sweeps mission times or mixes
+//! measures, should build one [`Analyzer`](crate::engine::Analyzer) and query it:
+//!
+//! ```
+//! use dft::{DftBuilder, Dormancy};
+//! use dft_core::engine::Analyzer;
+//! use dft_core::query::Measure;
+//! use dft_core::AnalysisOptions;
+//!
+//! # fn main() -> Result<(), dft_core::Error> {
+//! # let mut b = DftBuilder::new();
+//! # let x = b.basic_event("doc_X", 1.0, Dormancy::Hot)?;
+//! # let top = b.or_gate("doc_Top", &[x])?;
+//! # let dft = b.build(top)?;
+//! let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;   // build once
+//! let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+//! # assert_eq!(curve.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::aggregate::{aggregate, AggregationOptions, AggregationStats};
-use crate::baseline;
 use crate::convert::convert;
-use crate::semantics::monitor;
+use crate::engine::Analyzer;
 use crate::{Error, Result};
 use dft::Dft;
-use ioimc::bisim::minimize;
-use ioimc::closed::{can_fire_immediately, check_deterministic, drop_input_transitions, must_fire_immediately};
 use ioimc::stats::ModelStats;
 use ioimc::{Action, IoImc};
-use markov::ctmdp::{Ctmdp, CtmdpState};
-use markov::steady::steady_state_probability;
-use markov::Ctmc;
 
 /// Which algorithm computes the measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +69,10 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        AnalysisOptions { epsilon: 1e-9, method: Method::Compositional }
+        AnalysisOptions {
+            epsilon: 1e-9,
+            method: Method::Compositional,
+        }
     }
 }
 
@@ -135,88 +160,16 @@ pub fn unreliability(
     mission_time: f64,
     options: &AnalysisOptions,
 ) -> Result<UnreliabilityResult> {
-    match options.method {
-        Method::Compositional => compositional_unreliability(dft, mission_time, options),
-        Method::Monolithic => {
-            let result = baseline::monolithic_ctmc(dft)?;
-            let p = result.ctmc.reachability(&result.goal, mission_time, options.epsilon)?;
-            Ok(UnreliabilityResult {
-                point: Some(p),
-                bounds: (p, p),
-                nondeterministic: false,
-                aggregation: None,
-                final_model: ModelStats {
-                    states: result.ctmc.num_states(),
-                    markovian_transitions: result.ctmc.num_transitions(),
-                    ..ModelStats::default()
-                },
-            })
-        }
-    }
-}
-
-fn compositional_unreliability(
-    dft: &Dft,
-    mission_time: f64,
-    options: &AnalysisOptions,
-) -> Result<UnreliabilityResult> {
-    let community = convert(dft)?;
-    let (final_model, stats) = aggregate(
-        &community.models,
-        &AggregationOptions { keep: vec![community.top_failure], ..AggregationOptions::default() },
-    )?;
-    let closed = minimize(&drop_input_transitions(&final_model));
-
-    let can = can_fire_immediately(&closed, community.top_failure);
-    let must = must_fire_immediately(&closed, community.top_failure);
-    let deterministic = check_deterministic(&closed).is_ok();
-
-    let ctmdp_states = ctmdp_states_of(&closed);
-    let initial = closed.initial().index();
-
-    let upper = Ctmdp::new(ctmdp_states.clone(), initial, can.clone())?
-        .reachability_bounds(mission_time, options.epsilon)?
-        .max;
-    let lower = Ctmdp::new(ctmdp_states, initial, must.clone())?
-        .reachability_bounds(mission_time, options.epsilon)?
-        .min;
-
-    let point = (deterministic && can == must).then_some(upper);
+    let analyzer = Analyzer::new(dft, options.clone())?;
+    let result = analyzer.unreliability(mission_time)?;
+    let point = result.points()[0];
     Ok(UnreliabilityResult {
-        point,
-        bounds: (lower, upper),
-        nondeterministic: point.is_none(),
-        aggregation: Some(stats),
-        final_model: ModelStats::of(&closed),
+        point: point.point(),
+        bounds: point.bounds(),
+        nondeterministic: point.is_nondeterministic(),
+        aggregation: analyzer.aggregation_stats().cloned(),
+        final_model: analyzer.model_stats(),
     })
-}
-
-/// Converts a closed I/O-IMC into the CTMDP state vector used by the `markov`
-/// crate: urgent states offer their immediate successors as a non-deterministic
-/// choice, all other states race their Markovian transitions.
-fn ctmdp_states_of(closed: &IoImc) -> Vec<CtmdpState> {
-    closed
-        .states()
-        .map(|s| {
-            let immediate: Vec<u32> = closed
-                .interactive_from(s)
-                .iter()
-                .filter(|t| t.label.is_immediate())
-                .map(|t| t.to.index() as u32)
-                .collect();
-            if !immediate.is_empty() {
-                CtmdpState::Immediate(immediate)
-            } else {
-                CtmdpState::Markovian(
-                    closed
-                        .markovian_from(s)
-                        .iter()
-                        .map(|t| (t.to.index() as u32, t.rate))
-                        .collect(),
-                )
-            }
-        })
-        .collect()
 }
 
 /// Computes the long-run unavailability of a repairable DFT: the steady-state
@@ -240,24 +193,12 @@ pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<Unavailabi
             })
         }
     }
-    let community = convert(dft)?;
-    let top_repair = community.top_repair.ok_or_else(|| Error::Unsupported {
-        message: "the top event never emits a repair signal".to_owned(),
-    })?;
-
-    let mut models = community.models.clone();
-    models.push(monitor("system monitor", community.top_failure, Some(top_repair))?);
-    // Nothing needs to stay observable: the monitor's atomic proposition carries
-    // the information the steady-state analysis needs.
-    let (final_model, stats) = aggregate(&models, &AggregationOptions::default())?;
-    let closed = minimize(&drop_input_transitions(&final_model));
-
-    let (ctmc, down) = extract_ctmc_with_label(&closed, "down")?;
-    let unavailability = steady_state_probability(&ctmc, &down, options.epsilon)?;
+    let analyzer = Analyzer::new(dft, options.clone())?;
+    let result = analyzer.unavailability()?;
     Ok(UnavailabilityResult {
-        unavailability,
-        aggregation: Some(stats),
-        final_model: ModelStats::of(&closed),
+        unavailability: result.value(),
+        aggregation: analyzer.aggregation_stats().cloned(),
+        final_model: analyzer.model_stats(),
     })
 }
 
@@ -289,79 +230,7 @@ pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<Unavailabi
 /// # }
 /// ```
 pub fn mean_time_to_failure(dft: &Dft, options: &AnalysisOptions) -> Result<f64> {
-    match options.method {
-        Method::Monolithic => {
-            let result = baseline::monolithic_ctmc(dft)?;
-            Ok(markov::mttf::mean_time_to_absorption(&result.ctmc, &result.goal, options.epsilon)?)
-        }
-        Method::Compositional => {
-            let community = convert(dft)?;
-            let mut models = community.models.clone();
-            models.push(monitor("mttf monitor", community.top_failure, None)?);
-            let (final_model, _) = aggregate(&models, &AggregationOptions::default())?;
-            let closed = minimize(&drop_input_transitions(&final_model));
-            let (ctmc, failed) = extract_ctmc_with_label(&closed, "down")?;
-            Ok(markov::mttf::mean_time_to_absorption(&ctmc, &failed, options.epsilon)?)
-        }
-    }
-}
-
-/// Eliminates the remaining immediate (vanishing) states of a closed, deterministic
-/// I/O-IMC and returns the embedded CTMC together with a boolean label vector for
-/// the given atomic proposition.
-///
-/// # Errors
-///
-/// Returns [`Error::Ioimc`] wrapping a non-determinism error if some vanishing
-/// state has more than one immediate successor.
-fn extract_ctmc_with_label(closed: &IoImc, prop: &str) -> Result<(Ctmc, Vec<bool>)> {
-    check_deterministic(closed).map_err(Error::from)?;
-    let prop_id = closed.prop(prop);
-
-    // Resolve each state to the non-urgent state its immediate chain ends in.
-    let resolve = |start: ioimc::StateId| -> ioimc::StateId {
-        let mut current = start;
-        let mut hops = 0;
-        loop {
-            let next = closed
-                .interactive_from(current)
-                .iter()
-                .find(|t| t.label.is_immediate())
-                .map(|t| t.to);
-            match next {
-                Some(n) => {
-                    current = n;
-                    hops += 1;
-                    if hops > closed.num_states() {
-                        // Immediate cycle (divergence): stay where we are.
-                        return current;
-                    }
-                }
-                None => return current,
-            }
-        }
-    };
-
-    // Tangible states (no outgoing immediate transition) form the CTMC.
-    let tangible: Vec<ioimc::StateId> =
-        closed.states().filter(|&s| !closed.is_urgent(s)).collect();
-    let index_of = |s: ioimc::StateId| -> u32 {
-        tangible.binary_search(&s).expect("resolved states are tangible") as u32
-    };
-
-    let mut transitions: Vec<(u32, u32, f64)> = Vec::new();
-    for &s in &tangible {
-        for t in closed.markovian_from(s) {
-            transitions.push((index_of(s), index_of(resolve(t.to)), t.rate));
-        }
-    }
-    let initial = index_of(resolve(closed.initial())) as usize;
-    let ctmc = Ctmc::from_transitions(tangible.len(), initial, &transitions)?;
-    let labels = tangible
-        .iter()
-        .map(|&s| prop_id.map(|p| closed.has_prop(s, p)).unwrap_or(false))
-        .collect();
-    Ok((ctmc, labels))
+    Ok(Analyzer::new(dft, options.clone())?.mttf()?.value())
 }
 
 /// Convenience helper: the number of states of the final aggregated model for a
@@ -374,7 +243,10 @@ pub fn aggregated_model(dft: &Dft) -> Result<(IoImc, AggregationStats)> {
     let community = convert(dft)?;
     aggregate(
         &community.models,
-        &AggregationOptions { keep: vec![community.top_failure], ..AggregationOptions::default() },
+        &AggregationOptions {
+            keep: vec![community.top_failure],
+            ..AggregationOptions::default()
+        },
     )
 }
 
@@ -423,7 +295,11 @@ mod tests {
         let t = 0.8;
         let r = unreliability(&dft, t, &AnalysisOptions::default()).unwrap();
         let exact = exp_cdf(1.0, t) * exp_cdf(2.0, t);
-        assert!((r.probability() - exact).abs() < 1e-7, "{} vs {exact}", r.probability());
+        assert!(
+            (r.probability() - exact).abs() < 1e-7,
+            "{} vs {exact}",
+            r.probability()
+        );
     }
 
     #[test]
@@ -440,7 +316,10 @@ mod tests {
         let mono = unreliability(
             &dft,
             t,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -461,8 +340,12 @@ mod tests {
         let t = 1.0;
         let r = unreliability(&dft, t, &AnalysisOptions::default()).unwrap();
         // Erlang(2, 1): 1 - e^-t (1 + t).
-        let exact = 1.0 - (-t as f64).exp() * (1.0 + t);
-        assert!((r.probability() - exact).abs() < 1e-6, "{} vs {exact}", r.probability());
+        let exact = 1.0 - (-t).exp() * (1.0 + t);
+        assert!(
+            (r.probability() - exact).abs() < 1e-6,
+            "{} vs {exact}",
+            r.probability()
+        );
     }
 
     #[test]
@@ -495,11 +378,17 @@ mod tests {
     #[test]
     fn unavailability_of_a_single_repairable_component() {
         let mut b = DftBuilder::new();
-        let x = b.repairable_basic_event("an7_X", 1.0, Dormancy::Hot, 9.0).unwrap();
+        let x = b
+            .repairable_basic_event("an7_X", 1.0, Dormancy::Hot, 9.0)
+            .unwrap();
         let top = b.or_gate("an7_Top", &[x]).unwrap();
         let dft = b.build(top).unwrap();
         let r = unavailability(&dft, &AnalysisOptions::default()).unwrap();
-        assert!((r.unavailability - 0.1).abs() < 1e-6, "{}", r.unavailability);
+        assert!(
+            (r.unavailability - 0.1).abs() < 1e-6,
+            "{}",
+            r.unavailability
+        );
     }
 
     #[test]
@@ -526,7 +415,10 @@ mod tests {
         assert!((mttf - 0.25).abs() < 1e-6, "{mttf}");
         let mono = mean_time_to_failure(
             &dft,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
         assert!((mono - 0.25).abs() < 1e-6);
@@ -576,7 +468,10 @@ mod tests {
         let mono = unreliability(
             &dft,
             horizon,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
         assert!(

@@ -48,6 +48,28 @@ impl MonolithicResult {
     pub fn num_transitions(&self) -> usize {
         self.ctmc.num_transitions()
     }
+
+    /// Unreliability at `mission_time`, computed on the generated chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical errors of the transient analysis.
+    pub fn unreliability(&self, mission_time: f64, epsilon: f64) -> Result<f64> {
+        Ok(self.ctmc.reachability(&self.goal, mission_time, epsilon)?)
+    }
+
+    /// Unreliability at every listed mission time in a single uniformisation pass
+    /// — the monolithic counterpart of
+    /// [`Measure::UnreliabilityCurve`](crate::query::Measure::UnreliabilityCurve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical errors of the transient analysis.
+    pub fn unreliability_curve(&self, mission_times: &[f64], epsilon: f64) -> Result<Vec<f64>> {
+        Ok(self
+            .ctmc
+            .reachability_multi(&self.goal, mission_times, epsilon)?)
+    }
 }
 
 /// One global state of the monolithic exploration.
@@ -130,9 +152,17 @@ impl<'a> Explorer<'a> {
                 )
             })
             .collect();
-        let spare_index = spare_gates.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let spare_index = spare_gates
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i))
+            .collect();
         let pand_gates = dft.gates_of_kind(GateKind::Pand);
-        let pand_index = pand_gates.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let pand_index = pand_gates
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i))
+            .collect();
         let fdeps = dft
             .fdep_gates()
             .into_iter()
@@ -141,7 +171,17 @@ impl<'a> Explorer<'a> {
                 (inputs[0], inputs[1..].to_vec())
             })
             .collect();
-        Ok(Explorer { dft, activation, bes, be_index, spare_gates, spare_index, pand_gates, pand_index, fdeps })
+        Ok(Explorer {
+            dft,
+            activation,
+            bes,
+            be_index,
+            spare_gates,
+            spare_index,
+            pand_gates,
+            pand_index,
+            fdeps,
+        })
     }
 
     /// The basic events of the tree, in the order used by `SysState::failed`.
@@ -165,7 +205,10 @@ impl<'a> Explorer<'a> {
                 GateKind::And => gate.inputs.iter().all(|&c| self.element_failed(state, c)),
                 GateKind::Or => gate.inputs.iter().any(|&c| self.element_failed(state, c)),
                 GateKind::Voting { k } => {
-                    gate.inputs.iter().filter(|&&c| self.element_failed(state, c)).count()
+                    gate.inputs
+                        .iter()
+                        .filter(|&&c| self.element_failed(state, c))
+                        .count()
                         >= k as usize
                 }
                 GateKind::Pand => {
@@ -201,7 +244,11 @@ impl<'a> Explorer<'a> {
     /// The current failure rate of basic event `be` in `state` (0 when it cannot
     /// fail, e.g. a dormant cold spare).
     pub(crate) fn be_rate(&self, state: &SysState, be: ElementId) -> f64 {
-        let data = self.dft.element(be).as_basic_event().expect("be list holds basic events");
+        let data = self
+            .dft
+            .element(be)
+            .as_basic_event()
+            .expect("be list holds basic events");
         if self.element_active(state, be) {
             data.rate
         } else {
@@ -255,10 +302,14 @@ impl<'a> Explorer<'a> {
                 continue;
             }
             let inputs = self.dft.element(pand).inputs();
-            let statuses: Vec<bool> =
-                inputs.iter().map(|&c| self.element_failed(&next, c)).collect();
-            let previously: Vec<bool> =
-                inputs.iter().map(|&c| self.element_failed(state, c)).collect();
+            let statuses: Vec<bool> = inputs
+                .iter()
+                .map(|&c| self.element_failed(&next, c))
+                .collect();
+            let previously: Vec<bool> = inputs
+                .iter()
+                .map(|&c| self.element_failed(state, c))
+                .collect();
             for j in 0..inputs.len() {
                 let newly = statuses[j] && !previously[j];
                 if newly && statuses[..j].iter().any(|&failed| !failed) {
@@ -274,7 +325,9 @@ impl<'a> Explorer<'a> {
         loop {
             let mut changed = false;
             for (gi, &gate) in self.spare_gates.iter().enumerate() {
-                let Some(cur) = next.spare_using[gi] else { continue };
+                let Some(cur) = next.spare_using[gi] else {
+                    continue;
+                };
                 let inputs = self.dft.element(gate).inputs();
                 let cur_element = inputs[cur as usize];
                 let cur_failed = self.element_failed(&next, cur_element);
@@ -284,8 +337,7 @@ impl<'a> Explorer<'a> {
                 }
                 // Find the next usable input.
                 let mut chosen: Option<u8> = None;
-                for j in (cur as usize + 1)..inputs.len() {
-                    let candidate = inputs[j];
+                for (j, &candidate) in inputs.iter().enumerate().skip(cur as usize + 1) {
                     if self.element_failed(&next, candidate) {
                         continue;
                     }
@@ -389,8 +441,7 @@ pub fn monolithic_ctmc(dft: &Dft) -> Result<MonolithicResult> {
 ///
 /// Same as [`monolithic_ctmc`], plus numerical errors of the transient analysis.
 pub fn monolithic_unreliability(dft: &Dft, mission_time: f64, epsilon: f64) -> Result<f64> {
-    let result = monolithic_ctmc(dft)?;
-    Ok(result.ctmc.reachability(&result.goal, mission_time, epsilon)?)
+    monolithic_ctmc(dft)?.unreliability(mission_time, epsilon)
 }
 
 #[cfg(test)]
@@ -406,7 +457,10 @@ mod tests {
     fn and_gate_state_space_is_exponential_in_events() {
         let mut b = DftBuilder::new();
         let events: Vec<_> = (0..4)
-            .map(|i| b.basic_event(&format!("bl_E{i}"), 1.0, Dormancy::Hot).unwrap())
+            .map(|i| {
+                b.basic_event(&format!("bl_E{i}"), 1.0, Dormancy::Hot)
+                    .unwrap()
+            })
             .collect();
         let top = b.and_gate("bl_Top", &events).unwrap();
         let dft = b.build(top).unwrap();
@@ -437,7 +491,7 @@ mod tests {
         let dft = b.build(top).unwrap();
         let t = 1.0;
         let unrel = monolithic_unreliability(&dft, t, 1e-10).unwrap();
-        let erlang = 1.0 - (-t as f64).exp() * (1.0 + t);
+        let erlang = 1.0 - (-t).exp() * (1.0 + t);
         assert!((unrel - erlang).abs() < 1e-8, "{unrel} vs {erlang}");
     }
 
@@ -506,10 +560,15 @@ mod tests {
     #[test]
     fn unsupported_features_are_rejected() {
         let mut b = DftBuilder::new();
-        let x = b.repairable_basic_event("bl8_X", 1.0, Dormancy::Hot, 1.0).unwrap();
+        let x = b
+            .repairable_basic_event("bl8_X", 1.0, Dormancy::Hot, 1.0)
+            .unwrap();
         let top = b.or_gate("bl8_Top", &[x]).unwrap();
         let dft = b.build(top).unwrap();
-        assert!(matches!(monolithic_ctmc(&dft), Err(Error::Unsupported { .. })));
+        assert!(matches!(
+            monolithic_ctmc(&dft),
+            Err(Error::Unsupported { .. })
+        ));
 
         let mut b2 = DftBuilder::new();
         let a = b2.basic_event("bl9_A", 1.0, Dormancy::Hot).unwrap();
@@ -517,6 +576,9 @@ mod tests {
         let inh = b2.inhibit_gate("bl9_I", c, &[a]).unwrap();
         let top = b2.or_gate("bl9_Top", &[inh, a]).unwrap();
         let dft2 = b2.build(top).unwrap();
-        assert!(matches!(monolithic_ctmc(&dft2), Err(Error::Unsupported { .. })));
+        assert!(matches!(
+            monolithic_ctmc(&dft2),
+            Err(Error::Unsupported { .. })
+        ));
     }
 }

@@ -8,7 +8,13 @@
 //! CPS unreliability 0.00135 at mission time 1, with the compositional approach
 //! peaking at 156 states / 490 transitions versus 4113 states / 24608 transitions
 //! for the monolithic chain.
+//!
+//! [`cas_analyzer`] and [`cps_analyzer`] return ready-made [`Analyzer`] sessions
+//! over the two case studies, so sweeps and repeated measures pay for aggregation
+//! only once.
 
+use crate::engine::Analyzer;
+use crate::{AnalysisOptions, Result};
 use dft::{Dft, DftBuilder, Dormancy, ElementId};
 
 /// Builds the cardiac assist system DFT (Figure 7 of the paper).
@@ -36,10 +42,16 @@ pub fn cas() -> Dft {
     let cs = b.basic_event("CS", 0.2, Dormancy::Hot).expect("valid BE");
     let ss = b.basic_event("SS", 0.2, Dormancy::Hot).expect("valid BE");
     let p = b.basic_event("P", 0.5, Dormancy::Hot).expect("valid BE");
-    let cpu_spare = b.basic_event("B", 0.5, Dormancy::Warm(0.5)).expect("valid BE");
+    let cpu_spare = b
+        .basic_event("B", 0.5, Dormancy::Warm(0.5))
+        .expect("valid BE");
     let trigger = b.or_gate("Trigger", &[cs, ss]).expect("valid gate");
-    let _cpu_fdep = b.fdep_gate("CPU_FDEP", trigger, &[p, cpu_spare]).expect("valid gate");
-    let cpu_unit = b.spare_gate("CPU_unit", &[p, cpu_spare]).expect("valid gate");
+    let _cpu_fdep = b
+        .fdep_gate("CPU_FDEP", trigger, &[p, cpu_spare])
+        .expect("valid gate");
+    let cpu_unit = b
+        .spare_gate("CPU_unit", &[p, cpu_spare])
+        .expect("valid gate");
 
     // Motor unit.
     let ms = b.basic_event("MS", 0.01, Dormancy::Hot).expect("valid BE");
@@ -47,7 +59,9 @@ pub fn cas() -> Dft {
     let mb = b.basic_event("MB", 1.0, Dormancy::Cold).expect("valid BE");
     let motors = b.spare_gate("Motors", &[ma, mb]).expect("valid gate");
     let switch = b.pand_gate("MP", &[ms, ma]).expect("valid gate");
-    let motor_unit = b.or_gate("Motor_unit", &[switch, motors]).expect("valid gate");
+    let motor_unit = b
+        .or_gate("Motor_unit", &[switch, motors])
+        .expect("valid gate");
 
     // Pump unit.
     let pa = b.basic_event("PA", 1.0, Dormancy::Hot).expect("valid BE");
@@ -55,14 +69,44 @@ pub fn cas() -> Dft {
     let ps = b.basic_event("PS", 1.0, Dormancy::Cold).expect("valid BE");
     let pump_a = b.spare_gate("Pump_A", &[pa, ps]).expect("valid gate");
     let pump_b = b.spare_gate("Pump_B", &[pb, ps]).expect("valid gate");
-    let pump_unit = b.and_gate("Pump_unit", &[pump_a, pump_b]).expect("valid gate");
+    let pump_unit = b
+        .and_gate("Pump_unit", &[pump_a, pump_b])
+        .expect("valid gate");
 
-    let system = b.or_gate("System", &[cpu_unit, motor_unit, pump_unit]).expect("valid gate");
+    let system = b
+        .or_gate("System", &[cpu_unit, motor_unit, pump_unit])
+        .expect("valid gate");
     b.build(system).expect("the CAS is a wellformed DFT")
 }
 
 /// The CAS unreliability at mission time 1 reported by the paper (Section 5.1).
 pub const CAS_PAPER_UNRELIABILITY: f64 = 0.6579;
+
+/// A standard 10-point mission-time grid used by sweep examples, benchmarks and
+/// tests: 0.25, 0.5, …, 2.5.
+pub const DEFAULT_MISSION_TIMES: [f64; 10] =
+    [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5];
+
+/// Builds an [`Analyzer`] session over the cardiac assist system: aggregation
+/// runs once here, every subsequent query is answered from the cache.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed case study with valid
+/// options).
+pub fn cas_analyzer(options: AnalysisOptions) -> Result<Analyzer> {
+    Analyzer::new(&cas(), options)
+}
+
+/// Builds an [`Analyzer`] session over the cascaded PAND system.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed case study with valid
+/// options).
+pub fn cps_analyzer(options: AnalysisOptions) -> Result<Analyzer> {
+    Analyzer::new(&cps(), options)
+}
 
 /// Number of states the paper reports for each aggregated CAS module I/O-IMC.
 pub const CAS_PAPER_MODULE_STATES: usize = 6;
@@ -81,9 +125,13 @@ pub fn cas_cpu_unit() -> Dft {
     let cs = b.basic_event("CS", 0.2, Dormancy::Hot).expect("valid BE");
     let ss = b.basic_event("SS", 0.2, Dormancy::Hot).expect("valid BE");
     let p = b.basic_event("P", 0.5, Dormancy::Hot).expect("valid BE");
-    let spare = b.basic_event("B", 0.5, Dormancy::Warm(0.5)).expect("valid BE");
+    let spare = b
+        .basic_event("B", 0.5, Dormancy::Warm(0.5))
+        .expect("valid BE");
     let trigger = b.or_gate("Trigger", &[cs, ss]).expect("valid gate");
-    let _fdep = b.fdep_gate("CPU_FDEP", trigger, &[p, spare]).expect("valid gate");
+    let _fdep = b
+        .fdep_gate("CPU_FDEP", trigger, &[p, spare])
+        .expect("valid gate");
     let unit = b.spare_gate("CPU_unit", &[p, spare]).expect("valid gate");
     b.build(unit).expect("wellformed module")
 }
@@ -100,7 +148,9 @@ pub fn cas_motor_unit() -> Dft {
     let mb = b.basic_event("MB", 1.0, Dormancy::Cold).expect("valid BE");
     let motors = b.spare_gate("Motors", &[ma, mb]).expect("valid gate");
     let switch = b.pand_gate("MP", &[ms, ma]).expect("valid gate");
-    let unit = b.or_gate("Motor_unit", &[switch, motors]).expect("valid gate");
+    let unit = b
+        .or_gate("Motor_unit", &[switch, motors])
+        .expect("valid gate");
     b.build(unit).expect("wellformed module")
 }
 
@@ -117,7 +167,9 @@ pub fn cas_pump_unit() -> Dft {
     let ps = b.basic_event("PS", 1.0, Dormancy::Cold).expect("valid BE");
     let pump_a = b.spare_gate("Pump_A", &[pa, ps]).expect("valid gate");
     let pump_b = b.spare_gate("Pump_B", &[pb, ps]).expect("valid gate");
-    let unit = b.and_gate("Pump_unit", &[pump_a, pump_b]).expect("valid gate");
+    let unit = b
+        .and_gate("Pump_unit", &[pump_a, pump_b])
+        .expect("valid gate");
     b.build(unit).expect("wellformed module")
 }
 
@@ -153,12 +205,16 @@ pub const CPS_PAPER_MONOLITHIC: (usize, usize) = (4113, 24608);
 ///
 /// Panics if `events_per_module` is 0 (an AND gate needs at least one input).
 pub fn cascaded_pand(events_per_module: usize, rate: f64) -> Dft {
-    assert!(events_per_module > 0, "each module needs at least one basic event");
+    assert!(
+        events_per_module > 0,
+        "each module needs at least one basic event"
+    );
     let mut b = DftBuilder::new();
     let module = |b: &mut DftBuilder, name: &str| -> ElementId {
         let events: Vec<ElementId> = (0..events_per_module)
             .map(|i| {
-                b.basic_event(&format!("{name}_{i}"), rate, Dormancy::Hot).expect("valid BE")
+                b.basic_event(&format!("{name}_{i}"), rate, Dormancy::Hot)
+                    .expect("valid BE")
             })
             .collect();
         b.and_gate(name, &events).expect("valid gate")
@@ -167,7 +223,9 @@ pub fn cascaded_pand(events_per_module: usize, rate: f64) -> Dft {
     let module_c = module(&mut b, "C");
     let module_d = module(&mut b, "D");
     let inner = b.pand_gate("B", &[module_c, module_d]).expect("valid gate");
-    let system = b.pand_gate("System", &[module_a, inner]).expect("valid gate");
+    let system = b
+        .pand_gate("System", &[module_a, inner])
+        .expect("valid gate");
     b.build(system).expect("the CPS is a wellformed DFT")
 }
 
@@ -197,6 +255,29 @@ mod tests {
         assert_eq!(dft.gates_of_kind(GateKind::And).len(), 3);
         assert_eq!(dft.gates_of_kind(GateKind::Pand).len(), 2);
         assert_eq!(dft.num_elements(), 17);
+    }
+
+    #[test]
+    fn case_study_analyzers_reproduce_the_paper() {
+        let cas = cas_analyzer(AnalysisOptions::default()).unwrap();
+        let r = cas.unreliability(1.0).unwrap();
+        assert!(
+            (r.value() - CAS_PAPER_UNRELIABILITY).abs() < 1e-3,
+            "{}",
+            r.value()
+        );
+        assert_eq!(cas.aggregation_runs(), 1);
+        let cps = cps_analyzer(AnalysisOptions::default()).unwrap();
+        let curve = cps.unreliability_curve(&DEFAULT_MISSION_TIMES).unwrap();
+        assert_eq!(curve.len(), DEFAULT_MISSION_TIMES.len());
+        let at_one = curve.points()[3];
+        assert_eq!(at_one.time(), Some(1.0));
+        assert!(
+            (at_one.value() - CPS_PAPER_UNRELIABILITY).abs() < 1e-4,
+            "{}",
+            at_one.value()
+        );
+        assert_eq!(cps.aggregation_runs(), 1);
     }
 
     #[test]

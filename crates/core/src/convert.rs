@@ -180,9 +180,7 @@ pub fn convert(dft: &Dft) -> Result<Community> {
                             input_repairs: gate
                                 .inputs
                                 .iter()
-                                .map(|&c| {
-                                    emits_repair(dft, c).then(|| signals::repair(dft, c))
-                                })
+                                .map(|&c| emits_repair(dft, c).then(|| signals::repair(dft, c)))
                                 .collect(),
                             repair_output: signals::repair(dft, id),
                         })
@@ -286,7 +284,11 @@ pub fn convert(dft: &Dft) -> Result<Community> {
     let top_repair = (dft.is_repairable() && emits_repair(dft, dft.top()))
         .then(|| signals::repair(dft, dft.top()));
 
-    Ok(Community { models, top_failure: signals::firing(dft, dft.top()), top_repair })
+    Ok(Community {
+        models,
+        top_failure: signals::firing(dft, dft.top()),
+        top_repair,
+    })
 }
 
 #[cfg(test)]
@@ -325,7 +327,11 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("FA cv2_X")));
         assert!(names.iter().any(|n| n.starts_with("FA cv2_Y")));
         // The AND gate must listen to the auxiliaries' outputs, which exist.
-        let and_model = community.models.iter().find(|m| m.name().contains("cv2_Top")).unwrap();
+        let and_model = community
+            .models
+            .iter()
+            .find(|m| m.name().contains("cv2_Top"))
+            .unwrap();
         assert!(and_model.signature().is_input(Action::new("f_cv2_X")));
     }
 
@@ -342,12 +348,20 @@ mod tests {
         let community = convert(&dft).unwrap();
         // PA, PB, PS, GA, GB, Top, AA_PS.
         assert_eq!(community.len(), 7);
-        let aa = community.models.iter().find(|m| m.name().starts_with("AA cv3_PS")).unwrap();
+        let aa = community
+            .models
+            .iter()
+            .find(|m| m.name().starts_with("AA cv3_PS"))
+            .unwrap();
         assert!(aa.signature().is_input(Action::new("a_cv3_PS__cv3_GA")));
         assert!(aa.signature().is_input(Action::new("a_cv3_PS__cv3_GB")));
         assert!(aa.signature().is_output(Action::new("a_cv3_PS")));
         // The cold spare listens to its activation signal.
-        let ps_model = community.models.iter().find(|m| m.name() == "BE cv3_PS").unwrap();
+        let ps_model = community
+            .models
+            .iter()
+            .find(|m| m.name() == "BE cv3_PS")
+            .unwrap();
         assert!(ps_model.signature().is_input(Action::new("a_cv3_PS")));
     }
 
@@ -365,7 +379,9 @@ mod tests {
     #[test]
     fn repairable_dynamic_gates_are_rejected() {
         let mut b = DftBuilder::new();
-        let x = b.repairable_basic_event("cv5_X", 1.0, Dormancy::Hot, 2.0).unwrap();
+        let x = b
+            .repairable_basic_event("cv5_X", 1.0, Dormancy::Hot, 2.0)
+            .unwrap();
         let y = b.basic_event("cv5_Y", 1.0, Dormancy::Cold).unwrap();
         let top = b.spare_gate("cv5_Top", &[x, y]).unwrap();
         let dft = b.build(top).unwrap();
@@ -375,8 +391,12 @@ mod tests {
     #[test]
     fn repairable_static_tree_exposes_top_repair() {
         let mut b = DftBuilder::new();
-        let x = b.repairable_basic_event("cv6_X", 1.0, Dormancy::Hot, 2.0).unwrap();
-        let y = b.repairable_basic_event("cv6_Y", 1.0, Dormancy::Hot, 2.0).unwrap();
+        let x = b
+            .repairable_basic_event("cv6_X", 1.0, Dormancy::Hot, 2.0)
+            .unwrap();
+        let y = b
+            .repairable_basic_event("cv6_Y", 1.0, Dormancy::Hot, 2.0)
+            .unwrap();
         let top = b.and_gate("cv6_Top", &[x, y]).unwrap();
         let dft = b.build(top).unwrap();
         let community = convert(&dft).unwrap();
@@ -392,7 +412,11 @@ mod tests {
         let top = b.or_gate("cv7_Top", &[inh, a]).unwrap();
         let dft = b.build(top).unwrap();
         let community = convert(&dft).unwrap();
-        let ia = community.models.iter().find(|m| m.name().starts_with("IA cv7_I")).unwrap();
+        let ia = community
+            .models
+            .iter()
+            .find(|m| m.name().starts_with("IA cv7_I"))
+            .unwrap();
         assert!(ia.signature().is_output(Action::new("f_cv7_I")));
     }
 }

@@ -1,0 +1,626 @@
+//! The session-style analysis engine: build the model once, query it many times.
+//!
+//! The paper's pipeline — convert the DFT to an I/O-IMC community, then
+//! compose/hide/minimise it down to one small model — is by far the most expensive
+//! part of an analysis, yet it does not depend on the measure being asked.
+//! [`Analyzer::new`] therefore runs validation, conversion and compositional
+//! aggregation (or monolithic CTMC generation) *exactly once*, caches the closed
+//! final model together with its [`AggregationStats`]/[`ModelStats`], and then
+//! serves any number of typed [`Measure`](crate::query::Measure) queries against
+//! the cache:
+//!
+//! ```text
+//! Analyzer::new:  DFT ──convert──▶ community (+ monitor) ──aggregate──▶ model
+//! query(…):       model ──uniformisation──▶ unreliability (point or curve)
+//!                 model ──steady state───▶ unavailability
+//!                 model ──first passage──▶ MTTF
+//! ```
+//!
+//! A mission-time sweep through [`Measure::UnreliabilityCurve`] additionally
+//! shares the uniformisation pass between all time points, so a 100-point curve
+//! costs one aggregation and roughly one analysis, where the legacy one-shot
+//! entry points (see [`crate::analysis`]) would have paid for 100 of each.
+//!
+//! # Example
+//!
+//! ```
+//! use dft::{DftBuilder, Dormancy};
+//! use dft_core::engine::Analyzer;
+//! use dft_core::query::Measure;
+//! use dft_core::AnalysisOptions;
+//!
+//! # fn main() -> Result<(), dft_core::Error> {
+//! let mut b = DftBuilder::new();
+//! let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+//! let top = b.or_gate("Top", &[x])?;
+//! let dft = b.build(top)?;
+//!
+//! // Build the aggregation pipeline once …
+//! let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+//! // … then answer many queries against the cached model.
+//! let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+//! let mttf = analyzer.query(Measure::Mttf)?;
+//! assert_eq!(curve.len(), 3);
+//! assert!((mttf.value() - 1.0).abs() < 1e-6);
+//! assert_eq!(analyzer.aggregation_runs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aggregate::{aggregate, AggregationOptions, AggregationStats};
+use crate::analysis::{AnalysisOptions, Method};
+use crate::baseline;
+use crate::convert::convert;
+use crate::query::{Measure, MeasurePoint, MeasureResult};
+use crate::semantics::monitor;
+use crate::{Error, Result};
+use dft::Dft;
+use ioimc::bisim::minimize;
+use ioimc::closed::{
+    can_fire_immediately, check_deterministic, drop_input_transitions, must_fire_immediately,
+};
+use ioimc::stats::ModelStats;
+use ioimc::{Action, IoImc};
+use markov::ctmdp::{Ctmdp, CtmdpState};
+use markov::steady::steady_state_probability;
+use markov::Ctmc;
+use std::cell::OnceCell;
+
+/// Name of the monitor process composed into the community, and of the atomic
+/// proposition it attaches to its "system is down" state.
+const MONITOR_NAME: &str = "system monitor";
+const DOWN_PROP: &str = "down";
+
+/// A reusable analysis session for one DFT: the aggregation pipeline runs once in
+/// [`Analyzer::new`], every [`query`](Analyzer::query) after that only touches the
+/// cached final model.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Debug)]
+pub struct Analyzer {
+    options: AnalysisOptions,
+    repairable: bool,
+    aggregation: Option<AggregationStats>,
+    model_stats: ModelStats,
+    backend: Backend,
+}
+
+/// The cached artifacts the queries are answered from.
+#[derive(Debug)]
+// One Backend lives per session, so the size gap between the two variants is
+// irrelevant — boxing the compositional payload would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    /// The paper's compositional pipeline: the closed, minimised I/O-IMC with the
+    /// top failure signal kept observable and a monitor process composed in.
+    Compositional {
+        closed: IoImc,
+        top_failure: Action,
+        has_repair: bool,
+        /// `true` when the closed model has no immediate non-determinism *and*
+        /// the optimistic and pessimistic goal sets coincide, so unreliability is
+        /// a point value rather than an interval.
+        point_valued: bool,
+        /// CTMDP with the optimistic ("can fire the failure") goal set; its
+        /// maximising analysis yields the upper bound.
+        upper: Ctmdp,
+        /// CTMDP with the pessimistic ("must fire the failure") goal set; its
+        /// minimising analysis yields the lower bound.
+        lower: Ctmdp,
+        /// Embedded CTMC with the monitor's "down" labels, extracted lazily for
+        /// the steady-state and first-passage measures (fails for CTMDPs).
+        tangible: OnceCell<Result<(Ctmc, Vec<bool>)>>,
+    },
+    /// The DIFTree-style baseline: one CTMC over the whole tree.
+    Monolithic { ctmc: Ctmc, goal: Vec<bool> },
+}
+
+impl Analyzer {
+    /// Builds the analysis session: validates and converts the DFT and runs
+    /// compositional aggregation (or monolithic CTMC generation) exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion, aggregation and numerical errors; returns
+    /// [`Error::Unsupported`] for DFT features outside the selected method's
+    /// scope.
+    pub fn new(dft: &Dft, options: AnalysisOptions) -> Result<Analyzer> {
+        match options.method {
+            Method::Compositional => Analyzer::compositional(dft, options),
+            Method::Monolithic => Analyzer::monolithic(dft, options),
+        }
+    }
+
+    fn compositional(dft: &Dft, options: AnalysisOptions) -> Result<Analyzer> {
+        let community = convert(dft)?;
+        let top_failure = community.top_failure;
+        let has_repair = community.top_repair.is_some();
+
+        // One community serves every measure: the monitor tracks whether the top
+        // event is currently (repairable) or has ever been (non-repairable)
+        // failed, and the kept top-failure output drives the reachability goals.
+        let mut models = community.models;
+        models.push(monitor(MONITOR_NAME, top_failure, community.top_repair)?);
+        let (final_model, stats) = aggregate(
+            &models,
+            &AggregationOptions {
+                keep: vec![top_failure],
+                ..AggregationOptions::default()
+            },
+        )?;
+        let closed = minimize(&drop_input_transitions(&final_model));
+
+        let can = can_fire_immediately(&closed, top_failure);
+        let must = must_fire_immediately(&closed, top_failure);
+        let deterministic = check_deterministic(&closed).is_ok();
+        let point_valued = deterministic && can == must;
+
+        let ctmdp_states = ctmdp_states_of(&closed);
+        let initial = closed.initial().index();
+        let upper = Ctmdp::new(ctmdp_states.clone(), initial, can)?;
+        let lower = Ctmdp::new(ctmdp_states, initial, must)?;
+
+        Ok(Analyzer {
+            options,
+            repairable: dft.is_repairable(),
+            aggregation: Some(stats),
+            model_stats: ModelStats::of(&closed),
+            backend: Backend::Compositional {
+                closed,
+                top_failure,
+                has_repair,
+                point_valued,
+                upper,
+                lower,
+                tangible: OnceCell::new(),
+            },
+        })
+    }
+
+    fn monolithic(dft: &Dft, options: AnalysisOptions) -> Result<Analyzer> {
+        let result = baseline::monolithic_ctmc(dft)?;
+        let model_stats = ModelStats {
+            states: result.ctmc.num_states(),
+            markovian_transitions: result.ctmc.num_transitions(),
+            ..ModelStats::default()
+        };
+        Ok(Analyzer {
+            options,
+            repairable: dft.is_repairable(),
+            aggregation: None,
+            model_stats,
+            backend: Backend::Monolithic {
+                ctmc: result.ctmc,
+                goal: result.goal,
+            },
+        })
+    }
+
+    /// Answers one typed query against the cached model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] when the cached method cannot produce the
+    /// measure (unavailability needs a repairable model and the compositional
+    /// method) and propagates numerical errors.  The construction work is *not*
+    /// repeated on any path.
+    pub fn query(&self, measure: Measure<'_>) -> Result<MeasureResult> {
+        match measure {
+            Measure::Unreliability(t) => self.unreliability_points(&[t]),
+            Measure::UnreliabilityCurve(times) => self.unreliability_points(times),
+            Measure::Unavailability => self.unavailability_point(),
+            Measure::Mttf => self.mttf_point(),
+        }
+    }
+
+    /// Convenience for [`Measure::Unreliability`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`query`](Self::query).
+    pub fn unreliability(&self, mission_time: f64) -> Result<MeasureResult> {
+        self.query(Measure::Unreliability(mission_time))
+    }
+
+    /// Convenience for [`Measure::UnreliabilityCurve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`query`](Self::query).
+    pub fn unreliability_curve(&self, mission_times: &[f64]) -> Result<MeasureResult> {
+        self.query(Measure::UnreliabilityCurve(mission_times))
+    }
+
+    /// Convenience for [`Measure::Unavailability`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`query`](Self::query).
+    pub fn unavailability(&self) -> Result<MeasureResult> {
+        self.query(Measure::Unavailability)
+    }
+
+    /// Convenience for [`Measure::Mttf`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`query`](Self::query).
+    pub fn mttf(&self) -> Result<MeasureResult> {
+        self.query(Measure::Mttf)
+    }
+
+    fn unreliability_points(&self, times: &[f64]) -> Result<MeasureResult> {
+        let epsilon = self.options.epsilon;
+        match &self.backend {
+            Backend::Monolithic { ctmc, goal } => {
+                let values = ctmc.reachability_multi(goal, times, epsilon)?;
+                Ok(MeasureResult::new(
+                    times
+                        .iter()
+                        .zip(values)
+                        .map(|(&t, v)| MeasurePoint::exact(Some(t), v))
+                        .collect(),
+                ))
+            }
+            Backend::Compositional {
+                point_valued,
+                upper,
+                lower,
+                ..
+            } => {
+                let uppers = upper.reachability_max_multi(times, epsilon)?;
+                // When the model is deterministic and the optimistic/pessimistic
+                // goal sets coincide, the minimising pass would redo the same
+                // value iteration over the same CTMDP — skip it.
+                let lowers = if *point_valued {
+                    uppers.clone()
+                } else {
+                    lower.reachability_min_multi(times, epsilon)?
+                };
+                Ok(MeasureResult::new(
+                    times
+                        .iter()
+                        .zip(lowers.into_iter().zip(uppers))
+                        .map(|(&t, (lo, hi))| {
+                            MeasurePoint::bounded(Some(t), point_valued.then_some(hi), (lo, hi))
+                        })
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    fn unavailability_point(&self) -> Result<MeasureResult> {
+        if !self.repairable {
+            return Err(Error::Unsupported {
+                message: "unavailability analysis needs at least one repairable basic event"
+                    .to_owned(),
+            });
+        }
+        match &self.backend {
+            Backend::Monolithic { .. } => Err(Error::Unsupported {
+                message: "the monolithic baseline only supports unreliability analysis".to_owned(),
+            }),
+            Backend::Compositional { has_repair, .. } => {
+                if !has_repair {
+                    return Err(Error::Unsupported {
+                        message: "the top event never emits a repair signal".to_owned(),
+                    });
+                }
+                let (ctmc, down) = self.tangible()?;
+                let unavailability = steady_state_probability(ctmc, down, self.options.epsilon)?;
+                Ok(MeasureResult::new(vec![MeasurePoint::exact(
+                    None,
+                    unavailability,
+                )]))
+            }
+        }
+    }
+
+    fn mttf_point(&self) -> Result<MeasureResult> {
+        let mttf = match &self.backend {
+            Backend::Monolithic { ctmc, goal } => {
+                markov::mttf::mean_time_to_absorption(ctmc, goal, self.options.epsilon)?
+            }
+            Backend::Compositional { .. } => {
+                let (ctmc, down) = self.tangible()?;
+                markov::mttf::mean_time_to_absorption(ctmc, down, self.options.epsilon)?
+            }
+        };
+        Ok(MeasureResult::new(vec![MeasurePoint::exact(None, mttf)]))
+    }
+
+    /// The embedded CTMC of the closed model with its "down" labels, extracted on
+    /// first use and cached for the session.
+    fn tangible(&self) -> Result<(&Ctmc, &[bool])> {
+        let Backend::Compositional {
+            closed, tangible, ..
+        } = &self.backend
+        else {
+            unreachable!("tangible() is only called on the compositional backend");
+        };
+        match tangible.get_or_init(|| extract_ctmc_with_label(closed, DOWN_PROP)) {
+            Ok((ctmc, labels)) => Ok((ctmc, labels)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The options the session was built with.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// The analysis method backing this session.
+    pub fn method(&self) -> Method {
+        self.options.method
+    }
+
+    /// Statistics of the compositional aggregation run (absent for the monolithic
+    /// method).  The statistics are computed during [`Analyzer::new`] and never
+    /// change afterwards, however many queries are answered.
+    pub fn aggregation_stats(&self) -> Option<&AggregationStats> {
+        self.aggregation.as_ref()
+    }
+
+    /// Size of the final analysed model (the closed aggregated I/O-IMC or the
+    /// monolithic CTMC).
+    pub fn model_stats(&self) -> ModelStats {
+        self.model_stats
+    }
+
+    /// How many times this session has run compositional aggregation: 1 for the
+    /// compositional method, 0 for the monolithic baseline — and never more,
+    /// regardless of how many queries were answered.
+    pub fn aggregation_runs(&self) -> usize {
+        // Aggregation happens in `new` and nowhere else, so the count is exactly
+        // "did the compositional pipeline run": derived, not stored, so no code
+        // path can ever update it inconsistently.
+        usize::from(self.aggregation.is_some())
+    }
+
+    /// Returns `true` if the final model contained immediate non-determinism, so
+    /// unreliability queries report scheduler bounds instead of point values.
+    pub fn is_nondeterministic(&self) -> bool {
+        match &self.backend {
+            Backend::Compositional { point_valued, .. } => !point_valued,
+            Backend::Monolithic { .. } => false,
+        }
+    }
+
+    /// The closed, minimised final I/O-IMC (compositional method only).
+    pub fn final_model(&self) -> Option<&IoImc> {
+        match &self.backend {
+            Backend::Compositional { closed, .. } => Some(closed),
+            Backend::Monolithic { .. } => None,
+        }
+    }
+
+    /// The observable top-failure action of the cached model (compositional
+    /// method only).
+    pub fn top_failure(&self) -> Option<Action> {
+        match &self.backend {
+            Backend::Compositional { top_failure, .. } => Some(*top_failure),
+            Backend::Monolithic { .. } => None,
+        }
+    }
+}
+
+/// Converts a closed I/O-IMC into the CTMDP state vector used by the `markov`
+/// crate: urgent states offer their immediate successors as a non-deterministic
+/// choice, all other states race their Markovian transitions.
+fn ctmdp_states_of(closed: &IoImc) -> Vec<CtmdpState> {
+    closed
+        .states()
+        .map(|s| {
+            let immediate: Vec<u32> = closed
+                .interactive_from(s)
+                .iter()
+                .filter(|t| t.label.is_immediate())
+                .map(|t| t.to.index() as u32)
+                .collect();
+            if !immediate.is_empty() {
+                CtmdpState::Immediate(immediate)
+            } else {
+                CtmdpState::Markovian(
+                    closed
+                        .markovian_from(s)
+                        .iter()
+                        .map(|t| (t.to.index() as u32, t.rate))
+                        .collect(),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Eliminates the remaining immediate (vanishing) states of a closed, deterministic
+/// I/O-IMC and returns the embedded CTMC together with a boolean label vector for
+/// the given atomic proposition.
+///
+/// # Errors
+///
+/// Returns [`Error::Ioimc`] wrapping a non-determinism error if some vanishing
+/// state has more than one immediate successor, and [`Error::Unsupported`] if an
+/// immediate cycle (divergence) survives into the closed model — such a chain has
+/// no embedded CTMC.
+fn extract_ctmc_with_label(closed: &IoImc, prop: &str) -> Result<(Ctmc, Vec<bool>)> {
+    check_deterministic(closed).map_err(Error::from)?;
+    let prop_id = closed.prop(prop);
+
+    // Resolve each state to the non-urgent state its immediate chain ends in; an
+    // immediate cycle never reaches one, which surfaces as an error rather than a
+    // panic further down.
+    let resolve = |start: ioimc::StateId| -> Result<ioimc::StateId> {
+        let mut current = start;
+        let mut hops = 0;
+        loop {
+            let next = closed
+                .interactive_from(current)
+                .iter()
+                .find(|t| t.label.is_immediate())
+                .map(|t| t.to);
+            match next {
+                Some(n) => {
+                    current = n;
+                    hops += 1;
+                    if hops > closed.num_states() {
+                        return Err(Error::Unsupported {
+                            message: format!(
+                                "the closed model diverges: state {} starts a cycle of \
+                                 immediate transitions, so no embedded CTMC exists",
+                                start.index()
+                            ),
+                        });
+                    }
+                }
+                None => return Ok(current),
+            }
+        }
+    };
+
+    // Tangible states (no outgoing immediate transition) form the CTMC.
+    let tangible: Vec<ioimc::StateId> = closed.states().filter(|&s| !closed.is_urgent(s)).collect();
+    let index_of = |s: ioimc::StateId| -> u32 {
+        tangible
+            .binary_search(&s)
+            .expect("resolve() only returns non-urgent states, which are all tangible")
+            as u32
+    };
+
+    let mut transitions: Vec<(u32, u32, f64)> = Vec::new();
+    for &s in &tangible {
+        for t in closed.markovian_from(s) {
+            transitions.push((index_of(s), index_of(resolve(t.to)?), t.rate));
+        }
+    }
+    let initial = index_of(resolve(closed.initial())?) as usize;
+    let ctmc = Ctmc::from_transitions(tangible.len(), initial, &transitions)?;
+    let labels = tangible
+        .iter()
+        .map(|&s| prop_id.map(|p| closed.has_prop(s, p)).unwrap_or(false))
+        .collect();
+    Ok((ctmc, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft::{DftBuilder, Dormancy};
+
+    fn exp_cdf(rate: f64, t: f64) -> f64 {
+        1.0 - (-rate * t).exp()
+    }
+
+    #[test]
+    fn one_session_serves_every_measure() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("en_P", 1.0, Dormancy::Hot).unwrap();
+        let s = b.basic_event("en_S", 1.0, Dormancy::Cold).unwrap();
+        let top = b.spare_gate("en_Top", &[p, s]).unwrap();
+        let dft = b.build(top).unwrap();
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+
+        // Erlang(2, 1) failure time.
+        let t = 1.0;
+        let r = analyzer.unreliability(t).unwrap();
+        let exact = 1.0 - (-t).exp() * (1.0 + t);
+        assert!((r.value() - exact).abs() < 1e-6, "{} vs {exact}", r.value());
+        assert!(!r.is_nondeterministic());
+
+        let mttf = analyzer.mttf().unwrap();
+        assert!((mttf.value() - 2.0).abs() < 1e-6, "{}", mttf.value());
+
+        assert!(analyzer.unavailability().is_err(), "not repairable");
+        assert_eq!(analyzer.aggregation_runs(), 1);
+        assert!(analyzer.aggregation_stats().is_some());
+        assert!(analyzer.model_stats().states > 0);
+        assert!(analyzer.final_model().is_some());
+        assert!(analyzer.top_failure().is_some());
+    }
+
+    #[test]
+    fn curve_points_match_single_time_queries_exactly() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("en2_X", 0.7, Dormancy::Hot).unwrap();
+        let y = b.basic_event("en2_Y", 1.3, Dormancy::Hot).unwrap();
+        let top = b.and_gate("en2_Top", &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+
+        let times = [0.1, 0.5, 1.0, 2.0, 4.0];
+        let curve = analyzer.unreliability_curve(&times).unwrap();
+        assert_eq!(curve.len(), times.len());
+        for (point, &t) in curve.points().iter().zip(&times) {
+            assert_eq!(point.time(), Some(t));
+            let single = analyzer.unreliability(t).unwrap();
+            assert_eq!(point.value().to_bits(), single.value().to_bits());
+            let exact = exp_cdf(0.7, t) * exp_cdf(1.3, t);
+            assert!((point.value() - exact).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn monolithic_sessions_answer_curves_too() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("en3_X", 1.0, Dormancy::Hot).unwrap();
+        let top = b.or_gate("en3_Top", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let analyzer = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(analyzer.aggregation_runs(), 0);
+        assert!(analyzer.aggregation_stats().is_none());
+        let curve = analyzer.unreliability_curve(&[0.5, 1.0]).unwrap();
+        for (point, t) in curve.points().iter().zip([0.5, 1.0]) {
+            assert!((point.value() - exp_cdf(1.0, t)).abs() < 1e-7);
+        }
+        assert!(analyzer.unavailability().is_err());
+        assert!((analyzer.mttf().unwrap().value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repairable_sessions_serve_unavailability() {
+        let mut b = DftBuilder::new();
+        let x = b
+            .repairable_basic_event("en4_X", 1.0, Dormancy::Hot, 9.0)
+            .unwrap();
+        let top = b.or_gate("en4_Top", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let u = analyzer.unavailability().unwrap();
+        assert!((u.value() - 0.1).abs() < 1e-6, "{}", u.value());
+        assert!(!u.is_nondeterministic());
+        // The same session also answers unreliability and MTTF queries.
+        let r = analyzer.unreliability(1.0).unwrap();
+        assert!(r.value() > 0.0 && r.value() < 1.0);
+        let mttf = analyzer.mttf().unwrap();
+        assert!((mttf.value() - 1.0).abs() < 1e-6, "{}", mttf.value());
+        assert_eq!(analyzer.aggregation_runs(), 1);
+    }
+
+    #[test]
+    fn nondeterministic_models_report_bounds() {
+        // FDEP trigger feeding both inputs of a PAND (Figure 6a): the failure
+        // order is unresolved, so unreliability is an interval.
+        let mut b = DftBuilder::new();
+        let t = b.basic_event("en5_T", 0.5, Dormancy::Hot).unwrap();
+        let x = b.basic_event("en5_X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("en5_Y", 1.0, Dormancy::Hot).unwrap();
+        let _f = b.fdep_gate("en5_F", t, &[x, y]).unwrap();
+        let top = b.pand_gate("en5_Top", &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        assert!(analyzer.is_nondeterministic());
+        let r = analyzer.unreliability(1.0).unwrap();
+        assert!(r.is_nondeterministic());
+        let (lo, hi) = r.bounds();
+        assert!(lo < hi, "bounds ({lo}, {hi}) should be a proper interval");
+        // MTTF needs a CTMC; the CTMDP must be rejected, not mis-analysed.
+        assert!(analyzer.mttf().is_err());
+    }
+}

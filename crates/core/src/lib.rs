@@ -48,12 +48,17 @@ pub mod analysis;
 pub mod baseline;
 pub mod casestudies;
 pub mod convert;
+pub mod engine;
+pub mod query;
+pub mod rng;
 pub mod semantics;
 pub mod signals;
 pub mod simulate;
 
-pub use analysis::{mean_time_to_failure, unavailability, unreliability, AnalysisOptions};
+pub use analysis::{mean_time_to_failure, unavailability, unreliability, AnalysisOptions, Method};
 pub use convert::Community;
+pub use engine::Analyzer;
+pub use query::{Measure, MeasurePoint, MeasureResult};
 
 use std::fmt;
 

@@ -1,0 +1,188 @@
+//! Typed queries and their unified results.
+//!
+//! An [`Analyzer`](crate::engine::Analyzer) pays the model-construction cost once
+//! and then answers any number of [`Measure`] queries against the cached model.
+//! Every answer is a [`MeasureResult`]: a sequence of [`MeasurePoint`]s (one for a
+//! scalar measure, one per mission time for a curve), each carrying the point
+//! value, the CTMDP scheduler bounds and a non-determinism flag, so callers handle
+//! deterministic CTMCs and non-deterministic CTMDPs uniformly.
+
+/// A measure to evaluate on the model cached by an
+/// [`Analyzer`](crate::engine::Analyzer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measure<'a> {
+    /// Probability that the top event has occurred by the given mission time.
+    Unreliability(f64),
+    /// Unreliability at every listed mission time, evaluated in a *single*
+    /// uniformisation / value-iteration pass (the per-point cost of a sweep is a
+    /// few vector updates, not a fresh analysis).
+    UnreliabilityCurve(&'a [f64]),
+    /// Long-run probability that the system is down (repairable models only).
+    Unavailability,
+    /// Mean time to failure: the expected time until the top event first occurs.
+    Mttf,
+}
+
+/// The value of a measure at one evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurePoint {
+    time: Option<f64>,
+    point: Option<f64>,
+    bounds: (f64, f64),
+    nondeterministic: bool,
+}
+
+impl MeasurePoint {
+    /// A point of an exactly valued (deterministic) measure.
+    pub(crate) fn exact(time: Option<f64>, value: f64) -> MeasurePoint {
+        MeasurePoint {
+            time,
+            point: Some(value),
+            bounds: (value, value),
+            nondeterministic: false,
+        }
+    }
+
+    /// A point carrying CTMDP scheduler bounds; `point` is `Some` when the model
+    /// turned out deterministic despite the CTMDP analysis.
+    pub(crate) fn bounded(
+        time: Option<f64>,
+        point: Option<f64>,
+        bounds: (f64, f64),
+    ) -> MeasurePoint {
+        MeasurePoint {
+            time,
+            point,
+            bounds,
+            nondeterministic: point.is_none(),
+        }
+    }
+
+    /// The mission time this point refers to (`None` for time-independent measures
+    /// such as unavailability and MTTF).
+    pub fn time(&self) -> Option<f64> {
+        self.time
+    }
+
+    /// The measure value.
+    ///
+    /// For a deterministic model this is the exact value; for a non-deterministic
+    /// model (CTMDP) the pessimistic upper bound is returned — use
+    /// [`bounds`](Self::bounds) to see the full interval.
+    pub fn value(&self) -> f64 {
+        self.point.unwrap_or(self.bounds.1)
+    }
+
+    /// The exact value, if the model is deterministic.
+    pub fn point(&self) -> Option<f64> {
+        self.point
+    }
+
+    /// Lower and upper bounds on the measure (equal for deterministic models, up
+    /// to numerical truncation error).
+    pub fn bounds(&self) -> (f64, f64) {
+        self.bounds
+    }
+
+    /// Returns `true` if the final model contained immediate non-determinism, so
+    /// only the scheduler bounds are meaningful.
+    pub fn is_nondeterministic(&self) -> bool {
+        self.nondeterministic
+    }
+}
+
+/// The unified result of a [`Measure`] query.
+///
+/// Scalar measures produce exactly one [`MeasurePoint`];
+/// [`Measure::UnreliabilityCurve`] produces one per requested mission time, in the
+/// same order as the request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureResult {
+    points: Vec<MeasurePoint>,
+}
+
+impl MeasureResult {
+    pub(crate) fn new(points: Vec<MeasurePoint>) -> MeasureResult {
+        MeasureResult { points }
+    }
+
+    /// The value of the (first) evaluation point — the natural accessor for the
+    /// scalar measures.  See [`MeasurePoint::value`] for the non-determinism
+    /// convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty (a curve query over an empty time slice).
+    pub fn value(&self) -> f64 {
+        self.points
+            .first()
+            .expect("measure result has at least one point")
+            .value()
+    }
+
+    /// The bounds of the (first) evaluation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty (a curve query over an empty time slice).
+    pub fn bounds(&self) -> (f64, f64) {
+        self.points
+            .first()
+            .expect("measure result has at least one point")
+            .bounds()
+    }
+
+    /// Returns `true` if any evaluation point is only bounded, not exactly valued.
+    pub fn is_nondeterministic(&self) -> bool {
+        self.points.iter().any(MeasurePoint::is_nondeterministic)
+    }
+
+    /// All evaluation points, in query order.
+    pub fn points(&self) -> &[MeasurePoint] {
+        &self.points
+    }
+
+    /// The values of all evaluation points, in query order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(MeasurePoint::value)
+    }
+
+    /// Number of evaluation points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` for an empty result (a curve query over an empty slice).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_points_have_tight_bounds() {
+        let p = MeasurePoint::exact(Some(1.0), 0.25);
+        assert_eq!(p.time(), Some(1.0));
+        assert_eq!(p.value(), 0.25);
+        assert_eq!(p.point(), Some(0.25));
+        assert_eq!(p.bounds(), (0.25, 0.25));
+        assert!(!p.is_nondeterministic());
+    }
+
+    #[test]
+    fn bounded_points_report_the_pessimistic_value() {
+        let p = MeasurePoint::bounded(None, None, (0.1, 0.4));
+        assert_eq!(p.value(), 0.4);
+        assert_eq!(p.point(), None);
+        assert!(p.is_nondeterministic());
+        let r = MeasureResult::new(vec![MeasurePoint::exact(None, 0.5), p]);
+        assert!(r.is_nondeterministic());
+        assert_eq!(r.value(), 0.5);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.values().collect::<Vec<_>>(), vec![0.5, 0.4]);
+    }
+}

@@ -110,16 +110,15 @@ mod tests {
 
     #[test]
     fn firing_auxiliary_ors_its_inputs() {
-        let fa = or_auxiliary(
-            "FA A",
-            &[act("aux_fs_A"), act("aux_f_T")],
-            act("aux_f_A"),
-        )
-        .unwrap();
+        let fa = or_auxiliary("FA A", &[act("aux_fs_A"), act("aux_f_T")], act("aux_f_A")).unwrap();
         assert_eq!(fa.num_states(), 3);
         assert!(fa.validate().is_ok());
         // Both inputs lead to the same firing state.
-        let targets: Vec<_> = fa.interactive_from(fa.initial()).iter().map(|t| t.to).collect();
+        let targets: Vec<_> = fa
+            .interactive_from(fa.initial())
+            .iter()
+            .map(|t| t.to)
+            .collect();
         assert_eq!(targets.len(), 2);
         assert_eq!(targets[0], targets[1]);
         assert!(fa
@@ -148,13 +147,8 @@ mod tests {
 
     #[test]
     fn inhibition_blocks_when_the_inhibitor_fires_first() {
-        let ia = inhibition_auxiliary(
-            "IA B",
-            act("aux_fs_B"),
-            &[act("aux_f_A")],
-            act("aux_f_B"),
-        )
-        .unwrap();
+        let ia = inhibition_auxiliary("IA B", act("aux_fs_B"), &[act("aux_f_A")], act("aux_f_B"))
+            .unwrap();
         assert_eq!(ia.num_states(), 4);
         let blocked = ia
             .interactive_from(ia.initial())

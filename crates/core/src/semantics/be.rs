@@ -143,8 +143,11 @@ mod tests {
         s.dormant_rate = 0.5;
         let m = basic_event(&s).unwrap();
         assert_eq!(m.num_states(), 4);
-        let initial_rates: Vec<f64> =
-            m.markovian_from(m.initial()).iter().map(|t| t.rate).collect();
+        let initial_rates: Vec<f64> = m
+            .markovian_from(m.initial())
+            .iter()
+            .map(|t| t.rate)
+            .collect();
         assert_eq!(initial_rates, vec![0.5]);
         // After activation the full rate applies.
         let active = m

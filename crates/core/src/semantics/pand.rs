@@ -141,7 +141,10 @@ mod tests {
             .find(|t| t.label == Label::Input(act("pand3_c")))
             .unwrap()
             .to;
-        assert!(m.interactive_from(c_target).is_empty(), "wrong order must deadlock");
+        assert!(
+            m.interactive_from(c_target).is_empty(),
+            "wrong order must deadlock"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub fn spare_gate(spec: &SpareSpec) -> Result<IoImc> {
     let n = spec.inputs.len();
     if n < 2 {
         return Err(Error::Unsupported {
-            message: format!("spare gate '{}' needs a primary and at least one spare", spec.name),
+            message: format!(
+                "spare gate '{}' needs a primary and at least one spare",
+                spec.name
+            ),
         });
     }
     if n > MAX_INPUTS {
@@ -145,8 +148,13 @@ pub fn spare_gate(spec: &SpareSpec) -> Result<IoImc> {
 
         // Claim the current input if the gate is active and has not done so yet.
         if key.active && !key.claimed {
-            let claim = spec.inputs[cur].claim.expect("normalisation keeps claim=false only when a claim exists");
-            let to_key = normalise(Key { claimed: true, ..key });
+            let claim = spec.inputs[cur]
+                .claim
+                .expect("normalisation keeps claim=false only when a claim exists");
+            let to_key = normalise(Key {
+                claimed: true,
+                ..key
+            });
             let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
             b.output(from, claim, to);
         }
@@ -154,7 +162,11 @@ pub fn spare_gate(spec: &SpareSpec) -> Result<IoImc> {
         // Activation of the gate itself.
         if !key.active {
             if let Some(activation) = spec.activation {
-                let to_key = normalise(Key { active: true, claimed: false, ..key });
+                let to_key = normalise(Key {
+                    active: true,
+                    claimed: false,
+                    ..key
+                });
                 let to = intern(&mut b, &mut states, &mut worklist, firing, to_key);
                 b.input(from, activation, to);
             }
@@ -333,7 +345,10 @@ mod tests {
         };
         let m = spare_gate(&spec).unwrap();
         // Initially dormant: no claim output enabled.
-        assert!(!m.interactive_from(m.initial()).iter().any(|t| t.label.is_output()));
+        assert!(!m
+            .interactive_from(m.initial())
+            .iter()
+            .any(|t| t.label.is_output()));
         // After activation the primary is claimed.
         let after_activation = m
             .interactive_from(m.initial())

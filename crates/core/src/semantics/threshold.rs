@@ -87,7 +87,12 @@ pub fn threshold_gate(spec: &ThresholdSpec) -> Result<IoImc> {
 /// Indices of inputs that carry the given action (an element may feed the same
 /// gate twice, in which case one failure signal flips several input slots).
 fn slots_for(inputs: &[Action], action: Action) -> Vec<usize> {
-    inputs.iter().enumerate().filter(|&(_, &a)| a == action).map(|(i, _)| i).collect()
+    inputs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a == action)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 fn unrepairable_threshold(spec: &ThresholdSpec) -> Result<IoImc> {
@@ -194,8 +199,11 @@ fn repairable_threshold(spec: &ThresholdSpec, repair: &ThresholdRepair) -> Resul
                 b.output(from, spec.firing, to);
             }
             Phase::RepairFiring => {
-                let next_phase =
-                    if failed >= k { Phase::Firing } else { Phase::Operational };
+                let next_phase = if failed >= k {
+                    Phase::Firing
+                } else {
+                    Phase::Operational
+                };
                 let to = intern(&mut b, &mut states, &mut worklist, (mask, next_phase));
                 b.output(from, repair.repair_output, to);
             }
@@ -311,12 +319,7 @@ mod tests {
 
     #[test]
     fn and_gate_with_four_inputs() {
-        let m = threshold_gate(&spec(
-            "th_and4",
-            4,
-            &["th4_a", "th4_b", "th4_c", "th4_d"],
-        ))
-        .unwrap();
+        let m = threshold_gate(&spec("th_and4", 4, &["th4_a", "th4_b", "th4_c", "th4_d"])).unwrap();
         // All proper subsets (15) + firing + fired.
         assert_eq!(m.num_states(), 17);
         assert!(m.validate().is_ok());

@@ -15,10 +15,9 @@
 //! moment it is activated, which is exact for exponential distributions).
 
 use crate::baseline::Explorer;
+use crate::rng::SplitMix64;
 use crate::{Error, Result};
 use dft::Dft;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Options for the Monte-Carlo estimator.
 #[derive(Debug, Clone)]
@@ -32,7 +31,10 @@ pub struct SimulationOptions {
 
 impl Default for SimulationOptions {
     fn default() -> Self {
-        SimulationOptions { samples: 100_000, seed: 0x5eed_d1f7 }
+        SimulationOptions {
+            samples: 100_000,
+            seed: 0x5eed_d1f7,
+        }
     }
 }
 
@@ -54,11 +56,11 @@ impl SimulationEstimate {
     }
 }
 
-fn sample_exponential(rng: &mut StdRng, rate: f64) -> f64 {
+fn sample_exponential(rng: &mut SplitMix64, rate: f64) -> f64 {
     if rate <= 0.0 {
         return f64::INFINITY;
     }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u: f64 = rng.open01();
     -u.ln() / rate
 }
 
@@ -105,7 +107,7 @@ pub fn simulate_unreliability(
         });
     }
     let explorer = Explorer::new(dft)?;
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SplitMix64::new(options.seed);
     let mut failures = 0usize;
 
     for _ in 0..options.samples {
@@ -117,12 +119,21 @@ pub fn simulate_unreliability(
     let n = options.samples as f64;
     let p = failures as f64 / n;
     let std_error = (p * (1.0 - p) / n).sqrt();
-    Ok(SimulationEstimate { probability: p, std_error, samples: options.samples })
+    Ok(SimulationEstimate {
+        probability: p,
+        std_error,
+        samples: options.samples,
+    })
 }
 
 /// Simulates one system lifetime; returns `true` if the top event occurs within
 /// the mission time.
-fn simulate_one(dft: &Dft, explorer: &Explorer<'_>, mission_time: f64, rng: &mut StdRng) -> bool {
+fn simulate_one(
+    dft: &Dft,
+    explorer: &Explorer<'_>,
+    mission_time: f64,
+    rng: &mut SplitMix64,
+) -> bool {
     let bes = explorer.basic_events().to_vec();
     let mut state = explorer.initial_state();
     let mut now = 0.0f64;
@@ -130,8 +141,7 @@ fn simulate_one(dft: &Dft, explorer: &Explorer<'_>, mission_time: f64, rng: &mut
     // Scheduled failure times per basic event at their *current* rate; re-sampled
     // whenever the rate changes (valid thanks to memorylessness).
     let mut rates: Vec<f64> = bes.iter().map(|&be| explorer.be_rate(&state, be)).collect();
-    let mut next_failure: Vec<f64> =
-        rates.iter().map(|&r| sample_exponential(rng, r)).collect();
+    let mut next_failure: Vec<f64> = rates.iter().map(|&r| sample_exponential(rng, r)).collect();
 
     loop {
         if explorer.element_failed(&state, dft.top()) {
@@ -148,7 +158,9 @@ fn simulate_one(dft: &Dft, explorer: &Explorer<'_>, mission_time: f64, rng: &mut
                 winner = Some((i, at));
             }
         }
-        let Some((index, at)) = winner else { return false };
+        let Some((index, at)) = winner else {
+            return false;
+        };
         if at > mission_time {
             return false;
         }

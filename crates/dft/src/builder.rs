@@ -48,7 +48,9 @@ impl DftBuilder {
 
     fn add(&mut self, name: &str, element: Element) -> Result<ElementId> {
         if self.by_name.contains_key(name) {
-            return Err(Error::DuplicateName { name: name.to_owned() });
+            return Err(Error::DuplicateName {
+                name: name.to_owned(),
+            });
         }
         let id = ElementId::new(self.elements.len() as u32);
         self.names.push(name.to_owned());
@@ -111,18 +113,31 @@ impl DftBuilder {
                 });
             }
         }
-        self.add(name, Element::BasicEvent(BasicEvent { rate, dormancy, repair_rate }))
+        self.add(
+            name,
+            Element::BasicEvent(BasicEvent {
+                rate,
+                dormancy,
+                repair_rate,
+            }),
+        )
     }
 
     fn gate(&mut self, name: &str, kind: GateKind, inputs: &[ElementId]) -> Result<ElementId> {
         for &input in inputs {
             if input.index() >= self.elements.len() {
-                return Err(Error::UnknownElement { name: format!("{input}") });
+                return Err(Error::UnknownElement {
+                    name: format!("{input}"),
+                });
             }
         }
         self.add(
             name,
-            Element::Gate(Gate { kind, inputs: inputs.to_vec(), repairable: false }),
+            Element::Gate(Gate {
+                kind,
+                inputs: inputs.to_vec(),
+                repairable: false,
+            }),
         )
     }
 
@@ -228,7 +243,9 @@ impl DftBuilder {
     /// Returns any wellformedness violation found by [`validate`].
     pub fn build(self, top: ElementId) -> Result<Dft> {
         if top.index() >= self.elements.len() {
-            return Err(Error::UnknownElement { name: format!("{top}") });
+            return Err(Error::UnknownElement {
+                name: format!("{top}"),
+            });
         }
         let dft = Dft::assemble(self.names, self.elements, self.by_name, top);
         validate(&dft)?;
@@ -256,9 +273,15 @@ mod tests {
         assert!(b.basic_event("bad", 0.0, Dormancy::Hot).is_err());
         assert!(b.basic_event("bad2", -1.0, Dormancy::Hot).is_err());
         assert!(b.basic_event("bad3", f64::NAN, Dormancy::Hot).is_err());
-        assert!(b.basic_event("bad4", 1.0, Dormancy::Warm(f64::NAN)).is_err());
-        assert!(b.repairable_basic_event("bad5", 1.0, Dormancy::Hot, 0.0).is_err());
-        assert!(b.repairable_basic_event("ok", 1.0, Dormancy::Hot, 2.0).is_ok());
+        assert!(b
+            .basic_event("bad4", 1.0, Dormancy::Warm(f64::NAN))
+            .is_err());
+        assert!(b
+            .repairable_basic_event("bad5", 1.0, Dormancy::Hot, 0.0)
+            .is_err());
+        assert!(b
+            .repairable_basic_event("ok", 1.0, Dormancy::Hot, 2.0)
+            .is_ok());
     }
 
     #[test]

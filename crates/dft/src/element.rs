@@ -228,9 +228,17 @@ mod tests {
 
     #[test]
     fn dormant_rate_is_scaled() {
-        let be = BasicEvent { rate: 2.0, dormancy: Dormancy::Warm(0.5), repair_rate: None };
+        let be = BasicEvent {
+            rate: 2.0,
+            dormancy: Dormancy::Warm(0.5),
+            repair_rate: None,
+        };
         assert_eq!(be.dormant_rate(), 1.0);
-        let cold = BasicEvent { rate: 2.0, dormancy: Dormancy::Cold, repair_rate: None };
+        let cold = BasicEvent {
+            rate: 2.0,
+            dormancy: Dormancy::Cold,
+            repair_rate: None,
+        };
         assert_eq!(cold.dormant_rate(), 0.0);
     }
 

@@ -31,8 +31,15 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum RawDef {
-    Gate { kind: GateKind, inputs: Vec<String> },
-    BasicEvent { rate: f64, dormancy: f64, repair: Option<f64> },
+    Gate {
+        kind: GateKind,
+        inputs: Vec<String>,
+    },
+    BasicEvent {
+        rate: f64,
+        dormancy: f64,
+        repair: Option<f64>,
+    },
 }
 
 fn strip_quotes(token: &str) -> String {
@@ -123,7 +130,11 @@ pub fn parse(input: &str) -> Result<Dft> {
                 line: line_no,
                 message: format!("basic event '{name}' needs lambda=<rate>"),
             })?;
-            RawDef::BasicEvent { rate, dormancy, repair }
+            RawDef::BasicEvent {
+                rate,
+                dormancy,
+                repair,
+            }
         } else {
             let kind = match keyword.as_str() {
                 "and" => GateKind::And,
@@ -179,16 +190,22 @@ pub fn parse(input: &str) -> Result<Dft> {
         if let Some(&id) = built.get(name) {
             return Ok(id);
         }
-        let &def_index = by_name
-            .get(name)
-            .ok_or_else(|| Error::UnknownElement { name: name.to_owned() })?;
+        let &def_index = by_name.get(name).ok_or_else(|| Error::UnknownElement {
+            name: name.to_owned(),
+        })?;
         if in_progress[def_index] {
-            return Err(Error::Cyclic { name: name.to_owned() });
+            return Err(Error::Cyclic {
+                name: name.to_owned(),
+            });
         }
         in_progress[def_index] = true;
         let (_, _, def) = &defs[def_index];
         let id = match def {
-            RawDef::BasicEvent { rate, dormancy, repair } => {
+            RawDef::BasicEvent {
+                rate,
+                dormancy,
+                repair,
+            } => {
                 let dormancy = Dormancy::from_factor(*dormancy);
                 match repair {
                     Some(mu) => builder.repairable_basic_event(name, *rate, dormancy, *mu)?,
@@ -198,7 +215,14 @@ pub fn parse(input: &str) -> Result<Dft> {
             RawDef::Gate { kind, inputs } => {
                 let mut input_ids = Vec::with_capacity(inputs.len());
                 for input in inputs {
-                    input_ids.push(build_one(input, defs, by_name, builder, built, in_progress)?);
+                    input_ids.push(build_one(
+                        input,
+                        defs,
+                        by_name,
+                        builder,
+                        built,
+                        in_progress,
+                    )?);
                 }
                 match kind {
                     GateKind::And => builder.and_gate(name, &input_ids)?,
@@ -207,9 +231,7 @@ pub fn parse(input: &str) -> Result<Dft> {
                     GateKind::Pand => builder.pand_gate(name, &input_ids)?,
                     GateKind::Spare => builder.spare_gate(name, &input_ids)?,
                     GateKind::Seq => builder.seq_gate(name, &input_ids)?,
-                    GateKind::Fdep => {
-                        builder.fdep_gate(name, input_ids[0], &input_ids[1..])?
-                    }
+                    GateKind::Fdep => builder.fdep_gate(name, input_ids[0], &input_ids[1..])?,
                     GateKind::Inhibit => {
                         builder.inhibit_gate(name, input_ids[0], &input_ids[1..])?
                     }
@@ -224,11 +246,18 @@ pub fn parse(input: &str) -> Result<Dft> {
     // Build every definition so that FDEP gates not reachable from the top event
     // are part of the model too.
     for (_, name, _) in &defs {
-        build_one(name, &defs, &by_name, &mut builder, &mut built, &mut in_progress)?;
+        build_one(
+            name,
+            &defs,
+            &by_name,
+            &mut builder,
+            &mut built,
+            &mut in_progress,
+        )?;
     }
-    let top = *built
-        .get(&toplevel)
-        .ok_or_else(|| Error::UnknownElement { name: toplevel.clone() })?;
+    let top = *built.get(&toplevel).ok_or_else(|| Error::UnknownElement {
+        name: toplevel.clone(),
+    })?;
     builder.build(top)
 }
 
@@ -307,7 +336,10 @@ mod tests {
         let be = dft.element(b).as_basic_event().unwrap();
         assert_eq!(be.dormancy.factor(), 0.5);
         let ps = dft.by_name("PS").unwrap();
-        assert_eq!(dft.element(ps).as_basic_event().unwrap().dormancy, Dormancy::Cold);
+        assert_eq!(
+            dft.element(ps).as_basic_event().unwrap().dormancy,
+            Dormancy::Cold
+        );
     }
 
     #[test]
@@ -320,7 +352,10 @@ mod tests {
         assert_eq!(reparsed.name(reparsed.top()), dft.name(dft.top()));
         for id in dft.elements() {
             let name = dft.name(id);
-            assert!(reparsed.by_name(name).is_some(), "{name} lost in round trip");
+            assert!(
+                reparsed.by_name(name).is_some(),
+                "{name} lost in round trip"
+            );
         }
     }
 
@@ -348,7 +383,10 @@ mod tests {
         "#;
         let dft = parse(text).unwrap();
         assert!(dft.is_repairable());
-        let a = dft.element(dft.by_name("A").unwrap()).as_basic_event().unwrap();
+        let a = dft
+            .element(dft.by_name("A").unwrap())
+            .as_basic_event()
+            .unwrap();
         assert_eq!(a.repair_rate, Some(5.0));
     }
 

@@ -67,7 +67,11 @@ pub fn independent_modules(dft: &Dft) -> Vec<ModuleInfo> {
         }
         if independent {
             let dynamic = members.iter().any(|&m| dft.element(m).is_dynamic_gate());
-            out.push(ModuleInfo { root: id, members: members.into_iter().collect(), dynamic });
+            out.push(ModuleInfo {
+                root: id,
+                members: members.into_iter().collect(),
+                dynamic,
+            });
         }
     }
     out

@@ -31,7 +31,13 @@ impl Dft {
                 parents[input.index()].push(ElementId::new(i as u32));
             }
         }
-        Dft { names, elements, by_name, top, parents }
+        Dft {
+            names,
+            elements,
+            by_name,
+            top,
+            parents,
+        }
     }
 
     /// Number of elements (basic events plus gates).
@@ -41,7 +47,10 @@ impl Dft {
 
     /// Number of basic events.
     pub fn num_basic_events(&self) -> usize {
-        self.elements.iter().filter(|e| e.as_basic_event().is_some()).count()
+        self.elements
+            .iter()
+            .filter(|e| e.as_basic_event().is_some())
+            .count()
     }
 
     /// Number of gates.
@@ -84,7 +93,9 @@ impl Dft {
     ///
     /// Returns [`Error::UnknownElement`].
     pub fn require(&self, name: &str) -> Result<ElementId> {
-        self.by_name(name).ok_or_else(|| Error::UnknownElement { name: name.to_owned() })
+        self.by_name(name).ok_or_else(|| Error::UnknownElement {
+            name: name.to_owned(),
+        })
     }
 
     /// Iterates over all element ids in insertion order.
@@ -94,7 +105,9 @@ impl Dft {
 
     /// Ids of all basic events.
     pub fn basic_events(&self) -> Vec<ElementId> {
-        self.elements().filter(|&e| self.element(e).as_basic_event().is_some()).collect()
+        self.elements()
+            .filter(|&e| self.element(e).as_basic_event().is_some())
+            .collect()
     }
 
     /// Ids of all gates of the given kind.
@@ -163,8 +176,10 @@ impl Dft {
         for id in self.elements() {
             indegree[id.index()] = self.element(id).inputs().len();
         }
-        let mut queue: Vec<ElementId> =
-            self.elements().filter(|&e| indegree[e.index()] == 0).collect();
+        let mut queue: Vec<ElementId> = self
+            .elements()
+            .filter(|&e| indegree[e.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(e) = queue.pop() {
             order.push(e);

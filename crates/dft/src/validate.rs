@@ -34,10 +34,17 @@ pub fn validate(dft: &Dft) -> Result<()> {
 
 fn check_arities(dft: &Dft) -> Result<()> {
     for id in dft.elements() {
-        let Element::Gate(gate) = dft.element(id) else { continue };
+        let Element::Gate(gate) = dft.element(id) else {
+            continue;
+        };
         let name = dft.name(id).to_owned();
         let n = gate.inputs.len();
-        let err = |message: String| Err(Error::InvalidGate { name: name.clone(), message });
+        let err = |message: String| {
+            Err(Error::InvalidGate {
+                name: name.clone(),
+                message,
+            })
+        };
         match gate.kind {
             GateKind::And | GateKind::Or => {
                 if n == 0 {
@@ -109,7 +116,9 @@ fn check_acyclic(dft: &Dft) -> Result<()> {
                         stack.push((child, 0));
                     }
                     1 => {
-                        return Err(Error::Cyclic { name: dft.name(child).to_owned() });
+                        return Err(Error::Cyclic {
+                            name: dft.name(child).to_owned(),
+                        });
                     }
                     _ => {}
                 }
@@ -125,7 +134,10 @@ fn check_acyclic(dft: &Dft) -> Result<()> {
 fn check_spare_inputs(dft: &Dft) -> Result<()> {
     let mut primaries: BTreeSet<ElementId> = BTreeSet::new();
     for gate_id in dft.spare_gates() {
-        let gate = dft.element(gate_id).as_gate().expect("spare_gates returns gates");
+        let gate = dft
+            .element(gate_id)
+            .as_gate()
+            .expect("spare_gates returns gates");
         // An element may serve as the primary of at most one spare gate.
         let primary = gate.inputs[0];
         if !primaries.insert(primary) {
@@ -167,8 +179,11 @@ fn check_spare_inputs(dft: &Dft) -> Result<()> {
             }
             // The subtree root itself may only be used by spare gates (sharing).
             for &parent in dft.parents(input) {
-                let parent_kind =
-                    dft.element(parent).as_gate().map(|g| g.kind).expect("parents are gates");
+                let parent_kind = dft
+                    .element(parent)
+                    .as_gate()
+                    .map(|g| g.kind)
+                    .expect("parents are gates");
                 if parent_kind != GateKind::Spare && parent_kind != GateKind::Fdep {
                     return Err(Error::Wellformedness {
                         message: format!(
@@ -329,7 +344,11 @@ mod tests {
     fn empty_and_gate_is_rejected() {
         let names = vec!["G".to_owned(), "X".to_owned()];
         let elements = vec![
-            Element::Gate(Gate { kind: GateKind::And, inputs: vec![], repairable: false }),
+            Element::Gate(Gate {
+                kind: GateKind::And,
+                inputs: vec![],
+                repairable: false,
+            }),
             Element::BasicEvent(BasicEvent {
                 rate: 1.0,
                 dormancy: Dormancy::Hot,

@@ -42,7 +42,10 @@ struct Interner {
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner { by_name: HashMap::new(), names: Vec::new() })
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
     })
 }
 
@@ -163,8 +166,9 @@ mod tests {
 
     #[test]
     fn interning_many_actions_is_consistent() {
-        let actions: Vec<Action> =
-            (0..256).map(|i| Action::new(&format!("bulk_action_{i}"))).collect();
+        let actions: Vec<Action> = (0..256)
+            .map(|i| Action::new(&format!("bulk_action_{i}")))
+            .collect();
         for (i, act) in actions.iter().enumerate() {
             assert_eq!(act.name(), format!("bulk_action_{i}"));
             assert_eq!(*act, Action::new(&format!("bulk_action_{i}")));

@@ -145,10 +145,17 @@ mod tests {
         );
         // The observable behaviour is: two identical exponential delays in some
         // order, then b!; as in Figure 2(c) the quotient has four states.
-        assert!(reduced.num_states() <= 4, "got {} states", reduced.num_states());
+        assert!(
+            reduced.num_states() <= 4,
+            "got {} states",
+            reduced.num_states()
+        );
         // The two interleaved first delays are lumped into a single rate-2λ move.
-        let initial_rate: f64 =
-            reduced.markovian_from(reduced.initial()).iter().map(|t| t.rate).sum();
+        let initial_rate: f64 = reduced
+            .markovian_from(reduced.initial())
+            .iter()
+            .map(|t| t.rate)
+            .sum();
         assert!((initial_rate - 2.6).abs() < 1e-9);
         // b! must still be observable.
         assert!(reduced
@@ -175,7 +182,11 @@ mod tests {
         // s1/s2 merge, s3/s4 merge: initial, middle, firing, fired = 4 states.
         assert_eq!(red.num_states(), 4);
         // The two initial rates must be preserved as a single lumped rate 5.
-        let total: f64 = red.markovian_from(red.initial()).iter().map(|t| t.rate).sum();
+        let total: f64 = red
+            .markovian_from(red.initial())
+            .iter()
+            .map(|t| t.rate)
+            .sum();
         assert!((total - 5.0).abs() < 1e-12);
     }
 

@@ -83,9 +83,7 @@ fn inert_reach(model: &IoImc, state: StateId, block_of: &[u32]) -> Vec<StateId> 
     let mut stack = vec![state];
     while let Some(s) = stack.pop() {
         for t in model.interactive_from(s) {
-            if t.label.is_internal()
-                && block_of[t.to.index()] == own_block
-                && !seen.contains(&t.to)
+            if t.label.is_internal() && block_of[t.to.index()] == own_block && !seen.contains(&t.to)
             {
                 seen.push(t.to);
                 stack.push(t.to);
@@ -135,7 +133,10 @@ fn signature(model: &IoImc, state: StateId, block_of: &[u32], weak: bool) -> Sta
 pub fn refine(model: &IoImc, weak: bool) -> Partition {
     let n = model.num_states();
     if n == 0 {
-        return Partition { block_of: Vec::new(), num_blocks: 0 };
+        return Partition {
+            block_of: Vec::new(),
+            num_blocks: 0,
+        };
     }
 
     // Initial partition: by proposition mask.
@@ -173,7 +174,10 @@ pub fn refine(model: &IoImc, weak: bool) -> Partition {
         }
     }
 
-    Partition { block_of, num_blocks }
+    Partition {
+        block_of,
+        num_blocks,
+    }
 }
 
 /// Builds the quotient model of `model` under `partition`.

@@ -38,7 +38,10 @@ pub fn eliminate_deterministic_tau(model: &IoImc) -> IoImc {
     // Resolve chains with cycle detection: resolve(s) follows forward pointers
     // until a non-vanishing state or a cycle is found.
     let mut resolved: Vec<Option<StateId>> = vec![None; n];
-    let resolve = |start: StateId, forward: &[Option<StateId>], resolved: &mut Vec<Option<StateId>>| -> StateId {
+    let resolve = |start: StateId,
+                   forward: &[Option<StateId>],
+                   resolved: &mut Vec<Option<StateId>>|
+     -> StateId {
         if let Some(r) = resolved[start.index()] {
             return r;
         }
@@ -76,12 +79,20 @@ pub fn eliminate_deterministic_tau(model: &IoImc) -> IoImc {
         .interactive()
         .iter()
         .filter(|t| forward[t.from.index()].is_none() || map[t.from.index()] == t.from)
-        .map(|t| InteractiveTransition { from: t.from, label: t.label, to: map[t.to.index()] })
+        .map(|t| InteractiveTransition {
+            from: t.from,
+            label: t.label,
+            to: map[t.to.index()],
+        })
         .collect();
     let markovian: Vec<MarkovianTransition> = model
         .markovian()
         .iter()
-        .map(|t| MarkovianTransition { from: t.from, rate: t.rate, to: map[t.to.index()] })
+        .map(|t| MarkovianTransition {
+            from: t.from,
+            rate: t.rate,
+            to: map[t.to.index()],
+        })
         .collect();
 
     let next = IoImc::from_parts(
@@ -139,7 +150,10 @@ mod tests {
         let m = b.build().unwrap();
         let e = eliminate_deterministic_tau(&m);
         assert_eq!(e.num_states(), 2);
-        assert!(e.interactive_from(e.initial()).iter().any(|t| t.label == Label::Output(f)));
+        assert!(e
+            .interactive_from(e.initial())
+            .iter()
+            .any(|t| t.label == Label::Output(f)));
     }
 
     #[test]

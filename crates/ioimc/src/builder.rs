@@ -87,7 +87,10 @@ impl IoImcBuilder {
     /// Declares `state` to be the initial state.
     pub fn initial(&mut self, state: StateId) -> &mut Self {
         if state.0 >= self.num_states {
-            self.record_error(Error::UnknownState { state: state.0, num_states: self.num_states });
+            self.record_error(Error::UnknownState {
+                state: state.0,
+                num_states: self.num_states,
+            });
         }
         self.initial = Some(state);
         self
@@ -101,7 +104,10 @@ impl IoImcBuilder {
 
     fn check_state(&mut self, state: StateId) {
         if state.0 >= self.num_states {
-            self.record_error(Error::UnknownState { state: state.0, num_states: self.num_states });
+            self.record_error(Error::UnknownState {
+                state: state.0,
+                num_states: self.num_states,
+            });
         }
     }
 
@@ -111,7 +117,11 @@ impl IoImcBuilder {
         self.check_state(from);
         self.check_state(to);
         self.signature.add_input(action);
-        self.interactive.push(InteractiveTransition { from, label: Label::Input(action), to });
+        self.interactive.push(InteractiveTransition {
+            from,
+            label: Label::Input(action),
+            to,
+        });
         self
     }
 
@@ -121,7 +131,11 @@ impl IoImcBuilder {
         self.check_state(from);
         self.check_state(to);
         self.signature.add_output(action);
-        self.interactive.push(InteractiveTransition { from, label: Label::Output(action), to });
+        self.interactive.push(InteractiveTransition {
+            from,
+            label: Label::Output(action),
+            to,
+        });
         self
     }
 
@@ -131,7 +145,11 @@ impl IoImcBuilder {
         self.check_state(from);
         self.check_state(to);
         self.signature.add_internal(action);
-        self.interactive.push(InteractiveTransition { from, label: Label::Internal(action), to });
+        self.interactive.push(InteractiveTransition {
+            from,
+            label: Label::Internal(action),
+            to,
+        });
         self
     }
 
@@ -174,7 +192,10 @@ impl IoImcBuilder {
         if let Some(i) = self.prop_names.iter().position(|p| p == name) {
             return PropId(i as u8);
         }
-        assert!(self.prop_names.len() < 64, "at most 64 atomic propositions are supported");
+        assert!(
+            self.prop_names.len() < 64,
+            "at most 64 atomic propositions are supported"
+        );
         self.prop_names.push(name.to_owned());
         PropId((self.prop_names.len() - 1) as u8)
     }

@@ -20,8 +20,12 @@ use crate::{Error, Result};
 /// In a closed model there is no environment left to provide inputs, so input
 /// transitions are dead code.  Outputs and internal transitions are untouched.
 pub fn drop_input_transitions(model: &IoImc) -> IoImc {
-    let interactive: Vec<_> =
-        model.interactive().iter().filter(|t| !t.label.is_input()).copied().collect();
+    let interactive: Vec<_> = model
+        .interactive()
+        .iter()
+        .filter(|t| !t.label.is_input())
+        .copied()
+        .collect();
     let mut signature = model.signature().clone();
     let inputs: Vec<Action> = signature.inputs().collect();
     for a in inputs {
@@ -130,8 +134,11 @@ pub fn must_fire_immediately(model: &IoImc, action: Action) -> Vec<bool> {
 /// alternatives.  Such a model must be analysed as a CTMDP.
 pub fn check_deterministic(model: &IoImc) -> Result<()> {
     for s in model.states() {
-        let immediate =
-            model.interactive_from(s).iter().filter(|t| t.label.is_immediate()).count();
+        let immediate = model
+            .interactive_from(s)
+            .iter()
+            .filter(|t| t.label.is_immediate())
+            .count();
         if immediate > 1 {
             return Err(Error::Nondeterministic { state: s });
         }
@@ -191,7 +198,10 @@ mod tests {
         b.markovian(s[3], 1.0, s[4]);
         let m = b.build().unwrap();
         let can = can_fire_immediately(&m, f);
-        assert!(!can[s[0].index()], "a Markovian delay separates s0 from firing");
+        assert!(
+            !can[s[0].index()],
+            "a Markovian delay separates s0 from firing"
+        );
         assert!(can[s[1].index()]);
         assert!(can[s[2].index()]);
         assert!(!can[s[3].index()]);
@@ -229,7 +239,10 @@ mod tests {
         b.output(s[0], f, s[1]);
         b.output(s[0], g, s[2]);
         let m = b.build().unwrap();
-        assert!(matches!(check_deterministic(&m), Err(Error::Nondeterministic { .. })));
+        assert!(matches!(
+            check_deterministic(&m),
+            Err(Error::Nondeterministic { .. })
+        ));
 
         let mut b2 = IoImcBuilder::new("m2");
         let t = b2.add_states(2);

@@ -55,7 +55,8 @@ use std::collections::HashMap;
 /// # }
 /// ```
 pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
-    left.signature().check_composable(right.signature(), left.name(), right.name())?;
+    left.signature()
+        .check_composable(right.signature(), left.name(), right.name())?;
     let signature = left.signature().composed_with(right.signature());
 
     // Union of proposition name spaces, remembering the bit position each side's
@@ -66,7 +67,10 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
         if let Some(i) = prop_names.iter().position(|p| p == name) {
             right_prop_map.push(i as u8);
         } else {
-            assert!(prop_names.len() < 64, "at most 64 atomic propositions are supported");
+            assert!(
+                prop_names.len() < 64,
+                "at most 64 atomic propositions are supported"
+            );
             prop_names.push(name.clone());
             right_prop_map.push((prop_names.len() - 1) as u8);
         }
@@ -87,11 +91,11 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
     let mut worklist: Vec<StateId> = Vec::new();
 
     let intern = |l: StateId,
-                      r: StateId,
-                      index: &mut HashMap<(StateId, StateId), StateId>,
-                      pairs: &mut Vec<(StateId, StateId)>,
-                      props: &mut Vec<u64>,
-                      worklist: &mut Vec<StateId>|
+                  r: StateId,
+                  index: &mut HashMap<(StateId, StateId), StateId>,
+                  pairs: &mut Vec<(StateId, StateId)>,
+                  props: &mut Vec<u64>,
+                  worklist: &mut Vec<StateId>|
      -> StateId {
         *index.entry((l, r)).or_insert_with(|| {
             let id = StateId(pairs.len() as u32);
@@ -131,11 +135,19 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
         // Markovian transitions interleave.
         for t in left.markovian_from(ls) {
             let to = intern(t.to, rs, &mut index, &mut pairs, &mut props, &mut worklist);
-            markovian.push(MarkovianTransition { from: current, rate: t.rate, to });
+            markovian.push(MarkovianTransition {
+                from: current,
+                rate: t.rate,
+                to,
+            });
         }
         for t in right.markovian_from(rs) {
             let to = intern(ls, t.to, &mut index, &mut pairs, &mut props, &mut worklist);
-            markovian.push(MarkovianTransition { from: current, rate: t.rate, to });
+            markovian.push(MarkovianTransition {
+                from: current,
+                rate: t.rate,
+                to,
+            });
         }
 
         // Interactive transitions of the left component.
@@ -143,9 +155,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
             let action = t.label.action();
             match t.label {
                 Label::Internal(_) => {
-                    let to =
-                        intern(t.to, rs, &mut index, &mut pairs, &mut props, &mut worklist);
-                    interactive.push(InteractiveTransition { from: current, label: t.label, to });
+                    let to = intern(t.to, rs, &mut index, &mut pairs, &mut props, &mut worklist);
+                    interactive.push(InteractiveTransition {
+                        from: current,
+                        label: t.label,
+                        to,
+                    });
                 }
                 Label::Output(a) => {
                     if right.signature().is_input(a) {
@@ -153,7 +168,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
                         let targets = if succs.is_empty() { vec![rs] } else { succs };
                         for r_to in targets {
                             let to = intern(
-                                t.to, r_to, &mut index, &mut pairs, &mut props, &mut worklist,
+                                t.to,
+                                r_to,
+                                &mut index,
+                                &mut pairs,
+                                &mut props,
+                                &mut worklist,
                             );
                             interactive.push(InteractiveTransition {
                                 from: current,
@@ -180,7 +200,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
                         let targets = if succs.is_empty() { vec![rs] } else { succs };
                         for r_to in targets {
                             let to = intern(
-                                t.to, r_to, &mut index, &mut pairs, &mut props, &mut worklist,
+                                t.to,
+                                r_to,
+                                &mut index,
+                                &mut pairs,
+                                &mut props,
+                                &mut worklist,
                             );
                             interactive.push(InteractiveTransition {
                                 from: current,
@@ -206,9 +231,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
         for t in right.interactive_from(rs) {
             match t.label {
                 Label::Internal(_) => {
-                    let to =
-                        intern(ls, t.to, &mut index, &mut pairs, &mut props, &mut worklist);
-                    interactive.push(InteractiveTransition { from: current, label: t.label, to });
+                    let to = intern(ls, t.to, &mut index, &mut pairs, &mut props, &mut worklist);
+                    interactive.push(InteractiveTransition {
+                        from: current,
+                        label: t.label,
+                        to,
+                    });
                 }
                 Label::Output(a) => {
                     if left.signature().is_input(a) {
@@ -216,7 +244,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
                         let targets = if succs.is_empty() { vec![ls] } else { succs };
                         for l_to in targets {
                             let to = intern(
-                                l_to, t.to, &mut index, &mut pairs, &mut props, &mut worklist,
+                                l_to,
+                                t.to,
+                                &mut index,
+                                &mut pairs,
+                                &mut props,
+                                &mut worklist,
                             );
                             interactive.push(InteractiveTransition {
                                 from: current,
@@ -243,7 +276,12 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
                         let targets = if succs.is_empty() { vec![ls] } else { succs };
                         for l_to in targets {
                             let to = intern(
-                                l_to, t.to, &mut index, &mut pairs, &mut props, &mut worklist,
+                                l_to,
+                                t.to,
+                                &mut index,
+                                &mut pairs,
+                                &mut props,
+                                &mut worklist,
                             );
                             interactive.push(InteractiveTransition {
                                 from: current,
@@ -288,7 +326,10 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
 ///
 /// Panics if `models` is empty.
 pub fn compose_all(models: &[IoImc]) -> Result<IoImc> {
-    assert!(!models.is_empty(), "compose_all requires at least one model");
+    assert!(
+        !models.is_empty(),
+        "compose_all requires at least one model"
+    );
     let mut acc = models[0].clone();
     for m in &models[1..] {
         acc = compose(&acc, m)?;
@@ -371,7 +412,10 @@ mod tests {
         a.output(s0, shared, s0);
         let left = a.build().unwrap();
         let right = left.clone();
-        assert!(matches!(compose(&left, &right), Err(Error::OutputClash { .. })));
+        assert!(matches!(
+            compose(&left, &right),
+            Err(Error::OutputClash { .. })
+        ));
     }
 
     #[test]

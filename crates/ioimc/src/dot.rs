@@ -48,8 +48,14 @@ pub fn to_dot(model: &IoImc) -> String {
             attrs.push("fillcolor=lightgray".to_owned());
             attrs.push(format!("xlabel=\"{}\"", escape(&props.join(","))));
         }
-        let _ = writeln!(out, "  s{} [label=\"{}\"{}{}];", s.index(), s.index(),
-            if attrs.is_empty() { "" } else { ", " }, attrs.join(", "));
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\"{}{}];",
+            s.index(),
+            s.index(),
+            if attrs.is_empty() { "" } else { ", " },
+            attrs.join(", ")
+        );
     }
     for t in model.interactive() {
         let _ = writeln!(

@@ -92,8 +92,11 @@ pub fn hide(model: &IoImc, actions: &[Action]) -> Result<IoImc> {
 /// [`hide`].
 pub fn hide_all_except(model: &IoImc, keep: &[Action]) -> Result<IoImc> {
     let keep: BTreeSet<Action> = keep.iter().copied().collect();
-    let to_hide: Vec<Action> =
-        model.signature().outputs().filter(|a| !keep.contains(a)).collect();
+    let to_hide: Vec<Action> = model
+        .signature()
+        .outputs()
+        .filter(|a| !keep.contains(a))
+        .collect();
     hide(model, &to_hide)
 }
 
@@ -133,7 +136,9 @@ mod tests {
         let m = two_output_model();
         assert_eq!(
             hide(&m, &[act("h_input")]).unwrap_err(),
-            Error::NotAnOutput { action: act("h_input") }
+            Error::NotAnOutput {
+                action: act("h_input")
+            }
         );
     }
 

@@ -147,25 +147,40 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnknownState { state, num_states } => {
-                write!(f, "state {state} out of range (model has {num_states} states)")
+                write!(
+                    f,
+                    "state {state} out of range (model has {num_states} states)"
+                )
             }
             Error::InvalidRate { rate } => write!(f, "invalid Markovian rate {rate}"),
             Error::MissingInitialState => write!(f, "model has no initial state"),
             Error::ConflictingSignature { action } => {
                 write!(f, "action {} used with conflicting roles", action.name())
             }
-            Error::OutputClash { action, left, right } => write!(
+            Error::OutputClash {
+                action,
+                left,
+                right,
+            } => write!(
                 f,
                 "output action {} declared by both {left} and {right}",
                 action.name()
             ),
-            Error::InternalClash { action, left, right } => write!(
+            Error::InternalClash {
+                action,
+                left,
+                right,
+            } => write!(
                 f,
                 "internal action {} of one of {left}, {right} is visible to the other",
                 action.name()
             ),
             Error::NotAnOutput { action } => {
-                write!(f, "cannot hide {}: not an output of the model", action.name())
+                write!(
+                    f,
+                    "cannot hide {}: not an output of the model",
+                    action.name()
+                )
             }
             Error::RenameCollision { action } => {
                 write!(f, "renaming maps two distinct actions to {}", action.name())

@@ -149,6 +149,7 @@ impl IoImc {
     /// Assembles a model from raw parts, sorting the transition lists and building
     /// the per-state index.  The caller (the builder and the in-crate operations)
     /// must already have validated states, rates and the signature.
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the model's fields
     pub(crate) fn from_parts(
         name: String,
         signature: Signature,
@@ -280,13 +281,18 @@ impl IoImc {
     /// Under the maximal-progress assumption no time can pass in such a state, so
     /// its Markovian transitions can never fire.
     pub fn is_urgent(&self, state: StateId) -> bool {
-        self.interactive_from(state).iter().any(|t| t.label.is_immediate())
+        self.interactive_from(state)
+            .iter()
+            .any(|t| t.label.is_immediate())
     }
 
     /// Returns `true` if `state` has no outgoing internal transition (the classical
     /// IMC notion of stability).
     pub fn is_stable(&self, state: StateId) -> bool {
-        !self.interactive_from(state).iter().any(|t| t.label.is_internal())
+        !self
+            .interactive_from(state)
+            .iter()
+            .any(|t| t.label.is_internal())
     }
 
     /// Names of the atomic propositions of this model, in [`PropId`] order.
@@ -296,7 +302,10 @@ impl IoImc {
 
     /// Looks up a proposition by name.
     pub fn prop(&self, name: &str) -> Option<PropId> {
-        self.prop_names.iter().position(|p| p == name).map(|i| PropId(i as u8))
+        self.prop_names
+            .iter()
+            .position(|p| p == name)
+            .map(|i| PropId(i as u8))
     }
 
     /// The raw proposition bitmask of `state`.
@@ -327,7 +336,10 @@ impl IoImc {
         self.signature.validate()?;
         let check_state = |s: StateId| -> Result<()> {
             if s.0 >= self.num_states {
-                Err(Error::UnknownState { state: s.0, num_states: self.num_states })
+                Err(Error::UnknownState {
+                    state: s.0,
+                    num_states: self.num_states,
+                })
             } else {
                 Ok(())
             }
@@ -342,7 +354,9 @@ impl IoImc {
                 Label::Internal(a) => self.signature.is_internal(a),
             };
             if !ok {
-                return Err(Error::ConflictingSignature { action: t.label.action() });
+                return Err(Error::ConflictingSignature {
+                    action: t.label.action(),
+                });
             }
         }
         for t in &self.markovian {
@@ -411,7 +425,10 @@ impl IoImc {
                 to: StateId(remap[t.to.index()]),
             })
             .collect();
-        let props = (0..n).filter(|&i| reachable[i]).map(|i| self.props[i]).collect();
+        let props = (0..n)
+            .filter(|&i| reachable[i])
+            .map(|i| self.props[i])
+            .collect();
         IoImc::from_parts(
             self.name.clone(),
             self.signature.clone(),

@@ -88,7 +88,11 @@ pub fn rename(model: &IoImc, mapping: &BTreeMap<Action, Action>) -> Result<IoImc
                 Label::Output(a) => Label::Output(apply(a)),
                 Label::Internal(a) => Label::Internal(apply(a)),
             };
-            InteractiveTransition { from: t.from, label, to: t.to }
+            InteractiveTransition {
+                from: t.from,
+                label,
+                to: t.to,
+            }
         })
         .collect();
 
@@ -161,7 +165,10 @@ mod tests {
         let m = module();
         // Mapping the output onto the existing (unmapped) input action must fail.
         let err = rename_one(&m, act("rn_fail"), act("rn_activate")).unwrap_err();
-        assert!(matches!(err, Error::RenameCollision { .. } | Error::ConflictingSignature { .. }));
+        assert!(matches!(
+            err,
+            Error::RenameCollision { .. } | Error::ConflictingSignature { .. }
+        ));
     }
 
     #[test]

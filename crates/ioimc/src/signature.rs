@@ -186,25 +186,26 @@ impl Signature {
     /// signatures: outputs and internal actions are united, inputs are united and
     /// then stripped of actions that became outputs.
     pub fn composed_with(&self, other: &Signature) -> Signature {
-        let outputs: BTreeSet<Action> =
-            self.outputs.union(&other.outputs).copied().collect();
-        let internals: BTreeSet<Action> =
-            self.internals.union(&other.internals).copied().collect();
+        let outputs: BTreeSet<Action> = self.outputs.union(&other.outputs).copied().collect();
+        let internals: BTreeSet<Action> = self.internals.union(&other.internals).copied().collect();
         let inputs: BTreeSet<Action> = self
             .inputs
             .union(&other.inputs)
             .copied()
             .filter(|a| !outputs.contains(a))
             .collect();
-        Signature { inputs, outputs, internals }
+        Signature {
+            inputs,
+            outputs,
+            internals,
+        }
     }
 }
 
 impl fmt::Display for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let fmt_set = |set: &BTreeSet<Action>| {
-            set.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
-        };
+        let fmt_set =
+            |set: &BTreeSet<Action>| set.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ");
         write!(
             f,
             "inputs: {{{}}}, outputs: {{{}}}, internal: {{{}}}",
@@ -226,7 +227,9 @@ mod tests {
     #[test]
     fn roles_are_tracked() {
         let mut sig = Signature::new();
-        sig.add_input(act("in1")).add_output(act("out1")).add_internal(act("tau1"));
+        sig.add_input(act("in1"))
+            .add_output(act("out1"))
+            .add_internal(act("tau1"));
         assert!(sig.is_input(act("in1")));
         assert!(sig.is_output(act("out1")));
         assert!(sig.is_internal(act("tau1")));
@@ -244,14 +247,19 @@ mod tests {
     fn validate_detects_conflicts() {
         let mut sig = Signature::new();
         sig.add_input(act("dup")).add_output(act("dup"));
-        assert_eq!(sig.validate(), Err(Error::ConflictingSignature { action: act("dup") }));
+        assert_eq!(
+            sig.validate(),
+            Err(Error::ConflictingSignature { action: act("dup") })
+        );
 
         let mut sig2 = Signature::new();
         sig2.add_output(act("dup2")).add_internal(act("dup2"));
         assert!(sig2.validate().is_err());
 
         let mut ok = Signature::new();
-        ok.add_input(act("i")).add_output(act("o")).add_internal(act("t"));
+        ok.add_input(act("i"))
+            .add_output(act("o"))
+            .add_internal(act("t"));
         assert!(ok.validate().is_ok());
     }
 

@@ -101,8 +101,16 @@ mod tests {
 
     #[test]
     fn max_is_componentwise() {
-        let a = ModelStats { states: 10, interactive_transitions: 3, ..Default::default() };
-        let b = ModelStats { states: 4, interactive_transitions: 9, ..Default::default() };
+        let a = ModelStats {
+            states: 10,
+            interactive_transitions: 3,
+            ..Default::default()
+        };
+        let b = ModelStats {
+            states: 4,
+            interactive_transitions: 9,
+            ..Default::default()
+        };
         let m = a.max(b);
         assert_eq!(m.states, 10);
         assert_eq!(m.interactive_transitions, 9);

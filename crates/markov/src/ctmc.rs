@@ -42,11 +42,19 @@ impl Ctmc {
                 return Err(Error::InvalidValue { value: rate });
             }
         }
-        let filtered: Vec<(u32, u32, f64)> =
-            transitions.iter().copied().filter(|&(f, t, _)| f != t).collect();
+        let filtered: Vec<(u32, u32, f64)> = transitions
+            .iter()
+            .copied()
+            .filter(|&(f, t, _)| f != t)
+            .collect();
         let rates = CsrMatrix::from_triplets(num_states, num_states, &filtered)?;
         let exit_rates = (0..num_states).map(|s| rates.row_sum(s)).collect();
-        Ok(Ctmc { num_states, initial, rates, exit_rates })
+        Ok(Ctmc {
+            num_states,
+            initial,
+            rates,
+            exit_rates,
+        })
     }
 
     /// Number of states.
@@ -83,7 +91,8 @@ impl Ctmc {
     ///
     /// `lambda` must be at least the maximal exit rate.
     fn uniformised(&self, lambda: f64) -> Result<CsrMatrix> {
-        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(self.num_transitions() + self.num_states);
+        let mut triplets: Vec<(u32, u32, f64)> =
+            Vec::with_capacity(self.num_transitions() + self.num_states);
         for s in 0..self.num_states {
             let (cols, vals) = self.rates.row(s);
             for (&c, &v) in cols.iter().zip(vals) {
@@ -146,34 +155,100 @@ impl Ctmc {
     /// Returns [`Error::DimensionMismatch`] if `goal.len() != num_states`, and the
     /// same errors as [`transient`](Self::transient) otherwise.
     pub fn reachability(&self, goal: &[bool], t: f64, epsilon: f64) -> Result<f64> {
+        Ok(self.reachability_multi(goal, &[t], epsilon)?[0])
+    }
+
+    /// [`reachability`](Self::reachability) for many time bounds in a *single*
+    /// uniformisation pass.
+    ///
+    /// The Poisson-weighted sum of uniformised matrix powers shares the power
+    /// sequence between all time bounds — only the weights differ — so a whole
+    /// mission-time sweep costs one pass to the largest truncation point instead of
+    /// one pass per point.  Results are returned in the same order as `times`; a
+    /// single-element slice produces bit-identical values to the single-time
+    /// method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `goal.len() != num_states`, and
+    /// [`Error::InvalidValue`] for a negative/NaN time bound or an `epsilon`
+    /// outside `(0, 1)`.
+    pub fn reachability_multi(
+        &self,
+        goal: &[bool],
+        times: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<f64>> {
         if goal.len() != self.num_states {
             return Err(Error::DimensionMismatch {
                 expected: self.num_states,
                 actual: goal.len(),
             });
         }
-        // Make goal states absorbing.
-        let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
-        for s in 0..self.num_states {
-            if goal[s] {
-                continue;
+        for &t in times {
+            if !t.is_finite() || t < 0.0 {
+                return Err(Error::InvalidValue { value: t });
             }
+        }
+        // Make goal states absorbing, so "being in a goal state at time t" equals
+        // "having ever visited one by time t".
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+        for (s, _) in goal.iter().enumerate().filter(|&(_, &g)| !g) {
             let (cols, vals) = self.rates.row(s);
             for (&c, &v) in cols.iter().zip(vals) {
                 triplets.push((s as u32, c, v));
             }
         }
+        let rates = CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)?;
+        let exit_rates: Vec<f64> = (0..self.num_states).map(|s| rates.row_sum(s)).collect();
         let absorbed = Ctmc {
             num_states: self.num_states,
             initial: self.initial,
-            rates: CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)?,
-            exit_rates: {
-                let m = CsrMatrix::from_triplets(self.num_states, self.num_states, &triplets)?;
-                (0..self.num_states).map(|s| m.row_sum(s)).collect()
-            },
+            rates,
+            exit_rates,
         };
-        let pi = absorbed.transient(t, epsilon)?;
-        Ok(goal.iter().zip(pi.iter()).filter(|&(&g, _)| g).map(|(_, &p)| p).sum())
+
+        let mut current = vec![0.0; self.num_states];
+        current[absorbed.initial] = 1.0;
+        let lambda = absorbed.max_exit_rate();
+        let goal_mass = |pi: &[f64]| -> f64 {
+            goal.iter()
+                .zip(pi.iter())
+                .filter(|&(&g, _)| g)
+                .map(|(_, &p)| p)
+                .sum()
+        };
+        if lambda == 0.0 {
+            // Every non-goal state is absorbing too: the distribution never moves.
+            return Ok(vec![goal_mass(&current); times.len()]);
+        }
+        // Validate epsilon eagerly (even for an empty sweep) via a throwaway call.
+        poisson_weights(0.0, epsilon)?;
+
+        let p = absorbed.uniformised(lambda)?;
+        let weights = times
+            .iter()
+            .map(|&t| poisson_weights(lambda * t, epsilon))
+            .collect::<Result<Vec<_>>>()?;
+        let k_max = weights
+            .iter()
+            .map(|w| w.weights.len() - 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut results = vec![0.0; times.len()];
+        for k in 0..=k_max {
+            if k > 0 {
+                current = p.vec_mul(&current)?;
+            }
+            let mass = goal_mass(&current);
+            for (result, w) in results.iter_mut().zip(weights.iter()) {
+                if let Some(&weight) = w.weights.get(k) {
+                    *result += weight * mass;
+                }
+            }
+        }
+        Ok(results.into_iter().map(|r| r.clamp(0.0, 1.0)).collect())
     }
 
     /// Probability of *ever* reaching a `goal` state (unbounded reachability),
@@ -212,7 +287,9 @@ impl Ctmc {
                 return Ok(value[self.initial]);
             }
         }
-        Err(Error::NoConvergence { iterations: max_iter })
+        Err(Error::NoConvergence {
+            iterations: max_iter,
+        })
     }
 }
 
@@ -247,11 +324,10 @@ mod tests {
     fn parallel_and_of_two_components() {
         // Two independent exponential(1) components, system fails when both fail.
         // State encoding: 0 = both up, 1 = one down, 2 = both down.
-        let ctmc =
-            Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
         let t = 1.0;
         let p = ctmc.reachability(&[false, false, true], t, 1e-12).unwrap();
-        let exact = (1.0 - (-t as f64).exp()).powi(2);
+        let exact = (1.0 - (-t).exp()).powi(2);
         assert!((p - exact).abs() < 1e-9, "{p} vs {exact}");
     }
 
@@ -260,7 +336,13 @@ mod tests {
         let ctmc = Ctmc::from_transitions(
             4,
             0,
-            &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 0.5), (2, 3, 0.25), (3, 0, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 0.5),
+                (2, 3, 0.25),
+                (3, 0, 1.0),
+            ],
         )
         .unwrap();
         for t in [0.1, 1.0, 10.0] {
@@ -290,7 +372,9 @@ mod tests {
     fn unbounded_reachability_of_transient_goal() {
         // 0 -> 1 with rate 1, 0 -> 2 with rate 3; goal = {1}: P = 1/4.
         let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (0, 2, 3.0)]).unwrap();
-        let p = ctmc.reachability_unbounded(&[false, true, false], 1e-12).unwrap();
+        let p = ctmc
+            .reachability_unbounded(&[false, true, false], 1e-12)
+            .unwrap();
         assert!((p - 0.25).abs() < 1e-9);
     }
 

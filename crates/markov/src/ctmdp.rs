@@ -57,17 +57,26 @@ impl Ctmdp {
     pub fn new(states: Vec<CtmdpState>, initial: usize, goal: Vec<bool>) -> Result<Ctmdp> {
         let n = states.len();
         if initial >= n {
-            return Err(Error::InvalidState { state: initial as u32, num_states: n as u32 });
+            return Err(Error::InvalidState {
+                state: initial as u32,
+                num_states: n as u32,
+            });
         }
         if goal.len() != n {
-            return Err(Error::DimensionMismatch { expected: n, actual: goal.len() });
+            return Err(Error::DimensionMismatch {
+                expected: n,
+                actual: goal.len(),
+            });
         }
         for st in &states {
             match st {
                 CtmdpState::Markovian(rates) => {
                     for &(t, r) in rates {
                         if t as usize >= n {
-                            return Err(Error::InvalidState { state: t, num_states: n as u32 });
+                            return Err(Error::InvalidState {
+                                state: t,
+                                num_states: n as u32,
+                            });
                         }
                         if !(r.is_finite() && r > 0.0) {
                             return Err(Error::InvalidValue { value: r });
@@ -77,13 +86,20 @@ impl Ctmdp {
                 CtmdpState::Immediate(succs) => {
                     for &t in succs {
                         if t as usize >= n {
-                            return Err(Error::InvalidState { state: t, num_states: n as u32 });
+                            return Err(Error::InvalidState {
+                                state: t,
+                                num_states: n as u32,
+                            });
                         }
                     }
                 }
             }
         }
-        Ok(Ctmdp { states, initial, goal })
+        Ok(Ctmdp {
+            states,
+            initial,
+            goal,
+        })
     }
 
     /// Number of states.
@@ -131,16 +147,20 @@ impl Ctmdp {
                     if succs.is_empty() {
                         continue;
                     }
-                    let candidate = succs
-                        .iter()
-                        .map(|&t| value[t as usize])
-                        .fold(if maximise { f64::NEG_INFINITY } else { f64::INFINITY }, |a, b| {
+                    let candidate = succs.iter().map(|&t| value[t as usize]).fold(
+                        if maximise {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        },
+                        |a, b| {
                             if maximise {
                                 a.max(b)
                             } else {
                                 a.min(b)
                             }
-                        });
+                        },
+                    );
                     if (candidate - value[s]).abs() > 1e-15 {
                         value[s] = candidate;
                         changed = true;
@@ -153,31 +173,60 @@ impl Ctmdp {
         }
     }
 
-    fn reachability_extremal(&self, t: f64, epsilon: f64, maximise: bool) -> Result<f64> {
-        if !t.is_finite() || t < 0.0 {
-            return Err(Error::InvalidValue { value: t });
+    /// One extremal reachability value per requested time bound, computed in a
+    /// *single* value-iteration pass.
+    ///
+    /// The step-indexed values `value_k[initial]` of the uniformised process do not
+    /// depend on the time bound — only the Poisson mixture weights do — so a whole
+    /// mission-time sweep costs one pass to the largest truncation point instead of
+    /// one pass per point.  Results are returned in the same order as `times`.
+    fn reachability_extremal_multi(
+        &self,
+        times: &[f64],
+        epsilon: f64,
+        maximise: bool,
+    ) -> Result<Vec<f64>> {
+        for &t in times {
+            if !t.is_finite() || t < 0.0 {
+                return Err(Error::InvalidValue { value: t });
+            }
         }
         let n = self.states.len();
         let lambda = self.max_exit_rate();
 
         // Value at "zero remaining steps": goal states count, and immediate states
         // resolve instantaneously.
-        let mut terminal: Vec<f64> =
-            self.goal.iter().map(|&g| if g { 1.0 } else { 0.0 }).collect();
+        let mut terminal: Vec<f64> = self
+            .goal
+            .iter()
+            .map(|&g| if g { 1.0 } else { 0.0 })
+            .collect();
         self.settle_immediate(&mut terminal, maximise);
 
-        if lambda == 0.0 || t == 0.0 {
-            return Ok(terminal[self.initial]);
+        if lambda == 0.0 {
+            return Ok(vec![terminal[self.initial]; times.len()]);
         }
 
-        let weights = poisson_weights(lambda * t, epsilon)?;
-        let k_max = weights.weights.len() - 1;
+        // Poisson weights per time bound; a bound of zero yields the degenerate
+        // single weight 1 at k = 0, so it needs no special casing below.
+        let weights = times
+            .iter()
+            .map(|&t| poisson_weights(lambda * t, epsilon))
+            .collect::<Result<Vec<_>>>()?;
+        let k_max = weights
+            .iter()
+            .map(|w| w.weights.len() - 1)
+            .max()
+            .unwrap_or(0);
 
         // value[s] = optimal probability of reaching a goal within `k` uniformised
-        // steps; computed backwards from k = 0 upwards, accumulating the Poisson
-        // mixture for the initial state on the fly.
-        let mut value = terminal.clone();
-        let mut result = weights.weights[0] * value[self.initial];
+        // steps; computed backwards from k = 0 upwards, accumulating each time
+        // bound's Poisson mixture for the initial state on the fly.
+        let mut value = terminal;
+        let mut results: Vec<f64> = weights
+            .iter()
+            .map(|w| w.weights[0] * value[self.initial])
+            .collect();
         for k in 1..=k_max {
             let mut next = vec![0.0; n];
             for s in 0..n {
@@ -202,9 +251,17 @@ impl Ctmdp {
             }
             self.settle_immediate(&mut next, maximise);
             value = next;
-            result += weights.weights[k] * value[self.initial];
+            for (result, w) in results.iter_mut().zip(weights.iter()) {
+                if let Some(&weight) = w.weights.get(k) {
+                    *result += weight * value[self.initial];
+                }
+            }
         }
-        Ok(result.clamp(0.0, 1.0))
+        Ok(results.into_iter().map(|r| r.clamp(0.0, 1.0)).collect())
+    }
+
+    fn reachability_extremal(&self, t: f64, epsilon: f64, maximise: bool) -> Result<f64> {
+        Ok(self.reachability_extremal_multi(&[t], epsilon, maximise)?[0])
     }
 
     /// Minimum and maximum probability (over time-abstract schedulers) of reaching
@@ -219,6 +276,49 @@ impl Ctmdp {
         let max = self.reachability_extremal(t, epsilon, true)?;
         Ok(Bounds { min, max })
     }
+
+    /// [`reachability_bounds`](Self::reachability_bounds) for many time bounds at
+    /// once: two value-iteration passes (one minimising, one maximising) answer the
+    /// whole sweep, instead of two passes per point.
+    ///
+    /// Results are returned in the same order as `times`; a single-element slice
+    /// produces bit-identical values to the single-time method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for a negative/NaN time bound or an invalid
+    /// `epsilon`.
+    pub fn reachability_bounds_multi(&self, times: &[f64], epsilon: f64) -> Result<Vec<Bounds>> {
+        let min = self.reachability_min_multi(times, epsilon)?;
+        let max = self.reachability_max_multi(times, epsilon)?;
+        Ok(min
+            .into_iter()
+            .zip(max)
+            .map(|(min, max)| Bounds { min, max })
+            .collect())
+    }
+
+    /// Maximum reachability probability (over time-abstract schedulers) for each
+    /// time bound, in one value-iteration pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for a negative/NaN time bound or an invalid
+    /// `epsilon`.
+    pub fn reachability_max_multi(&self, times: &[f64], epsilon: f64) -> Result<Vec<f64>> {
+        self.reachability_extremal_multi(times, epsilon, true)
+    }
+
+    /// Minimum reachability probability (over time-abstract schedulers) for each
+    /// time bound, in one value-iteration pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValue`] for a negative/NaN time bound or an invalid
+    /// `epsilon`.
+    pub fn reachability_min_multi(&self, times: &[f64], epsilon: f64) -> Result<Vec<f64>> {
+        self.reachability_extremal_multi(times, epsilon, false)
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +330,10 @@ mod tests {
         // 0 --lambda--> 1 (goal): both bounds equal 1 - exp(-lambda t).
         let lambda = 1.7;
         let mdp = Ctmdp::new(
-            vec![CtmdpState::Markovian(vec![(1, lambda)]), CtmdpState::Markovian(vec![])],
+            vec![
+                CtmdpState::Markovian(vec![(1, lambda)]),
+                CtmdpState::Markovian(vec![]),
+            ],
             0,
             vec![false, true],
         )
@@ -270,12 +373,7 @@ mod tests {
 
     #[test]
     fn goal_at_initial_state_is_certain() {
-        let mdp = Ctmdp::new(
-            vec![CtmdpState::Markovian(vec![])],
-            0,
-            vec![true],
-        )
-        .unwrap();
+        let mdp = Ctmdp::new(vec![CtmdpState::Markovian(vec![])], 0, vec![true]).unwrap();
         let b = mdp.reachability_bounds(2.0, 1e-9).unwrap();
         assert_eq!(b.min, 1.0);
         assert_eq!(b.max, 1.0);

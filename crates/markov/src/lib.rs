@@ -85,14 +85,20 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidState { state, num_states } => {
-                write!(f, "state {state} out of range (model has {num_states} states)")
+                write!(
+                    f,
+                    "state {state} out of range (model has {num_states} states)"
+                )
             }
             Error::InvalidValue { value } => write!(f, "invalid rate or probability {value}"),
             Error::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
             Error::NoConvergence { iterations } => {
-                write!(f, "iterative method did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iterative method did not converge after {iterations} iterations"
+                )
             }
             Error::EmptyModel => write!(f, "model has no transitions"),
         }

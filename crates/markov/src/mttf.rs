@@ -36,15 +36,21 @@ use crate::{Error, Result};
 pub fn mean_time_to_absorption(ctmc: &Ctmc, goal: &[bool], tolerance: f64) -> Result<f64> {
     let n = ctmc.num_states();
     if goal.len() != n {
-        return Err(Error::DimensionMismatch { expected: n, actual: goal.len() });
+        return Err(Error::DimensionMismatch {
+            expected: n,
+            actual: goal.len(),
+        });
     }
     if goal[ctmc.initial()] {
         return Ok(0.0);
     }
     // First check that the goal is reached almost surely; otherwise the
-    // expectation is infinite.
-    let p = ctmc.reachability_unbounded(goal, tolerance.max(1e-12))?;
-    if p < 1.0 - 1e-9 {
+    // expectation is infinite.  In a finite chain the goal is hit with
+    // probability one exactly when every state reachable from the initial state
+    // can still reach the goal, so the check is a pair of graph traversals — no
+    // numerical tolerance involved (value iteration can under-approximate the
+    // probability on highly recurrent repairable chains and misreport infinity).
+    if !goal_reached_almost_surely(ctmc, goal) {
         return Ok(f64::INFINITY);
     }
 
@@ -78,7 +84,59 @@ pub fn mean_time_to_absorption(ctmc: &Ctmc, goal: &[bool], tolerance: f64) -> Re
             return Ok(expectation[ctmc.initial()]);
         }
     }
-    Err(Error::NoConvergence { iterations: max_iter })
+    Err(Error::NoConvergence {
+        iterations: max_iter,
+    })
+}
+
+/// Returns `true` when every state reachable from the initial state *before the
+/// first goal visit* can reach a goal state, which for a finite CTMC is
+/// equivalent to reaching the goal with probability one.
+fn goal_reached_almost_surely(ctmc: &Ctmc, goal: &[bool]) -> bool {
+    let n = ctmc.num_states();
+
+    // Forward closure from the initial state, stopping at goal states: the first
+    // passage ends there, so whatever the chain can do afterwards is irrelevant
+    // to the expectation.
+    let mut forward = vec![false; n];
+    let mut stack = vec![ctmc.initial()];
+    forward[ctmc.initial()] = true;
+    while let Some(s) = stack.pop() {
+        if goal[s] {
+            continue;
+        }
+        let (cols, _) = ctmc.rates().row(s);
+        for &c in cols {
+            if !forward[c as usize] {
+                forward[c as usize] = true;
+                stack.push(c as usize);
+            }
+        }
+    }
+
+    // Backward closure from the goal states over the reversed transition graph.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in 0..n {
+        let (cols, _) = ctmc.rates().row(s);
+        for &c in cols {
+            reverse[c as usize].push(s);
+        }
+    }
+    let mut reaches_goal = vec![false; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&s| goal[s]).collect();
+    for &s in &stack {
+        reaches_goal[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &reverse[s] {
+            if !reaches_goal[p] {
+                reaches_goal[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    (0..n).all(|s| !forward[s] || reaches_goal[s])
 }
 
 #[cfg(test)]
@@ -94,8 +152,7 @@ mod tests {
 
     #[test]
     fn erlang_chain() {
-        let ctmc =
-            Ctmc::from_transitions(4, 0, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).unwrap();
+        let ctmc = Ctmc::from_transitions(4, 0, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).unwrap();
         let mttf = mean_time_to_absorption(&ctmc, &[false, false, false, true], 1e-12).unwrap();
         assert!((mttf - (1.0 + 0.5 + 0.25)).abs() < 1e-9);
     }
@@ -104,8 +161,7 @@ mod tests {
     fn branching_chain() {
         // From 0: rate 1 to goal, rate 1 to a detour that then reaches the goal at
         // rate 1.  MTTF = 1/2 + (1/2)·1 = 1.
-        let ctmc =
-            Ctmc::from_transitions(3, 0, &[(0, 2, 1.0), (0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 2, 1.0), (0, 1, 1.0), (1, 2, 1.0)]).unwrap();
         let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-10).unwrap();
         assert!((mttf - 1.0).abs() < 1e-7, "{mttf}");
     }
@@ -116,6 +172,29 @@ mod tests {
         let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (0, 2, 1.0)]).unwrap();
         let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-10).unwrap();
         assert!(mttf.is_infinite());
+    }
+
+    #[test]
+    fn post_goal_dead_ends_do_not_make_the_first_passage_infinite() {
+        // 0 --1--> 1 (goal) --1--> 2 (absorbing, cannot re-reach the goal).  The
+        // first passage to the goal happens with probability one after an
+        // exponential(1) delay; what the chain does *after* the goal must not
+        // flip the answer to infinity.
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, true, false], 1e-12).unwrap();
+        assert!((mttf - 1.0).abs() < 1e-9, "{mttf}");
+    }
+
+    #[test]
+    fn recurrent_repairable_chain_has_finite_first_passage() {
+        // Failure rate 1, repair rate 50: the chain keeps cycling 0 <-> 1 and
+        // only rarely pushes on to the goal 2.  Truncated value iteration used to
+        // misreport infinity here; the graph check must say "almost sure".
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (1, 0, 50.0), (1, 2, 1.0)]).unwrap();
+        let mttf = mean_time_to_absorption(&ctmc, &[false, false, true], 1e-12).unwrap();
+        assert!(mttf.is_finite());
+        // E[T] solves E0 = 1 + E1, E1 = 1/51 + (50/51)·E0 -> E0 = 52.
+        assert!((mttf - 52.0).abs() < 1e-6, "{mttf}");
     }
 
     #[test]

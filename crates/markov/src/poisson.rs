@@ -46,7 +46,11 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
         return Err(Error::InvalidValue { value: epsilon });
     }
     if mean == 0.0 {
-        return Ok(PoissonWeights { weights: vec![1.0], right: 0, total_mass: 1.0 });
+        return Ok(PoissonWeights {
+            weights: vec![1.0],
+            right: 0,
+            total_mass: 1.0,
+        });
     }
 
     // Work with unnormalised weights anchored at the mode to avoid underflow, then
@@ -72,7 +76,7 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
     }
     // down currently holds u[mode], u[mode-1], ... ; reverse into ascending order.
     let skipped = mode + 1 - down.len();
-    unnormalised.extend(std::iter::repeat(0.0).take(skipped));
+    unnormalised.extend(std::iter::repeat_n(0.0, skipped));
     unnormalised.extend(down.into_iter().rev());
 
     // Extend to the right until the (relative) tail is negligible.  Once k is a
@@ -107,7 +111,11 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
     // normalised weights.  The reported total mass is therefore conservative.
     let total_mass = 1.0 - epsilon / 2.0;
 
-    Ok(PoissonWeights { weights, right: k, total_mass })
+    Ok(PoissonWeights {
+        weights,
+        right: k,
+        total_mass,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +168,10 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-8);
         // The mode weight of Poisson(2000) is about 1/sqrt(2*pi*2000).
         let mode_weight = w.weights[2000];
-        assert!(mode_weight > 0.005 && mode_weight < 0.02, "mode weight {mode_weight}");
+        assert!(
+            mode_weight > 0.005 && mode_weight < 0.02,
+            "mode weight {mode_weight}"
+        );
     }
 
     #[test]

@@ -33,10 +33,16 @@ impl CsrMatrix {
     ) -> Result<CsrMatrix> {
         for &(r, c, v) in triplets {
             if r as usize >= num_rows {
-                return Err(Error::InvalidState { state: r, num_states: num_rows as u32 });
+                return Err(Error::InvalidState {
+                    state: r,
+                    num_states: num_rows as u32,
+                });
             }
             if c as usize >= num_cols {
-                return Err(Error::InvalidState { state: c, num_states: num_cols as u32 });
+                return Err(Error::InvalidState {
+                    state: c,
+                    num_states: num_cols as u32,
+                });
             }
             if !v.is_finite() {
                 return Err(Error::InvalidValue { value: v });
@@ -52,7 +58,9 @@ impl CsrMatrix {
         for &(r, c, v) in &sorted {
             if last == Some((r, c)) {
                 // Merge duplicates of the same coordinate.
-                *values.last_mut().expect("duplicate implies a previous entry") += v;
+                *values
+                    .last_mut()
+                    .expect("duplicate implies a previous entry") += v;
                 continue;
             }
             col_idx.push(c);
@@ -66,7 +74,13 @@ impl CsrMatrix {
                 row_ptr[i] = row_ptr[i - 1];
             }
         }
-        Ok(CsrMatrix { num_rows, num_cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            num_rows,
+            num_cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -112,7 +126,10 @@ impl CsrMatrix {
     /// Returns [`Error::DimensionMismatch`] if `x.len() != num_rows`.
     pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.num_rows {
-            return Err(Error::DimensionMismatch { expected: self.num_rows, actual: x.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.num_rows,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.num_cols];
         for (row, &xi) in x.iter().enumerate() {
@@ -134,16 +151,19 @@ impl CsrMatrix {
     /// Returns [`Error::DimensionMismatch`] if `x.len() != num_cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.num_cols {
-            return Err(Error::DimensionMismatch { expected: self.num_cols, actual: x.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.num_cols,
+                actual: x.len(),
+            });
         }
         let mut y = vec![0.0; self.num_rows];
-        for row in 0..self.num_rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(row);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[row] = acc;
+            *out = acc;
         }
         Ok(y)
     }
@@ -159,12 +179,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 1.0), (2, 2, 4.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (0, 2, 3.0), (1, 0, 1.0), (2, 2, 4.0)])
+            .unwrap()
     }
 
     #[test]

@@ -62,8 +62,11 @@ pub fn steady_state(ctmc: &Ctmc, tolerance: f64) -> Result<Vec<f64>> {
     let max_iter = 1_000_000;
     for it in 0..max_iter {
         let next = p.vec_mul(&pi)?;
-        let delta: f64 =
-            next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let delta: f64 = next
+            .iter()
+            .zip(pi.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         pi = next;
         if delta < tolerance {
             // Normalise away accumulated rounding drift.
@@ -75,7 +78,9 @@ pub fn steady_state(ctmc: &Ctmc, tolerance: f64) -> Result<Vec<f64>> {
         }
         let _ = it;
     }
-    Err(Error::NoConvergence { iterations: max_iter })
+    Err(Error::NoConvergence {
+        iterations: max_iter,
+    })
 }
 
 /// Computes the steady-state probability of the states labelled `true`.
@@ -92,7 +97,12 @@ pub fn steady_state_probability(ctmc: &Ctmc, labelled: &[bool], tolerance: f64) 
         });
     }
     let pi = steady_state(ctmc, tolerance)?;
-    Ok(labelled.iter().zip(pi.iter()).filter(|&(&l, _)| l).map(|(_, &p)| p).sum())
+    Ok(labelled
+        .iter()
+        .zip(pi.iter())
+        .filter(|&(&l, _)| l)
+        .map(|(_, &p)| p)
+        .sum())
 }
 
 #[cfg(test)]
@@ -114,8 +124,7 @@ mod tests {
     #[test]
     fn three_state_cycle() {
         // A cycle with equal rates has the uniform distribution.
-        let ctmc =
-            Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0)]).unwrap();
+        let ctmc = Ctmc::from_transitions(3, 0, &[(0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0)]).unwrap();
         let pi = steady_state(&ctmc, 1e-13).unwrap();
         for p in pi {
             assert!((p - 1.0 / 3.0).abs() < 1e-7);
@@ -125,12 +134,9 @@ mod tests {
     #[test]
     fn birth_death_chain_matches_detailed_balance() {
         // 0 <-> 1 <-> 2 with birth rate 1 and death rate 2: pi_i ∝ (1/2)^i.
-        let ctmc = Ctmc::from_transitions(
-            3,
-            0,
-            &[(0, 1, 1.0), (1, 0, 2.0), (1, 2, 1.0), (2, 1, 2.0)],
-        )
-        .unwrap();
+        let ctmc =
+            Ctmc::from_transitions(3, 0, &[(0, 1, 1.0), (1, 0, 2.0), (1, 2, 1.0), (2, 1, 2.0)])
+                .unwrap();
         let pi = steady_state(&ctmc, 1e-13).unwrap();
         let z = 1.0 + 0.5 + 0.25;
         assert!((pi[0] - 1.0 / z).abs() < 1e-7);

@@ -3,33 +3,55 @@
 //! Reproduces the experiment of the paper: system unreliability at mission time 1
 //! (the paper and the original Galileo tool both report 0.6579), and the sizes of
 //! the aggregated per-module I/O-IMCs (the paper reports 6 states per module).
+//! One [`Analyzer`] session serves the point query and the time sweep.
 //!
 //! Run with `cargo run --release --example cardiac_assist`.
 
-use dftmc::dft_core::analysis::{aggregated_model, unreliability, AnalysisOptions, Method};
-use dftmc::dft_core::casestudies::{cas, CAS_PAPER_UNRELIABILITY};
+use dftmc::dft_core::analysis::aggregated_model;
+use dftmc::dft_core::casestudies::{cas, cas_analyzer, CAS_PAPER_UNRELIABILITY};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::{AnalysisOptions, Method};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dft = cas();
-    println!("cardiac assist system: {} basic events, {} gates", dft.num_basic_events(), dft.num_gates());
+    println!(
+        "cardiac assist system: {} basic events, {} gates",
+        dft.num_basic_events(),
+        dft.num_gates()
+    );
 
-    let options = AnalysisOptions::default();
-    let result = unreliability(&dft, 1.0, &options)?;
+    // One session answers everything below; aggregation runs once, here.
+    let analyzer = cas_analyzer(AnalysisOptions::default())?;
+    let result = analyzer.unreliability(1.0)?;
     println!("\nunreliability at t = 1");
-    println!("  compositional aggregation : {:.4}", result.probability());
-    let monolithic = unreliability(
+    println!("  compositional aggregation : {:.4}", result.value());
+    let monolithic = Analyzer::new(
         &dft,
-        1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
-    )?;
-    println!("  monolithic baseline       : {:.4}", monolithic.probability());
-    println!("  paper / Galileo DIFTree   : {:.4}", CAS_PAPER_UNRELIABILITY);
+        AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
+    )?
+    .unreliability(1.0)?;
+    println!("  monolithic baseline       : {:.4}", monolithic.value());
+    println!(
+        "  paper / Galileo DIFTree   : {:.4}",
+        CAS_PAPER_UNRELIABILITY
+    );
 
-    let stats = result.aggregation_stats().expect("compositional run");
+    let stats = analyzer.aggregation_stats().expect("compositional run");
     println!("\ncompositional aggregation statistics");
     println!("  composition steps  : {}", stats.steps.len());
-    println!("  peak intermediate  : {} states, {} transitions", stats.peak.states, stats.peak.transitions());
-    println!("  final model        : {} states, {} transitions", stats.final_model.states, stats.final_model.transitions());
+    println!(
+        "  peak intermediate  : {} states, {} transitions",
+        stats.peak.states,
+        stats.peak.transitions()
+    );
+    println!(
+        "  final model        : {} states, {} transitions",
+        stats.final_model.states,
+        stats.final_model.transitions()
+    );
 
     // The paper analyses each of the three units as an independent module and
     // reports ~6 states per aggregated module; reproduce that per-module view.
@@ -40,14 +62,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Pump unit", dftmc::dft_core::casestudies::cas_pump_unit()),
     ] {
         let (model, _) = aggregated_model(&module)?;
-        println!("  {name:<11}: {} states, {} transitions", model.num_states(), model.num_transitions());
+        println!(
+            "  {name:<11}: {} states, {} transitions",
+            model.num_states(),
+            model.num_transitions()
+        );
     }
 
+    // The sweep reuses the session: one curve query, no re-aggregation.
+    let curve = analyzer.unreliability_curve(&[0.25, 0.5, 1.0, 2.0, 4.0])?;
     println!("\nunreliability over time");
     println!("    t   |  compositional");
-    for t in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let r = unreliability(&dft, t, &options)?;
-        println!("  {t:5.2} |  {:.6}", r.probability());
+    for point in curve.points() {
+        println!("  {:5.2} |  {:.6}", point.time().unwrap(), point.value());
     }
+    println!(
+        "\naggregation ran {} time(s) for this whole example session",
+        analyzer.aggregation_runs()
+    );
     Ok(())
 }

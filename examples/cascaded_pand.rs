@@ -10,30 +10,34 @@
 //!
 //! Run with `cargo run --release --example cascaded_pand`.
 
-use dftmc::dft_core::analysis::{aggregated_model, unreliability, AnalysisOptions, Method};
+use dftmc::dft_core::analysis::aggregated_model;
 use dftmc::dft_core::baseline::monolithic_ctmc;
 use dftmc::dft_core::casestudies::{
-    cps, CPS_PAPER_MONOLITHIC, CPS_PAPER_PEAK, CPS_PAPER_UNRELIABILITY,
+    cps, cps_analyzer, CPS_PAPER_MONOLITHIC, CPS_PAPER_PEAK, CPS_PAPER_UNRELIABILITY,
 };
+use dftmc::dft_core::AnalysisOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dft = cps();
-    println!("cascaded PAND system: {} basic events, {} gates", dft.num_basic_events(), dft.num_gates());
+    println!(
+        "cascaded PAND system: {} basic events, {} gates",
+        dft.num_basic_events(),
+        dft.num_gates()
+    );
 
-    let compositional = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
-    let monolithic = unreliability(
-        &dft,
-        1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
-    )?;
+    // One compositional session; the monolithic chain is generated directly so
+    // the example can also report its exact transition count.
+    let analyzer = cps_analyzer(AnalysisOptions::default())?;
+    let compositional = analyzer.unreliability(1.0)?;
+    let mono = monolithic_ctmc(&dft)?;
+    let monolithic = mono.unreliability(1.0, 1e-9)?;
 
     println!("\nunreliability at t = 1");
-    println!("  compositional : {:.5}", compositional.probability());
-    println!("  monolithic    : {:.5}", monolithic.probability());
+    println!("  compositional : {:.5}", compositional.value());
+    println!("  monolithic    : {:.5}", monolithic);
     println!("  paper         : {:.5}", CPS_PAPER_UNRELIABILITY);
 
-    let stats = compositional.aggregation_stats().expect("compositional run");
-    let mono = monolithic_ctmc(&dft)?;
+    let stats = analyzer.aggregation_stats().expect("compositional run");
     println!("\nstate-space comparison (this run vs the paper)");
     println!("                         states   transitions");
     println!(
@@ -53,12 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 9: one AND module, analysed on its own, aggregates to a tiny I/O-IMC
     // because the order in which its identical basic events fail is irrelevant.
-    let module = dftmc::dft_core::casestudies::cascaded_pand(4, 1.0);
     let module_a = {
         use dftmc::dft::{DftBuilder, Dormancy};
         let mut b = DftBuilder::new();
         let events: Vec<_> = (0..4)
-            .map(|i| b.basic_event(&format!("A_{i}"), 1.0, Dormancy::Hot).unwrap())
+            .map(|i| {
+                b.basic_event(&format!("A_{i}"), 1.0, Dormancy::Hot)
+                    .unwrap()
+            })
             .collect();
         let top = b.and_gate("A", &events).unwrap();
         b.build(top).unwrap()
@@ -69,6 +75,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aggregated.num_states(),
         aggregated.num_transitions()
     );
-    let _ = module;
     Ok(())
 }

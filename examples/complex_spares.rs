@@ -1,15 +1,29 @@
 //! Modular model building (Section 6 / Figure 10 of the paper): spare gates whose
 //! primary and spare are complete sub-systems, and an FDEP gate triggering a gate
-//! instead of a basic event.
+//! instead of a basic event.  Each configuration builds one [`Analyzer`] session
+//! and sweeps its horizon with a single curve query.
 //!
 //! Run with `cargo run --release --example complex_spares`.
 
-use dftmc::dft::{DftBuilder, Dormancy};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft::{Dft, DftBuilder, Dormancy};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::AnalysisOptions;
+
+fn sweep(dft: &Dft) -> Result<(), dftmc::dft_core::Error> {
+    let analyzer = Analyzer::new(dft, AnalysisOptions::default())?;
+    let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+    for point in curve.points() {
+        println!(
+            "  unreliability({}) = {:.6}",
+            point.time().unwrap(),
+            point.value()
+        );
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = AnalysisOptions::default();
-
     // Figure 10(a): the primary and the spare are AND sub-systems of two basic
     // events each; activating the spare module activates its (warm) events.
     let mut b = DftBuilder::new();
@@ -22,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = b.spare_gate("system", &[primary, spare])?;
     let dft_a = b.build(system)?;
     println!("Figure 10(a): AND sub-systems as primary and spare");
-    for t in [0.5, 1.0, 2.0] {
-        let r = unreliability(&dft_a, t, &options)?;
-        println!("  unreliability({t}) = {:.6}", r.probability());
-    }
+    sweep(&dft_a)?;
 
     // Figure 10(b): nested spare gates — the primary and the spare are themselves
     // spare gates over basic events.
@@ -39,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = b.spare_gate("system", &[primary, spare])?;
     let dft_b = b.build(system)?;
     println!("\nFigure 10(b): nested spare gates as primary and spare");
-    for t in [0.5, 1.0, 2.0] {
-        let r = unreliability(&dft_b, t, &options)?;
-        println!("  unreliability({t}) = {:.6}", r.probability());
-    }
+    sweep(&dft_b)?;
 
     // Figure 10(c): the FDEP trigger T forces the failure of the *gate* A (not of
     // its components): when T fails, A is considered failed even though C and the
@@ -57,9 +65,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = b.and_gate("system", &[gate_a, bb])?;
     let dft_c = b.build(system)?;
     println!("\nFigure 10(c): an FDEP gate triggering a sub-tree");
-    for t in [0.5, 1.0, 2.0] {
-        let r = unreliability(&dft_c, t, &options)?;
-        println!("  unreliability({t}) = {:.6}", r.probability());
-    }
+    sweep(&dft_c)?;
     Ok(())
 }

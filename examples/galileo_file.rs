@@ -1,10 +1,14 @@
 //! Parsing the Galileo textual DFT format, the input language of the original
-//! DIFTree/Galileo tool that the paper's own converter consumes.
+//! DIFTree/Galileo tool that the paper's own converter consumes.  The parsed tree
+//! is analysed through one [`Analyzer`] session: ten years of unreliability and
+//! the MTTF, for one aggregation run.
 //!
 //! Run with `cargo run --release --example galileo_file`.
 
 use dftmc::dft::galileo::{parse, to_galileo};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::AnalysisOptions;
 
 const RAILWAY_CROSSING: &str = r#"
     // A small railway level-crossing controller.
@@ -34,12 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dft.num_gates()
     );
 
-    println!("\nunreliability over the first ten years");
-    let options = AnalysisOptions::default();
-    for t in [1.0, 2.0, 5.0, 10.0] {
-        let r = unreliability(&dft, t, &options)?;
-        println!("  t = {t:5.1}: {:.6}", r.probability());
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    println!("\nunreliability over the first ten years (one curve query)");
+    let curve = analyzer.query(Measure::UnreliabilityCurve(&[1.0, 2.0, 5.0, 10.0]))?;
+    for point in curve.points() {
+        println!("  t = {:5.1}: {:.6}", point.time().unwrap(), point.value());
     }
+    println!(
+        "\nmean time to failure: {:.2} years",
+        analyzer.query(Measure::Mttf)?.value()
+    );
 
     println!("\nround-tripped Galileo output:\n{}", to_galileo(&dft));
     Ok(())

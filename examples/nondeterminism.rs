@@ -4,12 +4,30 @@
 //! leaves the order of those failures undefined.  Underneath a PAND gate the order
 //! decides whether the gate fires, so the final model is a continuous-time Markov
 //! decision process and the analysis reports an interval of unreliabilities
-//! instead of a single value.
+//! instead of a single value.  Each configuration is analysed through one
+//! [`Analyzer`] session; the whole horizon sweep is a single curve query.
 //!
 //! Run with `cargo run --release --example nondeterminism`.
 
 use dftmc::dft::{DftBuilder, Dormancy};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::AnalysisOptions;
+
+const HORIZONS: [f64; 3] = [0.5, 1.0, 2.0];
+
+fn report(analyzer: &Analyzer) -> Result<(), dftmc::dft_core::Error> {
+    let curve = analyzer.query(Measure::UnreliabilityCurve(&HORIZONS))?;
+    for point in curve.points() {
+        let (lo, hi) = point.bounds();
+        println!(
+            "  t = {:3.1}: non-deterministic = {} -> unreliability in [{lo:.6}, {hi:.6}]",
+            point.time().unwrap(),
+            point.is_nondeterministic()
+        );
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = AnalysisOptions::default();
@@ -24,14 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dft = b.build(system)?;
 
     println!("Figure 6(a): FDEP trigger feeding both inputs of a PAND gate");
-    for horizon in [0.5, 1.0, 2.0] {
-        let r = unreliability(&dft, horizon, &options)?;
-        let (lo, hi) = r.bounds();
-        println!(
-            "  t = {horizon:3.1}: non-deterministic = {} -> unreliability in [{lo:.6}, {hi:.6}]",
-            r.is_nondeterministic()
-        );
-    }
+    report(&Analyzer::new(&dft, options.clone())?)?;
     println!("  (the width of the interval is exactly the probability that the trigger fails");
     println!("   before A and B do — only then does the unresolved ordering matter)");
 
@@ -52,13 +63,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dft = b.build(system)?;
 
     println!("\nFigure 6(b): two spare gates contending for one spare after a common trigger");
-    for horizon in [0.5, 1.0, 2.0] {
-        let r = unreliability(&dft, horizon, &options)?;
-        let (lo, hi) = r.bounds();
-        println!(
-            "  t = {horizon:3.1}: non-deterministic = {} -> unreliability in [{lo:.6}, {hi:.6}]",
-            r.is_nondeterministic()
-        );
-    }
+    report(&Analyzer::new(&dft, options)?)?;
     Ok(())
 }

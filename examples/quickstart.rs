@@ -1,11 +1,13 @@
-//! Quickstart: model a tiny redundant system as a dynamic fault tree and compute
-//! its unreliability, both with the paper's compositional I/O-IMC pipeline and
-//! with the DIFTree-style monolithic baseline.
+//! Quickstart: model a tiny redundant system as a dynamic fault tree, build one
+//! [`Analyzer`] session, and answer a whole mission-time sweep plus the MTTF from
+//! the same cached model — the aggregation pipeline runs exactly once.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use dftmc::dft::{DftBuilder, Dormancy};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions, Method};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::{AnalysisOptions, Method};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A power supply backed by a cold-standby generator; both feed a controller
@@ -23,37 +25,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = b.or_gate("system", &[power, controller])?;
     let dft = b.build(system)?;
 
-    println!("system: {} elements ({} basic events, {} gates)",
-        dft.num_elements(), dft.num_basic_events(), dft.num_gates());
-
-    let options = AnalysisOptions::default();
-    println!("\n mission time |  unreliability");
-    println!(" -------------+---------------");
-    for t in [0.5, 1.0, 2.0, 5.0] {
-        let result = unreliability(&dft, t, &options)?;
-        println!("        {t:5.1} |  {:.6}", result.probability());
-    }
-
-    // Cross-check a single point against the monolithic baseline.
-    let t = 1.0;
-    let compositional = unreliability(&dft, t, &options)?;
-    let monolithic = unreliability(
-        &dft,
-        t,
-        &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
-    )?;
     println!(
-        "\nat t = {t}: compositional {:.6} vs monolithic {:.6}",
-        compositional.probability(),
-        monolithic.probability()
+        "system: {} elements ({} basic events, {} gates)",
+        dft.num_elements(),
+        dft.num_basic_events(),
+        dft.num_gates()
     );
 
-    let stats = compositional.aggregation_stats().expect("compositional run");
+    // Build the aggregation pipeline once …
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+
+    // … then sweep the whole mission-time grid in one curve query.
+    let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0, 5.0]))?;
+    println!("\n mission time |  unreliability");
+    println!(" -------------+---------------");
+    for point in curve.points() {
+        println!(
+            "        {:5.1} |  {:.6}",
+            point.time().unwrap(),
+            point.value()
+        );
+    }
+
+    // The same session also answers the mean time to failure.
+    println!(
+        "\nmean time to failure: {:.4}",
+        analyzer.query(Measure::Mttf)?.value()
+    );
+
+    // Cross-check a single point against the monolithic baseline session.
+    let t = 1.0;
+    let compositional = analyzer.query(Measure::Unreliability(t))?;
+    let monolithic = Analyzer::new(
+        &dft,
+        AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
+    )?
+    .query(Measure::Unreliability(t))?;
+    println!(
+        "\nat t = {t}: compositional {:.6} vs monolithic {:.6}",
+        compositional.value(),
+        monolithic.value()
+    );
+
+    let stats = analyzer.aggregation_stats().expect("compositional run");
     println!(
         "compositional aggregation peaked at {} states / {} transitions over {} steps",
         stats.peak.states,
         stats.peak.transitions(),
         stats.steps.len()
+    );
+    println!(
+        "the session answered every query above with {} aggregation re-run(s)",
+        analyzer.aggregation_runs() - 1
     );
     Ok(())
 }

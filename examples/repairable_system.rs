@@ -1,11 +1,14 @@
 //! The repair extension of Section 7.2 / Figure 15 of the paper: a repairable AND
 //! gate over two repairable basic events, analysed for steady-state
-//! unavailability.
+//! unavailability — plus the mean time to first failure, answered by the *same*
+//! [`Analyzer`] session without re-running aggregation.
 //!
 //! Run with `cargo run --release --example repairable_system`.
 
 use dftmc::dft::{DftBuilder, Dormancy};
-use dftmc::dft_core::analysis::{unavailability, AnalysisOptions};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::AnalysisOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 15: AND over two repairable basic events.
@@ -15,17 +18,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = b.and_gate("system", &[a, bb])?;
     let dft = b.build(system)?;
 
-    let result = unavailability(&dft, &AnalysisOptions::default())?;
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    let unavailability = analyzer.query(Measure::Unavailability)?;
     // For independent repairable components the unavailability of the AND is the
     // product of the component unavailabilities: (1/11)·(2/12).
     let exact = (1.0 / 11.0) * (2.0 / 12.0);
     println!("repairable AND gate (Figure 15)");
-    println!("  computed unavailability : {:.6}", result.unavailability);
+    println!("  computed unavailability : {:.6}", unavailability.value());
     println!("  analytic product        : {:.6}", exact);
     println!(
         "  final aggregated model  : {} states, {} transitions",
-        result.final_model.states,
-        result.final_model.transitions()
+        analyzer.model_stats().states,
+        analyzer.model_stats().transitions()
+    );
+    // Same session, different measure: no second aggregation run.
+    println!(
+        "  mean time to failure    : {:.4}",
+        analyzer.query(Measure::Mttf)?.value()
+    );
+    println!(
+        "  aggregation runs        : {}",
+        analyzer.aggregation_runs()
     );
 
     // A slightly larger repairable system: 2-out-of-3 voting over repairable
@@ -36,8 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s3 = b.repairable_basic_event("S3", 0.1, Dormancy::Hot, 4.0)?;
     let system = b.voting_gate("voter", 2, &[s1, s2, s3])?;
     let dft = b.build(system)?;
-    let result = unavailability(&dft, &AnalysisOptions::default())?;
+    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
     println!("\n2-out-of-3 voting over repairable sensors");
-    println!("  computed unavailability : {:.8}", result.unavailability);
+    println!(
+        "  computed unavailability : {:.8}",
+        analyzer.query(Measure::Unavailability)?.value()
+    );
+    println!(
+        "  mean time to failure    : {:.4}",
+        analyzer.query(Measure::Mttf)?.value()
+    );
     Ok(())
 }

@@ -23,7 +23,10 @@ fn cas_unreliability_matches_the_paper() {
     // The FDEP trigger fails both CPUs at the same instant; the resulting ordering
     // non-determinism is confluent, so the bounds must coincide.
     let (lo, hi) = result.bounds();
-    assert!((hi - lo).abs() < 1e-9, "bounds [{lo}, {hi}] should coincide");
+    assert!(
+        (hi - lo).abs() < 1e-9,
+        "bounds [{lo}, {hi}] should coincide"
+    );
 }
 
 #[test]
@@ -32,7 +35,10 @@ fn cas_monolithic_baseline_agrees() {
     let mono = unreliability(
         &dft,
         1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+        &AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
     )
     .expect("baseline succeeds");
     assert!((mono.probability() - CAS_PAPER_UNRELIABILITY).abs() < 5e-4);
@@ -68,7 +74,11 @@ fn cas_modules_aggregate_to_small_ioimcs() {
             "{name}: expected a small aggregated module, got {} states",
             model.num_states()
         );
-        assert!(stats.peak.states < 200, "{name}: peak {}", stats.peak.states);
+        assert!(
+            stats.peak.states < 200,
+            "{name}: peak {}",
+            stats.peak.states
+        );
     }
 }
 
@@ -79,9 +89,15 @@ fn cas_module_unreliabilities_compose_to_the_system_value() {
     // modular-analysis argument of the paper.
     let options = AnalysisOptions::default();
     let t = 1.0;
-    let u_cpu = unreliability(&cas_cpu_unit(), t, &options).unwrap().probability();
-    let u_motor = unreliability(&cas_motor_unit(), t, &options).unwrap().probability();
-    let u_pump = unreliability(&cas_pump_unit(), t, &options).unwrap().probability();
+    let u_cpu = unreliability(&cas_cpu_unit(), t, &options)
+        .unwrap()
+        .probability();
+    let u_motor = unreliability(&cas_motor_unit(), t, &options)
+        .unwrap()
+        .probability();
+    let u_pump = unreliability(&cas_pump_unit(), t, &options)
+        .unwrap()
+        .probability();
     let composed = 1.0 - (1.0 - u_cpu) * (1.0 - u_motor) * (1.0 - u_pump);
     let system = unreliability(&cas(), t, &options).unwrap().probability();
     assert!(
@@ -99,7 +115,12 @@ fn cas_monolithic_chain_is_much_larger_than_module_chains() {
     let full = monolithic_ctmc(&cas()).expect("baseline builds");
     let pump = monolithic_ctmc(&cas_pump_unit()).expect("baseline builds");
     // The paper: "the biggest generated CTMC (the pump unit) had 8 states".
-    assert_eq!(pump.num_states(), 8, "pump unit chain has {} states", pump.num_states());
+    assert_eq!(
+        pump.num_states(),
+        8,
+        "pump unit chain has {} states",
+        pump.num_states()
+    );
     assert!(
         full.num_states() > 10 * pump.num_states(),
         "full chain ({}) should dwarf the pump unit chain ({})",

@@ -1,0 +1,109 @@
+//! Shared test support: a deterministic random fault-tree generator.
+//!
+//! The container carries no external crates, so instead of proptest the
+//! integration tests draw their random cases from a seeded [`SplitMix64`]
+//! stream; every run replays the exact same cases, and a failing case is
+//! reproduced by its printed seed.  Both `property_based.rs` and `engine.rs`
+//! build their trees through this module so the generated shapes cannot
+//! silently diverge between the two suites.
+
+// Each integration test crate compiles its own copy of this module and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use dftmc::dft::{Dft, DftBuilder, Dormancy, ElementId};
+use dftmc::dft_core::rng::SplitMix64;
+
+/// Minimal generator driver over a seeded SplitMix64 stream.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// A usize drawn uniformly from `lo..hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.rng.next_u64() as usize) % (hi - lo)
+    }
+
+    /// An f64 drawn uniformly from `lo..hi`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+}
+
+/// A random static fault tree over `n` basic events described by a compact
+/// recipe: every gate consumes a slice of previously created elements.
+#[derive(Debug, Clone)]
+pub struct StaticTreeRecipe {
+    pub rates: Vec<f64>,
+    /// For each gate: (kind selector, how many of the most recent roots it
+    /// takes).
+    pub gates: Vec<(u8, u8)>,
+}
+
+/// Mirrors the proptest strategy the suite used before going dependency-free:
+/// 2–5 basic events with rates in 0.1..3.0 and 1–3 gates of random kind/arity.
+pub fn random_recipe(gen: &mut Gen) -> StaticTreeRecipe {
+    let rates = (0..gen.usize_in(2, 6))
+        .map(|_| gen.f64_in(0.1, 3.0))
+        .collect();
+    let gates = (0..gen.usize_in(1, 4))
+        .map(|_| (gen.usize_in(0, 3) as u8, gen.usize_in(2, 4) as u8))
+        .collect();
+    StaticTreeRecipe { rates, gates }
+}
+
+/// Materialises a recipe into gates under a fresh name prefix.  Gates take
+/// their inputs from the front of a rolling list of "roots" (elements without a
+/// parent yet) so that the result is a tree; a final OR collects any leftovers.
+pub fn build_module(b: &mut DftBuilder, recipe: &StaticTreeRecipe, prefix: &str) -> ElementId {
+    let mut roots: Vec<ElementId> = recipe
+        .rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            b.basic_event(&format!("{prefix}_e{i}"), rate, Dormancy::Hot)
+                .unwrap()
+        })
+        .collect();
+    for (gi, &(kind, take)) in recipe.gates.iter().enumerate() {
+        let take = (take as usize).min(roots.len()).max(1);
+        let inputs: Vec<ElementId> = roots.drain(..take).collect();
+        let name = format!("{prefix}_g{gi}");
+        let gate = match kind % 3 {
+            0 => b.and_gate(&name, &inputs).unwrap(),
+            1 => b.or_gate(&name, &inputs).unwrap(),
+            _ => {
+                let k = inputs.len().div_ceil(2) as u32;
+                b.voting_gate(&name, k, &inputs).unwrap()
+            }
+        };
+        roots.push(gate);
+    }
+    if roots.len() == 1 {
+        roots[0]
+    } else {
+        b.or_gate(&format!("{prefix}_collect"), &roots).unwrap()
+    }
+}
+
+/// Builds a whole DFT from a recipe.
+pub fn build_static_tree(recipe: &StaticTreeRecipe, prefix: &str) -> Dft {
+    let mut b = DftBuilder::new();
+    let top = build_module(&mut b, recipe, prefix);
+    b.build(top).unwrap()
+}
+
+/// Convenience: a random static tree straight from a seed.
+pub fn random_static_tree(seed: u64, prefix: &str) -> Dft {
+    let mut gen = Gen::new(seed);
+    let recipe = random_recipe(&mut gen);
+    build_static_tree(&recipe, prefix)
+}

@@ -26,7 +26,10 @@ fn cps_unreliability_matches_the_paper() {
     let mono = unreliability(
         &dft,
         1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+        &AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
     )
     .expect("baseline succeeds");
     assert!((mono.probability() - comp.probability()).abs() < 1e-7);
@@ -63,7 +66,10 @@ fn module_a_aggregates_small() {
     // four events fail is irrelevant, so only the count survives aggregation.
     let mut b = DftBuilder::new();
     let events: Vec<_> = (0..4)
-        .map(|i| b.basic_event(&format!("modA_{i}"), 1.0, Dormancy::Hot).unwrap())
+        .map(|i| {
+            b.basic_event(&format!("modA_{i}"), 1.0, Dormancy::Hot)
+                .unwrap()
+        })
         .collect();
     let top = b.and_gate("modA", &events).unwrap();
     let module = b.build(top).unwrap();
@@ -80,7 +86,10 @@ fn module_a_aggregates_small() {
         .iter()
         .map(|t| t.rate)
         .sum();
-    assert!((initial_rate - 4.0).abs() < 1e-9, "lumped first step should have rate 4");
+    assert!(
+        (initial_rate - 4.0).abs() < 1e-9,
+        "lumped first step should have rate 4"
+    );
 }
 
 #[test]
@@ -92,7 +101,10 @@ fn smaller_cascaded_pand_instances_agree_across_methods() {
         let mono = unreliability(
             &dft,
             t,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -110,6 +122,8 @@ fn cps_unreliability_grows_with_mission_time_and_with_failure_rate() {
     let base = unreliability(&cps(), 1.0, &options).unwrap().probability();
     let longer = unreliability(&cps(), 2.0, &options).unwrap().probability();
     assert!(longer > base);
-    let faster = unreliability(&cascaded_pand(4, 2.0), 1.0, &options).unwrap().probability();
+    let faster = unreliability(&cascaded_pand(4, 2.0), 1.0, &options)
+        .unwrap()
+        .probability();
     assert!(faster > base);
 }

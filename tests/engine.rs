@@ -1,0 +1,231 @@
+//! Integration tests for the [`Analyzer`] session engine.
+//!
+//! The contract under test is the one the API redesign promises:
+//!
+//! 1. a mission-time sweep of any length triggers **exactly one**
+//!    conversion + aggregation,
+//! 2. [`Measure::UnreliabilityCurve`] matches repeated single-time queries,
+//! 3. unreliability is monotone in the mission time (property test over random
+//!    static trees),
+//! 4. the legacy one-shot wrappers in `dft_core::analysis` return bit-identical
+//!    results to the engine path on the paper's two case studies.
+
+use dftmc::dft::{DftBuilder, Dormancy};
+use dftmc::dft_core::analysis::{unavailability, unreliability};
+use dftmc::dft_core::casestudies::{cas, cps, DEFAULT_MISSION_TIMES};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::query::Measure;
+use dftmc::dft_core::rng::SplitMix64;
+use dftmc::dft_core::{AnalysisOptions, Method};
+
+mod common;
+use common::random_static_tree;
+
+/// A ≥10-point mission-time sweep through one `Analyzer` session runs the
+/// aggregation pipeline exactly once, and its statistics stay frozen across
+/// queries of every kind.
+#[test]
+fn sweep_triggers_exactly_one_aggregation() {
+    let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
+    assert_eq!(
+        analyzer.aggregation_runs(),
+        1,
+        "construction aggregates once"
+    );
+    let stats_before = analyzer
+        .aggregation_stats()
+        .expect("compositional run")
+        .clone();
+
+    assert_eq!(DEFAULT_MISSION_TIMES.len(), 10);
+    let curve = analyzer
+        .query(Measure::UnreliabilityCurve(&DEFAULT_MISSION_TIMES))
+        .unwrap();
+    assert_eq!(curve.len(), 10);
+    // Pile on more queries of every supported kind.
+    for &t in &DEFAULT_MISSION_TIMES {
+        analyzer.query(Measure::Unreliability(t)).unwrap();
+    }
+    // CAS carries genuine non-determinism (its FDEP fails P and B simultaneously
+    // under a spare gate), so MTTF is rejected — exactly as the legacy path does —
+    // and unavailability needs a repairable model; neither error path re-runs
+    // aggregation.
+    assert!(
+        analyzer.query(Measure::Mttf).is_err(),
+        "CAS non-determinism rejects MTTF"
+    );
+    assert!(
+        analyzer.query(Measure::Unavailability).is_err(),
+        "CAS is not repairable"
+    );
+
+    assert_eq!(
+        analyzer.aggregation_runs(),
+        1,
+        "21 queries later the pipeline still ran exactly once"
+    );
+    let stats_after = analyzer.aggregation_stats().expect("compositional run");
+    assert_eq!(stats_before.steps.len(), stats_after.steps.len());
+    assert_eq!(stats_before.peak, stats_after.peak);
+    assert_eq!(stats_before.final_model, stats_after.final_model);
+}
+
+/// Curve queries match repeated single-time queries — on the same session they
+/// are bit-identical (shared value-iteration pass, same Poisson weights).
+#[test]
+fn curve_matches_pointwise_queries() {
+    for (dft, label) in [(cas(), "cas"), (cps(), "cps")] {
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let curve = analyzer
+            .query(Measure::UnreliabilityCurve(&DEFAULT_MISSION_TIMES))
+            .unwrap();
+        for (point, &t) in curve.points().iter().zip(&DEFAULT_MISSION_TIMES) {
+            assert_eq!(point.time(), Some(t));
+            let single = analyzer.query(Measure::Unreliability(t)).unwrap();
+            let epsilon = analyzer.options().epsilon;
+            assert!(
+                (point.value() - single.value()).abs() <= epsilon,
+                "{label} at t={t}: curve {} vs single {}",
+                point.value(),
+                single.value()
+            );
+            assert_eq!(
+                point.value().to_bits(),
+                single.value().to_bits(),
+                "{label} at t={t}: same session, same pass — must be bit-identical"
+            );
+            assert_eq!(point.bounds(), single.bounds(), "{label} at t={t}");
+        }
+    }
+}
+
+/// Property test: on random static trees, the unreliability curve is monotone in
+/// the mission time (failures accumulate; nothing is repairable here).
+#[test]
+fn unreliability_curve_is_monotone_in_time() {
+    for case in 0..16u64 {
+        let dft = random_static_tree(0xc0ffee + case, &format!("eng_mono{case}"));
+        let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let mut rng = SplitMix64::new(0xbeef + case);
+        // A sorted random grid plus the default grid, to vary the sample points.
+        let mut times: Vec<f64> = (0..12).map(|_| rng.next_f64() * 4.0).collect();
+        times.extend_from_slice(&DEFAULT_MISSION_TIMES);
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let curve = analyzer.query(Measure::UnreliabilityCurve(&times)).unwrap();
+        let values: Vec<f64> = curve.values().collect();
+        for window in values.windows(2) {
+            assert!(
+                window[1] >= window[0] - 1e-9,
+                "case {case}: unreliability decreased: {} -> {}",
+                window[0],
+                window[1]
+            );
+        }
+        assert!(
+            values.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)),
+            "case {case}"
+        );
+        assert_eq!(analyzer.aggregation_runs(), 1);
+    }
+}
+
+/// The legacy wrappers delegate to the engine, so their results must be
+/// bit-identical to querying an `Analyzer` directly — on both case studies and
+/// for both methods.
+#[test]
+fn legacy_wrappers_are_bit_identical_to_the_engine_on_the_case_studies() {
+    for (dft, label) in [(cas(), "cas"), (cps(), "cps")] {
+        for method in [Method::Compositional, Method::Monolithic] {
+            let options = AnalysisOptions {
+                method,
+                ..AnalysisOptions::default()
+            };
+            let analyzer = Analyzer::new(&dft, options.clone()).unwrap();
+            for &t in &DEFAULT_MISSION_TIMES {
+                let engine = analyzer.query(Measure::Unreliability(t)).unwrap();
+                let legacy = unreliability(&dft, t, &options).unwrap();
+                assert_eq!(
+                    legacy.probability().to_bits(),
+                    engine.value().to_bits(),
+                    "{label}/{method:?} at t={t}: legacy {} vs engine {}",
+                    legacy.probability(),
+                    engine.value()
+                );
+                assert_eq!(
+                    legacy.bounds(),
+                    engine.bounds(),
+                    "{label}/{method:?} at t={t}"
+                );
+                assert_eq!(
+                    legacy.is_nondeterministic(),
+                    engine.is_nondeterministic(),
+                    "{label}/{method:?} at t={t}"
+                );
+            }
+        }
+    }
+}
+
+/// Same bit-identity contract for the unavailability wrapper, on a repairable
+/// system (the case studies are non-repairable, where both paths must agree on
+/// the error instead).
+#[test]
+fn legacy_unavailability_matches_the_engine() {
+    let mut b = DftBuilder::new();
+    let a = b
+        .repairable_basic_event("eng_rA", 1.0, Dormancy::Hot, 10.0)
+        .unwrap();
+    let bb = b
+        .repairable_basic_event("eng_rB", 2.0, Dormancy::Hot, 10.0)
+        .unwrap();
+    let top = b.and_gate("eng_rTop", &[a, bb]).unwrap();
+    let dft = b.build(top).unwrap();
+
+    let options = AnalysisOptions::default();
+    let analyzer = Analyzer::new(&dft, options.clone()).unwrap();
+    let engine = analyzer.query(Measure::Unavailability).unwrap();
+    let legacy = unavailability(&dft, &options).unwrap();
+    assert_eq!(legacy.unavailability.to_bits(), engine.value().to_bits());
+    assert_eq!(legacy.final_model, analyzer.model_stats());
+
+    // Non-repairable trees: both paths reject the query.
+    assert!(unavailability(&cas(), &options).is_err());
+    assert!(Analyzer::new(&cas(), options)
+        .unwrap()
+        .query(Measure::Unavailability)
+        .is_err());
+}
+
+/// The engine handles edge-case sweeps: unsorted input (answered in request
+/// order), duplicate points, t = 0, and the empty sweep.
+#[test]
+fn curve_edge_cases() {
+    let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
+
+    let unsorted = [2.0, 0.5, 1.0, 0.5, 0.0];
+    let curve = analyzer
+        .query(Measure::UnreliabilityCurve(&unsorted))
+        .unwrap();
+    assert_eq!(curve.len(), 5);
+    let values: Vec<f64> = curve.values().collect();
+    assert_eq!(
+        values[1].to_bits(),
+        values[3].to_bits(),
+        "duplicate points agree"
+    );
+    assert_eq!(values[4], 0.0, "nothing fails in zero time");
+    assert!(
+        values[0] > values[2] && values[2] > values[1],
+        "request order is preserved"
+    );
+
+    let empty = analyzer.query(Measure::UnreliabilityCurve(&[])).unwrap();
+    assert!(empty.is_empty());
+
+    assert!(
+        analyzer
+            .query(Measure::UnreliabilityCurve(&[1.0, -1.0]))
+            .is_err(),
+        "negative mission times are rejected"
+    );
+}

@@ -64,8 +64,12 @@ fn mutually_exclusive_failure_modes_never_both_occur() {
     let dft = b.build(either).unwrap();
     let t = 1.3;
     let r = unreliability(&dft, t, &options()).unwrap();
-    let exact = 1.0 - (-1.0f64 * t).exp();
-    assert!((r.probability() - exact).abs() < 1e-6, "{} vs {exact}", r.probability());
+    let exact = 1.0 - (-t).exp();
+    assert!(
+        (r.probability() - exact).abs() < 1e-6,
+        "{} vs {exact}",
+        r.probability()
+    );
 }
 
 #[test]
@@ -80,8 +84,12 @@ fn seq_gate_behaves_like_a_cold_spare_chain() {
     let dft = b.build(top).unwrap();
     let t = 1.0;
     let r = unreliability(&dft, t, &options()).unwrap();
-    let erlang = 1.0 - (-t as f64).exp() * (1.0 + t);
-    assert!((r.probability() - erlang).abs() < 1e-6, "{} vs {erlang}", r.probability());
+    let erlang = 1.0 - (-t).exp() * (1.0 + t);
+    assert!(
+        (r.probability() - erlang).abs() < 1e-6,
+        "{} vs {erlang}",
+        r.probability()
+    );
 }
 
 #[test]
@@ -96,7 +104,11 @@ fn inhibition_with_multiple_inhibitors() {
     let dft = b.build(top).unwrap();
     let r = unreliability(&dft, 50.0, &options()).unwrap();
     // For a long horizon: P(B fails before both inhibitors) = 1/3.
-    assert!((r.probability() - 1.0 / 3.0).abs() < 1e-3, "{}", r.probability());
+    assert!(
+        (r.probability() - 1.0 / 3.0).abs() < 1e-3,
+        "{}",
+        r.probability()
+    );
 }
 
 #[test]

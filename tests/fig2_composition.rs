@@ -71,8 +71,11 @@ fn aggregation_collapses_the_interleaving_diamond() {
         reduced.num_states()
     );
     // The first move lumps both interleavings into a single rate-2λ transition.
-    let initial_rate: f64 =
-        reduced.markovian_from(reduced.initial()).iter().map(|t| t.rate).sum();
+    let initial_rate: f64 = reduced
+        .markovian_from(reduced.initial())
+        .iter()
+        .map(|t| t.rate)
+        .sum();
     assert!((initial_rate - 2.0 * LAMBDA).abs() < 1e-9);
     // b! stays observable.
     assert!(reduced
@@ -108,13 +111,11 @@ fn aggregation_preserves_the_time_to_b() {
             .iter()
             .map(|tr| (tr.from.index() as u32, tr.to.index() as u32, tr.rate))
             .collect();
-        let ctmc = Ctmc::from_transitions(
-            closed.num_states(),
-            closed.initial().index(),
-            &transitions,
-        )
-        .expect("valid chain");
-        ctmc.reachability(&goal, t, 1e-10).expect("reachability computes")
+        let ctmc =
+            Ctmc::from_transitions(closed.num_states(), closed.initial().index(), &transitions)
+                .expect("valid chain");
+        ctmc.reachability(&goal, t, 1e-10)
+            .expect("reachability computes")
     };
 
     for t in [0.3, 1.0, 2.5] {

@@ -67,7 +67,11 @@ fn printing_and_reparsing_preserves_the_measure() {
     let printed = to_galileo(&original);
     let reparsed = parse(&printed).expect("printed output parses");
     let options = AnalysisOptions::default();
-    let a = unreliability(&original, 1.0, &options).unwrap().probability();
-    let b = unreliability(&reparsed, 1.0, &options).unwrap().probability();
+    let a = unreliability(&original, 1.0, &options)
+        .unwrap()
+        .probability();
+    let b = unreliability(&reparsed, 1.0, &options)
+        .unwrap()
+        .probability();
     assert!((a - b).abs() < 1e-9);
 }

@@ -38,7 +38,7 @@ fn cold_complex_spare_cannot_fail_before_activation() {
     // the convolution of two such phases.  Monte-Carlo-free bound checks: it must
     // be below the probability for a single AND phase and above the value for an
     // Erlang(4,1) (the slowest possible ordering).
-    let single_phase = (1.0 - (-t as f64).exp()).powi(2);
+    let single_phase = (1.0 - (-t).exp()).powi(2);
     assert!(r.probability() < single_phase);
     assert!(r.probability() > 0.0);
 }
@@ -50,7 +50,7 @@ fn hot_complex_spare_equals_and_of_all_events() {
     let dft = complex_spare_system(Dormancy::Hot);
     let t = 0.8;
     let r = unreliability(&dft, t, &options()).unwrap();
-    let p_module = (1.0 - (-t as f64).exp()).powi(2);
+    let p_module = (1.0 - (-t).exp()).powi(2);
     let exact = p_module * p_module;
     assert!(
         (r.probability() - exact).abs() < 1e-6,
@@ -89,7 +89,9 @@ fn fdep_can_trigger_a_gate() {
     let top = b.and_gate("system", &[gate_a, bb]).unwrap();
     let dft = b.build(top).unwrap();
     let horizon = 1.0;
-    let with_trigger = unreliability(&dft, horizon, &options()).unwrap().probability();
+    let with_trigger = unreliability(&dft, horizon, &options())
+        .unwrap()
+        .probability();
 
     // Without the FDEP the system is strictly more reliable.
     let mut b = DftBuilder::new();
@@ -98,13 +100,14 @@ fn fdep_can_trigger_a_gate() {
     let gate_a = b.and_gate("A", &[c, e]).unwrap();
     let bb = b.basic_event("B", 1.0, Dormancy::Hot).unwrap();
     let top = b.and_gate("system", &[gate_a, bb]).unwrap();
-    let without_trigger =
-        unreliability(&b.build(top).unwrap(), horizon, &options()).unwrap().probability();
+    let without_trigger = unreliability(&b.build(top).unwrap(), horizon, &options())
+        .unwrap()
+        .probability();
 
     assert!(with_trigger > without_trigger);
     // And the trigger alone is not enough: B must also fail, so the unreliability
     // stays below P(B fails).
-    assert!(with_trigger < 1.0 - (-1.0f64 * horizon).exp());
+    assert!(with_trigger < 1.0 - (-horizon).exp());
 }
 
 #[test]
@@ -116,7 +119,10 @@ fn cps_modules_are_detected_and_reusable() {
     let modules = independent_modules(&dft);
     let module_names: Vec<&str> = modules.iter().map(|m| dft.name(m.root)).collect();
     for name in ["A", "C", "D"] {
-        assert!(module_names.contains(&name), "{name} should be an independent module");
+        assert!(
+            module_names.contains(&name),
+            "{name} should be an independent module"
+        );
     }
 
     // Module reuse: aggregate module A once and rename its interface to obtain
@@ -124,7 +130,10 @@ fn cps_modules_are_detected_and_reusable() {
     let module_a = {
         let mut b = DftBuilder::new();
         let events: Vec<_> = (0..4)
-            .map(|i| b.basic_event(&format!("A_{i}"), 1.0, Dormancy::Hot).unwrap())
+            .map(|i| {
+                b.basic_event(&format!("A_{i}"), 1.0, Dormancy::Hot)
+                    .unwrap()
+            })
             .collect();
         let top = b.and_gate("A", &events).unwrap();
         b.build(top).unwrap()

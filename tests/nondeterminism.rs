@@ -61,7 +61,10 @@ fn confluent_nondeterminism_keeps_bounds_tight() {
     let dft = b.build(top).unwrap();
     let r = unreliability(&dft, 1.0, &AnalysisOptions::default()).unwrap();
     let (lo, hi) = r.bounds();
-    assert!((hi - lo).abs() < 1e-9, "bounds [{lo}, {hi}] should coincide");
+    assert!(
+        (hi - lo).abs() < 1e-9,
+        "bounds [{lo}, {hi}] should coincide"
+    );
 }
 
 #[test]
@@ -75,7 +78,10 @@ fn bounds_bracket_the_deterministic_resolution_of_the_baseline() {
     let mono = unreliability(
         &dft,
         1.0,
-        &AnalysisOptions { method: Method::Monolithic, ..options },
+        &AnalysisOptions {
+            method: Method::Monolithic,
+            ..options
+        },
     )
     .unwrap();
     let (lo, hi) = comp.bounds();

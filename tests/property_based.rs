@@ -4,158 +4,155 @@
 //! The key oracle is the agreement between the two completely independent
 //! analysis paths — the compositional I/O-IMC pipeline and the DIFTree-style
 //! monolithic chain — plus closed-form values for structures where one exists.
+//!
+//! The random cases are drawn from a seeded [`SplitMix64`] stream (the container
+//! carries no external crates, so instead of proptest this file rolls its own
+//! minimal generator); every run therefore replays the exact same cases, and a
+//! failing case is reproduced by its printed seed.
 
 use dftmc::dft::{DftBuilder, Dormancy, ElementId};
 use dftmc::dft_core::analysis::{unreliability, AnalysisOptions, Method};
-use proptest::prelude::*;
 
-/// A random static fault tree over `n` basic events described by a compact recipe:
-/// every gate consumes a slice of previously created elements.
-#[derive(Debug, Clone)]
-struct StaticTreeRecipe {
-    rates: Vec<f64>,
-    /// For each gate: (kind selector, how many of the most recent roots it takes).
-    gates: Vec<(u8, u8)>,
-}
+mod common;
+use common::{build_module, build_static_tree, random_recipe, Gen};
 
-fn static_tree_strategy() -> impl Strategy<Value = StaticTreeRecipe> {
-    let rates = prop::collection::vec(0.1f64..3.0, 2..6);
-    let gates = prop::collection::vec((0u8..3, 2u8..4), 1..4);
-    (rates, gates).prop_map(|(rates, gates)| StaticTreeRecipe { rates, gates })
-}
-
-/// Materialises a recipe into a DFT.  Gates take their inputs from the front of a
-/// rolling list of "roots" (elements without a parent yet) so that the result is a
-/// tree; a final OR collects any leftovers.
-fn build_static_tree(recipe: &StaticTreeRecipe) -> dftmc::dft::Dft {
-    let mut b = DftBuilder::new();
-    let mut roots: Vec<ElementId> = recipe
-        .rates
-        .iter()
-        .enumerate()
-        .map(|(i, &rate)| b.basic_event(&format!("pb_e{i}"), rate, Dormancy::Hot).unwrap())
-        .collect();
-    for (gi, &(kind, take)) in recipe.gates.iter().enumerate() {
-        let take = (take as usize).min(roots.len()).max(1);
-        let inputs: Vec<ElementId> = roots.drain(..take).collect();
-        let name = format!("pb_g{gi}");
-        let gate = match kind % 3 {
-            0 => b.and_gate(&name, &inputs).unwrap(),
-            1 => b.or_gate(&name, &inputs).unwrap(),
-            _ => {
-                let k = ((inputs.len() + 1) / 2) as u32;
-                b.voting_gate(&name, k, &inputs).unwrap()
-            }
-        };
-        roots.push(gate);
-    }
-    let top = if roots.len() == 1 {
-        roots[0]
-    } else {
-        b.or_gate("pb_top", &roots).unwrap()
-    };
-    b.build(top).unwrap()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// The compositional and monolithic analyses must agree on arbitrary static
-    /// fault trees.
-    #[test]
-    fn compositional_matches_monolithic_on_static_trees(
-        recipe in static_tree_strategy(),
-        t in 0.1f64..2.0,
-    ) {
-        let dft = build_static_tree(&recipe);
+/// The compositional and monolithic analyses must agree on arbitrary static
+/// fault trees.
+#[test]
+fn compositional_matches_monolithic_on_static_trees() {
+    for case in 0..24u64 {
+        let mut gen = Gen::new(0x5747_1c00 + case);
+        let recipe = random_recipe(&mut gen);
+        let t = gen.f64_in(0.1, 2.0);
+        let dft = build_static_tree(&recipe, &format!("pba{case}"));
         let comp = unreliability(&dft, t, &AnalysisOptions::default()).unwrap();
         let mono = unreliability(
             &dft,
             t,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
-        prop_assert!(!comp.is_nondeterministic());
-        prop_assert!(
+        assert!(!comp.is_nondeterministic(), "case {case}");
+        assert!(
             (comp.probability() - mono.probability()).abs() < 1e-6,
-            "compositional {} vs monolithic {}",
+            "case {case}: compositional {} vs monolithic {}",
             comp.probability(),
             mono.probability()
         );
-        prop_assert!(comp.probability() >= -1e-12 && comp.probability() <= 1.0 + 1e-12);
+        assert!(
+            comp.probability() >= -1e-12 && comp.probability() <= 1.0 + 1e-12,
+            "case {case}"
+        );
     }
+}
 
-    /// Unreliability is monotone in the mission time.
-    #[test]
-    fn unreliability_is_monotone_in_time(
-        recipe in static_tree_strategy(),
-        t1 in 0.1f64..1.0,
-        delta in 0.1f64..1.0,
-    ) {
-        let dft = build_static_tree(&recipe);
+/// Unreliability is monotone in the mission time.
+#[test]
+fn unreliability_is_monotone_in_time() {
+    for case in 0..24u64 {
+        let mut gen = Gen::new(0x0a0b_0100 + case);
+        let recipe = random_recipe(&mut gen);
+        let t1 = gen.f64_in(0.1, 1.0);
+        let delta = gen.f64_in(0.1, 1.0);
+        let dft = build_static_tree(&recipe, &format!("pbm{case}"));
         let options = AnalysisOptions::default();
         let early = unreliability(&dft, t1, &options).unwrap().probability();
-        let late = unreliability(&dft, t1 + delta, &options).unwrap().probability();
-        prop_assert!(late >= early - 1e-9, "unreliability decreased: {early} -> {late}");
+        let late = unreliability(&dft, t1 + delta, &options)
+            .unwrap()
+            .probability();
+        assert!(
+            late >= early - 1e-9,
+            "case {case}: unreliability decreased: {early} -> {late}"
+        );
     }
+}
 
-    /// An OR of hot exponential events is itself exponential with the summed rate.
-    #[test]
-    fn or_of_exponentials_is_exponential(
-        rates in prop::collection::vec(0.05f64..2.0, 1..5),
-        t in 0.1f64..3.0,
-    ) {
+/// An OR of hot exponential events is itself exponential with the summed rate.
+#[test]
+fn or_of_exponentials_is_exponential() {
+    for case in 0..24u64 {
+        let mut gen = Gen::new(0x0e0f_0200 + case);
+        let rates: Vec<f64> = (0..gen.usize_in(1, 5))
+            .map(|_| gen.f64_in(0.05, 2.0))
+            .collect();
+        let t = gen.f64_in(0.1, 3.0);
         let mut b = DftBuilder::new();
         let events: Vec<ElementId> = rates
             .iter()
             .enumerate()
-            .map(|(i, &r)| b.basic_event(&format!("or_e{i}"), r, Dormancy::Hot).unwrap())
+            .map(|(i, &r)| {
+                b.basic_event(&format!("or{case}_e{i}"), r, Dormancy::Hot)
+                    .unwrap()
+            })
             .collect();
-        let top = b.or_gate("or_top", &events).unwrap();
+        let top = b.or_gate(&format!("or{case}_top"), &events).unwrap();
         let dft = b.build(top).unwrap();
         let total: f64 = rates.iter().sum();
         let exact = 1.0 - (-total * t).exp();
         let computed = unreliability(&dft, t, &AnalysisOptions::default())
             .unwrap()
             .probability();
-        prop_assert!((computed - exact).abs() < 1e-6, "{computed} vs {exact}");
+        assert!(
+            (computed - exact).abs() < 1e-6,
+            "case {case}: {computed} vs {exact}"
+        );
     }
+}
 
-    /// An AND of hot exponential events has the product of the component
-    /// unreliabilities.
-    #[test]
-    fn and_of_exponentials_is_a_product(
-        rates in prop::collection::vec(0.05f64..2.0, 1..5),
-        t in 0.1f64..3.0,
-    ) {
+/// An AND of hot exponential events has the product of the component
+/// unreliabilities.
+#[test]
+fn and_of_exponentials_is_a_product() {
+    for case in 0..24u64 {
+        let mut gen = Gen::new(0x0c0d_0300 + case);
+        let rates: Vec<f64> = (0..gen.usize_in(1, 5))
+            .map(|_| gen.f64_in(0.05, 2.0))
+            .collect();
+        let t = gen.f64_in(0.1, 3.0);
         let mut b = DftBuilder::new();
         let events: Vec<ElementId> = rates
             .iter()
             .enumerate()
-            .map(|(i, &r)| b.basic_event(&format!("and_e{i}"), r, Dormancy::Hot).unwrap())
+            .map(|(i, &r)| {
+                b.basic_event(&format!("and{case}_e{i}"), r, Dormancy::Hot)
+                    .unwrap()
+            })
             .collect();
-        let top = b.and_gate("and_top", &events).unwrap();
+        let top = b.and_gate(&format!("and{case}_top"), &events).unwrap();
         let dft = b.build(top).unwrap();
         let exact: f64 = rates.iter().map(|&r| 1.0 - (-r * t).exp()).product();
         let computed = unreliability(&dft, t, &AnalysisOptions::default())
             .unwrap()
             .probability();
-        prop_assert!((computed - exact).abs() < 1e-6, "{computed} vs {exact}");
+        assert!(
+            (computed - exact).abs() < 1e-6,
+            "case {case}: {computed} vs {exact}"
+        );
     }
+}
 
-    /// A chain of cold spares over identical rates has an Erlang failure time.
-    #[test]
-    fn cold_spare_chain_is_erlang(
-        stages in 2usize..5,
-        rate in 0.2f64..2.0,
-        t in 0.1f64..2.0,
-    ) {
+/// A chain of cold spares over identical rates has an Erlang failure time.
+#[test]
+fn cold_spare_chain_is_erlang() {
+    for case in 0..24u64 {
+        let mut gen = Gen::new(0xe71a_0400 + case);
+        let stages = gen.usize_in(2, 5);
+        let rate = gen.f64_in(0.2, 2.0);
+        let t = gen.f64_in(0.1, 2.0);
         let mut b = DftBuilder::new();
-        let mut inputs = vec![b.basic_event("erl_primary", rate, Dormancy::Hot).unwrap()];
+        let mut inputs = vec![b
+            .basic_event(&format!("erl{case}_primary"), rate, Dormancy::Hot)
+            .unwrap()];
         for i in 1..stages {
-            inputs.push(b.basic_event(&format!("erl_s{i}"), rate, Dormancy::Cold).unwrap());
+            inputs.push(
+                b.basic_event(&format!("erl{case}_s{i}"), rate, Dormancy::Cold)
+                    .unwrap(),
+            );
         }
-        let top = b.spare_gate("erl_top", &inputs).unwrap();
+        let top = b.spare_gate(&format!("erl{case}_top"), &inputs).unwrap();
         let dft = b.build(top).unwrap();
         // Erlang(stages, rate) CDF.
         let mut term = 1.0;
@@ -170,66 +167,41 @@ proptest! {
         let computed = unreliability(&dft, t, &AnalysisOptions::default())
             .unwrap()
             .probability();
-        prop_assert!((computed - exact).abs() < 1e-6, "{computed} vs {exact}");
+        assert!(
+            (computed - exact).abs() < 1e-6,
+            "case {case}: {computed} vs {exact}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Random *dynamic* trees: a PAND over two random static sub-trees.  The two
-    /// analysis paths must still agree (no closed form exists here).
-    #[test]
-    fn compositional_matches_monolithic_on_pand_over_modules(
-        left in static_tree_strategy(),
-        right in static_tree_strategy(),
-        t in 0.2f64..1.5,
-    ) {
+/// Random *dynamic* trees: a PAND over two random static sub-trees.  The two
+/// analysis paths must still agree (no closed form exists here).
+#[test]
+fn compositional_matches_monolithic_on_pand_over_modules() {
+    for case in 0..12u64 {
+        let mut gen = Gen::new(0x9a7d_0500 + case);
+        let left = random_recipe(&mut gen);
+        let right = random_recipe(&mut gen);
+        let t = gen.f64_in(0.2, 1.5);
         let mut b = DftBuilder::new();
-        let build_module = |b: &mut DftBuilder, recipe: &StaticTreeRecipe, prefix: &str| {
-            let mut roots: Vec<ElementId> = recipe
-                .rates
-                .iter()
-                .enumerate()
-                .map(|(i, &rate)| {
-                    b.basic_event(&format!("{prefix}_e{i}"), rate, Dormancy::Hot).unwrap()
-                })
-                .collect();
-            for (gi, &(kind, take)) in recipe.gates.iter().enumerate() {
-                let take = (take as usize).min(roots.len()).max(1);
-                let inputs: Vec<ElementId> = roots.drain(..take).collect();
-                let name = format!("{prefix}_g{gi}");
-                let gate = match kind % 3 {
-                    0 => b.and_gate(&name, &inputs).unwrap(),
-                    1 => b.or_gate(&name, &inputs).unwrap(),
-                    _ => {
-                        let k = ((inputs.len() + 1) / 2) as u32;
-                        b.voting_gate(&name, k, &inputs).unwrap()
-                    }
-                };
-                roots.push(gate);
-            }
-            if roots.len() == 1 {
-                roots[0]
-            } else {
-                b.or_gate(&format!("{prefix}_collect"), &roots).unwrap()
-            }
-        };
-        let l = build_module(&mut b, &left, "pl");
-        let r = build_module(&mut b, &right, "pr");
-        let top = b.pand_gate("pb_pand_top", &[l, r]).unwrap();
+        let l = build_module(&mut b, &left, &format!("pl{case}"));
+        let r = build_module(&mut b, &right, &format!("pr{case}"));
+        let top = b.pand_gate(&format!("pb{case}_pand_top"), &[l, r]).unwrap();
         let dft = b.build(top).unwrap();
 
         let comp = unreliability(&dft, t, &AnalysisOptions::default()).unwrap();
         let mono = unreliability(
             &dft,
             t,
-            &AnalysisOptions { method: Method::Monolithic, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap();
-        prop_assert!(
+        assert!(
             (comp.probability() - mono.probability()).abs() < 1e-6,
-            "compositional {} vs monolithic {}",
+            "case {case}: compositional {} vs monolithic {}",
             comp.probability(),
             mono.probability()
         );

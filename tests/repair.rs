@@ -20,30 +20,50 @@ fn figure_15_repairable_and_gate() {
     // unavailability.  For independent components that value is the product of the
     // component unavailabilities.
     let mut b = DftBuilder::new();
-    let a = b.repairable_basic_event("A", 1.0, Dormancy::Hot, 10.0).unwrap();
-    let bb = b.repairable_basic_event("B", 2.0, Dormancy::Hot, 10.0).unwrap();
+    let a = b
+        .repairable_basic_event("A", 1.0, Dormancy::Hot, 10.0)
+        .unwrap();
+    let bb = b
+        .repairable_basic_event("B", 2.0, Dormancy::Hot, 10.0)
+        .unwrap();
     let top = b.and_gate("system", &[a, bb]).unwrap();
     let dft = b.build(top).unwrap();
     let r = unavailability(&dft, &options()).unwrap();
     let exact = component_unavailability(1.0, 10.0) * component_unavailability(2.0, 10.0);
-    assert!((r.unavailability - exact).abs() < 1e-6, "{} vs {exact}", r.unavailability);
+    assert!(
+        (r.unavailability - exact).abs() < 1e-6,
+        "{} vs {exact}",
+        r.unavailability
+    );
     // The aggregated model stays tiny (the paper's Figure 15(b) has 4 states; our
     // monitor adds little).
-    assert!(r.final_model.states <= 10, "final model has {} states", r.final_model.states);
+    assert!(
+        r.final_model.states <= 10,
+        "final model has {} states",
+        r.final_model.states
+    );
 }
 
 #[test]
 fn or_of_repairable_components() {
     let mut b = DftBuilder::new();
-    let a = b.repairable_basic_event("A", 1.0, Dormancy::Hot, 4.0).unwrap();
-    let bb = b.repairable_basic_event("B", 0.5, Dormancy::Hot, 2.0).unwrap();
+    let a = b
+        .repairable_basic_event("A", 1.0, Dormancy::Hot, 4.0)
+        .unwrap();
+    let bb = b
+        .repairable_basic_event("B", 0.5, Dormancy::Hot, 2.0)
+        .unwrap();
     let top = b.or_gate("system", &[a, bb]).unwrap();
     let dft = b.build(top).unwrap();
     let r = unavailability(&dft, &options()).unwrap();
     // OR is down unless both components are up: 1 - prod(availability).
     let exact = 1.0
         - (1.0 - component_unavailability(1.0, 4.0)) * (1.0 - component_unavailability(0.5, 2.0));
-    assert!((r.unavailability - exact).abs() < 1e-6, "{} vs {exact}", r.unavailability);
+    assert!(
+        (r.unavailability - exact).abs() < 1e-6,
+        "{} vs {exact}",
+        r.unavailability
+    );
 }
 
 #[test]
@@ -53,13 +73,20 @@ fn voting_gate_unavailability() {
     let q = component_unavailability(0.2, 1.0);
     let mut b = DftBuilder::new();
     let s: Vec<_> = (0..3)
-        .map(|i| b.repairable_basic_event(&format!("S{i}"), 0.2, Dormancy::Hot, 1.0).unwrap())
+        .map(|i| {
+            b.repairable_basic_event(&format!("S{i}"), 0.2, Dormancy::Hot, 1.0)
+                .unwrap()
+        })
         .collect();
     let top = b.voting_gate("voter", 2, &s).unwrap();
     let dft = b.build(top).unwrap();
     let r = unavailability(&dft, &options()).unwrap();
     let exact = 3.0 * q * q * (1.0 - q) + q * q * q;
-    assert!((r.unavailability - exact).abs() < 1e-6, "{} vs {exact}", r.unavailability);
+    assert!(
+        (r.unavailability - exact).abs() < 1e-6,
+        "{} vs {exact}",
+        r.unavailability
+    );
 }
 
 #[test]
@@ -67,12 +94,18 @@ fn mixed_repairable_and_unrepairable_components() {
     // One unrepairable component in an OR: in the long run the system is down with
     // probability 1, and unreliability is driven by the unrepairable part.
     let mut b = DftBuilder::new();
-    let a = b.repairable_basic_event("A", 1.0, Dormancy::Hot, 5.0).unwrap();
+    let a = b
+        .repairable_basic_event("A", 1.0, Dormancy::Hot, 5.0)
+        .unwrap();
     let bb = b.basic_event("B", 0.1, Dormancy::Hot).unwrap();
     let top = b.or_gate("system", &[a, bb]).unwrap();
     let dft = b.build(top).unwrap();
     let r = unavailability(&dft, &options()).unwrap();
-    assert!(r.unavailability > 0.99, "unrepairable leaf should dominate: {}", r.unavailability);
+    assert!(
+        r.unavailability > 0.99,
+        "unrepairable leaf should dominate: {}",
+        r.unavailability
+    );
 }
 
 #[test]
@@ -82,18 +115,26 @@ fn repairable_tree_unreliability_is_lower_than_unrepairable() {
     // than without repair.
     let t = 2.0;
     let mut b = DftBuilder::new();
-    let a = b.repairable_basic_event("A", 1.0, Dormancy::Hot, 5.0).unwrap();
-    let bb = b.repairable_basic_event("B", 1.0, Dormancy::Hot, 5.0).unwrap();
+    let a = b
+        .repairable_basic_event("A", 1.0, Dormancy::Hot, 5.0)
+        .unwrap();
+    let bb = b
+        .repairable_basic_event("B", 1.0, Dormancy::Hot, 5.0)
+        .unwrap();
     let top = b.and_gate("system", &[a, bb]).unwrap();
     let repairable = b.build(top).unwrap();
-    let with_repair = unreliability(&repairable, t, &options()).unwrap().probability();
+    let with_repair = unreliability(&repairable, t, &options())
+        .unwrap()
+        .probability();
 
     let mut b = DftBuilder::new();
     let a = b.basic_event("A", 1.0, Dormancy::Hot).unwrap();
     let bb = b.basic_event("B", 1.0, Dormancy::Hot).unwrap();
     let top = b.and_gate("system", &[a, bb]).unwrap();
     let unrepairable = b.build(top).unwrap();
-    let without_repair = unreliability(&unrepairable, t, &options()).unwrap().probability();
+    let without_repair = unreliability(&unrepairable, t, &options())
+        .unwrap()
+        .probability();
 
     assert!(with_repair < without_repair);
     assert!(with_repair > 0.0);
@@ -103,9 +144,15 @@ fn repairable_tree_unreliability_is_lower_than_unrepairable() {
 fn deeper_repairable_trees_analyse_correctly() {
     // OR over an AND and a single component, everything repairable.
     let mut b = DftBuilder::new();
-    let a = b.repairable_basic_event("A", 1.0, Dormancy::Hot, 10.0).unwrap();
-    let c = b.repairable_basic_event("C", 1.0, Dormancy::Hot, 10.0).unwrap();
-    let d = b.repairable_basic_event("D", 0.2, Dormancy::Hot, 5.0).unwrap();
+    let a = b
+        .repairable_basic_event("A", 1.0, Dormancy::Hot, 10.0)
+        .unwrap();
+    let c = b
+        .repairable_basic_event("C", 1.0, Dormancy::Hot, 10.0)
+        .unwrap();
+    let d = b
+        .repairable_basic_event("D", 0.2, Dormancy::Hot, 5.0)
+        .unwrap();
     let and = b.and_gate("pair", &[a, c]).unwrap();
     let top = b.or_gate("system", &[and, d]).unwrap();
     let dft = b.build(top).unwrap();
@@ -113,7 +160,11 @@ fn deeper_repairable_trees_analyse_correctly() {
     let qa = component_unavailability(1.0, 10.0);
     let qd = component_unavailability(0.2, 5.0);
     let exact = 1.0 - (1.0 - qa * qa) * (1.0 - qd);
-    assert!((r.unavailability - exact).abs() < 1e-6, "{} vs {exact}", r.unavailability);
+    assert!(
+        (r.unavailability - exact).abs() < 1e-6,
+        "{} vs {exact}",
+        r.unavailability
+    );
 }
 
 #[test]
