@@ -2,6 +2,8 @@
 //!
 //! Run with `cargo run --release -p dftmc-bench --bin cas_experiment`.
 
+use dftmc_bench::json::{self, Json};
+
 fn main() {
     let e = dftmc_bench::run_cas_experiment().expect("the CAS analyses");
     println!("== E2: cardiac assist system (Section 5.1) ==\n");
@@ -38,5 +40,36 @@ fn main() {
         "session phases: build {} (one aggregation), query {}",
         dftmc_bench::timing::format_duration(e.timings.build),
         dftmc_bench::timing::format_duration(e.timings.query)
+    );
+
+    json::emit_and_announce(
+        "cas",
+        &Json::obj([
+            ("experiment", "cas".into()),
+            ("unreliability_paper", e.unreliability.paper.unwrap().into()),
+            ("unreliability_measured", e.unreliability.measured.into()),
+            (
+                "unreliability_monolithic",
+                e.monolithic_unreliability.into(),
+            ),
+            ("compositional_peak_states", e.peak_states.into()),
+            ("monolithic_states", e.monolithic_states.into()),
+            (
+                "module_states",
+                Json::Arr(
+                    e.module_states
+                        .iter()
+                        .map(|(name, states)| {
+                            Json::obj([
+                                ("module", name.as_str().into()),
+                                ("states", (*states).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("build_seconds", Json::secs(e.timings.build)),
+            ("query_seconds", Json::secs(e.timings.query)),
+        ]),
     );
 }

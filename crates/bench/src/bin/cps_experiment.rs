@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run --release -p dftmc-bench --bin cps_experiment`.
 
+use dftmc_bench::json::{self, Json};
+
 fn main() {
     let e = dftmc_bench::run_cps_experiment().expect("the CPS analyses");
     println!("== E3/E4: cascaded PAND system (Section 5.2, Figures 8/9) ==\n");
@@ -30,5 +32,29 @@ fn main() {
         "session phases: build {} (one aggregation), query {}",
         dftmc_bench::timing::format_duration(e.timings.build),
         dftmc_bench::timing::format_duration(e.timings.query)
+    );
+
+    let comparison = |c: &dftmc_bench::Comparison| {
+        Json::obj([
+            ("paper", c.paper.map(Json::Num).unwrap_or(Json::Null)),
+            ("measured", c.measured.into()),
+        ])
+    };
+    json::emit_and_announce(
+        "cps",
+        &Json::obj([
+            ("experiment", "cps".into()),
+            ("unreliability", comparison(&e.unreliability)),
+            ("peak_states", comparison(&e.peak_states)),
+            ("peak_transitions", comparison(&e.peak_transitions)),
+            ("monolithic_states", comparison(&e.monolithic_states)),
+            (
+                "monolithic_transitions",
+                comparison(&e.monolithic_transitions),
+            ),
+            ("module_a_states", e.module_a_states.into()),
+            ("build_seconds", Json::secs(e.timings.build)),
+            ("query_seconds", Json::secs(e.timings.query)),
+        ]),
     );
 }

@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release -p dftmc-bench --bin nondeterminism_experiment`.
 
+use dftmc_bench::json::{self, Json};
+
 fn main() {
     println!("== E5: simultaneity and non-determinism (Section 4.4, Figure 6a) ==\n");
     println!(
@@ -24,5 +26,30 @@ fn main() {
         "\nsession phases: build {} (one aggregation), whole-sweep query {}",
         dftmc_bench::timing::format_duration(e.timings.build),
         dftmc_bench::timing::format_duration(e.timings.query)
+    );
+
+    json::emit_and_announce(
+        "nondeterminism",
+        &Json::obj([
+            ("experiment", "nondeterminism".into()),
+            (
+                "rows",
+                Json::Arr(
+                    e.rows
+                        .iter()
+                        .map(|row| {
+                            Json::obj([
+                                ("mission_time", row.mission_time.into()),
+                                ("lower", row.lower.into()),
+                                ("upper", row.upper.into()),
+                                ("baseline", row.baseline.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("build_seconds", Json::secs(e.timings.build)),
+            ("query_seconds", Json::secs(e.timings.query)),
+        ]),
     );
 }

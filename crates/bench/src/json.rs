@@ -1,0 +1,193 @@
+//! A minimal JSON emitter for machine-readable benchmark records.
+//!
+//! The container carries no external crates, so the experiment bins cannot use
+//! `serde`.  This module provides the small subset they need: build a [`Json`]
+//! tree, render it deterministically (object keys keep insertion order), and
+//! write it to a `BENCH_<name>.json` file next to the human-readable tables so
+//! the performance trajectory of the repo can be tracked run over run.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite numbers, which JSON cannot carry).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs (keys keep their order).
+    pub fn obj<const N: usize>(entries: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// A duration, rendered as fractional seconds (the universal bench unit).
+    pub fn secs(d: Duration) -> Json {
+        Json::Num(d.as_secs_f64())
+    }
+
+    /// Renders the value as a compact single-line JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        // Fingerprints exceed f64's exact integer range; carry them as hex
+        // strings so no precision is lost.
+        Json::Str(format!("{v:016x}"))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+/// Writes `value` to `BENCH_<name>.json` in the current directory and returns
+/// the path.  The experiment bins call this after printing their human tables;
+/// a trailing newline keeps the files friendly to line-oriented tooling.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn emit(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.render() + "\n")?;
+    Ok(path)
+}
+
+/// [`emit`], plus a one-line note on stdout saying where the record went; I/O
+/// failures are reported on stderr instead of aborting an otherwise successful
+/// experiment run.
+pub fn emit_and_announce(name: &str, value: &Json) {
+    match emit(name, value) {
+        Ok(path) => println!("\nmachine-readable record: {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write BENCH_{name}.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::obj([
+            ("name", "scaling".into()),
+            ("ok", true.into()),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj([("width", 2usize.into())])]),
+            ),
+            ("wall_seconds", Json::secs(Duration::from_millis(1500))),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"scaling","ok":true,"rows":[{"width":2}],"wall_seconds":1.5,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".to_owned()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn fingerprints_render_as_hex_strings() {
+        assert_eq!(Json::from(0xdeadbeefu64).render(), r#""00000000deadbeef""#);
+    }
+}

@@ -22,12 +22,17 @@
 
 use dft::{Dft, DftBuilder, Dormancy, ElementId};
 use dft_core::analysis::{AnalysisOptions, Method};
-use dft_core::casestudies::{cas, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cascaded_pand, cps};
+use dft_core::casestudies::{
+    cas, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cas_scaled, cascaded_pand, cps,
+    DEFAULT_MISSION_TIMES,
+};
 use dft_core::engine::Analyzer;
-use dft_core::query::Measure;
+use dft_core::query::{Measure, MeasureResult};
+use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
 use dft_core::Result;
 use std::time::{Duration, Instant};
 
+pub mod json;
 pub mod timing;
 
 /// Paper-vs-measured record for a single scalar result.
@@ -420,11 +425,11 @@ pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<NondeterminismExpe
     let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
     let build = build_start.elapsed();
     let query_start = Instant::now();
-    let curve = analyzer.query(Measure::UnreliabilityCurve(times))?;
+    let curve = analyzer.query(Measure::UnreliabilityCurve(times.to_vec()))?;
     let query = query_start.elapsed();
 
     let mono_analyzer = Analyzer::new(&dft, monolithic_options())?;
-    let baseline = mono_analyzer.query(Measure::UnreliabilityCurve(times))?;
+    let baseline = mono_analyzer.query(Measure::UnreliabilityCurve(times.to_vec()))?;
 
     let rows = curve
         .points()
@@ -443,6 +448,123 @@ pub fn run_nondeterminism_experiment(times: &[f64]) -> Result<NondeterminismExpe
     Ok(NondeterminismExperiment {
         rows,
         timings: PhaseTimings { build, query },
+    })
+}
+
+/// Results of the portfolio throughput experiment (the service-layer regime:
+/// many structurally overlapping trees, batched, cached, multi-worker).
+#[derive(Debug, Clone)]
+pub struct PortfolioExperiment {
+    /// Total jobs in the batch (`distinct_trees` × copies).
+    pub jobs: usize,
+    /// Structurally distinct trees in the portfolio.
+    pub distinct_trees: usize,
+    /// Worker threads of the multi-worker run (after auto-detection).
+    pub workers: usize,
+    /// Wall-clock of the whole batch on a single worker, cold cache.
+    pub single_worker_wall: Duration,
+    /// Wall-clock of the whole batch on the full worker pool, cold cache.
+    pub multi_worker_wall: Duration,
+    /// Build-phase time summed over jobs (multi-worker run).
+    pub build_time: Duration,
+    /// Query-phase time summed over jobs (multi-worker run).
+    pub query_time: Duration,
+    /// Cache hits of the multi-worker run.
+    pub cache_hits: usize,
+    /// Cache misses of the multi-worker run.
+    pub cache_misses: usize,
+    /// Aggregation runs of the multi-worker run — must equal `distinct_trees`.
+    pub aggregation_runs: usize,
+    /// `true` when every job of both service runs returned results bit-identical
+    /// to a sequential [`Analyzer`] run over the same tree.
+    pub bit_identical: bool,
+}
+
+/// Two measure results are bit-identical: same shape, and every time, value and
+/// bound agrees down to the floating-point bit pattern.
+fn bitwise_eq(a: &MeasureResult, b: &MeasureResult) -> bool {
+    a.points().len() == b.points().len()
+        && a.points().iter().zip(b.points()).all(|(x, y)| {
+            x.time().map(f64::to_bits) == y.time().map(f64::to_bits)
+                && x.value().to_bits() == y.value().to_bits()
+                && x.bounds().0.to_bits() == y.bounds().0.to_bits()
+                && x.bounds().1.to_bits() == y.bounds().1.to_bits()
+        })
+}
+
+/// Runs the portfolio throughput experiment: a batch of `distinct × copies`
+/// rate-scaled CAS variants ([`cas_scaled`]), answered by an [`AnalysisService`]
+/// once on a single worker and once on `workers` workers (0 = one per core),
+/// both from a cold cache, with every job's results checked bit-for-bit against
+/// a sequential [`Analyzer`] reference.
+///
+/// # Errors
+///
+/// Propagates analysis errors from the sequential reference (the service runs
+/// report per-job errors, which fail the bit-identity check instead).
+pub fn run_portfolio_experiment(
+    distinct: usize,
+    copies: usize,
+    workers: usize,
+) -> Result<PortfolioExperiment> {
+    let variants: Vec<Dft> = (0..distinct)
+        .map(|i| cas_scaled(1.0 + 0.05 * i as f64))
+        .collect();
+    let measures = vec![Measure::curve(DEFAULT_MISSION_TIMES)];
+    let jobs: Vec<AnalysisJob> = (0..distinct * copies)
+        .map(|i| {
+            AnalysisJob::new(
+                variants[i % distinct].clone(),
+                AnalysisOptions::default(),
+                measures.clone(),
+            )
+        })
+        .collect();
+
+    // Sequential reference: one plain Analyzer per distinct tree, no service.
+    let reference: Vec<Vec<MeasureResult>> = variants
+        .iter()
+        .map(|dft| Analyzer::new(dft, AnalysisOptions::default())?.query_all(&measures))
+        .collect::<Result<_>>()?;
+
+    let single = AnalysisService::new(ServiceOptions {
+        workers: 1,
+        cache_capacity: 0,
+    });
+    let started = Instant::now();
+    let single_report = single.run_batch(&jobs);
+    let single_worker_wall = started.elapsed();
+
+    let multi = AnalysisService::new(ServiceOptions {
+        workers,
+        cache_capacity: 0,
+    });
+    let started = Instant::now();
+    let multi_report = multi.run_batch(&jobs);
+    let multi_worker_wall = started.elapsed();
+
+    let bit_identical = [&single_report, &multi_report].iter().all(|report| {
+        report.jobs.iter().enumerate().all(|(i, job)| {
+            job.results.as_ref().is_ok_and(|results| {
+                let expected = &reference[i % distinct];
+                results.len() == expected.len()
+                    && results.iter().zip(expected).all(|(r, e)| bitwise_eq(r, e))
+            })
+        })
+    });
+
+    Ok(PortfolioExperiment {
+        jobs: jobs.len(),
+        distinct_trees: distinct,
+        workers: multi_report.stats.workers,
+        single_worker_wall,
+        multi_worker_wall,
+        build_time: multi_report.stats.build_time,
+        query_time: multi_report.stats.query_time,
+        cache_hits: multi_report.stats.cache_hits,
+        cache_misses: multi_report.stats.cache_misses,
+        aggregation_runs: multi_report.stats.aggregation_runs,
+        bit_identical,
     })
 }
 
@@ -508,6 +630,20 @@ mod tests {
         let modules = dft::modules::independent_modules(&dft);
         // Only the top gate roots an independent module.
         assert_eq!(modules.len(), 1);
+    }
+
+    #[test]
+    fn portfolio_experiment_caches_and_stays_bit_identical() {
+        let e = run_portfolio_experiment(3, 3, 2).unwrap();
+        assert_eq!(e.jobs, 9);
+        assert_eq!(e.distinct_trees, 3);
+        assert_eq!(e.aggregation_runs, 3, "one aggregation per distinct tree");
+        assert_eq!(e.cache_misses, 3);
+        assert_eq!(e.cache_hits, 6);
+        assert!(
+            e.bit_identical,
+            "service results must match sequential runs"
+        );
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
     }
 }
 
-/// Runs [`bench`] and prints the sample as a table row, returning it for further
+/// Runs [`bench()`] and prints the sample as a table row, returning it for further
 /// inspection.
 pub fn report<T>(name: &str, iters: u32, f: impl FnMut() -> T) -> Sample {
     let sample = bench(name, iters, f);

@@ -12,15 +12,15 @@
 //! the DIFTree-style **monolithic** baseline ([`crate::baseline`]), selectable via
 //! [`AnalysisOptions::method`] so that benchmarks can compare both on the same DFT.
 //!
-//! # Prefer the [`Analyzer`](crate::engine::Analyzer) session API
+//! # Prefer the [`Analyzer`] session API
 //!
 //! [`unreliability`], [`unavailability`] and [`mean_time_to_failure`] are retained
 //! for backwards compatibility, but each call rebuilds the whole aggregation
 //! pipeline from scratch.  They are now thin wrappers that construct a one-shot
-//! [`Analyzer`](crate::engine::Analyzer) and immediately discard it, so they
+//! [`Analyzer`] and immediately discard it, so they
 //! return exactly the engine's values — at N times the construction cost when
 //! asked N questions.  New code, and anything that sweeps mission times or mixes
-//! measures, should build one [`Analyzer`](crate::engine::Analyzer) and query it:
+//! measures, should build one [`Analyzer`] and query it:
 //!
 //! ```
 //! use dft::{DftBuilder, Dormancy};
@@ -34,7 +34,7 @@
 //! # let top = b.or_gate("doc_Top", &[x])?;
 //! # let dft = b.build(top)?;
 //! let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;   // build once
-//! let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+//! let curve = analyzer.query(Measure::curve([0.5, 1.0, 2.0]))?;
 //! # assert_eq!(curve.len(), 3);
 //! # Ok(())
 //! # }
@@ -49,7 +49,7 @@ use ioimc::stats::ModelStats;
 use ioimc::{Action, IoImc};
 
 /// Which algorithm computes the measure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Method {
     /// Compositional aggregation through I/O-IMCs (the paper's approach).
     #[default]

@@ -36,14 +36,40 @@ use dft::{Dft, DftBuilder, Dormancy, ElementId};
 /// Never panics for the fixed parameters used here (the builder calls are
 /// infallible for this structure).
 pub fn cas() -> Dft {
+    cas_scaled(1.0)
+}
+
+/// A rate-scaled variant of the cardiac assist system: the structure of
+/// [`cas`], with every failure rate multiplied by `scale`.
+///
+/// Portfolio workloads (fleet studies, parameter sweeps, the throughput
+/// benchmark) analyze many such variants; `scale = 1.0` is exactly the paper's
+/// CAS.  Different scales produce different [`Dft::fingerprint`]s, identical
+/// scales share one — which is what makes the variants a good cache workout.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive (a basic event needs a positive
+/// failure rate).
+pub fn cas_scaled(scale: f64) -> Dft {
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "rate scale must be positive and finite"
+    );
     let mut b = DftBuilder::new();
 
     // CPU unit.
-    let cs = b.basic_event("CS", 0.2, Dormancy::Hot).expect("valid BE");
-    let ss = b.basic_event("SS", 0.2, Dormancy::Hot).expect("valid BE");
-    let p = b.basic_event("P", 0.5, Dormancy::Hot).expect("valid BE");
+    let cs = b
+        .basic_event("CS", 0.2 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let ss = b
+        .basic_event("SS", 0.2 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let p = b
+        .basic_event("P", 0.5 * scale, Dormancy::Hot)
+        .expect("valid BE");
     let cpu_spare = b
-        .basic_event("B", 0.5, Dormancy::Warm(0.5))
+        .basic_event("B", 0.5 * scale, Dormancy::Warm(0.5))
         .expect("valid BE");
     let trigger = b.or_gate("Trigger", &[cs, ss]).expect("valid gate");
     let _cpu_fdep = b
@@ -54,9 +80,15 @@ pub fn cas() -> Dft {
         .expect("valid gate");
 
     // Motor unit.
-    let ms = b.basic_event("MS", 0.01, Dormancy::Hot).expect("valid BE");
-    let ma = b.basic_event("MA", 1.0, Dormancy::Hot).expect("valid BE");
-    let mb = b.basic_event("MB", 1.0, Dormancy::Cold).expect("valid BE");
+    let ms = b
+        .basic_event("MS", 0.01 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let ma = b
+        .basic_event("MA", 1.0 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let mb = b
+        .basic_event("MB", 1.0 * scale, Dormancy::Cold)
+        .expect("valid BE");
     let motors = b.spare_gate("Motors", &[ma, mb]).expect("valid gate");
     let switch = b.pand_gate("MP", &[ms, ma]).expect("valid gate");
     let motor_unit = b
@@ -64,9 +96,15 @@ pub fn cas() -> Dft {
         .expect("valid gate");
 
     // Pump unit.
-    let pa = b.basic_event("PA", 1.0, Dormancy::Hot).expect("valid BE");
-    let pb = b.basic_event("PB", 1.0, Dormancy::Hot).expect("valid BE");
-    let ps = b.basic_event("PS", 1.0, Dormancy::Cold).expect("valid BE");
+    let pa = b
+        .basic_event("PA", 1.0 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let pb = b
+        .basic_event("PB", 1.0 * scale, Dormancy::Hot)
+        .expect("valid BE");
+    let ps = b
+        .basic_event("PS", 1.0 * scale, Dormancy::Cold)
+        .expect("valid BE");
     let pump_a = b.spare_gate("Pump_A", &[pa, ps]).expect("valid gate");
     let pump_b = b.spare_gate("Pump_B", &[pb, ps]).expect("valid gate");
     let pump_unit = b
@@ -278,6 +316,14 @@ mod tests {
             at_one.value()
         );
         assert_eq!(cps.aggregation_runs(), 1);
+    }
+
+    #[test]
+    fn cas_variants_share_structure_but_not_fingerprints() {
+        assert_eq!(cas().fingerprint(), cas_scaled(1.0).fingerprint());
+        let variant = cas_scaled(1.1);
+        assert_eq!(variant.num_elements(), cas().num_elements());
+        assert_ne!(variant.fingerprint(), cas().fingerprint());
     }
 
     #[test]

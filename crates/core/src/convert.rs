@@ -3,7 +3,7 @@
 //! Every element of the tree is mapped to its elementary I/O-IMC; auxiliaries are
 //! added where needed (a firing auxiliary per FDEP-dependent element, an activation
 //! auxiliary per dynamically activated spare-module root), and all inputs and
-//! outputs are matched up through the naming scheme of [`signals`](crate::signals).
+//! outputs are matched up through the naming scheme of [`signals`].
 
 use crate::activation::ActivationAnalysis;
 use crate::semantics::{

@@ -6,7 +6,7 @@
 //! [`Analyzer::new`] therefore runs validation, conversion and compositional
 //! aggregation (or monolithic CTMC generation) *exactly once*, caches the closed
 //! final model together with its [`AggregationStats`]/[`ModelStats`], and then
-//! serves any number of typed [`Measure`](crate::query::Measure) queries against
+//! serves any number of typed [`Measure`] queries against
 //! the cache:
 //!
 //! ```text
@@ -38,7 +38,7 @@
 //! // Build the aggregation pipeline once …
 //! let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
 //! // … then answer many queries against the cached model.
-//! let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+//! let curve = analyzer.query(Measure::curve([0.5, 1.0, 2.0]))?;
 //! let mttf = analyzer.query(Measure::Mttf)?;
 //! assert_eq!(curve.len(), 3);
 //! assert!((mttf.value() - 1.0).abs() < 1e-6);
@@ -64,7 +64,9 @@ use ioimc::{Action, IoImc};
 use markov::ctmdp::{Ctmdp, CtmdpState};
 use markov::steady::steady_state_probability;
 use markov::Ctmc;
-use std::cell::OnceCell;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Name of the monitor process composed into the community, and of the atomic
 /// proposition it attaches to its "system is down" state.
@@ -75,6 +77,12 @@ const DOWN_PROP: &str = "down";
 /// [`Analyzer::new`], every [`query`](Analyzer::query) after that only touches the
 /// cached final model.
 ///
+/// `Analyzer` is `Send + Sync` (statically asserted below): queries take `&self`
+/// and mutate nothing but an internal [`OnceLock`], so one session behind an
+/// `Arc` can serve any number of threads concurrently — this is what the
+/// [`AnalysisService`](crate::service::AnalysisService) worker pool and its model
+/// cache rely on.
+///
 /// See the [module documentation](self) for an example.
 #[derive(Debug)]
 pub struct Analyzer {
@@ -84,6 +92,13 @@ pub struct Analyzer {
     model_stats: ModelStats,
     backend: Backend,
 }
+
+/// The service layer shares `Arc<Analyzer>` across worker threads; losing either
+/// auto-trait would silently serialize it again, so assert both at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Analyzer>()
+};
 
 /// The cached artifacts the queries are answered from.
 #[derive(Debug)]
@@ -108,8 +123,10 @@ enum Backend {
         /// minimising analysis yields the lower bound.
         lower: Ctmdp,
         /// Embedded CTMC with the monitor's "down" labels, extracted lazily for
-        /// the steady-state and first-passage measures (fails for CTMDPs).
-        tangible: OnceCell<Result<(Ctmc, Vec<bool>)>>,
+        /// the steady-state and first-passage measures (fails for CTMDPs).  A
+        /// [`OnceLock`] rather than a `OnceCell` so a shared `Arc<Analyzer>` can
+        /// be queried from many threads at once.
+        tangible: OnceLock<Result<(Ctmc, Vec<bool>)>>,
     },
     /// The DIFTree-style baseline: one CTMC over the whole tree.
     Monolithic { ctmc: Ctmc, goal: Vec<bool> },
@@ -172,7 +189,7 @@ impl Analyzer {
                 point_valued,
                 upper,
                 lower,
-                tangible: OnceCell::new(),
+                tangible: OnceLock::new(),
             },
         })
     }
@@ -198,19 +215,108 @@ impl Analyzer {
 
     /// Answers one typed query against the cached model.
     ///
+    /// Accepts the measure by value or by reference (`Measure` is owned data, so
+    /// batch callers keep their measures and pass `&m`).
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Unsupported`] when the cached method cannot produce the
     /// measure (unavailability needs a repairable model and the compositional
-    /// method) and propagates numerical errors.  The construction work is *not*
-    /// repeated on any path.
-    pub fn query(&self, measure: Measure<'_>) -> Result<MeasureResult> {
-        match measure {
-            Measure::Unreliability(t) => self.unreliability_points(&[t]),
-            Measure::UnreliabilityCurve(times) => self.unreliability_points(times),
+    /// method), [`Error::EmptyCurve`] for a curve query without time points, and
+    /// propagates numerical errors.  The construction work is *not* repeated on
+    /// any path.
+    pub fn query(&self, measure: impl Borrow<Measure>) -> Result<MeasureResult> {
+        match measure.borrow() {
+            Measure::Unreliability(t) => self.unreliability_points(&[*t]),
+            Measure::UnreliabilityCurve(times) => {
+                if times.is_empty() {
+                    return Err(Error::EmptyCurve);
+                }
+                self.unreliability_points(times)
+            }
             Measure::Unavailability => self.unavailability_point(),
             Measure::Mttf => self.mttf_point(),
         }
+    }
+
+    /// Answers a whole batch of measures against the cached model, sharing one
+    /// uniformisation / value-iteration pass between *all* time-bounded measures
+    /// in the batch.
+    ///
+    /// The requested mission times of every [`Measure::Unreliability`] and
+    /// [`Measure::UnreliabilityCurve`] in `measures` are merged (deduplicated
+    /// bit-exactly), evaluated in a single multi-time reachability pass, and
+    /// distributed back to their measures.  Because the value-iteration
+    /// trajectory does not depend on the set of requested times — only each
+    /// time's Poisson mixture weights do — every returned point is bit-identical
+    /// to what a separate [`query`](Self::query) for that measure would produce.
+    ///
+    /// Results are returned in the same order as `measures`.
+    ///
+    /// # Errors
+    ///
+    /// If any measure in the batch would fail individually, the whole batch
+    /// fails with one of those errors and no partial result is returned.  The
+    /// error conditions are exactly those of [`query`](Self::query), but when
+    /// several measures are faulty the reported error is not necessarily the
+    /// first in batch order: curve shapes and mission times are validated by
+    /// the shared merged pass, before any scalar measure is evaluated.
+    pub fn query_all(&self, measures: &[Measure]) -> Result<Vec<MeasureResult>> {
+        // Merge the mission times of all time-bounded measures, remembering for
+        // each measure which slots of the merged grid it reads back.
+        let mut unique_times: Vec<f64> = Vec::new();
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut plans: Vec<Option<Vec<usize>>> = Vec::with_capacity(measures.len());
+        for measure in measures {
+            let times: &[f64] = match measure {
+                Measure::Unreliability(t) => std::slice::from_ref(t),
+                Measure::UnreliabilityCurve(times) => {
+                    if times.is_empty() {
+                        return Err(Error::EmptyCurve);
+                    }
+                    times
+                }
+                Measure::Unavailability | Measure::Mttf => {
+                    plans.push(None);
+                    continue;
+                }
+            };
+            let slots = times
+                .iter()
+                .map(|&t| {
+                    *slot_of.entry(t.to_bits()).or_insert_with(|| {
+                        unique_times.push(t);
+                        unique_times.len() - 1
+                    })
+                })
+                .collect();
+            plans.push(Some(slots));
+        }
+
+        let merged = if unique_times.is_empty() {
+            None
+        } else {
+            Some(self.unreliability_points(&unique_times)?)
+        };
+
+        measures
+            .iter()
+            .zip(plans)
+            .map(|(measure, plan)| match (measure, plan) {
+                (Measure::Unavailability, None) => self.unavailability_point(),
+                (Measure::Mttf, None) => self.mttf_point(),
+                (_, Some(slots)) => {
+                    let points = merged
+                        .as_ref()
+                        .expect("time-bounded measures imply a merged pass")
+                        .points();
+                    Ok(MeasureResult::new(
+                        slots.iter().map(|&slot| points[slot]).collect(),
+                    ))
+                }
+                (_, None) => unreachable!("plan shape follows the measure shape"),
+            })
+            .collect()
     }
 
     /// Convenience for [`Measure::Unreliability`].
@@ -228,7 +334,7 @@ impl Analyzer {
     ///
     /// Same as [`query`](Self::query).
     pub fn unreliability_curve(&self, mission_times: &[f64]) -> Result<MeasureResult> {
-        self.query(Measure::UnreliabilityCurve(mission_times))
+        self.query(Measure::UnreliabilityCurve(mission_times.to_vec()))
     }
 
     /// Convenience for [`Measure::Unavailability`].

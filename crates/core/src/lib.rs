@@ -52,6 +52,7 @@ pub mod engine;
 pub mod query;
 pub mod rng;
 pub mod semantics;
+pub mod service;
 pub mod signals;
 pub mod simulate;
 
@@ -59,6 +60,9 @@ pub use analysis::{mean_time_to_failure, unavailability, unreliability, Analysis
 pub use convert::Community;
 pub use engine::Analyzer;
 pub use query::{Measure, MeasurePoint, MeasureResult};
+pub use service::{
+    AnalysisJob, AnalysisService, BatchStats, CacheStats, JobReport, ServiceOptions, ServiceReport,
+};
 
 use std::fmt;
 
@@ -83,6 +87,12 @@ pub enum Error {
         /// Upper bound of the measure.
         max: f64,
     },
+    /// A curve query carried no mission times, so there is nothing to evaluate.
+    ///
+    /// Rejected at [`Analyzer::query`](engine::Analyzer::query) time so the
+    /// accessors of [`MeasureResult`] never see an empty
+    /// result (they used to panic on one).
+    EmptyCurve,
 }
 
 impl fmt::Display for Error {
@@ -94,6 +104,9 @@ impl fmt::Display for Error {
             Error::Unsupported { message } => write!(f, "unsupported model: {message}"),
             Error::Nondeterministic { min, max } => {
                 write!(f, "non-deterministic model: measure lies in [{min}, {max}]")
+            }
+            Error::EmptyCurve => {
+                write!(f, "an unreliability curve needs at least one mission time")
             }
         }
     }

@@ -9,18 +9,33 @@
 
 /// A measure to evaluate on the model cached by an
 /// [`Analyzer`](crate::engine::Analyzer).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Measure<'a> {
+///
+/// `Measure` owns its data (curve times live in a `Vec<f64>`), so measures are
+/// `Send + 'static`: they can be stored in job queues, shipped across threads and
+/// batched by the [`AnalysisService`](crate::service::AnalysisService) without
+/// borrowing from the submitting scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Measure {
     /// Probability that the top event has occurred by the given mission time.
     Unreliability(f64),
     /// Unreliability at every listed mission time, evaluated in a *single*
     /// uniformisation / value-iteration pass (the per-point cost of a sweep is a
-    /// few vector updates, not a fresh analysis).
-    UnreliabilityCurve(&'a [f64]),
+    /// few vector updates, not a fresh analysis).  The time list must be
+    /// non-empty; an empty curve is rejected with
+    /// [`Error::EmptyCurve`](crate::Error::EmptyCurve) at query time.
+    UnreliabilityCurve(Vec<f64>),
     /// Long-run probability that the system is down (repairable models only).
     Unavailability,
     /// Mean time to failure: the expected time until the top event first occurs.
     Mttf,
+}
+
+impl Measure {
+    /// Convenience constructor for [`Measure::UnreliabilityCurve`] from any
+    /// borrowed or owned time list.
+    pub fn curve(times: impl Into<Vec<f64>>) -> Measure {
+        Measure::UnreliabilityCurve(times.into())
+    }
 }
 
 /// The value of a measure at one evaluation point.
@@ -110,9 +125,14 @@ impl MeasureResult {
     /// scalar measures.  See [`MeasurePoint::value`] for the non-determinism
     /// convention.
     ///
+    /// Every result produced by [`Analyzer::query`](crate::engine::Analyzer::query)
+    /// has at least one point — empty curve queries are rejected with
+    /// [`Error::EmptyCurve`](crate::Error::EmptyCurve) before a result is ever
+    /// built — so this accessor cannot panic on engine output.
+    ///
     /// # Panics
     ///
-    /// Panics if the result is empty (a curve query over an empty time slice).
+    /// Panics on a hand-constructed empty result.
     pub fn value(&self) -> f64 {
         self.points
             .first()
@@ -124,7 +144,8 @@ impl MeasureResult {
     ///
     /// # Panics
     ///
-    /// Panics if the result is empty (a curve query over an empty time slice).
+    /// Panics on a hand-constructed empty result; engine output always carries at
+    /// least one point (see [`value`](Self::value)).
     pub fn bounds(&self) -> (f64, f64) {
         self.points
             .first()

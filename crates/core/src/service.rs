@@ -1,0 +1,609 @@
+//! The portfolio front end: a thread-safe, cache-backed service over many
+//! [`Analyzer`] sessions.
+//!
+//! The [`Analyzer`] exploits the paper's economics
+//! *within* one tree: model construction is expensive, queries against the built
+//! model are cheap.  Real workloads analyze whole portfolios of DFT variants —
+//! fleets of similar systems, parameter studies, repeated submissions of the
+//! same design — where many trees are structurally identical and should never
+//! pay aggregation twice.  [`AnalysisService`] extends the same economics
+//! *across* trees:
+//!
+//! * **Batching** — [`run_batch`](AnalysisService::run_batch) accepts a slice of
+//!   [`AnalysisJob`]s (each a DFT, its [`AnalysisOptions`] and a list of owned
+//!   [`Measure`]s) and executes them on a [`std::thread::scope`] worker pool.
+//! * **Caching** — built sessions are shared through an LRU cache of
+//!   `Arc<Analyzer>` keyed by [`Dft::fingerprint`] (plus the analysis method and
+//!   epsilon).  A batch over N copies of one tree runs aggregation exactly
+//!   once; the other N−1 jobs are cache hits that go straight to the query
+//!   phase.
+//! * **Exactly-once builds under concurrency** — each cache entry is an
+//!   `Arc<OnceLock<…>>`: when two workers race for the same fingerprint, one
+//!   builds while the other blocks on the lock and then shares the result,
+//!   instead of building a duplicate model.
+//! * **Determinism** — workers only share immutable `Arc<Analyzer>` sessions,
+//!   so every job's results are bit-identical to what a sequential
+//!   [`Analyzer`] run over the same tree would produce, whatever the worker
+//!   count or job interleaving.
+//!
+//! # Example
+//!
+//! ```
+//! use dft::{DftBuilder, Dormancy};
+//! use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+//! use dft_core::{AnalysisOptions, Measure};
+//!
+//! fn variant(rate: f64) -> dft::Dft {
+//!     let mut b = DftBuilder::new();
+//!     let p = b.basic_event("P", rate, Dormancy::Hot).unwrap();
+//!     let s = b.basic_event("S", rate, Dormancy::Cold).unwrap();
+//!     let top = b.spare_gate("Top", &[p, s]).unwrap();
+//!     b.build(top).unwrap()
+//! }
+//!
+//! let service = AnalysisService::new(ServiceOptions::default());
+//! // Six jobs over two distinct structures: only two models are ever built.
+//! let jobs: Vec<AnalysisJob> = (0..6)
+//!     .map(|i| AnalysisJob::new(
+//!         variant(if i % 2 == 0 { 1.0 } else { 2.0 }),
+//!         AnalysisOptions::default(),
+//!         vec![Measure::curve([0.5, 1.0]), Measure::Mttf],
+//!     ))
+//!     .collect();
+//! let report = service.run_batch(&jobs);
+//! assert_eq!(report.stats.cache_misses, 2);
+//! assert_eq!(report.stats.cache_hits, 4);
+//! assert_eq!(report.stats.aggregation_runs, 2);
+//! for job in &report.jobs {
+//!     let results = job.results.as_ref().unwrap();
+//!     assert_eq!(results.len(), 2);
+//! }
+//! ```
+
+use crate::analysis::{AnalysisOptions, Method};
+use crate::engine::Analyzer;
+use crate::query::{Measure, MeasureResult};
+use crate::{Error, Result};
+use dft::Dft;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One unit of work for the service: analyze one DFT for a list of measures.
+///
+/// Jobs own all their data (`Measure` holds curve times in a `Vec<f64>`), so a
+/// job is `Send + 'static` and can be queued, cloned and shipped to worker
+/// threads freely.
+#[derive(Debug, Clone)]
+pub struct AnalysisJob {
+    /// The tree to analyze.
+    pub dft: Dft,
+    /// Analysis options; the method and epsilon take part in the cache key, so
+    /// jobs with different options never share a session.
+    pub options: AnalysisOptions,
+    /// The measures to evaluate, answered in one
+    /// [`query_all`](Analyzer::query_all) pass against the (possibly cached)
+    /// session.
+    pub measures: Vec<Measure>,
+}
+
+impl AnalysisJob {
+    /// Bundles a DFT, its options and the requested measures into a job.
+    pub fn new(dft: Dft, options: AnalysisOptions, measures: Vec<Measure>) -> AnalysisJob {
+        AnalysisJob {
+            dft,
+            options,
+            measures,
+        }
+    }
+}
+
+/// Tuning knobs of an [`AnalysisService`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker threads per [`run_batch`](AnalysisService::run_batch) call.
+    ///
+    /// `0` (the default) means one worker per available CPU core
+    /// ([`std::thread::available_parallelism`]); the pool is additionally capped
+    /// at the batch size, so small batches never spawn idle threads.
+    pub workers: usize,
+    /// Maximum number of cached `Arc<Analyzer>` sessions; the least recently
+    /// used session is evicted beyond this.  `0` means unbounded.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            workers: 0,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// Sessions are shared per structure *and* per analysis configuration: the same
+/// tree analysed monolithically or with a different epsilon is a different
+/// model (epsilon drives every numerical query on the session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u64,
+    method: Method,
+    epsilon_bits: u64,
+}
+
+impl CacheKey {
+    fn new(dft: &Dft, options: &AnalysisOptions) -> CacheKey {
+        CacheKey {
+            fingerprint: dft.fingerprint(),
+            method: options.method,
+            epsilon_bits: options.epsilon.to_bits(),
+        }
+    }
+}
+
+/// A cache slot: `OnceLock` guarantees the build runs exactly once even when
+/// several workers race for the same key — latecomers block until the winner's
+/// session (or its error, which is equally deterministic) is available.
+type Slot = Arc<OnceLock<std::result::Result<Arc<Analyzer>, Error>>>;
+
+#[derive(Debug)]
+struct CacheEntry {
+    slot: Slot,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Cache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Monotonic use counter backing the LRU order (no wall clock involved, so
+    /// the order is deterministic under a single worker).
+    tick: u64,
+}
+
+/// Cumulative cache counters of a service, across all batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Jobs that found their session already built (or being built).
+    pub hits: usize,
+    /// Jobs that had to build their session.
+    pub misses: usize,
+    /// Sessions dropped to respect [`ServiceOptions::cache_capacity`].
+    pub evictions: usize,
+    /// Sessions currently cached.
+    pub entries: usize,
+}
+
+/// Per-batch accounting of a [`run_batch`](AnalysisService::run_batch) call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Number of jobs in the batch.
+    pub jobs: usize,
+    /// Jobs answered from an already-built (or concurrently building) session.
+    pub cache_hits: usize,
+    /// Jobs that built their session.
+    pub cache_misses: usize,
+    /// Compositional aggregation runs actually executed for this batch — equal
+    /// to the number of *distinct* compositional models built, however many
+    /// duplicate trees the batch contains.
+    pub aggregation_runs: usize,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Build-phase time summed over all jobs (cache hits contribute only their
+    /// lookup — or the time spent blocking on a concurrent builder).
+    pub build_time: Duration,
+    /// Query-phase time summed over all jobs.
+    pub query_time: Duration,
+    /// End-to-end wall-clock time of the batch.
+    pub wall_time: Duration,
+}
+
+/// The outcome of one [`AnalysisJob`].
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Structural fingerprint of the job's tree ([`Dft::fingerprint`]).
+    pub fingerprint: u64,
+    /// `true` when the session came out of the cache (including waiting for a
+    /// concurrent builder of the same tree) instead of being built by this job.
+    pub cache_hit: bool,
+    /// One [`MeasureResult`] per requested measure, in request order — or the
+    /// first error the job hit (build or query).
+    pub results: Result<Vec<MeasureResult>>,
+    /// Compositional aggregation runs this job executed: 1 when it built a
+    /// compositional session, 0 for cache hits, monolithic builds and failed
+    /// builds.
+    pub aggregation_runs: usize,
+    /// Time this job spent obtaining its session (≈ lookup cost on a hit, full
+    /// conversion + aggregation on a miss).
+    pub build: Duration,
+    /// Time this job spent answering its measures against the session.
+    pub query: Duration,
+}
+
+/// The outcome of a whole batch: per-job reports in submission order plus the
+/// batch-level accounting.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// One report per submitted job, in the same order as the batch slice.
+    pub jobs: Vec<JobReport>,
+    /// Cache and phase-timing accounting for the batch.
+    pub stats: BatchStats,
+}
+
+/// A thread-safe, cache-backed analysis front end for portfolios of DFTs.
+///
+/// See the [module documentation](self) for the full story and an example.  The
+/// service is `Send + Sync` (statically asserted below): one instance can be
+/// shared behind an `Arc` by any number of submitting threads, and each
+/// [`run_batch`](Self::run_batch) call spins up its own scoped worker pool.
+#[derive(Debug, Default)]
+pub struct AnalysisService {
+    options: ServiceOptions,
+    cache: Mutex<Cache>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalysisService>();
+    assert_send_sync::<AnalysisJob>()
+};
+
+impl AnalysisService {
+    /// Creates a service with the given options.
+    pub fn new(options: ServiceOptions) -> AnalysisService {
+        AnalysisService {
+            options,
+            ..AnalysisService::default()
+        }
+    }
+
+    /// The options the service was created with.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Runs a batch of jobs on the worker pool and reports per-job results plus
+    /// cache and phase-timing accounting.
+    ///
+    /// Jobs are claimed from a shared atomic cursor, so workers stay busy until
+    /// the batch drains regardless of how unevenly the per-job costs are
+    /// distributed.  Job errors (unsupported features, numerical failures) are
+    /// reported per job in [`JobReport::results`]; they never abort the batch.
+    pub fn run_batch(&self, jobs: &[AnalysisJob]) -> ServiceReport {
+        let started = Instant::now();
+        let workers = self.worker_count(jobs.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<JobReport>> = jobs.iter().map(|_| OnceLock::new()).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    slots[index]
+                        .set(self.run_job(job))
+                        .expect("each job index is claimed by exactly one worker");
+                });
+            }
+        });
+
+        let job_reports: Vec<JobReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("the scope ends only after every job ran")
+            })
+            .collect();
+
+        let mut stats = BatchStats {
+            jobs: job_reports.len(),
+            workers,
+            wall_time: started.elapsed(),
+            ..BatchStats::default()
+        };
+        for report in &job_reports {
+            if report.cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+            stats.aggregation_runs += report.aggregation_runs;
+            stats.build_time += report.build;
+            stats.query_time += report.query;
+        }
+
+        ServiceReport {
+            jobs: job_reports,
+            stats,
+        }
+    }
+
+    /// Returns the shared [`Analyzer`] session for one DFT, building it if no
+    /// structurally identical tree with the same options is cached yet.
+    ///
+    /// This is the single-job face of the service: callers that want to hold a
+    /// session across many batches (or query it directly) get the same
+    /// exactly-once build and LRU accounting as [`run_batch`](Self::run_batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Analyzer::new`] errors.  A failed build is cached too — the
+    /// failure is deterministic, so retrying a structurally identical tree
+    /// returns the same error without paying the construction cost again.
+    pub fn analyzer(&self, dft: &Dft, options: &AnalysisOptions) -> Result<Arc<Analyzer>> {
+        self.session(CacheKey::new(dft, options), dft, options).0
+    }
+
+    /// Cumulative cache counters since the service was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("cache lock").entries.len(),
+        }
+    }
+
+    /// Drops every cached session (the cumulative hit/miss counters keep
+    /// counting).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").entries.clear();
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let configured = if self.options.workers == 0 {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.options.workers
+        };
+        configured.min(jobs).max(1)
+    }
+
+    fn run_job(&self, job: &AnalysisJob) -> JobReport {
+        let key = CacheKey::new(&job.dft, &job.options);
+        let fingerprint = key.fingerprint;
+        let build_start = Instant::now();
+        let (session, cache_hit) = self.session(key, &job.dft, &job.options);
+        let build = build_start.elapsed();
+        match session {
+            Err(e) => JobReport {
+                fingerprint,
+                cache_hit,
+                results: Err(e),
+                aggregation_runs: 0,
+                build,
+                query: Duration::ZERO,
+            },
+            Ok(analyzer) => {
+                let aggregation_runs = if cache_hit {
+                    0
+                } else {
+                    analyzer.aggregation_runs()
+                };
+                let query_start = Instant::now();
+                let results = analyzer.query_all(&job.measures);
+                JobReport {
+                    fingerprint,
+                    cache_hit,
+                    results,
+                    aggregation_runs,
+                    build,
+                    query: query_start.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// Get-or-build with exactly-once semantics; the boolean is `true` for a
+    /// cache hit (the session existed or a concurrent worker built it).  The
+    /// caller supplies the key so the fingerprint is hashed once per job.
+    fn session(
+        &self,
+        key: CacheKey,
+        dft: &Dft,
+        options: &AnalysisOptions,
+    ) -> (Result<Arc<Analyzer>>, bool) {
+        let slot = self.reserve(key);
+        let mut built = false;
+        let outcome = slot.get_or_init(|| {
+            built = true;
+            Analyzer::new(dft, options.clone()).map(Arc::new)
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (
+            match outcome {
+                Ok(analyzer) => Ok(Arc::clone(analyzer)),
+                Err(e) => Err(e.clone()),
+            },
+            !built,
+        )
+    }
+
+    /// Returns the slot for `key`, inserting a fresh one (and evicting the
+    /// least recently used *initialized* entry beyond capacity) under the cache
+    /// lock.  The actual build happens outside the lock, so a slow aggregation
+    /// never stalls jobs for other trees.
+    fn reserve(&self, key: CacheKey) -> Slot {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache.entries.get_mut(&key) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.slot);
+        }
+        let slot: Slot = Arc::new(OnceLock::new());
+        cache.entries.insert(
+            key,
+            CacheEntry {
+                slot: Arc::clone(&slot),
+                last_used: tick,
+            },
+        );
+        let capacity = self.options.cache_capacity;
+        while capacity > 0 && cache.entries.len() > capacity {
+            // In-flight (uninitialized) slots are exempt: evicting one would let
+            // a racing duplicate rebuild the same model.
+            let victim = cache
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != key && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    cache.entries.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft::{DftBuilder, Dormancy};
+
+    fn spare_tree(prefix: &str, rate: f64) -> Dft {
+        let mut b = DftBuilder::new();
+        let p = b
+            .basic_event(&format!("{prefix}_P"), rate, Dormancy::Hot)
+            .unwrap();
+        let s = b
+            .basic_event(&format!("{prefix}_S"), rate, Dormancy::Cold)
+            .unwrap();
+        let top = b.spare_gate(&format!("{prefix}_Top"), &[p, s]).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn duplicate_trees_build_once() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 2,
+            cache_capacity: 8,
+        });
+        let jobs: Vec<AnalysisJob> = (0..5)
+            .map(|i| {
+                AnalysisJob::new(
+                    // Different names, identical structure: same fingerprint.
+                    spare_tree(&format!("svc{i}"), 1.0),
+                    AnalysisOptions::default(),
+                    vec![Measure::Unreliability(1.0)],
+                )
+            })
+            .collect();
+        let report = service.run_batch(&jobs);
+        assert_eq!(report.stats.jobs, 5);
+        assert_eq!(report.stats.cache_misses, 1);
+        assert_eq!(report.stats.cache_hits, 4);
+        assert_eq!(report.stats.aggregation_runs, 1);
+        let expected = 1.0 - 2.0 * (-1.0f64).exp();
+        for job in &report.jobs {
+            let results = job.results.as_ref().unwrap();
+            assert_eq!(results.len(), 1);
+            assert!((results[0].value() - expected).abs() < 1e-6);
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn method_and_epsilon_split_the_cache() {
+        let service = AnalysisService::new(ServiceOptions::default());
+        let dft = spare_tree("svc_key", 1.0);
+        let compositional = AnalysisOptions::default();
+        let monolithic = AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        };
+        let loose = AnalysisOptions {
+            epsilon: 1e-6,
+            ..AnalysisOptions::default()
+        };
+        let a = service.analyzer(&dft, &compositional).unwrap();
+        let b = service.analyzer(&dft, &monolithic).unwrap();
+        let c = service.analyzer(&dft, &loose).unwrap();
+        let a2 = service.analyzer(&dft, &compositional).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(service.cache_stats().entries, 3);
+        assert_eq!(service.cache_stats().misses, 3);
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 2,
+        });
+        let options = AnalysisOptions::default();
+        let first = spare_tree("svc_lru_a", 1.0);
+        let second = spare_tree("svc_lru_b", 2.0);
+        let third = spare_tree("svc_lru_c", 3.0);
+        service.analyzer(&first, &options).unwrap();
+        service.analyzer(&second, &options).unwrap();
+        // Touch `first` so `second` is the least recently used …
+        service.analyzer(&first, &options).unwrap();
+        // … and inserting `third` evicts `second`.
+        service.analyzer(&third, &options).unwrap();
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        service.analyzer(&first, &options).unwrap();
+        assert_eq!(service.cache_stats().hits, 2, "first survived the eviction");
+        service.analyzer(&second, &options).unwrap();
+        assert_eq!(service.cache_stats().misses, 4, "second was rebuilt");
+    }
+
+    #[test]
+    fn job_errors_are_reported_in_place() {
+        // A query error (unavailability on a non-repairable tree) must not
+        // abort the batch: the failing job reports its error, the rest run.
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 4,
+        });
+        let jobs = vec![
+            AnalysisJob::new(
+                spare_tree("svc_err_a", 1.0),
+                AnalysisOptions::default(),
+                vec![Measure::Unavailability],
+            ),
+            AnalysisJob::new(
+                spare_tree("svc_err_b", 2.0),
+                AnalysisOptions::default(),
+                vec![Measure::Unreliability(1.0)],
+            ),
+        ];
+        let report = service.run_batch(&jobs);
+        assert!(report.jobs[0].results.is_err(), "not repairable");
+        assert!(report.jobs[1].results.is_ok());
+        assert_eq!(report.stats.jobs, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let service = AnalysisService::new(ServiceOptions::default());
+        let report = service.run_batch(&[]);
+        assert_eq!(report.stats.jobs, 0);
+        assert_eq!(report.stats.cache_hits + report.stats.cache_misses, 0);
+        assert!(report.jobs.is_empty());
+    }
+}

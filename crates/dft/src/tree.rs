@@ -151,6 +151,88 @@ impl Dft {
         out
     }
 
+    /// A deterministic structural fingerprint of the tree.
+    ///
+    /// The fingerprint hashes the canonicalized structure — every element in id
+    /// order with its kind, failure rate, dormancy factor and repair rate (for
+    /// basic events) or gate kind, threshold and ordered input edges (for
+    /// gates) — plus the top-event id.  Element *names* are deliberately
+    /// excluded: two trees that differ only in labelling describe the same
+    /// stochastic model and share a fingerprint, which is exactly the notion of
+    /// identity a model cache wants.
+    ///
+    /// Two structurally different trees collide only with the usual 64-bit
+    /// hash probability; a collision-free guarantee is not provided, but trees
+    /// built in a different element insertion order also hash differently (the
+    /// fingerprint is conservative — a spurious mismatch merely costs a cache
+    /// miss, never a wrong answer).
+    ///
+    /// The hash function is a fixed FNV-1a variant, so fingerprints are stable
+    /// across processes, platforms and runs — suitable as a persistent cache
+    /// key.
+    pub fn fingerprint(&self) -> u64 {
+        /// 64-bit FNV-1a offset basis and prime.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            fn u64(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+            fn f64(&mut self, v: f64) {
+                // Hash the bit pattern; fold -0.0 onto 0.0 so the two rate
+                // spellings (which define the same CTMC) agree.
+                self.u64(if v == 0.0 { 0 } else { v.to_bits() });
+            }
+        }
+
+        let mut h = Fnv(OFFSET);
+        h.u64(self.elements.len() as u64);
+        h.u64(self.top.index() as u64);
+        for element in &self.elements {
+            match element {
+                Element::BasicEvent(be) => {
+                    h.byte(0x01);
+                    h.f64(be.rate);
+                    h.f64(be.dormancy.factor());
+                    match be.repair_rate {
+                        None => h.byte(0x00),
+                        Some(mu) => {
+                            h.byte(0x02);
+                            h.f64(mu);
+                        }
+                    }
+                }
+                Element::Gate(g) => {
+                    h.byte(0x03);
+                    let (tag, k) = match g.kind {
+                        GateKind::And => (0x10u8, 0),
+                        GateKind::Or => (0x11, 0),
+                        GateKind::Voting { k } => (0x12, k),
+                        GateKind::Pand => (0x13, 0),
+                        GateKind::Spare => (0x14, 0),
+                        GateKind::Fdep => (0x15, 0),
+                        GateKind::Seq => (0x16, 0),
+                        GateKind::Inhibit => (0x17, 0),
+                    };
+                    h.byte(tag);
+                    h.u64(u64::from(k));
+                    h.byte(u8::from(g.repairable));
+                    h.u64(g.inputs.len() as u64);
+                    for input in &g.inputs {
+                        h.u64(input.index() as u64);
+                    }
+                }
+            }
+        }
+        h.0
+    }
+
     /// Returns `true` if the DFT contains at least one dynamic gate.
     pub fn is_dynamic(&self) -> bool {
         self.elements.iter().any(|e| e.is_dynamic_gate())
@@ -261,6 +343,65 @@ mod tests {
                 assert!(position[&input] < position[&e], "input must precede gate");
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_sees_structure() {
+        let renamed = {
+            let mut b = DftBuilder::new();
+            let a = b.basic_event("X1", 1.0, Dormancy::Hot).unwrap();
+            let c = b.basic_event("X2", 2.0, Dormancy::Cold).unwrap();
+            let s = b.spare_gate("X3", &[a, c]).unwrap();
+            let d = b.basic_event("X4", 0.5, Dormancy::Hot).unwrap();
+            let top = b.or_gate("X5", &[s, d]).unwrap();
+            b.build(top).unwrap()
+        };
+        assert_eq!(sample().fingerprint(), renamed.fingerprint());
+        assert_eq!(sample().fingerprint(), sample().fingerprint());
+
+        // Any structural change — a rate, a dormancy, a repair rate, a gate
+        // kind, the input order of an order-sensitive gate — changes the hash.
+        let base = sample().fingerprint();
+        let mut variants = Vec::new();
+        for (rate, dormancy, repair, swap, pand) in [
+            (1.5, Dormancy::Cold, None, false, false),
+            (1.0, Dormancy::Warm(0.3), None, false, false),
+            (1.0, Dormancy::Cold, Some(4.0), false, false),
+            (1.0, Dormancy::Cold, None, true, false),
+            (1.0, Dormancy::Cold, None, false, true),
+        ] {
+            let mut b = DftBuilder::new();
+            let a = b.basic_event("A", 1.0, Dormancy::Hot).unwrap();
+            let c = match repair {
+                None => b.basic_event("C", 2.0, dormancy).unwrap(),
+                Some(mu) => b.repairable_basic_event("C", 2.0, dormancy, mu).unwrap(),
+            };
+            let inputs = if swap { [c, a] } else { [a, c] };
+            let s = b.spare_gate("S", &inputs).unwrap();
+            let d = b.basic_event("D", rate * 0.5, Dormancy::Hot).unwrap();
+            let top = if pand {
+                b.pand_gate("Top", &[s, d]).unwrap()
+            } else {
+                b.or_gate("Top", &[s, d]).unwrap()
+            };
+            variants.push(b.build(top).unwrap().fingerprint());
+        }
+        // The first variant reproduces the sample except for rescaling D's rate
+        // via `rate`; with rate == 1.5 it differs. All must differ from base
+        // and from each other.
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(*v, base, "variant {i} must not collide with the sample");
+        }
+        let mut unique = variants.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), variants.len(), "variants must be distinct");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones() {
+        let dft = sample();
+        assert_eq!(dft.fingerprint(), dft.clone().fingerprint());
     }
 
     #[test]

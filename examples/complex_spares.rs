@@ -12,7 +12,7 @@ use dftmc::dft_core::AnalysisOptions;
 
 fn sweep(dft: &Dft) -> Result<(), dftmc::dft_core::Error> {
     let analyzer = Analyzer::new(dft, AnalysisOptions::default())?;
-    let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0]))?;
+    let curve = analyzer.query(Measure::curve([0.5, 1.0, 2.0]))?;
     for point in curve.points() {
         println!(
             "  unreliability({}) = {:.6}",

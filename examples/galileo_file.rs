@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
     println!("\nunreliability over the first ten years (one curve query)");
-    let curve = analyzer.query(Measure::UnreliabilityCurve(&[1.0, 2.0, 5.0, 10.0]))?;
+    let curve = analyzer.query(Measure::curve([1.0, 2.0, 5.0, 10.0]))?;
     for point in curve.points() {
         println!("  t = {:5.1}: {:.6}", point.time().unwrap(), point.value());
     }

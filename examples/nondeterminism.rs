@@ -17,7 +17,7 @@ use dftmc::dft_core::AnalysisOptions;
 const HORIZONS: [f64; 3] = [0.5, 1.0, 2.0];
 
 fn report(analyzer: &Analyzer) -> Result<(), dftmc::dft_core::Error> {
-    let curve = analyzer.query(Measure::UnreliabilityCurve(&HORIZONS))?;
+    let curve = analyzer.query(Measure::curve(HORIZONS))?;
     for point in curve.points() {
         let (lo, hi) = point.bounds();
         println!(

@@ -1,0 +1,105 @@
+//! Portfolio analysis: a 50-variant fleet of cardiac assist systems, analysed
+//! as one [`AnalysisService`] batch.
+//!
+//! The fleet contains only 5 structurally distinct designs (rate-scaled CAS
+//! variants); each appears 10 times, as fleets do — same design, many
+//! submissions.  The service fingerprints every tree, builds each distinct
+//! model exactly once on the worker pool, and answers the other 45 jobs from
+//! the cache: after the first build of a design, re-analysing it is ~free.
+//!
+//! Run with `cargo run --release --example portfolio`.
+
+use dftmc::dft_core::casestudies::{cas_scaled, DEFAULT_MISSION_TIMES};
+use dftmc::dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+use dftmc::dft_core::{AnalysisOptions, Measure};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const DESIGNS: usize = 5;
+    const COPIES: usize = 10;
+
+    // The fleet: 10 submissions of each of 5 designs, interleaved as a real
+    // submission stream would be.
+    let jobs: Vec<AnalysisJob> = (0..DESIGNS * COPIES)
+        .map(|i| {
+            AnalysisJob::new(
+                cas_scaled(1.0 + 0.1 * (i % DESIGNS) as f64),
+                AnalysisOptions::default(),
+                vec![
+                    Measure::curve(DEFAULT_MISSION_TIMES),
+                    Measure::Unreliability(1.0),
+                ],
+            )
+        })
+        .collect();
+
+    let service = AnalysisService::new(ServiceOptions::default());
+    let report = service.run_batch(&jobs);
+
+    println!(
+        "portfolio: {} jobs, {} distinct designs, {} worker(s)",
+        report.stats.jobs, DESIGNS, report.stats.workers
+    );
+    println!(
+        "cache: {} misses (models built), {} hits (builds skipped), {} aggregation run(s)",
+        report.stats.cache_misses, report.stats.cache_hits, report.stats.aggregation_runs
+    );
+
+    // Cache hits make re-analysis ~free: compare the build phase paid by the
+    // first submission of each design with what the duplicates paid.
+    let phase = |hit: bool| -> (usize, Duration, Duration) {
+        report
+            .jobs
+            .iter()
+            .filter(|j| j.cache_hit == hit)
+            .fold((0, Duration::ZERO, Duration::ZERO), |(n, b, q), j| {
+                (n + 1, b + j.build, q + j.query)
+            })
+    };
+    let (misses, miss_build, miss_query) = phase(false);
+    let (hits, hit_build, hit_query) = phase(true);
+    println!("\n              jobs   total build   total query");
+    println!(
+        "first builds  {:>4}   {:>11} {:>13}",
+        misses,
+        format!("{:.2?}", miss_build),
+        format!("{:.2?}", miss_query)
+    );
+    println!(
+        "cache hits    {:>4}   {:>11} {:>13}",
+        hits,
+        format!("{:.2?}", hit_build),
+        format!("{:.2?}", hit_query)
+    );
+
+    // Per-design: every submission of a design reports the same fingerprint
+    // and the same unreliability, down to the last bit.
+    println!("\ndesign  fingerprint       unreliability(t=1)  submissions");
+    for design in 0..DESIGNS {
+        let submissions: Vec<_> = report
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % DESIGNS == design)
+            .map(|(_, j)| j)
+            .collect();
+        let first = submissions[0].results.as_ref().map_err(Clone::clone)?[1].value();
+        assert!(submissions.iter().all(|j| {
+            j.results
+                .as_ref()
+                .is_ok_and(|r| r[1].value().to_bits() == first.to_bits())
+        }));
+        println!(
+            "#{design}      {:016x}  {:>18.6}  {:>11}",
+            submissions[0].fingerprint,
+            first,
+            submissions.len()
+        );
+    }
+
+    println!(
+        "\nbatch wall time {:.2?}: {} model builds amortized over {} jobs",
+        report.stats.wall_time, report.stats.cache_misses, report.stats.jobs
+    );
+    Ok(())
+}

@@ -1,13 +1,13 @@
-//! Quickstart: model a tiny redundant system as a dynamic fault tree, build one
-//! [`Analyzer`] session, and answer a whole mission-time sweep plus the MTTF from
-//! the same cached model — the aggregation pipeline runs exactly once.
+//! Quickstart: model a tiny redundant system as a dynamic fault tree, submit it
+//! to an [`AnalysisService`], and answer a whole mission-time sweep plus the MTTF
+//! from one cached model — the aggregation pipeline runs exactly once, and
+//! resubmitting the same structure is a cache hit that skips it entirely.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use dftmc::dft::{DftBuilder, Dormancy};
-use dftmc::dft_core::engine::Analyzer;
-use dftmc::dft_core::query::Measure;
-use dftmc::dft_core::{AnalysisOptions, Method};
+use dftmc::dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+use dftmc::dft_core::{AnalysisOptions, Measure, Method};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A power supply backed by a cold-standby generator; both feed a controller
@@ -26,60 +26,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dft = b.build(system)?;
 
     println!(
-        "system: {} elements ({} basic events, {} gates)",
+        "system: {} elements ({} basic events, {} gates), fingerprint {:016x}",
         dft.num_elements(),
         dft.num_basic_events(),
-        dft.num_gates()
+        dft.num_gates(),
+        dft.fingerprint()
     );
 
-    // Build the aggregation pipeline once …
-    let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+    // One service fronts every analysis; sessions are cached by structure.
+    let service = AnalysisService::new(ServiceOptions::default());
 
-    // … then sweep the whole mission-time grid in one curve query.
-    let curve = analyzer.query(Measure::UnreliabilityCurve(&[0.5, 1.0, 2.0, 5.0]))?;
+    // One job answers the whole sweep, the point query and the MTTF in a single
+    // batch — all measures share one cached model and one uniformisation pass.
+    let t = 1.0;
+    let report = service.run_batch(&[AnalysisJob::new(
+        dft.clone(),
+        AnalysisOptions::default(),
+        vec![
+            Measure::curve([0.5, 1.0, 2.0, 5.0]),
+            Measure::Unreliability(t),
+            Measure::Mttf,
+        ],
+    )]);
+    let job = &report.jobs[0];
+    let results = job.results.as_ref().map_err(Clone::clone)?;
+
     println!("\n mission time |  unreliability");
     println!(" -------------+---------------");
-    for point in curve.points() {
+    for point in results[0].points() {
         println!(
             "        {:5.1} |  {:.6}",
             point.time().unwrap(),
             point.value()
         );
     }
+    println!("\nmean time to failure: {:.4}", results[2].value());
 
-    // The same session also answers the mean time to failure.
-    println!(
-        "\nmean time to failure: {:.4}",
-        analyzer.query(Measure::Mttf)?.value()
-    );
-
-    // Cross-check a single point against the monolithic baseline session.
-    let t = 1.0;
-    let compositional = analyzer.query(Measure::Unreliability(t))?;
-    let monolithic = Analyzer::new(
-        &dft,
+    // Cross-check the point query against the monolithic baseline — a second
+    // job in the same service, under a different cache key.
+    let monolithic = service.run_batch(&[AnalysisJob::new(
+        dft.clone(),
         AnalysisOptions {
             method: Method::Monolithic,
             ..AnalysisOptions::default()
         },
-    )?
-    .query(Measure::Unreliability(t))?;
+        vec![Measure::Unreliability(t)],
+    )]);
     println!(
         "\nat t = {t}: compositional {:.6} vs monolithic {:.6}",
-        compositional.value(),
-        monolithic.value()
+        results[1].value(),
+        monolithic.jobs[0].results.as_ref().map_err(Clone::clone)?[0].value()
     );
 
-    let stats = analyzer.aggregation_stats().expect("compositional run");
+    // Resubmitting the same structure is a cache hit: no aggregation runs.
+    let resubmitted = service.run_batch(&[AnalysisJob::new(
+        dft,
+        AnalysisOptions::default(),
+        vec![Measure::Unreliability(2.0)],
+    )]);
     println!(
-        "compositional aggregation peaked at {} states / {} transitions over {} steps",
-        stats.peak.states,
-        stats.peak.transitions(),
-        stats.steps.len()
+        "\nresubmission: cache hit = {}, aggregation runs = {}",
+        resubmitted.jobs[0].cache_hit, resubmitted.stats.aggregation_runs
     );
+    let stats = service.cache_stats();
     println!(
-        "the session answered every query above with {} aggregation re-run(s)",
-        analyzer.aggregation_runs() - 1
+        "service totals: {} hits / {} misses over {} cached model(s)",
+        stats.hits, stats.misses, stats.entries
     );
     Ok(())
 }

@@ -39,7 +39,7 @@ fn sweep_triggers_exactly_one_aggregation() {
 
     assert_eq!(DEFAULT_MISSION_TIMES.len(), 10);
     let curve = analyzer
-        .query(Measure::UnreliabilityCurve(&DEFAULT_MISSION_TIMES))
+        .query(Measure::curve(DEFAULT_MISSION_TIMES))
         .unwrap();
     assert_eq!(curve.len(), 10);
     // Pile on more queries of every supported kind.
@@ -77,7 +77,7 @@ fn curve_matches_pointwise_queries() {
     for (dft, label) in [(cas(), "cas"), (cps(), "cps")] {
         let analyzer = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
         let curve = analyzer
-            .query(Measure::UnreliabilityCurve(&DEFAULT_MISSION_TIMES))
+            .query(Measure::curve(DEFAULT_MISSION_TIMES))
             .unwrap();
         for (point, &t) in curve.points().iter().zip(&DEFAULT_MISSION_TIMES) {
             assert_eq!(point.time(), Some(t));
@@ -111,7 +111,7 @@ fn unreliability_curve_is_monotone_in_time() {
         let mut times: Vec<f64> = (0..12).map(|_| rng.next_f64() * 4.0).collect();
         times.extend_from_slice(&DEFAULT_MISSION_TIMES);
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let curve = analyzer.query(Measure::UnreliabilityCurve(&times)).unwrap();
+        let curve = analyzer.query(Measure::curve(times)).unwrap();
         let values: Vec<f64> = curve.values().collect();
         for window in values.windows(2) {
             assert!(
@@ -203,9 +203,7 @@ fn curve_edge_cases() {
     let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
 
     let unsorted = [2.0, 0.5, 1.0, 0.5, 0.0];
-    let curve = analyzer
-        .query(Measure::UnreliabilityCurve(&unsorted))
-        .unwrap();
+    let curve = analyzer.query(Measure::curve(unsorted)).unwrap();
     assert_eq!(curve.len(), 5);
     let values: Vec<f64> = curve.values().collect();
     assert_eq!(
@@ -219,13 +217,18 @@ fn curve_edge_cases() {
         "request order is preserved"
     );
 
-    let empty = analyzer.query(Measure::UnreliabilityCurve(&[])).unwrap();
-    assert!(empty.is_empty());
+    // An empty sweep has nothing to evaluate: rejected with a typed error at
+    // query time, so `MeasureResult::value()` can never panic on engine output.
+    assert!(
+        matches!(
+            analyzer.query(Measure::UnreliabilityCurve(Vec::new())),
+            Err(dftmc::dft_core::Error::EmptyCurve)
+        ),
+        "empty curves are rejected with the typed error"
+    );
 
     assert!(
-        analyzer
-            .query(Measure::UnreliabilityCurve(&[1.0, -1.0]))
-            .is_err(),
+        analyzer.query(Measure::curve([1.0, -1.0])).is_err(),
         "negative mission times are rejected"
     );
 }

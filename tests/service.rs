@@ -1,0 +1,246 @@
+//! Integration tests for the [`AnalysisService`] portfolio front end and the
+//! concurrency contract underneath it.
+//!
+//! The redesign promises:
+//!
+//! 1. [`Analyzer`] is `Send + Sync` (statically asserted), so one session behind
+//!    an `Arc` serves many threads with bit-identical results,
+//! 2. a batch with duplicate fingerprints runs aggregation once per *distinct*
+//!    tree — duplicates are cache hits,
+//! 3. service results are bit-identical to sequential [`Analyzer`] runs,
+//! 4. [`Analyzer::query_all`] answers a mixed measure batch in one pass,
+//!    bit-identical to individual queries,
+//! 5. empty curves are rejected with the typed [`Error::EmptyCurve`] instead of
+//!    panicking in the result accessors.
+
+use dftmc::dft::{Dft, DftBuilder, Dormancy};
+use dftmc::dft_core::casestudies::{cas, cas_scaled, DEFAULT_MISSION_TIMES};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+use dftmc::dft_core::{AnalysisOptions, Error, Measure, MeasureResult};
+use std::sync::Arc;
+
+/// The load-bearing auto-trait guarantees, checked at compile time: the worker
+/// pool and the `Arc<Analyzer>` cache are sound only if these hold.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Analyzer>();
+    assert_send_sync::<AnalysisService>();
+    assert_send_sync::<AnalysisJob>();
+    assert_send_sync::<Measure>()
+};
+
+fn bits_of(result: &MeasureResult) -> Vec<(Option<u64>, u64, u64, u64)> {
+    result
+        .points()
+        .iter()
+        .map(|p| {
+            (
+                p.time().map(f64::to_bits),
+                p.value().to_bits(),
+                p.bounds().0.to_bits(),
+                p.bounds().1.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// A small dynamic tree whose element names carry `prefix`: two trees built
+/// with the same `rate` but different prefixes are structurally identical —
+/// same fingerprint — while different rates give distinct fingerprints.
+fn variant(prefix: &str, rate: f64) -> Dft {
+    let mut b = DftBuilder::new();
+    let n = |s: &str| format!("{prefix}_{s}");
+    let p = b.basic_event(&n("P"), rate, Dormancy::Hot).unwrap();
+    let s = b.basic_event(&n("S"), rate, Dormancy::Cold).unwrap();
+    let spare = b.spare_gate(&n("SP"), &[p, s]).unwrap();
+    let x = b.basic_event(&n("X"), 0.5 * rate, Dormancy::Hot).unwrap();
+    let y = b.basic_event(&n("Y"), 0.7 * rate, Dormancy::Hot).unwrap();
+    let pand = b.pand_gate(&n("PD"), &[x, y]).unwrap();
+    let top = b.or_gate(&n("TOP"), &[spare, pand]).unwrap();
+    b.build(top).unwrap()
+}
+
+#[test]
+fn two_threads_share_one_analyzer_bit_identically() {
+    let analyzer = Arc::new(Analyzer::new(&cas(), AnalysisOptions::default()).unwrap());
+    let reference = analyzer
+        .query(Measure::curve(DEFAULT_MISSION_TIMES))
+        .unwrap();
+
+    let results: Vec<MeasureResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let shared = Arc::clone(&analyzer);
+                scope.spawn(move || shared.query(Measure::curve(DEFAULT_MISSION_TIMES)).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for result in &results {
+        assert_eq!(
+            bits_of(result),
+            bits_of(&reference),
+            "concurrent queries must be bit-identical to the single-threaded one"
+        );
+    }
+    assert_eq!(analyzer.aggregation_runs(), 1);
+}
+
+#[test]
+fn duplicate_fingerprints_aggregate_once_per_distinct_tree() {
+    // Three distinct structures (rate variants), each submitted three times
+    // under fresh element names: nine jobs, three fingerprints, and renamed
+    // twins must be cache hits.
+    let service = AnalysisService::new(ServiceOptions {
+        workers: 2,
+        cache_capacity: 16,
+    });
+    let rates = [1.0, 1.25, 1.5];
+    let jobs: Vec<AnalysisJob> = (0..9)
+        .map(|i| {
+            AnalysisJob::new(
+                variant(&format!("svc{i}"), rates[i % rates.len()]),
+                AnalysisOptions::default(),
+                vec![Measure::Unreliability(1.0)],
+            )
+        })
+        .collect();
+
+    let report = service.run_batch(&jobs);
+    assert_eq!(report.stats.jobs, 9);
+    assert_eq!(
+        report.stats.aggregation_runs,
+        rates.len(),
+        "aggregation must run once per distinct tree, not per job"
+    );
+    assert_eq!(report.stats.cache_misses, rates.len());
+    assert_eq!(report.stats.cache_hits, jobs.len() - rates.len());
+
+    // Every copy of the same structure reports the same fingerprint and
+    // bit-identical results, whatever its element names were.
+    let base_fp = variant("fresh", 1.0).fingerprint();
+    let base_jobs: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.fingerprint == base_fp)
+        .collect();
+    assert_eq!(base_jobs.len(), 3);
+    let reference = bits_of(&base_jobs[0].results.as_ref().unwrap()[0]);
+    for job in &base_jobs {
+        assert_eq!(bits_of(&job.results.as_ref().unwrap()[0]), reference);
+    }
+}
+
+#[test]
+fn service_results_match_sequential_analyzer_runs_bitwise() {
+    let measures = vec![
+        Measure::curve(DEFAULT_MISSION_TIMES),
+        Measure::Unreliability(1.0),
+    ];
+    let scales = [1.0, 2.0];
+    let jobs: Vec<AnalysisJob> = (0..6)
+        .map(|i| {
+            AnalysisJob::new(
+                cas_scaled(scales[i % scales.len()]),
+                AnalysisOptions::default(),
+                measures.clone(),
+            )
+        })
+        .collect();
+
+    let sequential: Vec<Vec<MeasureResult>> = jobs
+        .iter()
+        .map(|job| {
+            Analyzer::new(&job.dft, job.options.clone())
+                .unwrap()
+                .query_all(&job.measures)
+                .unwrap()
+        })
+        .collect();
+
+    for workers in [1, 4] {
+        let service = AnalysisService::new(ServiceOptions {
+            workers,
+            cache_capacity: 8,
+        });
+        let report = service.run_batch(&jobs);
+        for (job, expected) in report.jobs.iter().zip(&sequential) {
+            let results = job.results.as_ref().unwrap();
+            assert_eq!(results.len(), expected.len());
+            for (r, e) in results.iter().zip(expected) {
+                assert_eq!(
+                    bits_of(r),
+                    bits_of(e),
+                    "{workers}-worker service results must be bit-identical to \
+                     a fresh sequential Analyzer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn query_all_is_bit_identical_to_individual_queries() {
+    let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
+    let measures = vec![
+        Measure::Unreliability(1.0),
+        Measure::curve(DEFAULT_MISSION_TIMES),
+        // Duplicate times across measures: the merged pass deduplicates them
+        // but must hand every measure its own full answer.
+        Measure::curve([1.0, 1.0, 2.5]),
+    ];
+    let batch = analyzer.query_all(&measures).unwrap();
+    assert_eq!(batch.len(), measures.len());
+    for (measure, result) in measures.iter().zip(&batch) {
+        let single = analyzer.query(measure).unwrap();
+        assert_eq!(bits_of(result), bits_of(&single));
+    }
+    assert_eq!(batch[2].points().len(), 3);
+    assert_eq!(
+        batch[2].points()[0].value().to_bits(),
+        batch[2].points()[1].value().to_bits()
+    );
+
+    // Mixed scalar measures ride along in the same batch on a suitable model.
+    let mut b = DftBuilder::new();
+    let x = b
+        .repairable_basic_event("qa_X", 1.0, Dormancy::Hot, 9.0)
+        .unwrap();
+    let top = b.or_gate("qa_Top", &[x]).unwrap();
+    let repairable = b.build(top).unwrap();
+    let analyzer = Analyzer::new(&repairable, AnalysisOptions::default()).unwrap();
+    let mixed = vec![
+        Measure::Mttf,
+        Measure::Unreliability(0.5),
+        Measure::Unavailability,
+    ];
+    let batch = analyzer.query_all(&mixed).unwrap();
+    for (measure, result) in mixed.iter().zip(&batch) {
+        let single = analyzer.query(measure).unwrap();
+        assert_eq!(bits_of(result), bits_of(&single));
+    }
+}
+
+#[test]
+fn empty_curves_are_typed_errors_everywhere() {
+    let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
+    assert!(matches!(
+        analyzer.query(Measure::UnreliabilityCurve(Vec::new())),
+        Err(Error::EmptyCurve)
+    ));
+    assert!(matches!(
+        analyzer.query_all(&[Measure::Mttf, Measure::UnreliabilityCurve(Vec::new())]),
+        Err(Error::EmptyCurve)
+    ));
+
+    // Through the service the error lands in the job report, not in a panic.
+    let service = AnalysisService::new(ServiceOptions::default());
+    let report = service.run_batch(&[AnalysisJob::new(
+        cas(),
+        AnalysisOptions::default(),
+        vec![Measure::UnreliabilityCurve(Vec::new())],
+    )]);
+    assert!(matches!(report.jobs[0].results, Err(Error::EmptyCurve)));
+}
