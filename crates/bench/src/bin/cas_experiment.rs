@@ -1,10 +1,12 @@
 //! Experiment E2: regenerates the cardiac-assist-system results of Section 5.1.
 //!
-//! Run with `cargo run --release -p dftmc-bench --bin cas_experiment`.
+//! Run with `cargo run --release -p dftmc-bench --bin cas_experiment`
+//! (`--smoke` is accepted for CI uniformity; the experiment is already small).
 
 use dftmc_bench::json::{self, Json};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let e = dftmc_bench::run_cas_experiment().expect("the CAS analyses");
     println!("== E2: cardiac assist system (Section 5.1) ==\n");
     println!("unreliability at mission time 1");
@@ -46,6 +48,7 @@ fn main() {
         "cas",
         &Json::obj([
             ("experiment", "cas".into()),
+            ("smoke", smoke.into()),
             ("unreliability_paper", e.unreliability.paper.unwrap().into()),
             ("unreliability_measured", e.unreliability.measured.into()),
             (

@@ -1,11 +1,13 @@
 //! Experiments E3/E4: regenerates the cascaded-PAND results of Section 5.2 and
 //! Figure 9.
 //!
-//! Run with `cargo run --release -p dftmc-bench --bin cps_experiment`.
+//! Run with `cargo run --release -p dftmc-bench --bin cps_experiment`
+//! (`--smoke` is accepted for CI uniformity; the experiment is already small).
 
 use dftmc_bench::json::{self, Json};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let e = dftmc_bench::run_cps_experiment().expect("the CPS analyses");
     println!("== E3/E4: cascaded PAND system (Section 5.2, Figures 8/9) ==\n");
     println!("{:<38} {:>12} {:>12}", "metric", "paper", "measured");
@@ -44,6 +46,7 @@ fn main() {
         "cps",
         &Json::obj([
             ("experiment", "cps".into()),
+            ("smoke", smoke.into()),
             ("unreliability", comparison(&e.unreliability)),
             ("peak_states", comparison(&e.peak_states)),
             ("peak_transitions", comparison(&e.peak_transitions)),

@@ -2,18 +2,24 @@
 //! inputs of a PAND gate) analysed as a CTMDP, reporting unreliability bounds and
 //! the deterministic resolution of the DIFTree-style baseline.
 //!
-//! Run with `cargo run --release -p dftmc-bench --bin nondeterminism_experiment`.
+//! Run with `cargo run --release -p dftmc-bench --bin nondeterminism_experiment`
+//! (add `--smoke` for the quick CI configuration).
 
 use dftmc_bench::json::{self, Json};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let times: &[f64] = if smoke {
+        &[0.5, 1.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
     println!("== E5: simultaneity and non-determinism (Section 4.4, Figure 6a) ==\n");
     println!(
         "{:>14} {:>14} {:>14} {:>22}",
         "mission time", "lower bound", "upper bound", "baseline (det. order)"
     );
-    let e = dftmc_bench::run_nondeterminism_experiment(&[0.25, 0.5, 1.0, 2.0, 4.0])
-        .expect("analysis runs");
+    let e = dftmc_bench::run_nondeterminism_experiment(times).expect("analysis runs");
     for row in &e.rows {
         println!(
             "{:>14} {:>14.6} {:>14.6} {:>22.6}",
@@ -32,6 +38,7 @@ fn main() {
         "nondeterminism",
         &Json::obj([
             ("experiment", "nondeterminism".into()),
+            ("smoke", smoke.into()),
             (
                 "rows",
                 Json::Arr(

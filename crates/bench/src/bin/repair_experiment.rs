@@ -1,23 +1,27 @@
 //! Experiment E8: the repairable AND system of Figure 15, analysed for
 //! steady-state unavailability.
 //!
-//! Run with `cargo run --release -p dftmc-bench --bin repair_experiment`.
+//! Run with `cargo run --release -p dftmc-bench --bin repair_experiment`
+//! (add `--smoke` for the quick CI configuration).
 
 use dftmc_bench::json::{self, Json};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("== E8: repairable AND gate (Section 7.2, Figures 13-15) ==\n");
     println!(
         "{:>10} {:>10} {:>8} {:>18} {:>18} {:>12} {:>14}",
         "lambda_A", "lambda_B", "mu", "analytic", "measured", "mttf", "final states"
     );
     let mut rows = Vec::new();
-    for (la, lb, mu) in [
+    let full: &[(f64, f64, f64)] = &[
         (1.0, 2.0, 10.0),
         (0.5, 0.5, 5.0),
         (1.0, 1.0, 1.0),
         (0.1, 0.3, 2.0),
-    ] {
+    ];
+    let configs = if smoke { &full[..2] } else { full };
+    for &(la, lb, mu) in configs {
         let e = dftmc_bench::run_repair_experiment(la, lb, mu).expect("repair analysis runs");
         println!(
             "{:>10} {:>10} {:>8} {:>18.8} {:>18.8} {:>12.4} {:>14}",
@@ -44,6 +48,10 @@ fn main() {
 
     json::emit_and_announce(
         "repair",
-        &Json::obj([("experiment", "repair".into()), ("rows", Json::Arr(rows))]),
+        &Json::obj([
+            ("experiment", "repair".into()),
+            ("smoke", smoke.into()),
+            ("rows", Json::Arr(rows)),
+        ]),
     );
 }

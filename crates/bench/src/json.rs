@@ -133,6 +133,173 @@ impl From<&str> for Json {
     }
 }
 
+/// Parses a JSON document (the subset [`Json`] renders: objects, arrays,
+/// strings, finite numbers, booleans, `null`), so the trend-tracking tooling
+/// can read committed `BENCH_*.json` baselines back without external crates.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn parse(text: &str) -> std::result::Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> std::result::Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", byte as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = text_slice(bytes, *pos + 1, *pos + 5)?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad codepoint at byte {pos}"))?,
+                                );
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 encoded character.
+                        let start = *pos;
+                        *pos += 1;
+                        while *pos < bytes.len() && (bytes[*pos] & 0xc0) == 0x80 {
+                            *pos += 1;
+                        }
+                        out.push_str(text_slice(bytes, start, *pos)?);
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let token = text_slice(bytes, start, *pos)?;
+            token
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number '{token}' at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn text_slice(bytes: &[u8], start: usize, end: usize) -> std::result::Result<&str, String> {
+    bytes
+        .get(start..end)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .ok_or_else(|| format!("invalid UTF-8 near byte {start}"))
+}
+
 /// Writes `value` to `BENCH_<name>.json` in the current directory and returns
 /// the path.  The experiment bins call this after printing their human tables;
 /// a trailing newline keeps the files friendly to line-oriented tooling.
@@ -189,5 +356,36 @@ mod tests {
     #[test]
     fn fingerprints_render_as_hex_strings() {
         assert_eq!(Json::from(0xdeadbeefu64).render(), r#""00000000deadbeef""#);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj([
+            ("name", "scaling".into()),
+            ("ok", true.into()),
+            ("none", Json::Null),
+            ("escaped", Json::Str("a\"b\\c\nd\u{1}é".to_owned())),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([("width", 2usize.into()), ("x", (-1.5e-3f64).into())]),
+                    Json::Bool(false),
+                ]),
+            ),
+        ]);
+        let parsed = parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        // A trailing newline (as emit writes) is tolerated.
+        assert_eq!(parse(&(doc.render() + "\n")).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("nope").is_err());
     }
 }

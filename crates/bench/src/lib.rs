@@ -26,7 +26,8 @@ use dft_core::casestudies::{
     cas, cas_cpu_unit, cas_motor_unit, cas_pump_unit, cas_scaled, cascaded_pand, cps,
     DEFAULT_MISSION_TIMES,
 };
-use dft_core::engine::Analyzer;
+use dft_core::engine::{Analyzer, ParametricAnalyzer};
+use dft_core::parametric::Valuation;
 use dft_core::query::{Measure, MeasureResult};
 use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
 use dft_core::Result;
@@ -568,6 +569,121 @@ pub fn run_portfolio_experiment(
     })
 }
 
+/// Results of the rate-sweep experiment: one parametric aggregation of the CAS
+/// structure versus K independent per-scale builds.
+#[derive(Debug, Clone)]
+pub struct SweepExperiment {
+    /// Number of sweep points (rate scales).
+    pub points: usize,
+    /// Mission time of the unreliability query.
+    pub mission_time: f64,
+    /// The rate scales swept, in order.
+    pub scales: Vec<f64>,
+    /// Unreliability per scale, from the parametric sweep.
+    pub values: Vec<f64>,
+    /// Aggregation runs of the parametric session — exactly 1 for the whole
+    /// sweep, which is the point of the experiment.
+    pub aggregation_runs: usize,
+    /// States of the closed parametric model.
+    pub parametric_states: usize,
+    /// Wall-clock of the one parametric aggregation.
+    pub parametric_build: Duration,
+    /// Rate-form evaluation + CTMDP setup, summed over all points.
+    pub sweep_instantiate: Duration,
+    /// Query time, summed over all points.
+    pub sweep_query: Duration,
+    /// Total parametric cost: build + instantiate + query.
+    pub sweep_total: Duration,
+    /// Wall-clock of one independent `Analyzer::new` build + query (the first
+    /// sweep point, re-done the classical way).
+    pub single_point: Duration,
+    /// Wall-clock of all K independent builds + queries.
+    pub independent_total: Duration,
+    /// `independent_total / sweep_total`: the end-to-end wall-clock win,
+    /// including the one-time parametric aggregation.
+    pub speedup: f64,
+    /// `single_point / ((instantiate + query) / points)`: the *marginal* win
+    /// per sweep point once the one aggregation is amortized — this is the
+    /// acceptance ratio "total query/instantiate time vs K× single-point
+    /// cost", and what long sweeps converge to.
+    pub marginal_speedup: f64,
+    /// Largest absolute difference between sweep values/bounds and the
+    /// per-point independent reference.
+    pub max_abs_diff: f64,
+    /// `true` when `max_abs_diff` ≤ 1e-12.
+    pub within_tolerance: bool,
+}
+
+/// Runs the rate-sweep experiment on the cardiac assist system: aggregate the
+/// structure once ([`ParametricAnalyzer`]), instantiate `points` failure-rate
+/// scales (1.0, 1.05, …) at query time, and check every unreliability value
+/// against an independent [`Analyzer::new`] build of the equivalent pre-scaled
+/// tree ([`cas_scaled`]).
+///
+/// Both sides run with a tightened truncation bound (ε = 1e-13) so the 1e-12
+/// agreement check measures the models, not the numerics.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed case study).
+pub fn run_sweep_experiment(points: usize, mission_time: f64) -> Result<SweepExperiment> {
+    assert!(points > 0, "a sweep needs at least one point");
+    let options = AnalysisOptions {
+        epsilon: 1e-13,
+        ..AnalysisOptions::default()
+    };
+    let scales: Vec<f64> = (0..points).map(|i| 1.0 + 0.05 * i as f64).collect();
+
+    let build_start = Instant::now();
+    let parametric = ParametricAnalyzer::new(&cas(), options.clone())?;
+    let parametric_build = build_start.elapsed();
+    let valuations: Vec<Valuation> = scales
+        .iter()
+        .map(|&s| parametric.params().scaled_valuation(s))
+        .collect();
+    let sweep = parametric.sweep_unreliability(mission_time, &valuations)?;
+
+    let mut independent_total = Duration::ZERO;
+    let mut single_point = Duration::ZERO;
+    let mut max_abs_diff = 0.0f64;
+    for (i, &scale) in scales.iter().enumerate() {
+        let started = Instant::now();
+        let analyzer = Analyzer::new(&cas_scaled(scale), options.clone())?;
+        let reference = analyzer.unreliability(mission_time)?;
+        let elapsed = started.elapsed();
+        independent_total += elapsed;
+        if i == 0 {
+            single_point = elapsed;
+        }
+        let (lo, hi) = sweep.results()[i].bounds();
+        let (ref_lo, ref_hi) = reference.bounds();
+        max_abs_diff = max_abs_diff
+            .max((lo - ref_lo).abs())
+            .max((hi - ref_hi).abs());
+    }
+
+    let sweep_total = parametric_build + sweep.instantiate_time() + sweep.query_time();
+    let marginal = (sweep.instantiate_time() + sweep.query_time()).as_secs_f64() / points as f64;
+    Ok(SweepExperiment {
+        points,
+        mission_time,
+        scales,
+        values: sweep.values().collect(),
+        aggregation_runs: parametric.aggregation_runs(),
+        parametric_states: parametric.model_stats().states,
+        parametric_build,
+        sweep_instantiate: sweep.instantiate_time(),
+        sweep_query: sweep.query_time(),
+        sweep_total,
+        single_point,
+        independent_total,
+        speedup: independent_total.as_secs_f64() / sweep_total.as_secs_f64().max(f64::MIN_POSITIVE),
+        marginal_speedup: single_point.as_secs_f64() / marginal.max(f64::MIN_POSITIVE),
+        max_abs_diff,
+        within_tolerance: max_abs_diff <= 1e-12,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,5 +767,22 @@ mod tests {
         let dft = repairable_voting(3, 0.5, 5.0);
         assert_eq!(dft.num_basic_events(), 3);
         assert!(dft.is_repairable());
+    }
+
+    #[test]
+    fn sweep_experiment_matches_independent_builds() {
+        let e = run_sweep_experiment(4, 1.0).unwrap();
+        assert_eq!(e.points, 4);
+        assert_eq!(e.values.len(), 4);
+        assert_eq!(e.aggregation_runs, 1, "one aggregation for the whole sweep");
+        assert!(
+            e.within_tolerance,
+            "sweep deviates from independent builds by {}",
+            e.max_abs_diff
+        );
+        // Unreliability grows with the failure-rate scale.
+        for pair in e.values.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12);
+        }
     }
 }

@@ -21,7 +21,7 @@ use ioimc::bisim::minimize;
 use ioimc::compose::compose;
 use ioimc::hide::hide;
 use ioimc::stats::ModelStats;
-use ioimc::{Action, IoImc};
+use ioimc::{Action, IoImcOf, Rate};
 use std::collections::BTreeSet;
 
 /// Statistics of one composition step.
@@ -85,15 +85,15 @@ impl Default for AggregationOptions {
 /// # Panics
 ///
 /// Panics if the community is empty.
-pub fn aggregate(
-    models: &[IoImc],
+pub fn aggregate<R: Rate>(
+    models: &[IoImcOf<R>],
     options: &AggregationOptions,
-) -> Result<(IoImc, AggregationStats)> {
+) -> Result<(IoImcOf<R>, AggregationStats)> {
     assert!(!models.is_empty(), "cannot aggregate an empty community");
     let keep: BTreeSet<Action> = options.keep.iter().copied().collect();
 
     let mut stats = AggregationStats::default();
-    let mut community: Vec<IoImc> = if options.minimize_elements {
+    let mut community: Vec<IoImcOf<R>> = if options.minimize_elements {
         models.iter().map(minimize).collect()
     } else {
         models.to_vec()
@@ -146,7 +146,7 @@ pub fn aggregate(
 /// Pairs that communicate (one's outputs intersect the other's inputs) are
 /// preferred; among candidates the pair with the smallest product of state counts
 /// wins.  Ties are broken deterministically by index.
-fn pick_pair(community: &[IoImc]) -> (usize, usize) {
+fn pick_pair<R: Rate>(community: &[IoImcOf<R>]) -> (usize, usize) {
     let n = community.len();
     debug_assert!(n >= 2);
     let mut best: Option<(bool, usize, usize, usize)> = None; // (communicates, cost, i, j)

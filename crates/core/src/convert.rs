@@ -6,28 +6,34 @@
 //! outputs are matched up through the naming scheme of [`signals`].
 
 use crate::activation::ActivationAnalysis;
+use crate::parametric::{ParamKind, ParamTable};
 use crate::semantics::{
     basic_event, inhibition_auxiliary, or_auxiliary, pand_gate, spare_gate, threshold_gate,
     BasicEventSpec, PandSpec, SpareInput, SpareSpec, ThresholdRepair, ThresholdSpec,
 };
 use crate::{signals, Error, Result};
 use dft::{Dft, Element, ElementId, GateKind};
-use ioimc::{Action, IoImc};
+use ioimc::{Action, IoImc, IoImcOf, Rate, RateForm};
 use std::collections::BTreeMap;
 
 /// The I/O-IMC community obtained from a DFT, together with the signals the
-/// analysis needs to observe.
+/// analysis needs to observe.  Generic over the rate type: [`convert`] produces
+/// the numeric `Community`, [`convert_parametric`] the symbolic
+/// `CommunityOf<RateForm>`.
 #[derive(Debug, Clone)]
-pub struct Community {
+pub struct CommunityOf<R = f64> {
     /// One I/O-IMC per DFT element (except FDEP gates) plus auxiliaries.
-    pub models: Vec<IoImc>,
+    pub models: Vec<IoImcOf<R>>,
     /// The failure signal of the top event.
     pub top_failure: Action,
     /// The repair signal of the top event, when the DFT is repairable.
     pub top_repair: Option<Action>,
 }
 
-impl Community {
+/// The numeric-rate community (the classical instantiation).
+pub type Community = CommunityOf<f64>;
+
+impl<R: Rate> CommunityOf<R> {
     /// Total number of states over all community members.
     pub fn total_states(&self) -> usize {
         self.models.iter().map(|m| m.num_states()).sum()
@@ -43,6 +49,15 @@ impl Community {
     pub fn is_empty(&self) -> bool {
         self.models.is_empty()
     }
+}
+
+/// The three rates of one basic event, in the model's rate type.
+type BeRates<R> = (R, R, Option<R>);
+
+/// Lifts a rate-free model (gates and auxiliaries never carry Markovian
+/// transitions) into any rate type.
+fn lift<R: Rate>(model: IoImc) -> IoImcOf<R> {
+    model.map_rates(|_| unreachable!("gate and auxiliary models carry no Markovian transitions"))
 }
 
 /// Additional wellformedness conditions the translation imposes on top of the
@@ -120,6 +135,73 @@ fn emits_repair(dft: &Dft, element: ElementId) -> bool {
 /// # }
 /// ```
 pub fn convert(dft: &Dft) -> Result<Community> {
+    convert_impl(dft, &mut |id| {
+        let be = dft
+            .element(id)
+            .as_basic_event()
+            .expect("rates are only requested for basic events");
+        (be.rate, be.dormant_rate(), be.repair_rate)
+    })
+}
+
+/// Converts a DFT into a *parametric* I/O-IMC community: every basic event's
+/// failure rate becomes a fresh parameter slot (its dormant rate the structural
+/// multiple α·λ of the same slot), every repair rate another slot, and all
+/// Markovian transitions carry [`RateForm`]s over those slots.  The returned
+/// [`ParamTable`] records the slot meanings and base values.
+///
+/// Aggregating this community (see
+/// [`ParametricAnalyzer`](crate::engine::ParametricAnalyzer)) is sound for
+/// **every** positive valuation of the slots at once, so one aggregation can
+/// serve a whole rate sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`convert`].
+///
+/// # Examples
+///
+/// ```
+/// use dft::{DftBuilder, Dormancy};
+/// use dft_core::convert::convert_parametric;
+/// # fn main() -> Result<(), dft_core::Error> {
+/// let mut b = DftBuilder::new();
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let y = b.basic_event("Y", 2.0, Dormancy::Hot)?;
+/// let top = b.and_gate("Top", &[x, y])?;
+/// let dft = b.build(top)?;
+/// let (community, params) = convert_parametric(&dft)?;
+/// assert_eq!(community.len(), 3);
+/// assert_eq!(params.len(), 2); // one failure slot per basic event
+/// assert_eq!(params.base_valuation().values(), &[1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn convert_parametric(dft: &Dft) -> Result<(CommunityOf<RateForm>, ParamTable)> {
+    let mut table = ParamTable::default();
+    let community = convert_impl(dft, &mut |id| {
+        let be = dft
+            .element(id)
+            .as_basic_event()
+            .expect("rates are only requested for basic events");
+        let name = dft.name(id);
+        let failure = table.push(name, ParamKind::Failure, be.rate);
+        let active = RateForm::var(failure);
+        let dormant = RateForm::scaled_var(failure, be.dormancy.factor());
+        let repair = be
+            .repair_rate
+            .map(|mu| RateForm::var(table.push(name, ParamKind::Repair, mu)));
+        (active, dormant, repair)
+    })?;
+    Ok((community, table))
+}
+
+/// The shared conversion core: `be_rates` supplies the three rates of each
+/// basic event in the target rate type; everything else is rate-free.
+fn convert_impl<R: Rate>(
+    dft: &Dft,
+    be_rates: &mut dyn FnMut(ElementId) -> BeRates<R>,
+) -> Result<CommunityOf<R>> {
     check_translatable(dft)?;
     let activation = ActivationAnalysis::analyze(dft)?;
 
@@ -145,21 +227,22 @@ pub fn convert(dft: &Dft) -> Result<Community> {
     // The signal observers of an element listen to (always the post-FA signal).
     let observable = |element: ElementId| -> Action { signals::firing(dft, element) };
 
-    let mut models: Vec<IoImc> = Vec::new();
+    let mut models: Vec<IoImcOf<R>> = Vec::new();
 
     for id in dft.elements() {
         let name = dft.name(id);
         match dft.element(id) {
-            Element::BasicEvent(be) => {
+            Element::BasicEvent(_) => {
+                let (active_rate, dormant_rate, repair_rate) = be_rates(id);
                 let spec = BasicEventSpec {
                     name: name.to_owned(),
-                    active_rate: be.rate,
-                    dormant_rate: be.dormant_rate(),
+                    active_rate,
+                    dormant_rate,
                     activation: activation
                         .activation_root(id)
                         .map(|root| signals::activation(dft, root)),
                     firing: own_output(id),
-                    repair: be.repair_rate.map(|mu| (mu, signals::repair(dft, id))),
+                    repair: repair_rate.map(|mu| (mu, signals::repair(dft, id))),
                 };
                 models.push(basic_event(&spec)?);
             }
@@ -194,7 +277,7 @@ pub fn convert(dft: &Dft) -> Result<Community> {
                         firing: own_output(id),
                         repair,
                     };
-                    models.push(threshold_gate(&spec)?);
+                    models.push(lift(threshold_gate(&spec)?));
                 }
                 GateKind::Pand => {
                     let spec = PandSpec {
@@ -202,7 +285,7 @@ pub fn convert(dft: &Dft) -> Result<Community> {
                         inputs: gate.inputs.iter().map(|&c| observable(c)).collect(),
                         firing: own_output(id),
                     };
-                    models.push(pand_gate(&spec)?);
+                    models.push(lift(pand_gate(&spec)?));
                 }
                 GateKind::Spare | GateKind::Seq => {
                     let inputs = gate
@@ -231,18 +314,18 @@ pub fn convert(dft: &Dft) -> Result<Community> {
                             .activation_root(id)
                             .map(|root| signals::activation(dft, root)),
                     };
-                    models.push(spare_gate(&spec)?);
+                    models.push(lift(spare_gate(&spec)?));
                 }
                 GateKind::Inhibit => {
                     let subject = observable(gate.inputs[0]);
                     let inhibitors: Vec<Action> =
                         gate.inputs[1..].iter().map(|&c| observable(c)).collect();
-                    models.push(inhibition_auxiliary(
+                    models.push(lift(inhibition_auxiliary(
                         &format!("IA {name}"),
                         subject,
                         &inhibitors,
                         own_output(id),
-                    )?);
+                    )?));
                 }
             },
         }
@@ -252,11 +335,11 @@ pub fn convert(dft: &Dft) -> Result<Community> {
     for (&dependent, triggers) in &fdep_triggers {
         let mut inputs = vec![signals::isolated_firing(dft, dependent)];
         inputs.extend(triggers.iter().copied());
-        models.push(or_auxiliary(
+        models.push(lift(or_auxiliary(
             &format!("FA {}", dft.name(dependent)),
             &inputs,
             signals::firing(dft, dependent),
-        )?);
+        )?));
     }
 
     // Activation auxiliaries for dynamically activated spare-module roots.
@@ -274,17 +357,17 @@ pub fn convert(dft: &Dft) -> Result<Community> {
                 ),
             });
         }
-        models.push(or_auxiliary(
+        models.push(lift(or_auxiliary(
             &format!("AA {}", dft.name(root)),
             &claims,
             signals::activation(dft, root),
-        )?);
+        )?));
     }
 
     let top_repair = (dft.is_repairable() && emits_repair(dft, dft.top()))
         .then(|| signals::repair(dft, dft.top()));
 
-    Ok(Community {
+    Ok(CommunityOf {
         models,
         top_failure: signals::firing(dft, dft.top()),
         top_repair,

@@ -50,7 +50,8 @@
 use crate::aggregate::{aggregate, AggregationOptions, AggregationStats};
 use crate::analysis::{AnalysisOptions, Method};
 use crate::baseline;
-use crate::convert::convert;
+use crate::convert::{convert, convert_parametric, CommunityOf};
+use crate::parametric::{ParamTable, Valuation};
 use crate::query::{Measure, MeasurePoint, MeasureResult};
 use crate::semantics::monitor;
 use crate::{Error, Result};
@@ -60,18 +61,75 @@ use ioimc::closed::{
     can_fire_immediately, check_deterministic, drop_input_transitions, must_fire_immediately,
 };
 use ioimc::stats::ModelStats;
-use ioimc::{Action, IoImc};
+use ioimc::{Action, IoImc, IoImcOf, ParametricIoImc, Rate};
 use markov::ctmdp::{Ctmdp, CtmdpState};
 use markov::steady::steady_state_probability;
 use markov::Ctmc;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Name of the monitor process composed into the community, and of the atomic
 /// proposition it attaches to its "system is down" state.
 const MONITOR_NAME: &str = "system monitor";
 const DOWN_PROP: &str = "down";
+
+/// The closed, minimised model a compositional session is served from, with
+/// its aggregation statistics and scheduler goal sets.
+struct ClosedModel<R> {
+    closed: IoImcOf<R>,
+    stats: AggregationStats,
+    top_failure: Action,
+    has_repair: bool,
+    /// Optimistic goal set: "can fire the top failure immediately".
+    can: Vec<bool>,
+    /// Pessimistic goal set: "must fire the top failure immediately".
+    must: Vec<bool>,
+    point_valued: bool,
+}
+
+/// The shared tail of both compositional constructors ([`Analyzer::new`] and
+/// [`ParametricAnalyzer::new`]): compose the monitor into the community,
+/// aggregate with the top failure kept observable, close and minimise the
+/// result, and compute the goal sets — identically for numeric and symbolic
+/// rates, so the two pipelines cannot drift apart.
+fn aggregate_and_close<R: Rate>(community: CommunityOf<R>) -> Result<ClosedModel<R>> {
+    let top_failure = community.top_failure;
+    let has_repair = community.top_repair.is_some();
+
+    // One community serves every measure: the monitor tracks whether the top
+    // event is currently (repairable) or has ever been (non-repairable)
+    // failed, and the kept top-failure output drives the reachability goals.
+    let mut models = community.models;
+    models.push(
+        monitor(MONITOR_NAME, top_failure, community.top_repair)?
+            .map_rates(|_| unreachable!("the monitor carries no Markovian transitions")),
+    );
+    let (final_model, stats) = aggregate(
+        &models,
+        &AggregationOptions {
+            keep: vec![top_failure],
+            ..AggregationOptions::default()
+        },
+    )?;
+    let closed = minimize(&drop_input_transitions(&final_model));
+
+    let can = can_fire_immediately(&closed, top_failure);
+    let must = must_fire_immediately(&closed, top_failure);
+    let deterministic = check_deterministic(&closed).is_ok();
+    let point_valued = deterministic && can == must;
+
+    Ok(ClosedModel {
+        closed,
+        stats,
+        top_failure,
+        has_repair,
+        can,
+        must,
+        point_valued,
+    })
+}
 
 /// A reusable analysis session for one DFT: the aggregation pipeline runs once in
 /// [`Analyzer::new`], every [`query`](Analyzer::query) after that only touches the
@@ -149,44 +207,23 @@ impl Analyzer {
     }
 
     fn compositional(dft: &Dft, options: AnalysisOptions) -> Result<Analyzer> {
-        let community = convert(dft)?;
-        let top_failure = community.top_failure;
-        let has_repair = community.top_repair.is_some();
+        let model = aggregate_and_close(convert(dft)?)?;
 
-        // One community serves every measure: the monitor tracks whether the top
-        // event is currently (repairable) or has ever been (non-repairable)
-        // failed, and the kept top-failure output drives the reachability goals.
-        let mut models = community.models;
-        models.push(monitor(MONITOR_NAME, top_failure, community.top_repair)?);
-        let (final_model, stats) = aggregate(
-            &models,
-            &AggregationOptions {
-                keep: vec![top_failure],
-                ..AggregationOptions::default()
-            },
-        )?;
-        let closed = minimize(&drop_input_transitions(&final_model));
-
-        let can = can_fire_immediately(&closed, top_failure);
-        let must = must_fire_immediately(&closed, top_failure);
-        let deterministic = check_deterministic(&closed).is_ok();
-        let point_valued = deterministic && can == must;
-
-        let ctmdp_states = ctmdp_states_of(&closed);
-        let initial = closed.initial().index();
-        let upper = Ctmdp::new(ctmdp_states.clone(), initial, can)?;
-        let lower = Ctmdp::new(ctmdp_states, initial, must)?;
+        let ctmdp_states = ctmdp_states_of(&model.closed);
+        let initial = model.closed.initial().index();
+        let upper = Ctmdp::new(ctmdp_states.clone(), initial, model.can)?;
+        let lower = Ctmdp::new(ctmdp_states, initial, model.must)?;
 
         Ok(Analyzer {
             options,
             repairable: dft.is_repairable(),
-            aggregation: Some(stats),
-            model_stats: ModelStats::of(&closed),
+            aggregation: Some(model.stats),
+            model_stats: ModelStats::of(&model.closed),
             backend: Backend::Compositional {
-                closed,
-                top_failure,
-                has_repair,
-                point_valued,
+                closed: model.closed,
+                top_failure: model.top_failure,
+                has_repair: model.has_repair,
+                point_valued: model.point_valued,
                 upper,
                 lower,
                 tangible: OnceLock::new(),
@@ -508,6 +545,275 @@ impl Analyzer {
             Backend::Compositional { top_failure, .. } => Some(*top_failure),
             Backend::Monolithic { .. } => None,
         }
+    }
+}
+
+/// A *parametric* analysis session: the symbolic-rate aggregation pipeline runs
+/// once in [`ParametricAnalyzer::new`], and [`instantiate`](Self::instantiate)
+/// then turns the cached parametric model into a numeric [`Analyzer`] for any
+/// rate [`Valuation`] — by evaluating linear [`RateForm`](ioimc::RateForm)s,
+/// **without** re-running conversion, composition or bisimulation minimisation.
+///
+/// This is the engine behind rate-sensitivity sweeps: a K-point sweep costs one
+/// aggregation plus K cheap instantiations, where K independent
+/// [`Analyzer::new`] calls would pay K full aggregations.  The aggregation lumps
+/// states only when their cumulative rate *forms* coincide, which is sound for
+/// every positive valuation at once; each instantiated session therefore
+/// answers every [`Measure`] within numerical tolerance of (and typically
+/// bit-identical to) a direct build on the equivalently re-rated tree.
+///
+/// # Example
+///
+/// ```
+/// use dft::{DftBuilder, Dormancy};
+/// use dft_core::engine::ParametricAnalyzer;
+/// use dft_core::AnalysisOptions;
+///
+/// # fn main() -> Result<(), dft_core::Error> {
+/// let mut b = DftBuilder::new();
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let top = b.or_gate("Top", &[x])?;
+/// let dft = b.build(top)?;
+///
+/// // Aggregate the *structure* once …
+/// let parametric = ParametricAnalyzer::new(&dft, AnalysisOptions::default())?;
+/// // … then sweep the failure-rate scale without re-aggregating.
+/// let valuations: Vec<_> = (1..=5)
+///     .map(|i| parametric.params().scaled_valuation(i as f64))
+///     .collect();
+/// let sweep = parametric.sweep_unreliability(1.0, &valuations)?;
+/// assert_eq!(sweep.len(), 5);
+/// assert_eq!(parametric.aggregation_runs(), 1);
+/// // Each point matches the closed form 1 - exp(-scale·t).
+/// for (i, value) in sweep.values().enumerate() {
+///     let exact = 1.0 - (-((i + 1) as f64)).exp();
+///     assert!((value - exact).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParametricAnalyzer {
+    options: AnalysisOptions,
+    repairable: bool,
+    aggregation: AggregationStats,
+    model_stats: ModelStats,
+    /// The closed, minimised parametric model (rates are linear forms).
+    closed: ParametricIoImc,
+    top_failure: Action,
+    has_repair: bool,
+    params: ParamTable,
+    /// Optimistic goal set ("can fire the top failure immediately") — depends
+    /// only on the interactive structure, so it is shared by every valuation.
+    can: Vec<bool>,
+    /// Pessimistic goal set ("must fire the top failure immediately").
+    must: Vec<bool>,
+    point_valued: bool,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ParametricAnalyzer>()
+};
+
+impl ParametricAnalyzer {
+    /// Builds the parametric session: validates and converts the DFT with
+    /// symbolic rates and runs compositional aggregation exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for [`Method::Monolithic`] options (the
+    /// monolithic baseline has no parametric form) and propagates conversion
+    /// and aggregation errors.
+    pub fn new(dft: &Dft, options: AnalysisOptions) -> Result<ParametricAnalyzer> {
+        if options.method != Method::Compositional {
+            return Err(Error::Unsupported {
+                message: "parametric sessions require the compositional method".to_owned(),
+            });
+        }
+        let (community, params) = convert_parametric(dft)?;
+        let model = aggregate_and_close(community)?;
+
+        Ok(ParametricAnalyzer {
+            options,
+            repairable: dft.is_repairable(),
+            aggregation: model.stats,
+            model_stats: ModelStats::of(&model.closed),
+            closed: model.closed,
+            top_failure: model.top_failure,
+            has_repair: model.has_repair,
+            params,
+            can: model.can,
+            must: model.must,
+            point_valued: model.point_valued,
+        })
+    }
+
+    /// Instantiates the cached parametric model for one rate assignment,
+    /// returning a numeric [`Analyzer`] ready to answer queries.
+    ///
+    /// Only the linear rate forms are evaluated (in deterministic slot order);
+    /// no conversion, composition or minimisation is repeated — the returned
+    /// session reports [`aggregation_runs`](Analyzer::aggregation_runs) `== 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidValuation`] when the valuation does not fit the
+    /// model's [`ParamTable`] and propagates CTMDP construction errors.
+    pub fn instantiate(&self, valuation: &Valuation) -> Result<Analyzer> {
+        valuation.check_against(&self.params)?;
+        let values = valuation.values();
+        let closed = self.closed.map_rates(|form| form.eval(values));
+        debug_assert!(closed.validate().is_ok());
+
+        let ctmdp_states = ctmdp_states_of(&closed);
+        let initial = closed.initial().index();
+        let upper = Ctmdp::new(ctmdp_states.clone(), initial, self.can.clone())?;
+        let lower = Ctmdp::new(ctmdp_states, initial, self.must.clone())?;
+
+        Ok(Analyzer {
+            options: self.options.clone(),
+            repairable: self.repairable,
+            // Instantiation runs no aggregation; the stats live on `self`.
+            aggregation: None,
+            model_stats: self.model_stats,
+            backend: Backend::Compositional {
+                closed,
+                top_failure: self.top_failure,
+                has_repair: self.has_repair,
+                point_valued: self.point_valued,
+                upper,
+                lower,
+                tangible: OnceLock::new(),
+            },
+        })
+    }
+
+    /// Evaluates one measure across a whole sweep of valuations: one
+    /// instantiation plus one query per valuation, zero re-aggregations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid valuation or query error (see
+    /// [`instantiate`](Self::instantiate) and [`Analyzer::query`]).
+    pub fn sweep_query(&self, measure: &Measure, valuations: &[Valuation]) -> Result<RateSweep> {
+        let mut results = Vec::with_capacity(valuations.len());
+        let mut instantiate_time = Duration::ZERO;
+        let mut query_time = Duration::ZERO;
+        for valuation in valuations {
+            let started = Instant::now();
+            let session = self.instantiate(valuation)?;
+            instantiate_time += started.elapsed();
+            let started = Instant::now();
+            results.push(session.query(measure)?);
+            query_time += started.elapsed();
+        }
+        Ok(RateSweep {
+            results,
+            instantiate_time,
+            query_time,
+        })
+    }
+
+    /// Convenience sweep of [`Measure::Unreliability`] at mission time `t`: the
+    /// query surface of a rate-sensitivity study (one unreliability value per
+    /// valuation, one aggregation total).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sweep_query`](Self::sweep_query).
+    pub fn sweep_unreliability(&self, t: f64, valuations: &[Valuation]) -> Result<RateSweep> {
+        self.sweep_query(&Measure::Unreliability(t), valuations)
+    }
+
+    /// The parameter slots of the model: what each slot means, its base value,
+    /// and the [`Valuation`] constructors.
+    pub fn params(&self) -> &ParamTable {
+        &self.params
+    }
+
+    /// The valuation reproducing the original tree's rates.
+    pub fn base_valuation(&self) -> Valuation {
+        self.params.base_valuation()
+    }
+
+    /// The options the session was built with.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Statistics of the (single) compositional aggregation run.
+    pub fn aggregation_stats(&self) -> &AggregationStats {
+        &self.aggregation
+    }
+
+    /// Size of the closed parametric model.
+    pub fn model_stats(&self) -> ModelStats {
+        self.model_stats
+    }
+
+    /// How many times this session has run compositional aggregation: always 1,
+    /// however many valuations were instantiated or swept.
+    pub fn aggregation_runs(&self) -> usize {
+        1
+    }
+
+    /// Returns `true` if the parametric model contains immediate
+    /// non-determinism, so instantiated sessions report scheduler bounds.
+    pub fn is_nondeterministic(&self) -> bool {
+        !self.point_valued
+    }
+
+    /// The closed, minimised parametric I/O-IMC.
+    pub fn final_model(&self) -> &ParametricIoImc {
+        &self.closed
+    }
+
+    /// The observable top-failure action of the cached model.
+    pub fn top_failure(&self) -> Action {
+        self.top_failure
+    }
+}
+
+/// The result of a rate sweep: one [`MeasureResult`] per valuation, in request
+/// order, plus the wall-clock split between instantiation and querying.
+#[derive(Debug, Clone)]
+pub struct RateSweep {
+    results: Vec<MeasureResult>,
+    instantiate_time: Duration,
+    query_time: Duration,
+}
+
+impl RateSweep {
+    /// One result per valuation, in the order the valuations were passed.
+    pub fn results(&self) -> &[MeasureResult] {
+        &self.results
+    }
+
+    /// The scalar values of all results, in valuation order (see
+    /// [`MeasureResult::value`] for the non-determinism convention).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.results.iter().map(MeasureResult::value)
+    }
+
+    /// Number of valuations evaluated.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Returns `true` for a sweep over no valuations.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Total time spent evaluating rate forms and building CTMDPs.
+    pub fn instantiate_time(&self) -> Duration {
+        self.instantiate_time
+    }
+
+    /// Total time spent answering the measure queries.
+    pub fn query_time(&self) -> Duration {
+        self.query_time
     }
 }
 

@@ -49,6 +49,7 @@ pub mod baseline;
 pub mod casestudies;
 pub mod convert;
 pub mod engine;
+pub mod parametric;
 pub mod query;
 pub mod rng;
 pub mod semantics;
@@ -57,11 +58,13 @@ pub mod signals;
 pub mod simulate;
 
 pub use analysis::{mean_time_to_failure, unavailability, unreliability, AnalysisOptions, Method};
-pub use convert::Community;
-pub use engine::Analyzer;
+pub use convert::{convert_parametric, Community};
+pub use engine::{Analyzer, ParametricAnalyzer, RateSweep};
+pub use parametric::{ParamKind, ParamSlot, ParamTable, Valuation};
 pub use query::{Measure, MeasurePoint, MeasureResult};
 pub use service::{
     AnalysisJob, AnalysisService, BatchStats, CacheStats, JobReport, ServiceOptions, ServiceReport,
+    SweepJob, SweepReport,
 };
 
 use std::fmt;
@@ -93,6 +96,13 @@ pub enum Error {
     /// accessors of [`MeasureResult`] never see an empty
     /// result (they used to panic on one).
     EmptyCurve,
+    /// A [`parametric::Valuation`] does not fit the parametric model
+    /// it was applied to: wrong slot count, or a non-finite/non-positive rate
+    /// value.
+    InvalidValuation {
+        /// Description of the violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -107,6 +117,9 @@ impl fmt::Display for Error {
             }
             Error::EmptyCurve => {
                 write!(f, "an unreliability curve needs at least one mission time")
+            }
+            Error::InvalidValuation { message } => {
+                write!(f, "invalid valuation: {message}")
             }
         }
     }

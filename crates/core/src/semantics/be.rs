@@ -8,55 +8,59 @@
 //! leaves the fired state with its repair rate and announces the repair.
 
 use crate::{Error, Result};
-use ioimc::{Action, IoImc, IoImcBuilder};
+use ioimc::{Action, IoImcBuilderOf, IoImcOf, Rate};
 
-/// Parameters of a basic-event model.
+/// Parameters of a basic-event model, generic over the rate type.
+///
+/// `R = f64` is the classical numeric basic event; `R = `[`ioimc::RateForm`]
+/// produces the parametric variant whose failure and
+/// repair rates are symbolic linear forms over parameter slots.
 #[derive(Debug, Clone)]
-pub struct BasicEventSpec {
+pub struct BasicEventSpec<R = f64> {
     /// Name used for the generated model (diagnostics only).
     pub name: String,
     /// Failure rate λ while active.
-    pub active_rate: f64,
-    /// Failure rate α·λ while dormant (0 for a cold event, λ for a hot one).
-    pub dormant_rate: f64,
+    pub active_rate: R,
+    /// Failure rate α·λ while dormant ([`Rate::zero`] for a cold event, λ for a
+    /// hot one).
+    pub dormant_rate: R,
     /// Activation signal to listen to; `None` for an always-active event.
     pub activation: Option<Action>,
     /// The failure signal to emit.
     pub firing: Action,
     /// Repair rate µ and repair signal, for the repairable extension.
-    pub repair: Option<(f64, Action)>,
+    pub repair: Option<(R, Action)>,
 }
 
 /// Builds the I/O-IMC of a basic event.
 ///
 /// # Errors
 ///
-/// Returns [`Error::Unsupported`] for non-positive active rates or negative dormant
-/// rates (the `dft` crate validates these earlier; the check here keeps the
-/// generator safe to use stand-alone).
-pub fn basic_event(spec: &BasicEventSpec) -> Result<IoImc> {
-    if !(spec.active_rate.is_finite() && spec.active_rate > 0.0) {
+/// Returns [`Error::Unsupported`] for invalid active, dormant or repair rates
+/// (the `dft` crate validates these earlier; the check here keeps the generator
+/// safe to use stand-alone).
+pub fn basic_event<R: Rate>(spec: &BasicEventSpec<R>) -> Result<IoImcOf<R>> {
+    if !spec.active_rate.is_valid() {
         return Err(Error::Unsupported {
             message: format!("basic event '{}' has invalid active rate", spec.name),
         });
     }
-    if !(spec.dormant_rate.is_finite() && spec.dormant_rate >= 0.0) {
+    if !(spec.dormant_rate.is_zero() || spec.dormant_rate.is_valid()) {
         return Err(Error::Unsupported {
             message: format!("basic event '{}' has invalid dormant rate", spec.name),
         });
     }
 
-    let mut b = IoImcBuilder::new(format!("BE {}", spec.name));
+    let mut b = IoImcBuilderOf::new(format!("BE {}", spec.name));
 
     // A basic event is effectively always-active if it has no activation signal or
     // if dormancy does not change its rate (hot event).
-    let effectively_active =
-        spec.activation.is_none() || (spec.dormant_rate - spec.active_rate).abs() < f64::EPSILON;
+    let effectively_active = spec.activation.is_none() || spec.dormant_rate == spec.active_rate;
 
     let active = b.add_state();
     let firing = b.add_state();
     let fired = b.add_state();
-    b.markovian(active, spec.active_rate, firing);
+    b.markovian(active, spec.active_rate.clone(), firing);
     b.output(firing, spec.firing, fired);
 
     if effectively_active {
@@ -71,13 +75,13 @@ pub fn basic_event(spec: &BasicEventSpec) -> Result<IoImc> {
         let dormant = b.add_state();
         b.initial(dormant);
         b.input(dormant, activation, active);
-        if spec.dormant_rate > 0.0 {
-            b.markovian(dormant, spec.dormant_rate, firing);
+        if !spec.dormant_rate.is_zero() {
+            b.markovian(dormant, spec.dormant_rate.clone(), firing);
         }
     }
 
-    if let Some((mu, repair_signal)) = spec.repair {
-        if !(mu.is_finite() && mu > 0.0) {
+    if let Some((mu, repair_signal)) = &spec.repair {
+        if !mu.is_valid() {
             return Err(Error::Unsupported {
                 message: format!("basic event '{}' has invalid repair rate", spec.name),
             });
@@ -85,8 +89,8 @@ pub fn basic_event(spec: &BasicEventSpec) -> Result<IoImc> {
         // After repair the component returns to its active mode: repair implies the
         // component is (re)installed and running.
         let repairing = b.add_state();
-        b.markovian(fired, mu, repairing);
-        b.output(repairing, repair_signal, active);
+        b.markovian(fired, mu.clone(), repairing);
+        b.output(repairing, *repair_signal, active);
     }
 
     b.build().map_err(Error::from)

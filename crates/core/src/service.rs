@@ -61,13 +61,14 @@
 //! ```
 
 use crate::analysis::{AnalysisOptions, Method};
-use crate::engine::Analyzer;
+use crate::engine::{Analyzer, ParametricAnalyzer};
+use crate::parametric::Valuation;
 use crate::query::{Measure, MeasureResult};
 use crate::{Error, Result};
 use dft::Dft;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -126,11 +127,20 @@ impl Default for ServiceOptions {
 /// Sessions are shared per structure *and* per analysis configuration: the same
 /// tree analysed monolithically or with a different epsilon is a different
 /// model (epsilon drives every numerical query on the session).
+///
+/// Sessions *instantiated from a parametric model* additionally carry the
+/// valuation fingerprint: their structure key is the rate-blind
+/// [`Dft::structural_fingerprint`] (the valuation fully determines the rates),
+/// so a fleet of rate variants shares one parametric model and each distinct
+/// valuation one instantiated session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     fingerprint: u64,
     method: Method,
     epsilon_bits: u64,
+    /// `Some(valuation fingerprint)` for instantiated parametric sessions,
+    /// `None` for directly built ones.
+    valuation: Option<u64>,
 }
 
 impl CacheKey {
@@ -139,8 +149,30 @@ impl CacheKey {
             fingerprint: dft.fingerprint(),
             method: options.method,
             epsilon_bits: options.epsilon.to_bits(),
+            valuation: None,
         }
     }
+
+    fn instance(structural: u64, options: &AnalysisOptions, valuation: &Valuation) -> CacheKey {
+        CacheKey {
+            fingerprint: structural,
+            method: options.method,
+            epsilon_bits: options.epsilon.to_bits(),
+            valuation: Some(valuation.fingerprint()),
+        }
+    }
+}
+
+/// Parametric models are shared per rate-blind structure and analysis
+/// configuration.  The method takes part even though only the compositional
+/// method can ever *succeed*: a monolithic sweep caches its deterministic
+/// `Unsupported` error under its own key instead of poisoning the
+/// compositional entry for the same structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ParamCacheKey {
+    structural_fingerprint: u64,
+    method: Method,
+    epsilon_bits: u64,
 }
 
 /// A cache slot: `OnceLock` guarantees the build runs exactly once even when
@@ -148,15 +180,26 @@ impl CacheKey {
 /// session (or its error, which is equally deterministic) is available.
 type Slot = Arc<OnceLock<std::result::Result<Arc<Analyzer>, Error>>>;
 
+/// The parametric-model counterpart of [`Slot`].
+type ParamSlot = Arc<OnceLock<std::result::Result<Arc<ParametricAnalyzer>, Error>>>;
+
 #[derive(Debug)]
 struct CacheEntry {
     slot: Slot,
     last_used: u64,
 }
 
+#[derive(Debug)]
+struct ParamCacheEntry {
+    slot: ParamSlot,
+    last_used: u64,
+}
+
 #[derive(Debug, Default)]
 struct Cache {
     entries: HashMap<CacheKey, CacheEntry>,
+    /// Parametric (symbolic-rate) models, keyed by rate-blind structure.
+    param_entries: HashMap<ParamCacheKey, ParamCacheEntry>,
     /// Monotonic use counter backing the LRU order (no wall clock involved, so
     /// the order is deterministic under a single worker).
     tick: u64,
@@ -173,6 +216,12 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Sessions currently cached.
     pub entries: usize,
+    /// Sweep calls that found their parametric model already built.
+    pub parametric_hits: usize,
+    /// Sweep calls that had to build their parametric model.
+    pub parametric_misses: usize,
+    /// Parametric models currently cached.
+    pub parametric_entries: usize,
 }
 
 /// Per-batch accounting of a [`run_batch`](AnalysisService::run_batch) call.
@@ -188,6 +237,12 @@ pub struct BatchStats {
     /// to the number of *distinct* compositional models built, however many
     /// duplicate trees the batch contains.
     pub aggregation_runs: usize,
+    /// Jobs that had to *block* on a concurrent builder of the same model.
+    /// [`run_batch`](AnalysisService::run_batch) groups jobs by fingerprint
+    /// before dispatch, so within one batch this stays 0: all jobs for one
+    /// model are claimed by a single worker, which builds once and then
+    /// queries, instead of several workers idling on the same `OnceLock`.
+    pub build_waits: usize,
     /// Worker threads the batch ran on.
     pub workers: usize,
     /// Build-phase time summed over all jobs (cache hits contribute only their
@@ -214,6 +269,9 @@ pub struct JobReport {
     /// compositional session, 0 for cache hits, monolithic builds and failed
     /// builds.
     pub aggregation_runs: usize,
+    /// `true` when this job blocked on a concurrent builder of the same model
+    /// (a cache "hit" that still paid most of the build latency).
+    pub build_wait: bool,
     /// Time this job spent obtaining its session (≈ lookup cost on a hit, full
     /// conversion + aggregation on a miss).
     pub build: Duration,
@@ -231,6 +289,100 @@ pub struct ServiceReport {
     pub stats: BatchStats,
 }
 
+/// A rate-sweep job: one tree, one set of measures, many rate [`Valuation`]s.
+///
+/// The service aggregates the tree's *structure* once into a shared
+/// [`ParametricAnalyzer`] (cached by [`Dft::structural_fingerprint`], so every
+/// rate variant of the same structure reuses it — across sweep calls too) and
+/// instantiates one numeric session per distinct valuation (cached by
+/// `(structural fingerprint, valuation)`).
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The tree whose structure is swept; its own rates define the *base*
+    /// valuation but do not otherwise constrain the sweep.
+    pub dft: Dft,
+    /// Analysis options; must use the compositional method (the monolithic
+    /// baseline has no parametric form).
+    pub options: AnalysisOptions,
+    /// The measures to evaluate per valuation, answered in one
+    /// [`query_all`](Analyzer::query_all) pass each.
+    pub measures: Vec<Measure>,
+    /// The rate assignments to instantiate, typically built via
+    /// [`ParamTable`](crate::parametric::ParamTable) constructors.
+    pub valuations: Vec<Valuation>,
+}
+
+impl SweepJob {
+    /// Bundles a tree, options, measures and valuations into a sweep job.
+    pub fn new(
+        dft: Dft,
+        options: AnalysisOptions,
+        measures: Vec<Measure>,
+        valuations: Vec<Valuation>,
+    ) -> SweepJob {
+        SweepJob {
+            dft,
+            options,
+            measures,
+            valuations,
+        }
+    }
+}
+
+/// The outcome of one valuation of a [`SweepJob`].
+#[derive(Debug, Clone)]
+pub struct SweepPointReport {
+    /// Fingerprint of the valuation ([`Valuation::fingerprint`]).
+    pub valuation_fingerprint: u64,
+    /// `true` when the instantiated session came out of the cache.
+    pub cache_hit: bool,
+    /// One [`MeasureResult`] per requested measure, in request order — or the
+    /// first error (invalid valuation, query failure).
+    pub results: Result<Vec<MeasureResult>>,
+    /// Time spent instantiating (rate-form evaluation + CTMDP setup) or
+    /// fetching the session.
+    pub instantiate: Duration,
+    /// Time spent answering the measures.
+    pub query: Duration,
+}
+
+/// Batch-level accounting of a [`run_sweep`](AnalysisService::run_sweep) call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Number of valuations in the sweep.
+    pub valuations: usize,
+    /// Valuations answered from an already-instantiated session.
+    pub cache_hits: usize,
+    /// Valuations that instantiated their session.
+    pub cache_misses: usize,
+    /// `true` when the parametric model itself came out of the cache.
+    pub parametric_cache_hit: bool,
+    /// Compositional aggregation runs executed by this call: 1 when it built
+    /// the parametric model, 0 on a parametric cache hit — never once per
+    /// valuation.
+    pub aggregation_runs: usize,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// Time spent obtaining the parametric model (full aggregation on a miss).
+    pub build_time: Duration,
+    /// Instantiation time summed over all valuations.
+    pub instantiate_time: Duration,
+    /// Query time summed over all valuations.
+    pub query_time: Duration,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall_time: Duration,
+}
+
+/// The outcome of a whole [`SweepJob`]: per-valuation reports in request order
+/// plus the sweep-level accounting.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One report per valuation, in the same order as the job's valuations.
+    pub points: Vec<SweepPointReport>,
+    /// Cache and phase-timing accounting for the sweep.
+    pub stats: SweepStats,
+}
+
 /// A thread-safe, cache-backed analysis front end for portfolios of DFTs.
 ///
 /// See the [module documentation](self) for the full story and an example.  The
@@ -244,6 +396,8 @@ pub struct AnalysisService {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    parametric_hits: AtomicUsize,
+    parametric_misses: AtomicUsize,
 }
 
 const _: () = {
@@ -269,24 +423,87 @@ impl AnalysisService {
     /// Runs a batch of jobs on the worker pool and reports per-job results plus
     /// cache and phase-timing accounting.
     ///
-    /// Jobs are claimed from a shared atomic cursor, so workers stay busy until
-    /// the batch drains regardless of how unevenly the per-job costs are
-    /// distributed.  Job errors (unsupported features, numerical failures) are
-    /// reported per job in [`JobReport::results`]; they never abort the batch.
+    /// Dispatch is *cache-aware*: jobs are grouped by their cache key (the
+    /// tree's fingerprint plus analysis options); one *leader* job per group
+    /// builds the session, and only then are the group's remaining jobs
+    /// released to the whole pool as cheap cache-hit work.  No worker ever
+    /// claims a duplicate while its model is still being built — the naive
+    /// in-order cursor would leave it blocking on the in-flight build (see
+    /// [`BatchStats::build_waits`]) — yet the released duplicates still run
+    /// in parallel across the pool.  Reports keep submission order.  Job
+    /// errors (unsupported features, numerical failures) are reported per job
+    /// in [`JobReport::results`]; they never abort the batch.
     pub fn run_batch(&self, jobs: &[AnalysisJob]) -> ServiceReport {
         let started = Instant::now();
         let workers = self.worker_count(jobs.len());
+
+        // Group job indices by cache key, keeping first-appearance order so a
+        // single-worker run still processes jobs in a deterministic order.
+        let mut group_of: HashMap<CacheKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (index, job) in jobs.iter().enumerate() {
+            let key = CacheKey::new(&job.dft, &job.options);
+            let group = *group_of.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[group].push(index);
+        }
+
         let cursor = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        // Duplicate jobs whose model is already built, released for any worker
+        // to pick up; the condvar wakes idle workers when releases happen.
+        let released: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+        let ready = Condvar::new();
         let slots: Vec<OnceLock<JobReport>> = jobs.iter().map(|_| OnceLock::new()).collect();
 
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    slots[index]
-                        .set(self.run_job(job))
-                        .expect("each job index is claimed by exactly one worker");
+                scope.spawn(|| {
+                    let run = |index: usize| {
+                        slots[index]
+                            .set(self.run_job(&jobs[index]))
+                            .expect("each job index is claimed by exactly one worker");
+                        if completed.fetch_add(1, Ordering::Relaxed) + 1 == jobs.len() {
+                            ready.notify_all();
+                        }
+                    };
+                    loop {
+                        // Released duplicates first: they are warm cache hits.
+                        let follower = released.lock().expect("release queue lock").pop_front();
+                        if let Some(index) = follower {
+                            run(index);
+                            continue;
+                        }
+                        let group = cursor.fetch_add(1, Ordering::Relaxed);
+                        if let Some(indices) = groups.get(group) {
+                            // The leader builds the group's model; only then do
+                            // its duplicates become claimable, so nobody blocks
+                            // on the in-flight build.
+                            run(indices[0]);
+                            if indices.len() > 1 {
+                                released
+                                    .lock()
+                                    .expect("release queue lock")
+                                    .extend(indices[1..].iter().copied());
+                                ready.notify_all();
+                            }
+                            continue;
+                        }
+                        // Nothing claimable right now: the batch is either done
+                        // or other workers will still release duplicates.  The
+                        // timeout guards against a wakeup racing the release.
+                        let guard = released.lock().expect("release queue lock");
+                        if completed.load(Ordering::Relaxed) == jobs.len() {
+                            break;
+                        }
+                        if guard.is_empty() {
+                            let _ = ready
+                                .wait_timeout(guard, Duration::from_millis(1))
+                                .expect("release queue lock");
+                        }
+                    }
                 });
             }
         });
@@ -312,6 +529,7 @@ impl AnalysisService {
                 stats.cache_misses += 1;
             }
             stats.aggregation_runs += report.aggregation_runs;
+            stats.build_waits += usize::from(report.build_wait);
             stats.build_time += report.build;
             stats.query_time += report.query;
         }
@@ -338,20 +556,185 @@ impl AnalysisService {
         self.session(CacheKey::new(dft, options), dft, options).0
     }
 
+    /// Runs a rate sweep: the tree's structure is aggregated once into a
+    /// cached [`ParametricAnalyzer`] (shared by *every* rate variant of the
+    /// same structure, this call and future ones), then the valuations are
+    /// instantiated and queried on the worker pool.
+    ///
+    /// Instantiated sessions enter the regular LRU session cache keyed by
+    /// `(structural fingerprint, valuation)`, so repeated valuations — within
+    /// one sweep or across sweeps and batches — never pay instantiation twice.
+    /// Per-valuation errors are reported in place and never abort the sweep.
+    pub fn run_sweep(&self, job: &SweepJob) -> SweepReport {
+        let started = Instant::now();
+        let structural = job.dft.structural_fingerprint();
+
+        let build_start = Instant::now();
+        let (parametric, parametric_cache_hit) = self.parametric(structural, job);
+        let build_time = build_start.elapsed();
+
+        let workers = self.worker_count(job.valuations.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SweepPointReport>> =
+            job.valuations.iter().map(|_| OnceLock::new()).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(valuation) = job.valuations.get(index) else {
+                        break;
+                    };
+                    slots[index]
+                        .set(self.run_sweep_point(&parametric, structural, job, valuation))
+                        .expect("each valuation index is claimed by exactly one worker");
+                });
+            }
+        });
+
+        let points: Vec<SweepPointReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("the scope ends only after every valuation ran")
+            })
+            .collect();
+
+        let mut stats = SweepStats {
+            valuations: points.len(),
+            parametric_cache_hit,
+            aggregation_runs: usize::from(!parametric_cache_hit && parametric.is_ok()),
+            workers,
+            build_time,
+            wall_time: started.elapsed(),
+            ..SweepStats::default()
+        };
+        for point in &points {
+            if point.cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+            stats.instantiate_time += point.instantiate;
+            stats.query_time += point.query;
+        }
+
+        SweepReport { points, stats }
+    }
+
+    fn run_sweep_point(
+        &self,
+        parametric: &Result<Arc<ParametricAnalyzer>>,
+        structural: u64,
+        job: &SweepJob,
+        valuation: &Valuation,
+    ) -> SweepPointReport {
+        let valuation_fingerprint = valuation.fingerprint();
+        let parametric = match parametric {
+            Ok(p) => p,
+            Err(e) => {
+                return SweepPointReport {
+                    valuation_fingerprint,
+                    cache_hit: false,
+                    results: Err(e.clone()),
+                    instantiate: Duration::ZERO,
+                    query: Duration::ZERO,
+                }
+            }
+        };
+
+        let key = CacheKey::instance(structural, &job.options, valuation);
+        let instantiate_start = Instant::now();
+        let slot = self.reserve(key);
+        let mut built = false;
+        let outcome = slot.get_or_init(|| {
+            built = true;
+            parametric.instantiate(valuation).map(Arc::new)
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let instantiate = instantiate_start.elapsed();
+
+        match outcome {
+            Err(e) => SweepPointReport {
+                valuation_fingerprint,
+                cache_hit: !built,
+                results: Err(e.clone()),
+                instantiate,
+                query: Duration::ZERO,
+            },
+            Ok(session) => {
+                let query_start = Instant::now();
+                let results = session.query_all(&job.measures);
+                SweepPointReport {
+                    valuation_fingerprint,
+                    cache_hit: !built,
+                    results,
+                    instantiate,
+                    query: query_start.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// Get-or-build for the shared parametric model of a sweep job; the
+    /// boolean is `true` for a cache hit.
+    fn parametric(
+        &self,
+        structural: u64,
+        job: &SweepJob,
+    ) -> (Result<Arc<ParametricAnalyzer>>, bool) {
+        let key = ParamCacheKey {
+            structural_fingerprint: structural,
+            method: job.options.method,
+            epsilon_bits: job.options.epsilon.to_bits(),
+        };
+        let slot = self.reserve_param(key);
+        let mut built = false;
+        let outcome = slot.get_or_init(|| {
+            built = true;
+            ParametricAnalyzer::new(&job.dft, job.options.clone()).map(Arc::new)
+        });
+        if built {
+            self.parametric_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.parametric_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (
+            match outcome {
+                Ok(parametric) => Ok(Arc::clone(parametric)),
+                Err(e) => Err(e.clone()),
+            },
+            !built,
+        )
+    }
+
     /// Cumulative cache counters since the service was created.
     pub fn cache_stats(&self) -> CacheStats {
+        let (entries, parametric_entries) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.entries.len(), cache.param_entries.len())
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("cache lock").entries.len(),
+            entries,
+            parametric_hits: self.parametric_hits.load(Ordering::Relaxed),
+            parametric_misses: self.parametric_misses.load(Ordering::Relaxed),
+            parametric_entries,
         }
     }
 
-    /// Drops every cached session (the cumulative hit/miss counters keep
-    /// counting).
+    /// Drops every cached session and parametric model (the cumulative
+    /// hit/miss counters keep counting).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").entries.clear();
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.entries.clear();
+        cache.param_entries.clear();
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
@@ -369,7 +752,7 @@ impl AnalysisService {
         let key = CacheKey::new(&job.dft, &job.options);
         let fingerprint = key.fingerprint;
         let build_start = Instant::now();
-        let (session, cache_hit) = self.session(key, &job.dft, &job.options);
+        let (session, cache_hit, build_wait) = self.session_tracked(key, &job.dft, &job.options);
         let build = build_start.elapsed();
         match session {
             Err(e) => JobReport {
@@ -377,6 +760,7 @@ impl AnalysisService {
                 cache_hit,
                 results: Err(e),
                 aggregation_runs: 0,
+                build_wait,
                 build,
                 query: Duration::ZERO,
             },
@@ -393,6 +777,7 @@ impl AnalysisService {
                     cache_hit,
                     results,
                     aggregation_runs,
+                    build_wait,
                     build,
                     query: query_start.elapsed(),
                 }
@@ -400,16 +785,31 @@ impl AnalysisService {
         }
     }
 
-    /// Get-or-build with exactly-once semantics; the boolean is `true` for a
-    /// cache hit (the session existed or a concurrent worker built it).  The
-    /// caller supplies the key so the fingerprint is hashed once per job.
     fn session(
         &self,
         key: CacheKey,
         dft: &Dft,
         options: &AnalysisOptions,
     ) -> (Result<Arc<Analyzer>>, bool) {
+        let (session, cache_hit, _) = self.session_tracked(key, dft, options);
+        (session, cache_hit)
+    }
+
+    /// Get-or-build with exactly-once semantics; the first boolean is `true`
+    /// for a cache hit (the session existed or a concurrent worker built it),
+    /// the second when the hit *blocked* on a concurrent builder.  The caller
+    /// supplies the key so the fingerprint is hashed once per job.
+    fn session_tracked(
+        &self,
+        key: CacheKey,
+        dft: &Dft,
+        options: &AnalysisOptions,
+    ) -> (Result<Arc<Analyzer>>, bool, bool) {
         let slot = self.reserve(key);
+        // A slot that is still empty here either becomes ours to build or means
+        // another worker is building it right now — in the latter case the
+        // `get_or_init` below blocks for the whole build.
+        let ready = slot.get().is_some();
         let mut built = false;
         let outcome = slot.get_or_init(|| {
             built = true;
@@ -426,6 +826,7 @@ impl AnalysisService {
                 Err(e) => Err(e.clone()),
             },
             !built,
+            !built && !ready,
         )
     }
 
@@ -462,6 +863,45 @@ impl AnalysisService {
             match victim {
                 Some(k) => {
                     cache.entries.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        slot
+    }
+
+    /// [`reserve`](Self::reserve) for the parametric-model cache: same LRU
+    /// policy and capacity, its own key space (parametric models are far
+    /// rarer and far more valuable than instantiated sessions, so they do not
+    /// compete with them for slots).
+    fn reserve_param(&self, key: ParamCacheKey) -> ParamSlot {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache.param_entries.get_mut(&key) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.slot);
+        }
+        let slot: ParamSlot = Arc::new(OnceLock::new());
+        cache.param_entries.insert(
+            key,
+            ParamCacheEntry {
+                slot: Arc::clone(&slot),
+                last_used: tick,
+            },
+        );
+        let capacity = self.options.cache_capacity;
+        while capacity > 0 && cache.param_entries.len() > capacity {
+            let victim = cache
+                .param_entries
+                .iter()
+                .filter(|(k, e)| **k != key && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    cache.param_entries.remove(&k);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,

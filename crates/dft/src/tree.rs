@@ -171,6 +171,24 @@ impl Dft {
     /// across processes, platforms and runs — suitable as a persistent cache
     /// key.
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with(true)
+    }
+
+    /// A deterministic *rate-blind* structural fingerprint of the tree.
+    ///
+    /// Like [`fingerprint`](Self::fingerprint), but the numeric failure and
+    /// repair rates are excluded from the hash; only their *shape* survives —
+    /// the dormancy factor (a structural coefficient of the parametric model)
+    /// and whether a repair rate exists at all.  Two trees share a structural
+    /// fingerprint exactly when they define the same *parametric* model with
+    /// the same parameter slots, differing at most in the numeric rate values
+    /// — which is the notion of identity a cache of parametric (symbolic-rate)
+    /// models wants: a whole family of rate-scaled variants maps to one entry.
+    pub fn structural_fingerprint(&self) -> u64 {
+        self.fingerprint_with(false)
+    }
+
+    fn fingerprint_with(&self, include_rates: bool) -> u64 {
         /// 64-bit FNV-1a offset basis and prime.
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -198,13 +216,17 @@ impl Dft {
             match element {
                 Element::BasicEvent(be) => {
                     h.byte(0x01);
-                    h.f64(be.rate);
+                    if include_rates {
+                        h.f64(be.rate);
+                    }
                     h.f64(be.dormancy.factor());
                     match be.repair_rate {
                         None => h.byte(0x00),
                         Some(mu) => {
                             h.byte(0x02);
-                            h.f64(mu);
+                            if include_rates {
+                                h.f64(mu);
+                            }
                         }
                     }
                 }

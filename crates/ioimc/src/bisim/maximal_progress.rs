@@ -7,7 +7,8 @@
 //! and is a precondition for the Markovian lumping performed by the partition
 //! refinement.
 
-use crate::model::IoImc;
+use crate::model::IoImcOf;
+use crate::rate::Rate;
 
 /// Removes the Markovian transitions of every urgent state (a state with an
 /// outgoing output or internal transition).
@@ -31,15 +32,15 @@ use crate::model::IoImc;
 /// # Ok(())
 /// # }
 /// ```
-pub fn cut_maximal_progress(model: &IoImc) -> IoImc {
+pub fn cut_maximal_progress<R: Rate>(model: &IoImcOf<R>) -> IoImcOf<R> {
     let urgent: Vec<bool> = model.states().map(|s| model.is_urgent(s)).collect();
     let markovian = model
         .markovian()
         .iter()
         .filter(|t| !urgent[t.from.index()])
-        .copied()
+        .cloned()
         .collect();
-    IoImc::from_parts(
+    IoImcOf::from_parts(
         model.name().to_owned(),
         model.signature().clone(),
         model.num_states,

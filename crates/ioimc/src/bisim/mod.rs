@@ -29,7 +29,8 @@ pub use maximal_progress::cut_maximal_progress;
 pub use partition::{quotient, refine, Partition};
 pub use tau_elim::eliminate_deterministic_tau;
 
-use crate::model::IoImc;
+use crate::model::IoImcOf;
+use crate::rate::Rate;
 
 /// Aggregates `model` modulo (branching-style) weak bisimulation with maximal
 /// progress, returning an equivalent model with at most as many states.
@@ -54,17 +55,17 @@ use crate::model::IoImc;
 /// # Ok(())
 /// # }
 /// ```
-pub fn minimize(model: &IoImc) -> IoImc {
+pub fn minimize<R: Rate>(model: &IoImcOf<R>) -> IoImcOf<R> {
     minimize_with(model, true)
 }
 
 /// Aggregates `model` modulo strong bisimulation (with Markovian lumping and
 /// maximal progress, but no abstraction of internal transitions).
-pub fn minimize_strong(model: &IoImc) -> IoImc {
+pub fn minimize_strong<R: Rate>(model: &IoImcOf<R>) -> IoImcOf<R> {
     minimize_with(model, false)
 }
 
-fn minimize_with(model: &IoImc, weak: bool) -> IoImc {
+fn minimize_with<R: Rate>(model: &IoImcOf<R>, weak: bool) -> IoImcOf<R> {
     let mut current = cut_maximal_progress(model);
     current = current.restrict_to_reachable();
     loop {
@@ -93,6 +94,7 @@ mod tests {
     use crate::builder::IoImcBuilder;
     use crate::compose::compose;
     use crate::hide::hide;
+    use crate::model::IoImc;
     use crate::model::Label;
 
     fn act(n: &str) -> Action {

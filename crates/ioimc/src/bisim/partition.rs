@@ -17,7 +17,8 @@
 //! visible actions, the Markovian timing and the atomic propositions — in
 //! particular the failure-time distribution of a DFT.
 
-use crate::model::{InteractiveTransition, IoImc, Label, MarkovianTransition, StateId};
+use crate::model::{InteractiveTransition, IoImcOf, Label, MarkovianTransitionOf, StateId};
+use crate::rate::Rate;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A partition of the states of a model into equivalence blocks.
@@ -45,15 +46,25 @@ impl Partition {
     }
 }
 
-/// Canonical form of a per-block Markovian rate map.
-type RateMap = Vec<(u32, u64)>;
+/// Canonical form of a per-block Markovian rate map: cumulative rate *keys*
+/// per target block (see [`Rate::key`]).
+///
+/// For numeric rates the key is the rate's bit pattern; for
+/// [`RateForm`](crate::rate::RateForm) rates it is the canonical coefficient
+/// vector, so two states are lumped only when their cumulative rate *forms*
+/// into every block coincide — an equality of linear forms that holds under
+/// **every** valuation of the parameters, which is what makes parametric
+/// aggregation sound for a whole rate sweep at once.
+type RateMap<K> = Vec<(u32, K)>;
 
-fn rate_map(model: &IoImc, state: StateId, block_of: &[u32]) -> RateMap {
-    let mut sums: BTreeMap<u32, f64> = BTreeMap::new();
+fn rate_map<R: Rate>(model: &IoImcOf<R>, state: StateId, block_of: &[u32]) -> RateMap<R::Key> {
+    let mut sums: BTreeMap<u32, R> = BTreeMap::new();
     for t in model.markovian_from(state) {
-        *sums.entry(block_of[t.to.index()]).or_insert(0.0) += t.rate;
+        sums.entry(block_of[t.to.index()])
+            .or_insert_with(R::zero)
+            .add_assign(&t.rate);
     }
-    sums.into_iter().map(|(b, r)| (b, r.to_bits())).collect()
+    sums.into_iter().map(|(b, r)| (b, r.key())).collect()
 }
 
 /// Key describing one visible move: (label kind, action id, target block).
@@ -69,15 +80,15 @@ fn move_key(label: Label, target_block: u32) -> Move {
 
 /// The refinement signature of a single state under the current partition.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct StateSignature {
+struct StateSignature<K> {
     old_block: u32,
     moves: Vec<Move>,
-    rates: Vec<RateMap>,
+    rates: Vec<RateMap<K>>,
 }
 
 /// States reachable from `state` through *inert* internal transitions (internal
 /// transitions whose target stays in the same block), including `state` itself.
-fn inert_reach(model: &IoImc, state: StateId, block_of: &[u32]) -> Vec<StateId> {
+fn inert_reach<R: Rate>(model: &IoImcOf<R>, state: StateId, block_of: &[u32]) -> Vec<StateId> {
     let own_block = block_of[state.index()];
     let mut seen = vec![state];
     let mut stack = vec![state];
@@ -93,10 +104,15 @@ fn inert_reach(model: &IoImc, state: StateId, block_of: &[u32]) -> Vec<StateId> 
     seen
 }
 
-fn signature(model: &IoImc, state: StateId, block_of: &[u32], weak: bool) -> StateSignature {
+fn signature<R: Rate>(
+    model: &IoImcOf<R>,
+    state: StateId,
+    block_of: &[u32],
+    weak: bool,
+) -> StateSignature<R::Key> {
     let own_block = block_of[state.index()];
     let mut moves: BTreeSet<Move> = BTreeSet::new();
-    let mut rates: BTreeSet<RateMap> = BTreeSet::new();
+    let mut rates: BTreeSet<RateMap<R::Key>> = BTreeSet::new();
 
     if weak {
         for u in inert_reach(model, state, block_of) {
@@ -130,7 +146,7 @@ fn signature(model: &IoImc, state: StateId, block_of: &[u32], weak: bool) -> Sta
 /// The initial partition separates states by their atomic-proposition labelling, so
 /// proposition-labelled states (e.g. the "system down" marker used for
 /// unavailability analysis) are never merged with unlabelled ones.
-pub fn refine(model: &IoImc, weak: bool) -> Partition {
+pub fn refine<R: Rate>(model: &IoImcOf<R>, weak: bool) -> Partition {
     let n = model.num_states();
     if n == 0 {
         return Partition {
@@ -154,7 +170,7 @@ pub fn refine(model: &IoImc, weak: bool) -> Partition {
     }
 
     loop {
-        let mut sig_blocks: HashMap<StateSignature, u32> = HashMap::new();
+        let mut sig_blocks: HashMap<StateSignature<R::Key>, u32> = HashMap::new();
         let mut next_block_of: Vec<u32> = vec![0; n];
         let mut next_num_blocks = 0u32;
         for s in model.states() {
@@ -186,7 +202,7 @@ pub fn refine(model: &IoImc, weak: bool) -> Partition {
 /// (they are unobservable), and the Markovian behaviour of a block is taken from
 /// its non-urgent members (which, by construction of the refinement, all carry the
 /// same cumulative rates).
-pub fn quotient(model: &IoImc, partition: &Partition, weak: bool) -> IoImc {
+pub fn quotient<R: Rate>(model: &IoImcOf<R>, partition: &Partition, weak: bool) -> IoImcOf<R> {
     let nb = partition.num_blocks as usize;
     let block_of = &partition.block_of;
 
@@ -209,7 +225,7 @@ pub fn quotient(model: &IoImc, partition: &Partition, weak: bool) -> IoImc {
         });
     }
 
-    let mut markovian: Vec<MarkovianTransition> = Vec::new();
+    let mut markovian: Vec<MarkovianTransitionOf<R>> = Vec::new();
     // For each block take the cumulative rates of one representative state.  In
     // strong mode every member agrees; in weak mode every *non-urgent* member
     // agrees and urgent members contribute nothing (maximal progress).
@@ -223,13 +239,15 @@ pub fn quotient(model: &IoImc, partition: &Partition, weak: bool) -> IoImc {
     }
     for (b, rep) in representative.iter().enumerate() {
         if let Some(rep) = rep {
-            let mut sums: BTreeMap<u32, f64> = BTreeMap::new();
+            let mut sums: BTreeMap<u32, R> = BTreeMap::new();
             for t in model.markovian_from(*rep) {
-                *sums.entry(block_of[t.to.index()]).or_insert(0.0) += t.rate;
+                sums.entry(block_of[t.to.index()])
+                    .or_insert_with(R::zero)
+                    .add_assign(&t.rate);
             }
             for (to, rate) in sums {
-                if rate > 0.0 {
-                    markovian.push(MarkovianTransition {
+                if !rate.is_zero() {
+                    markovian.push(MarkovianTransitionOf {
                         from: StateId::new(b as u32),
                         rate,
                         to: StateId::new(to),
@@ -239,7 +257,7 @@ pub fn quotient(model: &IoImc, partition: &Partition, weak: bool) -> IoImc {
         }
     }
 
-    IoImc::from_parts(
+    IoImcOf::from_parts(
         model.name().to_owned(),
         model.signature().clone(),
         nb as u32,

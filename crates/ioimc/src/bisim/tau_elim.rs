@@ -6,12 +6,13 @@
 //! be redirected to its (transitive) successor.  This cheap pre-pass dramatically
 //! shrinks intermediate models before the more expensive partition refinement runs.
 
-use crate::model::{InteractiveTransition, IoImc, MarkovianTransition, StateId};
+use crate::model::{InteractiveTransition, IoImcOf, MarkovianTransitionOf, StateId};
+use crate::rate::Rate;
 
 /// Returns `true` if `state` is a *vanishing* state: its only outgoing behaviour is
 /// exactly one internal transition (no inputs, no outputs, no Markovian
 /// transitions) and it carries no atomic proposition.
-fn is_vanishing(model: &IoImc, state: StateId) -> bool {
+fn is_vanishing<R: Rate>(model: &IoImcOf<R>, state: StateId) -> bool {
     if model.prop_mask(state) != 0 {
         return false;
     }
@@ -25,7 +26,7 @@ fn is_vanishing(model: &IoImc, state: StateId) -> bool {
 /// Short-circuits every vanishing state, redirecting incoming transitions to the
 /// end of its internal chain.  Cycles of internal transitions are left untouched
 /// (they denote divergence, which does not occur in DFT models but must not crash).
-pub fn eliminate_deterministic_tau(model: &IoImc) -> IoImc {
+pub fn eliminate_deterministic_tau<R: Rate>(model: &IoImcOf<R>) -> IoImcOf<R> {
     let n = model.num_states();
     // forward[s] = Some(t) if s is vanishing with internal successor t.
     let mut forward: Vec<Option<StateId>> = vec![None; n];
@@ -85,17 +86,17 @@ pub fn eliminate_deterministic_tau(model: &IoImc) -> IoImc {
             to: map[t.to.index()],
         })
         .collect();
-    let markovian: Vec<MarkovianTransition> = model
+    let markovian: Vec<MarkovianTransitionOf<R>> = model
         .markovian()
         .iter()
-        .map(|t| MarkovianTransition {
+        .map(|t| MarkovianTransitionOf {
             from: t.from,
-            rate: t.rate,
+            rate: t.rate.clone(),
             to: map[t.to.index()],
         })
         .collect();
 
-    let next = IoImc::from_parts(
+    let next = IoImcOf::from_parts(
         model.name().to_owned(),
         model.signature().clone(),
         model.num_states,

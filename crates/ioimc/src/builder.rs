@@ -1,11 +1,12 @@
 //! Incremental construction of I/O-IMC models.
 
 use crate::action::Action;
-use crate::model::{InteractiveTransition, IoImc, Label, MarkovianTransition, PropId, StateId};
+use crate::model::{InteractiveTransition, IoImcOf, Label, MarkovianTransitionOf, PropId, StateId};
+use crate::rate::{Rate, RateForm};
 use crate::signature::Signature;
 use crate::{Error, Result};
 
-/// Builder for [`IoImc`] models.
+/// Builder for [`IoImc`](crate::IoImc) models.
 ///
 /// States are added first, then transitions; the signature is inferred from the
 /// transitions but can be extended explicitly (e.g. to declare an input the model
@@ -38,22 +39,28 @@ use crate::{Error, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct IoImcBuilder {
+pub struct IoImcBuilderOf<R> {
     name: String,
     num_states: u32,
     initial: Option<StateId>,
     signature: Signature,
     interactive: Vec<InteractiveTransition>,
-    markovian: Vec<MarkovianTransition>,
+    markovian: Vec<MarkovianTransitionOf<R>>,
     prop_names: Vec<String>,
     props: Vec<u64>,
     error: Option<Error>,
 }
 
-impl IoImcBuilder {
+/// Builder for numeric-rate models (the classical instantiation).
+pub type IoImcBuilder = IoImcBuilderOf<f64>;
+
+/// Builder for parametric models whose rates are [`RateForm`]s.
+pub type ParametricIoImcBuilder = IoImcBuilderOf<RateForm>;
+
+impl<R: Rate> IoImcBuilderOf<R> {
     /// Creates an empty builder for a model called `name`.
-    pub fn new(name: impl Into<String>) -> IoImcBuilder {
-        IoImcBuilder {
+    pub fn new(name: impl Into<String>) -> IoImcBuilderOf<R> {
+        IoImcBuilderOf {
             name: name.into(),
             num_states: 0,
             initial: None,
@@ -155,15 +162,19 @@ impl IoImcBuilder {
 
     /// Adds a Markovian transition `from --rate--> to`.
     ///
-    /// A rate that is not finite and strictly positive is recorded as an error and
-    /// reported by [`build`](Self::build).
-    pub fn markovian(&mut self, from: StateId, rate: f64, to: StateId) -> &mut Self {
+    /// An invalid rate (for `f64`: not finite and strictly positive; see
+    /// [`Rate::is_valid`]) is recorded as an error and reported by
+    /// [`build`](Self::build).
+    pub fn markovian(&mut self, from: StateId, rate: R, to: StateId) -> &mut Self {
         self.check_state(from);
         self.check_state(to);
-        if !(rate.is_finite() && rate > 0.0) {
-            self.record_error(Error::InvalidRate { rate });
+        if !rate.is_valid() {
+            self.record_error(Error::InvalidRate {
+                rate: rate.to_string(),
+            });
         } else {
-            self.markovian.push(MarkovianTransition { from, rate, to });
+            self.markovian
+                .push(MarkovianTransitionOf { from, rate, to });
         }
         self
     }
@@ -216,13 +227,13 @@ impl IoImcBuilder {
     /// Returns the first error recorded while building (unknown state, invalid
     /// rate), [`Error::MissingInitialState`] if no initial state was declared, or a
     /// signature conflict if one action was used in incompatible roles.
-    pub fn build(self) -> Result<IoImc> {
+    pub fn build(self) -> Result<IoImcOf<R>> {
         if let Some(err) = self.error {
             return Err(err);
         }
         let initial = self.initial.ok_or(Error::MissingInitialState)?;
         self.signature.validate()?;
-        let model = IoImc::from_parts(
+        let model = IoImcOf::from_parts(
             self.name,
             self.signature,
             self.num_states,

@@ -12,14 +12,15 @@
 //! checking whether the model is free of immediate non-determinism.
 
 use crate::action::Action;
-use crate::model::{IoImc, Label, StateId};
+use crate::model::{IoImcOf, Label, StateId};
+use crate::rate::Rate;
 use crate::{Error, Result};
 
 /// Removes every input transition and every input action of the signature.
 ///
 /// In a closed model there is no environment left to provide inputs, so input
 /// transitions are dead code.  Outputs and internal transitions are untouched.
-pub fn drop_input_transitions(model: &IoImc) -> IoImc {
+pub fn drop_input_transitions<R: Rate>(model: &IoImcOf<R>) -> IoImcOf<R> {
     let interactive: Vec<_> = model
         .interactive()
         .iter()
@@ -31,7 +32,7 @@ pub fn drop_input_transitions(model: &IoImc) -> IoImc {
     for a in inputs {
         signature.remove(a);
     }
-    IoImc::from_parts(
+    IoImcOf::from_parts(
         model.name().to_owned(),
         signature,
         model.num_states,
@@ -51,7 +52,7 @@ pub fn drop_input_transitions(model: &IoImc) -> IoImc {
 /// For reliability analysis the top event of a DFT has failed *at* the instant such
 /// a state is entered, so these states form the goal set of the time-bounded
 /// reachability problem.
-pub fn can_fire_immediately(model: &IoImc, action: Action) -> Vec<bool> {
+pub fn can_fire_immediately<R: Rate>(model: &IoImcOf<R>, action: Action) -> Vec<bool> {
     let n = model.num_states();
     let mut can = vec![false; n];
     // Seed: states with a direct output of `action`.
@@ -82,7 +83,7 @@ pub fn can_fire_immediately(model: &IoImc, action: Action) -> Vec<bool> {
 /// when immediate non-determinism remains, a state certainly represents a failure
 /// only if the failure signal is emitted no matter how the non-determinism is
 /// resolved.
-pub fn must_fire_immediately(model: &IoImc, action: Action) -> Vec<bool> {
+pub fn must_fire_immediately<R: Rate>(model: &IoImcOf<R>, action: Action) -> Vec<bool> {
     let n = model.num_states();
     // Greatest fixpoint: start optimistic (every urgent state might be forced),
     // then strip states that have an escape.
@@ -132,7 +133,7 @@ pub fn must_fire_immediately(model: &IoImc, action: Action) -> Vec<bool> {
 ///
 /// Returns [`Error::Nondeterministic`] naming a state with two or more immediate
 /// alternatives.  Such a model must be analysed as a CTMDP.
-pub fn check_deterministic(model: &IoImc) -> Result<()> {
+pub fn check_deterministic<R: Rate>(model: &IoImcOf<R>) -> Result<()> {
     for s in model.states() {
         let immediate = model
             .interactive_from(s)
@@ -151,7 +152,7 @@ pub fn check_deterministic(model: &IoImc) -> Result<()> {
 /// # Errors
 ///
 /// Returns [`Error::NotClosed`] naming one of the remaining input actions.
-pub fn check_closed(model: &IoImc) -> Result<()> {
+pub fn check_closed<R: Rate>(model: &IoImcOf<R>) -> Result<()> {
     if let Some(a) = model.signature().inputs().next() {
         return Err(Error::NotClosed { action: a });
     }

@@ -17,7 +17,8 @@
 //! Only the reachable part of the product is constructed.
 
 use crate::action::Action;
-use crate::model::{InteractiveTransition, IoImc, Label, MarkovianTransition, StateId};
+use crate::model::{InteractiveTransition, IoImcOf, Label, MarkovianTransitionOf, StateId};
+use crate::rate::Rate;
 use crate::Result;
 use std::collections::HashMap;
 
@@ -54,7 +55,7 @@ use std::collections::HashMap;
 /// # Ok(())
 /// # }
 /// ```
-pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
+pub fn compose<R: Rate>(left: &IoImcOf<R>, right: &IoImcOf<R>) -> Result<IoImcOf<R>> {
     left.signature()
         .check_composable(right.signature(), left.name(), right.name())?;
     let signature = left.signature().composed_with(right.signature());
@@ -116,11 +117,11 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
     );
 
     let mut interactive: Vec<InteractiveTransition> = Vec::new();
-    let mut markovian: Vec<MarkovianTransition> = Vec::new();
+    let mut markovian: Vec<MarkovianTransitionOf<R>> = Vec::new();
 
     // Collect the a?-successors of `state` in `model`; an empty list means the
     // implicit self-loop applies.
-    let input_successors = |model: &IoImc, state: StateId, action: Action| -> Vec<StateId> {
+    let input_successors = |model: &IoImcOf<R>, state: StateId, action: Action| -> Vec<StateId> {
         model
             .interactive_from(state)
             .iter()
@@ -135,17 +136,17 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
         // Markovian transitions interleave.
         for t in left.markovian_from(ls) {
             let to = intern(t.to, rs, &mut index, &mut pairs, &mut props, &mut worklist);
-            markovian.push(MarkovianTransition {
+            markovian.push(MarkovianTransitionOf {
                 from: current,
-                rate: t.rate,
+                rate: t.rate.clone(),
                 to,
             });
         }
         for t in right.markovian_from(rs) {
             let to = intern(ls, t.to, &mut index, &mut pairs, &mut props, &mut worklist);
-            markovian.push(MarkovianTransition {
+            markovian.push(MarkovianTransitionOf {
                 from: current,
-                rate: t.rate,
+                rate: t.rate.clone(),
                 to,
             });
         }
@@ -304,7 +305,7 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
     }
 
     let name = format!("{} || {}", left.name(), right.name());
-    Ok(IoImc::from_parts(
+    Ok(IoImcOf::from_parts(
         name,
         signature,
         pairs.len() as u32,
@@ -325,7 +326,7 @@ pub fn compose(left: &IoImc, right: &IoImc) -> Result<IoImc> {
 /// # Panics
 ///
 /// Panics if `models` is empty.
-pub fn compose_all(models: &[IoImc]) -> Result<IoImc> {
+pub fn compose_all<R: Rate>(models: &[IoImcOf<R>]) -> Result<IoImcOf<R>> {
     assert!(
         !models.is_empty(),
         "compose_all requires at least one model"
@@ -341,6 +342,7 @@ pub fn compose_all(models: &[IoImc]) -> Result<IoImc> {
 mod tests {
     use super::*;
     use crate::builder::IoImcBuilder;
+    use crate::model::IoImc;
     use crate::Error;
 
     fn act(n: &str) -> Action {
@@ -507,7 +509,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one model")]
     fn compose_all_rejects_empty() {
-        let _ = compose_all(&[]);
+        let _ = compose_all::<f64>(&[]);
     }
 
     #[test]

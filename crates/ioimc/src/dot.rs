@@ -6,7 +6,8 @@
 //! `a?`/`a!`/`a;`, the initial state is marked, and proposition-labelled states are
 //! shaded.
 
-use crate::model::IoImc;
+use crate::model::IoImcOf;
+use crate::rate::Rate;
 use std::fmt::Write as _;
 
 /// Renders `model` as a Graphviz `digraph`.
@@ -27,7 +28,7 @@ use std::fmt::Write as _;
 /// # Ok(())
 /// # }
 /// ```
-pub fn to_dot(model: &IoImc) -> String {
+pub fn to_dot<R: Rate>(model: &IoImcOf<R>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(model.name()));
     let _ = writeln!(out, "  rankdir=LR;");

@@ -7,7 +7,8 @@
 //! Step 3 of the conversion/analysis algorithm in Section 5 of the paper.
 
 use crate::action::Action;
-use crate::model::{InteractiveTransition, IoImc, Label};
+use crate::model::{InteractiveTransition, IoImcOf, Label};
+use crate::rate::Rate;
 use crate::{Error, Result};
 use std::collections::BTreeSet;
 
@@ -39,7 +40,7 @@ use std::collections::BTreeSet;
 /// # Ok(())
 /// # }
 /// ```
-pub fn hide(model: &IoImc, actions: &[Action]) -> Result<IoImc> {
+pub fn hide<R: Rate>(model: &IoImcOf<R>, actions: &[Action]) -> Result<IoImcOf<R>> {
     let to_hide: BTreeSet<Action> = actions.iter().copied().collect();
     for &a in &to_hide {
         if model.signature().is_input(a) {
@@ -68,7 +69,7 @@ pub fn hide(model: &IoImc, actions: &[Action]) -> Result<IoImc> {
         })
         .collect();
 
-    Ok(IoImc::from_parts(
+    Ok(IoImcOf::from_parts(
         model.name().to_owned(),
         signature,
         model.num_states,
@@ -90,7 +91,7 @@ pub fn hide(model: &IoImc, actions: &[Action]) -> Result<IoImc> {
 ///
 /// Never fails for well-formed models; the error type is kept for uniformity with
 /// [`hide`].
-pub fn hide_all_except(model: &IoImc, keep: &[Action]) -> Result<IoImc> {
+pub fn hide_all_except<R: Rate>(model: &IoImcOf<R>, keep: &[Action]) -> Result<IoImcOf<R>> {
     let keep: BTreeSet<Action> = keep.iter().copied().collect();
     let to_hide: Vec<Action> = model
         .signature()
@@ -104,6 +105,7 @@ pub fn hide_all_except(model: &IoImc, keep: &[Action]) -> Result<IoImc> {
 mod tests {
     use super::*;
     use crate::builder::IoImcBuilder;
+    use crate::model::IoImc;
 
     fn act(n: &str) -> Action {
         Action::new(n)

@@ -69,13 +69,18 @@ pub mod compose;
 pub mod dot;
 pub mod hide;
 pub mod model;
+pub mod rate;
 pub mod rename;
 pub mod signature;
 pub mod stats;
 
 pub use action::{Action, ActionKind};
-pub use builder::IoImcBuilder;
-pub use model::{InteractiveTransition, IoImc, Label, MarkovianTransition, PropId, StateId};
+pub use builder::{IoImcBuilder, IoImcBuilderOf, ParametricIoImcBuilder};
+pub use model::{
+    InteractiveTransition, IoImc, IoImcOf, Label, MarkovianTransition, MarkovianTransitionOf,
+    ParametricIoImc, PropId, StateId,
+};
+pub use rate::{Rate, RateForm};
 pub use signature::Signature;
 
 use std::fmt;
@@ -90,10 +95,12 @@ pub enum Error {
         /// Number of states in the model.
         num_states: u32,
     },
-    /// A Markovian transition was given a non-positive or non-finite rate.
+    /// A Markovian transition was given an invalid rate (for numeric rates:
+    /// non-positive or non-finite; for rate forms: empty or with invalid
+    /// coefficients).
     InvalidRate {
-        /// The offending rate.
-        rate: f64,
+        /// The offending rate, rendered for diagnostics.
+        rate: String,
     },
     /// The model has no initial state.
     MissingInitialState,

@@ -11,6 +11,7 @@
 //! [`hide`](crate::hide), [`rename`](crate::rename) and [`bisim`](crate::bisim).
 
 use crate::action::Action;
+use crate::rate::{Rate, RateForm};
 use crate::signature::Signature;
 use crate::{Error, Result};
 use std::fmt;
@@ -113,29 +114,39 @@ pub struct InteractiveTransition {
     pub to: StateId,
 }
 
-/// A Markovian transition with an exponential rate.
+/// A Markovian transition with an exponential rate of type `R`
+/// (see [`Rate`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MarkovianTransition {
+pub struct MarkovianTransitionOf<R> {
     /// Source state.
     pub from: StateId,
-    /// Rate of the exponential delay; always finite and strictly positive.
-    pub rate: f64,
+    /// Rate of the exponential delay; always valid per [`Rate::is_valid`] (for
+    /// `f64`: finite and strictly positive).
+    pub rate: R,
     /// Target state.
     pub to: StateId,
 }
 
-/// An input/output interactive Markov chain.
+/// A Markovian transition with a concrete numeric rate.
+pub type MarkovianTransition = MarkovianTransitionOf<f64>;
+
+/// An input/output interactive Markov chain, generic over its rate type.
+///
+/// `R = f64` ([`IoImc`]) is the classical numeric model; `R = `[`RateForm`]
+/// ([`ParametricIoImc`]) carries symbolic linear rate forms through the same
+/// composition/hiding/aggregation pipeline, enabling one aggregation to serve a
+/// whole sweep of rate valuations.
 ///
 /// See the [crate documentation](crate) for the modelling background and the
 /// builder example.
 #[derive(Debug, Clone)]
-pub struct IoImc {
+pub struct IoImcOf<R> {
     pub(crate) name: String,
     pub(crate) signature: Signature,
     pub(crate) num_states: u32,
     pub(crate) initial: StateId,
     pub(crate) interactive: Vec<InteractiveTransition>,
-    pub(crate) markovian: Vec<MarkovianTransition>,
+    pub(crate) markovian: Vec<MarkovianTransitionOf<R>>,
     pub(crate) prop_names: Vec<String>,
     pub(crate) props: Vec<u64>,
     /// `interactive` is sorted by source state; `interactive_index[s]..interactive_index[s+1]`
@@ -145,7 +156,13 @@ pub struct IoImc {
     pub(crate) markovian_index: Vec<u32>,
 }
 
-impl IoImc {
+/// An I/O-IMC with concrete numeric rates (the classical model of the paper).
+pub type IoImc = IoImcOf<f64>;
+
+/// An I/O-IMC whose Markovian transitions carry symbolic [`RateForm`] rates.
+pub type ParametricIoImc = IoImcOf<RateForm>;
+
+impl<R: Rate> IoImcOf<R> {
     /// Assembles a model from raw parts, sorting the transition lists and building
     /// the per-state index.  The caller (the builder and the in-crate operations)
     /// must already have validated states, rates and the signature.
@@ -156,10 +173,10 @@ impl IoImc {
         num_states: u32,
         initial: StateId,
         mut interactive: Vec<InteractiveTransition>,
-        mut markovian: Vec<MarkovianTransition>,
+        mut markovian: Vec<MarkovianTransitionOf<R>>,
         prop_names: Vec<String>,
         mut props: Vec<u64>,
-    ) -> IoImc {
+    ) -> IoImcOf<R> {
         interactive.sort_by_key(|t| (t.from.0, t.label, t.to.0));
         interactive.dedup_by(|a, b| a.from == b.from && a.label == b.label && a.to == b.to);
         markovian.sort_by_key(|t| (t.from.0, t.to.0));
@@ -180,7 +197,7 @@ impl IoImc {
             markovian_index[i] += markovian_index[i - 1];
         }
 
-        IoImc {
+        IoImcOf {
             name,
             signature,
             num_states,
@@ -245,7 +262,7 @@ impl IoImc {
     }
 
     /// All Markovian transitions, sorted by source state.
-    pub fn markovian(&self) -> &[MarkovianTransition] {
+    pub fn markovian(&self) -> &[MarkovianTransitionOf<R>] {
         &self.markovian
     }
 
@@ -265,15 +282,19 @@ impl IoImc {
     /// # Panics
     ///
     /// Panics if `state` does not belong to this model.
-    pub fn markovian_from(&self, state: StateId) -> &[MarkovianTransition] {
+    pub fn markovian_from(&self, state: StateId) -> &[MarkovianTransitionOf<R>] {
         let lo = self.markovian_index[state.index()] as usize;
         let hi = self.markovian_index[state.index() + 1] as usize;
         &self.markovian[lo..hi]
     }
 
     /// Total exit rate of `state` (sum of its Markovian transition rates).
-    pub fn exit_rate(&self, state: StateId) -> f64 {
-        self.markovian_from(state).iter().map(|t| t.rate).sum()
+    pub fn exit_rate(&self, state: StateId) -> R {
+        let mut total = R::zero();
+        for t in self.markovian_from(state) {
+            total.add_assign(&t.rate);
+        }
+        total
     }
 
     /// Returns `true` if `state` has an outgoing output or internal transition.
@@ -362,8 +383,10 @@ impl IoImc {
         for t in &self.markovian {
             check_state(t.from)?;
             check_state(t.to)?;
-            if !(t.rate.is_finite() && t.rate > 0.0) {
-                return Err(Error::InvalidRate { rate: t.rate });
+            if !t.rate.is_valid() {
+                return Err(Error::InvalidRate {
+                    rate: t.rate.to_string(),
+                });
             }
         }
         if self.props.len() != self.num_states as usize {
@@ -378,7 +401,7 @@ impl IoImc {
     /// Restricts the model to the states reachable from the initial state,
     /// renumbering states densely.  Transitions from unreachable states are
     /// dropped.
-    pub fn restrict_to_reachable(&self) -> IoImc {
+    pub fn restrict_to_reachable(&self) -> IoImcOf<R> {
         let n = self.num_states as usize;
         let mut reachable = vec![false; n];
         let mut stack = vec![self.initial];
@@ -419,9 +442,9 @@ impl IoImc {
             .markovian
             .iter()
             .filter(|t| reachable[t.from.index()] && reachable[t.to.index()])
-            .map(|t| MarkovianTransition {
+            .map(|t| MarkovianTransitionOf {
                 from: StateId(remap[t.from.index()]),
-                rate: t.rate,
+                rate: t.rate.clone(),
                 to: StateId(remap[t.to.index()]),
             })
             .collect();
@@ -429,7 +452,7 @@ impl IoImc {
             .filter(|&i| reachable[i])
             .map(|i| self.props[i])
             .collect();
-        IoImc::from_parts(
+        IoImcOf::from_parts(
             self.name.clone(),
             self.signature.clone(),
             next,
@@ -440,9 +463,39 @@ impl IoImc {
             props,
         )
     }
+
+    /// Maps every Markovian rate through `f`, keeping states, interactive
+    /// transitions, signature and propositions unchanged.
+    ///
+    /// This is how a parametric model is *instantiated*: evaluating each
+    /// [`RateForm`] against a valuation yields the numeric model for that rate
+    /// assignment — without re-running composition or aggregation.  (It also
+    /// lifts rate-free models, such as gate I/O-IMCs, between rate types.)
+    pub fn map_rates<R2: Rate>(&self, mut f: impl FnMut(&R) -> R2) -> IoImcOf<R2> {
+        IoImcOf {
+            name: self.name.clone(),
+            signature: self.signature.clone(),
+            num_states: self.num_states,
+            initial: self.initial,
+            interactive: self.interactive.clone(),
+            markovian: self
+                .markovian
+                .iter()
+                .map(|t| MarkovianTransitionOf {
+                    from: t.from,
+                    rate: f(&t.rate),
+                    to: t.to,
+                })
+                .collect(),
+            prop_names: self.prop_names.clone(),
+            props: self.props.clone(),
+            interactive_index: self.interactive_index.clone(),
+            markovian_index: self.markovian_index.clone(),
+        }
+    }
 }
 
-impl fmt::Display for IoImc {
+impl<R: Rate> fmt::Display for IoImcOf<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

@@ -6,7 +6,8 @@
 //! activation and firing signals.
 
 use crate::action::Action;
-use crate::model::{InteractiveTransition, IoImc, Label};
+use crate::model::{InteractiveTransition, IoImcOf, Label};
+use crate::rate::Rate;
 use crate::signature::Signature;
 use crate::{Error, Result};
 use std::collections::BTreeMap;
@@ -45,7 +46,10 @@ use std::collections::BTreeMap;
 /// # Ok(())
 /// # }
 /// ```
-pub fn rename(model: &IoImc, mapping: &BTreeMap<Action, Action>) -> Result<IoImc> {
+pub fn rename<R: Rate>(
+    model: &IoImcOf<R>,
+    mapping: &BTreeMap<Action, Action>,
+) -> Result<IoImcOf<R>> {
     let apply = |a: Action| -> Action { mapping.get(&a).copied().unwrap_or(a) };
 
     // Detect collisions: two distinct source actions mapping to the same target,
@@ -96,7 +100,7 @@ pub fn rename(model: &IoImc, mapping: &BTreeMap<Action, Action>) -> Result<IoImc
         })
         .collect();
 
-    Ok(IoImc::from_parts(
+    Ok(IoImcOf::from_parts(
         model.name().to_owned(),
         signature,
         model.num_states,
@@ -113,7 +117,7 @@ pub fn rename(model: &IoImc, mapping: &BTreeMap<Action, Action>) -> Result<IoImc
 /// # Errors
 ///
 /// Same as [`rename`].
-pub fn rename_one(model: &IoImc, from: Action, to: Action) -> Result<IoImc> {
+pub fn rename_one<R: Rate>(model: &IoImcOf<R>, from: Action, to: Action) -> Result<IoImcOf<R>> {
     let mut map = BTreeMap::new();
     map.insert(from, to);
     rename(model, &map)
@@ -123,6 +127,7 @@ pub fn rename_one(model: &IoImc, from: Action, to: Action) -> Result<IoImc> {
 mod tests {
     use super::*;
     use crate::builder::IoImcBuilder;
+    use crate::model::IoImc;
 
     fn act(n: &str) -> Action {
         Action::new(n)

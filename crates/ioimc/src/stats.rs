@@ -6,7 +6,8 @@
 //! approach).  [`ModelStats`] is the record the benchmark harness collects for each
 //! intermediate model.
 
-use crate::model::IoImc;
+use crate::model::IoImcOf;
+use crate::rate::Rate;
 use std::fmt;
 
 /// Size statistics of one I/O-IMC.
@@ -27,8 +28,8 @@ pub struct ModelStats {
 }
 
 impl ModelStats {
-    /// Collects the statistics of `model`.
-    pub fn of(model: &IoImc) -> ModelStats {
+    /// Collects the statistics of `model` (any rate type).
+    pub fn of<R: Rate>(model: &IoImcOf<R>) -> ModelStats {
         ModelStats {
             states: model.num_states(),
             interactive_transitions: model.num_interactive(),

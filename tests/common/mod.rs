@@ -101,6 +101,27 @@ pub fn build_static_tree(recipe: &StaticTreeRecipe, prefix: &str) -> Dft {
     b.build(top).unwrap()
 }
 
+impl StaticTreeRecipe {
+    /// The same structure with every failure rate multiplied by `scale` — the
+    /// pre-scaled twin a parametric valuation sweep is checked against.
+    pub fn scaled(&self, scale: f64) -> StaticTreeRecipe {
+        StaticTreeRecipe {
+            rates: self.rates.iter().map(|r| r * scale).collect(),
+            gates: self.gates.clone(),
+        }
+    }
+
+    /// The same structure with the rate of basic event `index` replaced.
+    pub fn with_rate(&self, index: usize, rate: f64) -> StaticTreeRecipe {
+        let mut rates = self.rates.clone();
+        rates[index] = rate;
+        StaticTreeRecipe {
+            rates,
+            gates: self.gates.clone(),
+        }
+    }
+}
+
 /// Convenience: a random static tree straight from a seed.
 pub fn random_static_tree(seed: u64, prefix: &str) -> Dft {
     let mut gen = Gen::new(seed);

@@ -244,3 +244,163 @@ fn empty_curves_are_typed_errors_everywhere() {
     )]);
     assert!(matches!(report.jobs[0].results, Err(Error::EmptyCurve)));
 }
+
+/// Cache-aware scheduling: jobs are grouped by fingerprint before dispatch, so
+/// even with several workers racing over a batch full of duplicate trees no
+/// job ever *blocks* on a concurrent builder of the same model — each distinct
+/// model is claimed (built once, then queried) by exactly one worker.
+#[test]
+fn grouped_dispatch_eliminates_build_waits() {
+    let service = AnalysisService::new(ServiceOptions {
+        workers: 4,
+        cache_capacity: 16,
+    });
+    // 12 jobs over 3 distinct structures, duplicates adjacent in submission
+    // order — the worst case for naive in-order dispatch, where several
+    // workers would claim copies of the same tree simultaneously.
+    let jobs: Vec<AnalysisJob> = (0..12)
+        .map(|i| {
+            AnalysisJob::new(
+                cas_scaled(1.0 + 0.1 * (i / 4) as f64),
+                AnalysisOptions::default(),
+                vec![Measure::Unreliability(1.0)],
+            )
+        })
+        .collect();
+    let report = service.run_batch(&jobs);
+    assert_eq!(report.stats.jobs, 12);
+    assert_eq!(report.stats.cache_misses, 3);
+    assert_eq!(report.stats.cache_hits, 9);
+    assert_eq!(report.stats.aggregation_runs, 3);
+    assert_eq!(
+        report.stats.build_waits, 0,
+        "grouped dispatch must not leave workers blocking on concurrent builds"
+    );
+    assert!(report.jobs.iter().all(|j| !j.build_wait));
+    // Reports stay in submission order: the i-th report carries the i-th
+    // job's fingerprint.
+    for (job, report) in jobs.iter().zip(&report.jobs) {
+        assert_eq!(job.dft.fingerprint(), report.fingerprint);
+    }
+}
+
+/// The service-level rate sweep: one parametric aggregation feeds a whole
+/// fleet of rate variants, duplicate valuations are cache hits, and every
+/// point matches a direct per-variant [`Analyzer`] build.
+#[test]
+fn service_sweeps_share_one_parametric_model() {
+    use dftmc::dft_core::engine::ParametricAnalyzer;
+    use dftmc::dft_core::service::SweepJob;
+
+    let options = AnalysisOptions {
+        epsilon: 1e-13,
+        ..AnalysisOptions::default()
+    };
+    let service = AnalysisService::new(ServiceOptions {
+        workers: 2,
+        cache_capacity: 64,
+    });
+
+    let parametric = ParametricAnalyzer::new(&cas(), options.clone()).unwrap();
+    let scales = [1.0, 1.2, 1.4, 1.2]; // one duplicate valuation
+    let valuations: Vec<_> = scales
+        .iter()
+        .map(|&s| parametric.params().scaled_valuation(s))
+        .collect();
+    let measures = vec![Measure::Unreliability(1.0), Measure::curve([0.5, 1.5])];
+    let job = SweepJob::new(cas(), options.clone(), measures.clone(), valuations);
+
+    let report = service.run_sweep(&job);
+    assert_eq!(report.stats.valuations, 4);
+    assert_eq!(
+        report.stats.aggregation_runs, 1,
+        "the whole sweep pays one aggregation"
+    );
+    assert!(!report.stats.parametric_cache_hit);
+    assert_eq!(report.stats.cache_misses, 3, "three distinct valuations");
+    assert_eq!(
+        report.stats.cache_hits, 1,
+        "the duplicate valuation is a hit"
+    );
+
+    for (i, &scale) in scales.iter().enumerate() {
+        let point = &report.points[i];
+        let results = point.results.as_ref().unwrap();
+        assert_eq!(results.len(), 2);
+        let direct = Analyzer::new(&cas_scaled(scale), options.clone()).unwrap();
+        let reference = direct.query_all(&measures).unwrap();
+        for (ours, exact) in results.iter().zip(&reference) {
+            for (a, b) in ours.points().iter().zip(exact.points()) {
+                assert!(
+                    (a.value() - b.value()).abs() <= 1e-12,
+                    "scale {scale}: {} vs {}",
+                    a.value(),
+                    b.value()
+                );
+            }
+        }
+    }
+
+    // A second sweep over the same structure — even with *different* rates in
+    // the submitted tree — reuses the cached parametric model outright.
+    let report2 = service.run_sweep(&SweepJob::new(
+        cas_scaled(3.0),
+        options,
+        vec![Measure::Unreliability(1.0)],
+        vec![parametric.params().scaled_valuation(1.4)],
+    ));
+    assert!(report2.stats.parametric_cache_hit);
+    assert_eq!(report2.stats.aggregation_runs, 0);
+    assert_eq!(report2.stats.cache_hits, 1, "valuation session reused too");
+    let stats = service.cache_stats();
+    assert_eq!(stats.parametric_entries, 1);
+    assert_eq!(stats.parametric_misses, 1);
+    assert_eq!(stats.parametric_hits, 1);
+}
+
+/// A monolithic sweep fails with a typed error per point (the baseline has no
+/// parametric form) — and must cache that error under its *own* key: a later
+/// compositional sweep of the same structure and epsilon still succeeds.
+#[test]
+fn monolithic_sweeps_do_not_poison_the_parametric_cache() {
+    use dftmc::dft_core::service::SweepJob;
+    use dftmc::dft_core::{Method, Valuation};
+
+    let service = AnalysisService::new(ServiceOptions {
+        workers: 1,
+        cache_capacity: 8,
+    });
+    let mut b = DftBuilder::new();
+    let x = b.basic_event("poison_X", 1.0, Dormancy::Hot).unwrap();
+    let top = b.or_gate("poison_Top", &[x]).unwrap();
+    let dft = b.build(top).unwrap();
+    let valuation = Valuation::new(vec![2.0]);
+
+    let monolithic = service.run_sweep(&SweepJob::new(
+        dft.clone(),
+        AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
+        vec![Measure::Unreliability(1.0)],
+        vec![valuation.clone()],
+    ));
+    assert!(matches!(
+        monolithic.points[0].results,
+        Err(Error::Unsupported { .. })
+    ));
+    assert_eq!(monolithic.stats.aggregation_runs, 0);
+
+    // Same structure, same epsilon, compositional method: must build fine.
+    let compositional = service.run_sweep(&SweepJob::new(
+        dft,
+        AnalysisOptions::default(),
+        vec![Measure::Unreliability(1.0)],
+        vec![valuation],
+    ));
+    let results = compositional.points[0].results.as_ref().unwrap();
+    let exact = 1.0 - (-2.0f64).exp();
+    assert!((results[0].value() - exact).abs() < 1e-6);
+    assert!(!compositional.stats.parametric_cache_hit);
+    assert_eq!(compositional.stats.aggregation_runs, 1);
+}
