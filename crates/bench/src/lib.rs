@@ -569,6 +569,247 @@ pub fn run_portfolio_experiment(
     })
 }
 
+/// Results of the async-throughput experiment: N submitting threads feeding a
+/// persistent-pool service through `submit` versus the same jobs as blocking
+/// sequential batches.
+#[derive(Debug, Clone)]
+pub struct ThroughputExperiment {
+    /// Total jobs (`submitters` × `jobs_per_submitter`).
+    pub jobs: usize,
+    /// Structurally distinct trees cycled through the job list.
+    pub distinct_trees: usize,
+    /// Concurrent submitting threads of the queued run.
+    pub submitters: usize,
+    /// Jobs each submitter enqueues before waiting (the queue depth it builds).
+    pub jobs_per_submitter: usize,
+    /// Persistent-pool size of both services (after auto-detection).
+    pub workers: usize,
+    /// Wall-clock of the sequential mode (best of five cold-cache
+    /// repetitions): the same client threads, serialized — one blocking
+    /// `run_batch` per client, one client at a time.
+    pub sequential_wall: Duration,
+    /// Wall-clock of the queued mode (best of five cold-cache repetitions):
+    /// all clients enqueue concurrently against one service, the pool drains
+    /// continuously.
+    pub queued_wall: Duration,
+    /// `jobs / sequential_wall` in jobs per second.
+    pub sequential_throughput: f64,
+    /// `jobs / queued_wall` in jobs per second.
+    pub queued_throughput: f64,
+    /// `queued_throughput / sequential_throughput` (≥ 1 means the queue wins).
+    pub speedup: f64,
+    /// Median submit→report latency of the queued run.
+    pub latency_p50: Duration,
+    /// 99th-percentile submit→report latency of the queued run.
+    pub latency_p99: Duration,
+    /// Cache hits of the queued run.
+    pub cache_hits: usize,
+    /// Cache misses of the queued run.
+    pub cache_misses: usize,
+    /// Aggregation runs of the queued run — must equal `distinct_trees`.
+    pub aggregation_runs: usize,
+    /// Jobs of the queued run that blocked on a concurrent builder — must be 0
+    /// (the queue parks duplicates instead).
+    pub build_waits: usize,
+    /// `true` when every job of both runs returned results bit-identical to a
+    /// sequential [`Analyzer`] run over the same tree.
+    pub bit_identical: bool,
+}
+
+/// Runs the async-throughput experiment on the portfolio workload: the same
+/// `submitters × jobs_per_submitter` rate-scaled CAS jobs once as successive
+/// blocking [`AnalysisService::run_batch`] calls (one per submitter chunk) and
+/// once as `submitters` concurrent threads submitting through
+/// [`AnalysisService::submit`] and awaiting their [`JobHandle`]s — each mode
+/// repeated five times on a fresh cold-cache service with the *best* wall
+/// kept (the standard noise-floor measurement), and per-job submit→report
+/// latencies recorded in the queued runs.  Both modes keep the same client
+/// threads alive (the blocking mode serializes them with a mutex), so the
+/// comparison isolates turn-taking versus continuous draining.  Bit-identity
+/// against a sequential [`Analyzer`] reference is checked on *every*
+/// repetition.
+///
+/// [`JobHandle`]: dft_core::service::JobHandle
+///
+/// # Errors
+///
+/// Propagates analysis errors from the sequential reference (the service runs
+/// report per-job errors, which fail the bit-identity check instead).
+pub fn run_throughput_experiment(
+    distinct: usize,
+    submitters: usize,
+    jobs_per_submitter: usize,
+    workers: usize,
+) -> Result<ThroughputExperiment> {
+    use dft_core::service::{JobHandle, JobReport};
+
+    /// Best-of-N repetitions per mode: both walls are tens of milliseconds,
+    /// where single-shot measurements swing with the scheduler.
+    const REPETITIONS: usize = 5;
+
+    let variants: Vec<Dft> = (0..distinct)
+        .map(|i| cas_scaled(1.0 + 0.05 * i as f64))
+        .collect();
+    let measures = vec![Measure::curve(DEFAULT_MISSION_TIMES)];
+    // Submitter `s` cycles the variants starting at offset `s`, so duplicate
+    // structures interleave *across* submitters — the regime the queue's
+    // leader/follower parking exists for.
+    let variant_of = |s: usize, j: usize| (s + j) % distinct;
+    let chunk = |s: usize| -> Vec<AnalysisJob> {
+        (0..jobs_per_submitter)
+            .map(|j| {
+                AnalysisJob::new(
+                    variants[variant_of(s, j)].clone(),
+                    AnalysisOptions::default(),
+                    measures.clone(),
+                )
+            })
+            .collect()
+    };
+
+    let reference: Vec<Vec<MeasureResult>> = variants
+        .iter()
+        .map(|dft| Analyzer::new(dft, AnalysisOptions::default())?.query_all(&measures))
+        .collect::<Result<_>>()?;
+    let matches_reference = |s: usize, j: usize, results: &Result<Vec<MeasureResult>>| -> bool {
+        results.as_ref().is_ok_and(|results| {
+            let expected = &reference[variant_of(s, j)];
+            results.len() == expected.len()
+                && results.iter().zip(expected).all(|(r, e)| bitwise_eq(r, e))
+        })
+    };
+
+    let mut bit_identical = true;
+
+    // Sequential baseline: the same client threads exist, but blocking
+    // batches force them to take turns — a mutex serializes the `run_batch`
+    // calls, so each batch waits for its last job before the next client gets
+    // the service.  Fresh cold-cache service per repetition.  (Keeping the
+    // client threads alive in both modes isolates what the *API* changes:
+    // turn-taking versus continuous draining, not thread-count effects.)
+    let mut sequential_wall = Duration::MAX;
+    for _ in 0..REPETITIONS {
+        let sequential = AnalysisService::new(ServiceOptions {
+            workers,
+            cache_capacity: 0,
+        });
+        let turn = std::sync::Mutex::new(());
+        let started = Instant::now();
+        let reports: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|s| {
+                    let service = &sequential;
+                    let turn = &turn;
+                    scope.spawn(move || {
+                        let _my_turn = turn.lock().expect("turn lock");
+                        service.run_batch(&chunk(s))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        sequential_wall = sequential_wall.min(started.elapsed());
+        bit_identical &= reports.iter().enumerate().all(|(s, report)| {
+            report
+                .jobs
+                .iter()
+                .enumerate()
+                .all(|(j, job)| matches_reference(s, j, &job.results))
+        });
+    }
+
+    // Queued runs: every submitter enqueues its whole chunk first (building an
+    // M-deep queue), then awaits the handles, recording per-job latency.  The
+    // accounting (and the latency percentiles) come from the best repetition;
+    // the cache counters are deterministic, so every repetition agrees.
+    type SubmitterOutcome = (Vec<(usize, usize, JobReport)>, Vec<Duration>);
+    let mut queued_wall = Duration::MAX;
+    let mut best_outcomes: Vec<SubmitterOutcome> = Vec::new();
+    let mut pool_workers = 0;
+    for _ in 0..REPETITIONS {
+        let queued = AnalysisService::new(ServiceOptions {
+            workers,
+            cache_capacity: 0,
+        });
+        let started = Instant::now();
+        let outcomes: Vec<SubmitterOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|s| {
+                    let service = &queued;
+                    let jobs = chunk(s);
+                    scope.spawn(move || {
+                        let submitted: Vec<(usize, Instant, JobHandle)> = jobs
+                            .into_iter()
+                            .enumerate()
+                            .map(|(j, job)| (j, Instant::now(), service.submit(job)))
+                            .collect();
+                        let mut reports = Vec::with_capacity(submitted.len());
+                        let mut latencies = Vec::with_capacity(submitted.len());
+                        for (j, submitted_at, handle) in submitted {
+                            let report = handle.wait();
+                            latencies.push(submitted_at.elapsed());
+                            reports.push((s, j, report));
+                        }
+                        (reports, latencies)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = started.elapsed();
+        pool_workers = queued.pool_workers();
+        bit_identical &= outcomes.iter().all(|(reports, _)| {
+            reports
+                .iter()
+                .all(|(s, j, report)| matches_reference(*s, *j, &report.results))
+        });
+        if wall < queued_wall {
+            queued_wall = wall;
+            best_outcomes = outcomes;
+        }
+    }
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let (mut cache_hits, mut cache_misses, mut aggregation_runs, mut build_waits) = (0, 0, 0, 0);
+    for (reports, lats) in &best_outcomes {
+        latencies.extend(lats.iter().copied());
+        for (_, _, report) in reports {
+            if report.cache_hit {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+            aggregation_runs += report.aggregation_runs;
+            build_waits += usize::from(report.build_wait);
+        }
+    }
+    latencies.sort();
+    let jobs = submitters * jobs_per_submitter;
+    let percentile = |p: usize| latencies[(jobs - 1) * p / 100];
+    let sequential_throughput = jobs as f64 / sequential_wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let queued_throughput = jobs as f64 / queued_wall.as_secs_f64().max(f64::MIN_POSITIVE);
+
+    Ok(ThroughputExperiment {
+        jobs,
+        distinct_trees: distinct,
+        submitters,
+        jobs_per_submitter,
+        workers: pool_workers,
+        sequential_wall,
+        queued_wall,
+        sequential_throughput,
+        queued_throughput,
+        speedup: queued_throughput / sequential_throughput.max(f64::MIN_POSITIVE),
+        latency_p50: percentile(50),
+        latency_p99: percentile(99),
+        cache_hits,
+        cache_misses,
+        aggregation_runs,
+        build_waits,
+        bit_identical,
+    })
+}
+
 /// Results of the rate-sweep experiment: one parametric aggregation of the CAS
 /// structure versus K independent per-scale builds.
 #[derive(Debug, Clone)]
@@ -760,6 +1001,19 @@ mod tests {
             e.bit_identical,
             "service results must match sequential runs"
         );
+    }
+
+    #[test]
+    fn throughput_experiment_queues_and_stays_bit_identical() {
+        let e = run_throughput_experiment(3, 4, 3, 2).unwrap();
+        assert_eq!(e.jobs, 12);
+        assert_eq!(e.distinct_trees, 3);
+        assert_eq!(e.aggregation_runs, 3, "one aggregation per distinct tree");
+        assert_eq!(e.cache_misses, 3);
+        assert_eq!(e.cache_hits, 9);
+        assert_eq!(e.build_waits, 0, "duplicates park, they never block");
+        assert!(e.bit_identical, "queued results must match sequential runs");
+        assert!(e.latency_p99 >= e.latency_p50);
     }
 
     #[test]

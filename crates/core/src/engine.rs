@@ -259,15 +259,23 @@ impl Analyzer {
     ///
     /// Returns [`Error::Unsupported`] when the cached method cannot produce the
     /// measure (unavailability needs a repairable model and the compositional
-    /// method), [`Error::EmptyCurve`] for a curve query without time points, and
+    /// method), [`Error::EmptyCurve`] for a curve query without time points,
+    /// [`Error::InvalidMissionTime`] for a NaN/infinite/negative mission time
+    /// (validated here at the boundary, not deep inside the numerics), and
     /// propagates numerical errors.  The construction work is *not* repeated on
     /// any path.
     pub fn query(&self, measure: impl Borrow<Measure>) -> Result<MeasureResult> {
         match measure.borrow() {
-            Measure::Unreliability(t) => self.unreliability_points(&[*t]),
+            Measure::Unreliability(t) => {
+                validate_mission_time(*t)?;
+                self.unreliability_points(&[*t])
+            }
             Measure::UnreliabilityCurve(times) => {
                 if times.is_empty() {
                     return Err(Error::EmptyCurve);
+                }
+                for &t in times {
+                    validate_mission_time(t)?;
                 }
                 self.unreliability_points(times)
             }
@@ -294,10 +302,13 @@ impl Analyzer {
     ///
     /// If any measure in the batch would fail individually, the whole batch
     /// fails with one of those errors and no partial result is returned.  The
-    /// error conditions are exactly those of [`query`](Self::query), but when
-    /// several measures are faulty the reported error is not necessarily the
-    /// first in batch order: curve shapes and mission times are validated by
-    /// the shared merged pass, before any scalar measure is evaluated.
+    /// error conditions are exactly those of [`query`](Self::query) — in
+    /// particular, NaN/infinite/negative mission times are rejected with
+    /// [`Error::InvalidMissionTime`] while merging, before any numerical work
+    /// starts — but when several measures are faulty the reported error is not
+    /// necessarily the first in batch order: curve shapes and mission times
+    /// are validated by the shared merged pass, before any scalar measure is
+    /// evaluated.
     pub fn query_all(&self, measures: &[Measure]) -> Result<Vec<MeasureResult>> {
         // Merge the mission times of all time-bounded measures, remembering for
         // each measure which slots of the merged grid it reads back.
@@ -321,12 +332,13 @@ impl Analyzer {
             let slots = times
                 .iter()
                 .map(|&t| {
-                    *slot_of.entry(t.to_bits()).or_insert_with(|| {
+                    validate_mission_time(t)?;
+                    Ok(*slot_of.entry(t.to_bits()).or_insert_with(|| {
                         unique_times.push(t);
                         unique_times.len() - 1
-                    })
+                    }))
                 })
-                .collect();
+                .collect::<Result<Vec<usize>>>()?;
             plans.push(Some(slots));
         }
 
@@ -814,6 +826,19 @@ impl RateSweep {
     /// Total time spent answering the measure queries.
     pub fn query_time(&self) -> Duration {
         self.query_time
+    }
+}
+
+/// Rejects mission times no transient analysis can answer — NaN, infinite or
+/// negative — with a typed error at the query boundary, so they never reach
+/// the uniformisation routines (which would report them as an untyped
+/// numerical [`markov::Error::InvalidValue`] from deep inside
+/// `Ctmc::transient`).
+fn validate_mission_time(t: f64) -> Result<()> {
+    if t.is_finite() && t >= 0.0 {
+        Ok(())
+    } else {
+        Err(Error::InvalidMissionTime { value: t })
     }
 }
 

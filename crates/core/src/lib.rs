@@ -63,8 +63,9 @@ pub use engine::{Analyzer, ParametricAnalyzer, RateSweep};
 pub use parametric::{ParamKind, ParamSlot, ParamTable, Valuation};
 pub use query::{Measure, MeasurePoint, MeasureResult};
 pub use service::{
-    AnalysisJob, AnalysisService, BatchStats, CacheStats, JobReport, ServiceOptions, ServiceReport,
-    SweepJob, SweepReport,
+    AnalysisJob, AnalysisService, BatchStats, CacheStats, JobHandle, JobReport, QueueStats,
+    ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport, SweepReport,
+    SweepStats,
 };
 
 use std::fmt;
@@ -103,6 +104,17 @@ pub enum Error {
         /// Description of the violation.
         message: String,
     },
+    /// A time-bounded measure carried a mission time that is NaN, infinite or
+    /// negative.
+    ///
+    /// Rejected at the [`Analyzer::query`](engine::Analyzer::query) /
+    /// [`query_all`](engine::Analyzer::query_all) boundary, before any
+    /// numerical work starts — such times used to surface only deep inside the
+    /// uniformisation routines as an untyped numerical error.
+    InvalidMissionTime {
+        /// The offending mission time.
+        value: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -120,6 +132,12 @@ impl fmt::Display for Error {
             }
             Error::InvalidValuation { message } => {
                 write!(f, "invalid valuation: {message}")
+            }
+            Error::InvalidMissionTime { value } => {
+                write!(
+                    f,
+                    "invalid mission time {value}: mission times must be finite and non-negative"
+                )
             }
         }
     }

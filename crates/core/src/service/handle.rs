@@ -1,0 +1,268 @@
+//! Completion handles for submitted work, and the shared state a sweep's
+//! tasks coordinate through.
+//!
+//! [`AnalysisService::submit`](super::AnalysisService::submit) and
+//! [`submit_sweep`](super::AnalysisService::submit_sweep) enqueue and return
+//! immediately; the caller keeps a handle whose [`wait`](JobHandle::wait)
+//! blocks on an [`mpsc`] channel until the pool delivers the report (or
+//! [`try_result`](JobHandle::try_result) polls without blocking).  Handles are
+//! independent of the service's lifetime: dropping the service drains the
+//! queue first, so every outstanding handle still receives its report.
+
+use super::{JobReport, ServiceCore, SweepJob, SweepPointReport, SweepReport, SweepStats};
+use crate::engine::ParametricAnalyzer;
+use crate::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The channel-backed core both public handles share: a report arrives exactly
+/// once; `received` keeps it across `try_result` calls so a later `wait`
+/// still returns it.
+#[derive(Debug)]
+struct Handle<T> {
+    rx: mpsc::Receiver<T>,
+    received: Option<T>,
+}
+
+impl<T> Handle<T> {
+    fn new(rx: mpsc::Receiver<T>) -> Handle<T> {
+        Handle { rx, received: None }
+    }
+
+    /// A handle whose result is already available (no queued work behind it).
+    fn ready(value: T) -> Handle<T> {
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        Handle {
+            rx,
+            received: Some(value),
+        }
+    }
+
+    fn wait(mut self) -> T {
+        match self.received.take() {
+            Some(value) => value,
+            None => self
+                .rx
+                .recv()
+                .expect("the worker pool delivers every report before shutting down"),
+        }
+    }
+
+    fn try_result(&mut self) -> Option<&T> {
+        if self.received.is_none() {
+            match self.rx.try_recv() {
+                Ok(value) => self.received = Some(value),
+                Err(mpsc::TryRecvError::Empty) => {}
+                // The worker died without delivering (it panicked): surface
+                // the failure like wait() does, instead of letting a poller
+                // spin on "not ready yet" forever.
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("the worker pool delivers every report before shutting down")
+                }
+            }
+        }
+        self.received.as_ref()
+    }
+}
+
+/// The completion handle of one submitted [`AnalysisJob`](super::AnalysisJob).
+///
+/// Returned by [`AnalysisService::submit`](super::AnalysisService::submit);
+/// the job runs on the service's persistent worker pool while the submitting
+/// thread is free to keep submitting (or do anything else).
+#[derive(Debug)]
+pub struct JobHandle {
+    inner: Handle<JobReport>,
+}
+
+impl JobHandle {
+    pub(super) fn new(rx: mpsc::Receiver<JobReport>) -> JobHandle {
+        JobHandle {
+            inner: Handle::new(rx),
+        }
+    }
+
+    /// Blocks until the job has run and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker executing the job panicked (the report channel is
+    /// closed without a report — the pool itself never drops a job).
+    pub fn wait(self) -> JobReport {
+        self.inner.wait()
+    }
+
+    /// Returns the report if the job has already finished, without blocking.
+    /// A report observed here is kept, so a later [`wait`](Self::wait) (or
+    /// repeated `try_result` calls) still return it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker executing the job panicked (same condition as
+    /// [`wait`](Self::wait)) — a dead job must not look like "not ready yet"
+    /// to a poller.
+    pub fn try_result(&mut self) -> Option<&JobReport> {
+        self.inner.try_result()
+    }
+}
+
+/// The completion handle of one submitted [`SweepJob`](super::SweepJob); see
+/// [`JobHandle`] for the waiting contract.
+#[derive(Debug)]
+pub struct SweepHandle {
+    inner: Handle<SweepReport>,
+}
+
+impl SweepHandle {
+    pub(super) fn new(rx: mpsc::Receiver<SweepReport>) -> SweepHandle {
+        SweepHandle {
+            inner: Handle::new(rx),
+        }
+    }
+
+    /// A handle for an empty sweep: the report is available immediately and no
+    /// work was enqueued.
+    pub(super) fn ready(report: SweepReport) -> SweepHandle {
+        SweepHandle {
+            inner: Handle::ready(report),
+        }
+    }
+
+    /// Blocks until every valuation has run and returns the assembled report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker executing part of the sweep panicked.
+    pub fn wait(self) -> SweepReport {
+        self.inner.wait()
+    }
+
+    /// Returns the report if the whole sweep has already finished, without
+    /// blocking; an observed report is kept for a later [`wait`](Self::wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker executing part of the sweep panicked (same
+    /// condition as [`wait`](Self::wait)).
+    pub fn try_result(&mut self) -> Option<&SweepReport> {
+        self.inner.try_result()
+    }
+}
+
+/// The outcome of a sweep's head task: the shared parametric model (or its
+/// deterministic error), whether it came out of the cache, and what the build
+/// cost.
+#[derive(Debug)]
+struct ParametricOutcome {
+    model: Result<Arc<ParametricAnalyzer>>,
+    cache_hit: bool,
+    build_time: Duration,
+}
+
+/// The state one sweep's tasks share: the head task stores the parametric
+/// model, every point task fills its slot, and the *last* point to finish
+/// assembles the [`SweepReport`] and sends it to the handle.
+#[derive(Debug)]
+pub(super) struct SweepState {
+    job: SweepJob,
+    structural: u64,
+    /// Pool size at submission, reported in [`SweepStats::workers`].
+    workers: usize,
+    /// Submission time; the report's wall clock covers queueing too.
+    started: Instant,
+    parametric: OnceLock<ParametricOutcome>,
+    slots: Mutex<Vec<Option<SweepPointReport>>>,
+    remaining: AtomicUsize,
+    /// `Sender` is `Send` but not `Sync`; only the final point task ever uses
+    /// it, so a mutex costs nothing.
+    tx: Mutex<mpsc::Sender<SweepReport>>,
+}
+
+impl SweepState {
+    pub(super) fn new(job: SweepJob, workers: usize, tx: mpsc::Sender<SweepReport>) -> SweepState {
+        let structural = job.dft.structural_fingerprint();
+        let valuations = job.valuations.len();
+        SweepState {
+            job,
+            structural,
+            workers,
+            started: Instant::now(),
+            parametric: OnceLock::new(),
+            slots: Mutex::new(vec![None; valuations]),
+            remaining: AtomicUsize::new(valuations),
+            tx: Mutex::new(tx),
+        }
+    }
+
+    /// Number of valuations (= point tasks to expand).
+    pub(super) fn valuations(&self) -> usize {
+        self.job.valuations.len()
+    }
+
+    /// The head task: get-or-build the shared parametric model.
+    pub(super) fn build(&self, core: &ServiceCore) {
+        let build_start = Instant::now();
+        let (model, cache_hit) = core.parametric(self.structural, &self.job);
+        let outcome = ParametricOutcome {
+            model,
+            cache_hit,
+            build_time: build_start.elapsed(),
+        };
+        self.parametric
+            .set(outcome)
+            .expect("the sweep head task runs exactly once");
+    }
+
+    /// One point task: instantiate-or-fetch the valuation's session, answer
+    /// the measures, and — when this was the last outstanding point —
+    /// assemble and deliver the report.
+    pub(super) fn run_point(&self, core: &ServiceCore, index: usize) {
+        let outcome = self
+            .parametric
+            .get()
+            .expect("the sweep head task expands the points only after building");
+        let valuation = &self.job.valuations[index];
+        let report = core.run_sweep_point(&outcome.model, self.structural, &self.job, valuation);
+        self.slots.lock().expect("sweep slots")[index] = Some(report);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finish(outcome);
+        }
+    }
+
+    fn finish(&self, outcome: &ParametricOutcome) {
+        let points: Vec<SweepPointReport> = self
+            .slots
+            .lock()
+            .expect("sweep slots")
+            .iter_mut()
+            .map(|slot| slot.take().expect("every point task filled its slot"))
+            .collect();
+        let mut stats = SweepStats {
+            valuations: points.len(),
+            parametric_cache_hit: outcome.cache_hit,
+            aggregation_runs: usize::from(!outcome.cache_hit && outcome.model.is_ok()),
+            workers: self.workers,
+            build_time: outcome.build_time,
+            wall_time: self.started.elapsed(),
+            ..SweepStats::default()
+        };
+        for point in &points {
+            if point.cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+            stats.instantiate_time += point.instantiate;
+            stats.query_time += point.query;
+        }
+        // The handle may have been dropped (fire-and-forget submission);
+        // delivery failure is not an error.
+        let _ = self
+            .tx
+            .lock()
+            .expect("sweep sender")
+            .send(SweepReport { points, stats });
+    }
+}

@@ -1,5 +1,5 @@
 //! The portfolio front end: a thread-safe, cache-backed service over many
-//! [`Analyzer`] sessions.
+//! [`Analyzer`] sessions, drained by a persistent worker pool.
 //!
 //! The [`Analyzer`] exploits the paper's economics
 //! *within* one tree: model construction is expensive, queries against the built
@@ -9,9 +9,22 @@
 //! pay aggregation twice.  [`AnalysisService`] extends the same economics
 //! *across* trees:
 //!
-//! * **Batching** — [`run_batch`](AnalysisService::run_batch) accepts a slice of
-//!   [`AnalysisJob`]s (each a DFT, its [`AnalysisOptions`] and a list of owned
-//!   [`Measure`]s) and executes them on a [`std::thread::scope`] worker pool.
+//! * **Asynchronous submission** — [`submit`](AnalysisService::submit) and
+//!   [`submit_sweep`](AnalysisService::submit_sweep) enqueue a job and return a
+//!   handle immediately; [`JobHandle::wait`]/[`SweepHandle::wait`] block on a
+//!   channel until the pool delivers the report, and `try_result` polls without
+//!   blocking.  Any number of client threads can submit concurrently against
+//!   one long-lived service while the pool drains continuously.
+//! * **A persistent worker pool** — [`ServiceOptions::workers`] threads are
+//!   spawned once (lazily, on the first submission) and coordinate through a
+//!   Mutex+Condvar queue with timeout-free waits; see [`queue`](self).
+//!   Dropping the service shuts the pool down deterministically: the queue
+//!   drains, every outstanding handle receives its report, and the threads are
+//!   joined.
+//! * **Batching** — [`run_batch`](AnalysisService::run_batch) and
+//!   [`run_sweep`](AnalysisService::run_sweep) are thin submit-then-wait
+//!   wrappers over the queue, preserving the blocking portfolio API (and its
+//!   result and accounting semantics) exactly.
 //! * **Caching** — built sessions are shared through an LRU cache of
 //!   `Arc<Analyzer>` keyed by [`Dft::fingerprint`] (plus the analysis method and
 //!   epsilon).  A batch over N copies of one tree runs aggregation exactly
@@ -20,11 +33,15 @@
 //! * **Exactly-once builds under concurrency** — each cache entry is an
 //!   `Arc<OnceLock<…>>`: when two workers race for the same fingerprint, one
 //!   builds while the other blocks on the lock and then shares the result,
-//!   instead of building a duplicate model.
+//!   instead of building a duplicate model.  The queue additionally *parks*
+//!   jobs whose model is being built by a leader and re-releases them when the
+//!   build completes, so pool workers never idle inside that lock
+//!   ([`BatchStats::build_waits`] stays 0 however the jobs interleave, short
+//!   of an eviction racing a rebuild under a too-small cache capacity).
 //! * **Determinism** — workers only share immutable `Arc<Analyzer>` sessions,
 //!   so every job's results are bit-identical to what a sequential
 //!   [`Analyzer`] run over the same tree would produce, whatever the worker
-//!   count or job interleaving.
+//!   count, submission order or job interleaving.
 //!
 //! # Example
 //!
@@ -42,7 +59,17 @@
 //! }
 //!
 //! let service = AnalysisService::new(ServiceOptions::default());
-//! // Six jobs over two distinct structures: only two models are ever built.
+//!
+//! // Asynchronous: submit returns immediately, wait() collects the report.
+//! let handle = service.submit(AnalysisJob::new(
+//!     variant(1.0),
+//!     AnalysisOptions::default(),
+//!     vec![Measure::Mttf],
+//! ));
+//! assert!((handle.wait().results.unwrap()[0].value() - 2.0).abs() < 1e-6);
+//!
+//! // Batched: six jobs over two distinct structures — only two models are
+//! // ever built, and the first one is already cached from the job above.
 //! let jobs: Vec<AnalysisJob> = (0..6)
 //!     .map(|i| AnalysisJob::new(
 //!         variant(if i % 2 == 0 { 1.0 } else { 2.0 }),
@@ -51,14 +78,21 @@
 //!     ))
 //!     .collect();
 //! let report = service.run_batch(&jobs);
-//! assert_eq!(report.stats.cache_misses, 2);
-//! assert_eq!(report.stats.cache_hits, 4);
-//! assert_eq!(report.stats.aggregation_runs, 2);
+//! assert_eq!(report.stats.cache_misses, 1);
+//! assert_eq!(report.stats.cache_hits, 5);
+//! assert_eq!(report.stats.aggregation_runs, 1);
 //! for job in &report.jobs {
 //!     let results = job.results.as_ref().unwrap();
 //!     assert_eq!(results.len(), 2);
 //! }
 //! ```
+
+mod handle;
+mod queue;
+mod worker;
+
+pub use handle::{JobHandle, SweepHandle};
+pub use queue::QueueStats;
 
 use crate::analysis::{AnalysisOptions, Method};
 use crate::engine::{Analyzer, ParametricAnalyzer};
@@ -66,9 +100,11 @@ use crate::parametric::Valuation;
 use crate::query::{Measure, MeasureResult};
 use crate::{Error, Result};
 use dft::Dft;
-use std::collections::{HashMap, VecDeque};
+use handle::SweepState;
+use queue::{JobQueue, Task};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -104,14 +140,16 @@ impl AnalysisJob {
 /// Tuning knobs of an [`AnalysisService`].
 #[derive(Debug, Clone)]
 pub struct ServiceOptions {
-    /// Worker threads per [`run_batch`](AnalysisService::run_batch) call.
+    /// Size of the service's persistent worker pool.
     ///
     /// `0` (the default) means one worker per available CPU core
-    /// ([`std::thread::available_parallelism`]); the pool is additionally capped
-    /// at the batch size, so small batches never spawn idle threads.
+    /// ([`std::thread::available_parallelism`]).  The pool is spawned lazily on
+    /// the first submission — a service that never receives work never spawns
+    /// a thread — and lives until the service is dropped.
     pub workers: usize,
     /// Maximum number of cached `Arc<Analyzer>` sessions; the least recently
-    /// used session is evicted beyond this.  `0` means unbounded.
+    /// used session is evicted beyond this.  `0` means unbounded.  The
+    /// parametric-model cache has its own budget of the same size.
     pub cache_capacity: usize,
 }
 
@@ -212,7 +250,10 @@ pub struct CacheStats {
     pub hits: usize,
     /// Jobs that had to build their session.
     pub misses: usize,
-    /// Sessions dropped to respect [`ServiceOptions::cache_capacity`].
+    /// *Session* entries dropped to respect
+    /// [`ServiceOptions::cache_capacity`].  Parametric models evicted from
+    /// their own cache are counted in
+    /// [`parametric_evictions`](Self::parametric_evictions), never here.
     pub evictions: usize,
     /// Sessions currently cached.
     pub entries: usize,
@@ -220,6 +261,9 @@ pub struct CacheStats {
     pub parametric_hits: usize,
     /// Sweep calls that had to build their parametric model.
     pub parametric_misses: usize,
+    /// Parametric models dropped to respect the parametric cache's own
+    /// [`ServiceOptions::cache_capacity`] budget.
+    pub parametric_evictions: usize,
     /// Parametric models currently cached.
     pub parametric_entries: usize,
 }
@@ -238,12 +282,16 @@ pub struct BatchStats {
     /// duplicate trees the batch contains.
     pub aggregation_runs: usize,
     /// Jobs that had to *block* on a concurrent builder of the same model.
-    /// [`run_batch`](AnalysisService::run_batch) groups jobs by fingerprint
-    /// before dispatch, so within one batch this stays 0: all jobs for one
-    /// model are claimed by a single worker, which builds once and then
-    /// queries, instead of several workers idling on the same `OnceLock`.
+    /// The queue parks duplicates of an in-flight model until its leader
+    /// finishes, so queued work keeps this at 0: all jobs for one model wait
+    /// *parked* — their worker stays free for other models — instead of
+    /// idling on the same `OnceLock`.  The one exception is an eviction race
+    /// under a too-small [`ServiceOptions::cache_capacity`]: if a built
+    /// session is evicted *between* two duplicates being claimed as ordinary
+    /// cache hits, they can race the rebuild and one blocks.
     pub build_waits: usize,
-    /// Worker threads the batch ran on.
+    /// Size of the persistent worker pool the batch ran on (0 for an empty
+    /// batch, which never starts the pool).
     pub workers: usize,
     /// Build-phase time summed over all jobs (cache hits contribute only their
     /// lookup — or the time spent blocking on a concurrent builder).
@@ -361,7 +409,8 @@ pub struct SweepStats {
     /// the parametric model, 0 on a parametric cache hit — never once per
     /// valuation.
     pub aggregation_runs: usize,
-    /// Worker threads the sweep ran on.
+    /// Size of the persistent worker pool the sweep ran on (always 0 for an
+    /// empty sweep, which enqueues nothing and never starts the pool).
     pub workers: usize,
     /// Time spent obtaining the parametric model (full aggregation on a miss).
     pub build_time: Duration,
@@ -369,7 +418,8 @@ pub struct SweepStats {
     pub instantiate_time: Duration,
     /// Query time summed over all valuations.
     pub query_time: Duration,
-    /// End-to-end wall-clock time of the sweep.
+    /// End-to-end wall-clock time of the sweep, from submission to the last
+    /// completed valuation.
     pub wall_time: Duration,
 }
 
@@ -383,14 +433,10 @@ pub struct SweepReport {
     pub stats: SweepStats,
 }
 
-/// A thread-safe, cache-backed analysis front end for portfolios of DFTs.
-///
-/// See the [module documentation](self) for the full story and an example.  The
-/// service is `Send + Sync` (statically asserted below): one instance can be
-/// shared behind an `Arc` by any number of submitting threads, and each
-/// [`run_batch`](Self::run_batch) call spins up its own scoped worker pool.
+/// The state shared between the service front end and its worker threads: the
+/// session caches, the cumulative counters, and the job queue.
 #[derive(Debug, Default)]
-pub struct AnalysisService {
+struct ServiceCore {
     options: ServiceOptions,
     cache: Mutex<Cache>,
     hits: AtomicUsize,
@@ -398,123 +444,144 @@ pub struct AnalysisService {
     evictions: AtomicUsize,
     parametric_hits: AtomicUsize,
     parametric_misses: AtomicUsize,
+    parametric_evictions: AtomicUsize,
+    queue: JobQueue,
+}
+
+/// The worker threads of a started pool, joined when the service drops.
+#[derive(Debug)]
+struct Pool {
+    workers: Vec<thread::JoinHandle<()>>,
+    size: usize,
+}
+
+/// A thread-safe, cache-backed analysis front end for portfolios of DFTs.
+///
+/// See the [module documentation](self) for the full story and an example.  The
+/// service is `Send + Sync` (statically asserted below): one instance can be
+/// shared behind an `Arc` by any number of submitting threads, all feeding the
+/// same persistent worker pool through [`submit`](Self::submit) /
+/// [`submit_sweep`](Self::submit_sweep) (or their blocking wrappers
+/// [`run_batch`](Self::run_batch) / [`run_sweep`](Self::run_sweep)).
+///
+/// Dropping the service shuts the pool down deterministically: no further
+/// submissions are possible (dropping requires exclusive ownership), the
+/// workers drain every queued task — so every outstanding [`JobHandle`] /
+/// [`SweepHandle`] still receives its report — and the threads are joined.
+#[derive(Debug)]
+pub struct AnalysisService {
+    core: Arc<ServiceCore>,
+    pool: Mutex<Option<Pool>>,
+}
+
+impl Default for AnalysisService {
+    fn default() -> AnalysisService {
+        AnalysisService::new(ServiceOptions::default())
+    }
 }
 
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<AnalysisService>();
-    assert_send_sync::<AnalysisJob>()
+    assert_send_sync::<AnalysisJob>();
+    assert_send::<JobHandle>();
+    assert_send::<SweepHandle>()
 };
 
 impl AnalysisService {
-    /// Creates a service with the given options.
+    /// Creates a service with the given options.  No worker thread is spawned
+    /// until the first (non-empty) submission.
     pub fn new(options: ServiceOptions) -> AnalysisService {
         AnalysisService {
-            options,
-            ..AnalysisService::default()
+            core: Arc::new(ServiceCore {
+                options,
+                ..ServiceCore::default()
+            }),
+            pool: Mutex::new(None),
         }
     }
 
     /// The options the service was created with.
     pub fn options(&self) -> &ServiceOptions {
-        &self.options
+        &self.core.options
+    }
+
+    /// Enqueues one job on the persistent worker pool and returns immediately.
+    ///
+    /// The returned [`JobHandle`] delivers the [`JobReport`] through
+    /// [`wait`](JobHandle::wait) (blocking) or
+    /// [`try_result`](JobHandle::try_result) (polling).  Any number of threads
+    /// may submit concurrently; jobs for the same model share one build through
+    /// the cache and the queue's leader/follower scheduling, exactly like a
+    /// [`run_batch`](Self::run_batch) over the same jobs.
+    pub fn submit(&self, job: AnalysisJob) -> JobHandle {
+        self.ensure_pool();
+        let key = CacheKey::new(&job.dft, &job.options);
+        let (tx, rx) = mpsc::channel();
+        self.core.queue.push(Task::Job {
+            job: Box::new(job),
+            key,
+            tx,
+        });
+        JobHandle::new(rx)
+    }
+
+    /// Enqueues a whole rate sweep and returns immediately; the counterpart of
+    /// [`run_sweep`](Self::run_sweep) for asynchronous clients.
+    ///
+    /// The sweep's head task obtains the shared parametric model once, then
+    /// its valuations fan out across the pool; the [`SweepHandle`] delivers
+    /// the assembled [`SweepReport`] when the last valuation finishes.  A
+    /// sweep without valuations is a true no-op: nothing is built or enqueued,
+    /// no thread is spawned, and the (empty) report is available immediately.
+    pub fn submit_sweep(&self, job: SweepJob) -> SweepHandle {
+        if job.valuations.is_empty() {
+            // `SweepStats::default()` already says workers: 0 — the sweep
+            // used none, whether or not earlier submissions started the pool.
+            return SweepHandle::ready(SweepReport {
+                points: Vec::new(),
+                stats: SweepStats::default(),
+            });
+        }
+        let workers = self.ensure_pool();
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::new(SweepState::new(job, workers, tx));
+        self.core.queue.push(Task::SweepStart { state });
+        SweepHandle::new(rx)
     }
 
     /// Runs a batch of jobs on the worker pool and reports per-job results plus
     /// cache and phase-timing accounting.
     ///
-    /// Dispatch is *cache-aware*: jobs are grouped by their cache key (the
-    /// tree's fingerprint plus analysis options); one *leader* job per group
-    /// builds the session, and only then are the group's remaining jobs
-    /// released to the whole pool as cheap cache-hit work.  No worker ever
-    /// claims a duplicate while its model is still being built — the naive
-    /// in-order cursor would leave it blocking on the in-flight build (see
-    /// [`BatchStats::build_waits`]) — yet the released duplicates still run
-    /// in parallel across the pool.  Reports keep submission order.  Job
-    /// errors (unsupported features, numerical failures) are reported per job
-    /// in [`JobReport::results`]; they never abort the batch.
+    /// This is the blocking wrapper over [`submit`](Self::submit): every job is
+    /// enqueued, the calling thread waits for all of them, and the reports keep
+    /// submission order.  Dispatch is *cache-aware*: the queue parks duplicates
+    /// of an in-flight model until its leader finishes, so no worker ever
+    /// blocks on a concurrent build (see [`BatchStats::build_waits`]) — yet the
+    /// released duplicates still run in parallel across the pool.  Job errors
+    /// (unsupported features, numerical failures) are reported per job in
+    /// [`JobReport::results`]; they never abort the batch.
+    ///
+    /// An empty batch is a true no-op: no thread is spawned, nothing is
+    /// enqueued.  Each job is cloned once into the queue (tasks must own
+    /// their data); callers that already own their jobs can
+    /// [`submit`](Self::submit) them clone-free.
     pub fn run_batch(&self, jobs: &[AnalysisJob]) -> ServiceReport {
         let started = Instant::now();
-        let workers = self.worker_count(jobs.len());
-
-        // Group job indices by cache key, keeping first-appearance order so a
-        // single-worker run still processes jobs in a deterministic order.
-        let mut group_of: HashMap<CacheKey, usize> = HashMap::new();
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (index, job) in jobs.iter().enumerate() {
-            let key = CacheKey::new(&job.dft, &job.options);
-            let group = *group_of.entry(key).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
-            groups[group].push(index);
+        if jobs.is_empty() {
+            return ServiceReport {
+                jobs: Vec::new(),
+                stats: BatchStats {
+                    wall_time: started.elapsed(),
+                    ..BatchStats::default()
+                },
+            };
         }
 
-        let cursor = AtomicUsize::new(0);
-        let completed = AtomicUsize::new(0);
-        // Duplicate jobs whose model is already built, released for any worker
-        // to pick up; the condvar wakes idle workers when releases happen.
-        let released: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
-        let ready = Condvar::new();
-        let slots: Vec<OnceLock<JobReport>> = jobs.iter().map(|_| OnceLock::new()).collect();
-
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let run = |index: usize| {
-                        slots[index]
-                            .set(self.run_job(&jobs[index]))
-                            .expect("each job index is claimed by exactly one worker");
-                        if completed.fetch_add(1, Ordering::Relaxed) + 1 == jobs.len() {
-                            ready.notify_all();
-                        }
-                    };
-                    loop {
-                        // Released duplicates first: they are warm cache hits.
-                        let follower = released.lock().expect("release queue lock").pop_front();
-                        if let Some(index) = follower {
-                            run(index);
-                            continue;
-                        }
-                        let group = cursor.fetch_add(1, Ordering::Relaxed);
-                        if let Some(indices) = groups.get(group) {
-                            // The leader builds the group's model; only then do
-                            // its duplicates become claimable, so nobody blocks
-                            // on the in-flight build.
-                            run(indices[0]);
-                            if indices.len() > 1 {
-                                released
-                                    .lock()
-                                    .expect("release queue lock")
-                                    .extend(indices[1..].iter().copied());
-                                ready.notify_all();
-                            }
-                            continue;
-                        }
-                        // Nothing claimable right now: the batch is either done
-                        // or other workers will still release duplicates.  The
-                        // timeout guards against a wakeup racing the release.
-                        let guard = released.lock().expect("release queue lock");
-                        if completed.load(Ordering::Relaxed) == jobs.len() {
-                            break;
-                        }
-                        if guard.is_empty() {
-                            let _ = ready
-                                .wait_timeout(guard, Duration::from_millis(1))
-                                .expect("release queue lock");
-                        }
-                    }
-                });
-            }
-        });
-
-        let job_reports: Vec<JobReport> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("the scope ends only after every job ran")
-            })
-            .collect();
+        let handles: Vec<JobHandle> = jobs.iter().map(|job| self.submit(job.clone())).collect();
+        let workers = self.pool_workers();
+        let job_reports: Vec<JobReport> = handles.into_iter().map(JobHandle::wait).collect();
 
         let mut stats = BatchStats {
             jobs: job_reports.len(),
@@ -546,6 +613,7 @@ impl AnalysisService {
     /// This is the single-job face of the service: callers that want to hold a
     /// session across many batches (or query it directly) get the same
     /// exactly-once build and LRU accounting as [`run_batch`](Self::run_batch).
+    /// The build runs on the *calling* thread — no queueing is involved.
     ///
     /// # Errors
     ///
@@ -553,7 +621,10 @@ impl AnalysisService {
     /// failure is deterministic, so retrying a structurally identical tree
     /// returns the same error without paying the construction cost again.
     pub fn analyzer(&self, dft: &Dft, options: &AnalysisOptions) -> Result<Arc<Analyzer>> {
-        self.session(CacheKey::new(dft, options), dft, options).0
+        let (session, _, _) = self
+            .core
+            .session_tracked(CacheKey::new(dft, options), dft, options);
+        session
     }
 
     /// Runs a rate sweep: the tree's structure is aggregated once into a
@@ -561,67 +632,140 @@ impl AnalysisService {
     /// same structure, this call and future ones), then the valuations are
     /// instantiated and queried on the worker pool.
     ///
+    /// This is the blocking wrapper over [`submit_sweep`](Self::submit_sweep).
     /// Instantiated sessions enter the regular LRU session cache keyed by
     /// `(structural fingerprint, valuation)`, so repeated valuations — within
     /// one sweep or across sweeps and batches — never pay instantiation twice.
     /// Per-valuation errors are reported in place and never abort the sweep.
+    /// A sweep without valuations is a true no-op (nothing is built, spawned
+    /// or enqueued).
     pub fn run_sweep(&self, job: &SweepJob) -> SweepReport {
-        let started = Instant::now();
-        let structural = job.dft.structural_fingerprint();
-
-        let build_start = Instant::now();
-        let (parametric, parametric_cache_hit) = self.parametric(structural, job);
-        let build_time = build_start.elapsed();
-
-        let workers = self.worker_count(job.valuations.len());
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<SweepPointReport>> =
-            job.valuations.iter().map(|_| OnceLock::new()).collect();
-
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(valuation) = job.valuations.get(index) else {
-                        break;
-                    };
-                    slots[index]
-                        .set(self.run_sweep_point(&parametric, structural, job, valuation))
-                        .expect("each valuation index is claimed by exactly one worker");
-                });
-            }
-        });
-
-        let points: Vec<SweepPointReport> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("the scope ends only after every valuation ran")
-            })
-            .collect();
-
-        let mut stats = SweepStats {
-            valuations: points.len(),
-            parametric_cache_hit,
-            aggregation_runs: usize::from(!parametric_cache_hit && parametric.is_ok()),
-            workers,
-            build_time,
-            wall_time: started.elapsed(),
-            ..SweepStats::default()
-        };
-        for point in &points {
-            if point.cache_hit {
-                stats.cache_hits += 1;
-            } else {
-                stats.cache_misses += 1;
-            }
-            stats.instantiate_time += point.instantiate;
-            stats.query_time += point.query;
-        }
-
-        SweepReport { points, stats }
+        self.submit_sweep(job.clone()).wait()
     }
 
+    /// Cumulative cache counters since the service was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.core.cache_stats()
+    }
+
+    /// Cumulative counters of the submission queue (tasks submitted, parked
+    /// behind in-flight builds, released, completed).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue.stats()
+    }
+
+    /// Size of the persistent worker pool: 0 while no submission has started
+    /// it yet, [`ServiceOptions::workers`] (with 0 resolved to the core count)
+    /// afterwards.
+    pub fn pool_workers(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("pool lock")
+            .as_ref()
+            .map_or(0, |pool| pool.size)
+    }
+
+    /// Drops every cached session and parametric model (the cumulative
+    /// hit/miss counters keep counting).
+    pub fn clear_cache(&self) {
+        let mut cache = self.core.cache.lock().expect("cache lock");
+        cache.entries.clear();
+        cache.param_entries.clear();
+    }
+
+    /// Starts the worker pool if it is not running yet; returns its size.
+    fn ensure_pool(&self) -> usize {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.is_none() {
+            let size = resolved_workers(&self.core.options);
+            let workers = (0..size)
+                .map(|i| {
+                    let core = Arc::clone(&self.core);
+                    thread::Builder::new()
+                        .name(format!("dftmc-worker-{i}"))
+                        .spawn(move || worker::run(&core))
+                        .expect("spawn service worker thread")
+                })
+                .collect();
+            *pool = Some(Pool { workers, size });
+        }
+        pool.as_ref().expect("pool just ensured").size
+    }
+}
+
+impl Drop for AnalysisService {
+    /// Deterministic shutdown: drain the queue (every outstanding handle still
+    /// receives its report), then join the workers.  Dropping a service whose
+    /// pool never started is free.
+    fn drop(&mut self) {
+        let pool = match self.pool.get_mut() {
+            Ok(pool) => pool.take(),
+            Err(_) => None,
+        };
+        if let Some(pool) = pool {
+            self.core.queue.begin_shutdown();
+            for worker in pool.workers {
+                // A worker that panicked already delivered its panic to the
+                // handle waiting on its current task; don't double-panic the
+                // destructor.
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Resolves [`ServiceOptions::workers`] (0 = one per core) to a pool size.
+fn resolved_workers(options: &ServiceOptions) -> usize {
+    if options.workers == 0 {
+        thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        options.workers
+    }
+}
+
+impl ServiceCore {
+    /// Executes one batch job against the cache: build-or-fetch the session,
+    /// then answer the measures.  `key` was computed once at submission.
+    fn run_job(&self, key: CacheKey, job: &AnalysisJob) -> JobReport {
+        let fingerprint = key.fingerprint;
+        let build_start = Instant::now();
+        let (session, cache_hit, build_wait) = self.session_tracked(key, &job.dft, &job.options);
+        let build = build_start.elapsed();
+        match session {
+            Err(e) => JobReport {
+                fingerprint,
+                cache_hit,
+                results: Err(e),
+                aggregation_runs: 0,
+                build_wait,
+                build,
+                query: Duration::ZERO,
+            },
+            Ok(analyzer) => {
+                let aggregation_runs = if cache_hit {
+                    0
+                } else {
+                    analyzer.aggregation_runs()
+                };
+                let query_start = Instant::now();
+                let results = analyzer.query_all(&job.measures);
+                JobReport {
+                    fingerprint,
+                    cache_hit,
+                    results,
+                    aggregation_runs,
+                    build_wait,
+                    build,
+                    query: query_start.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// Executes one sweep valuation: instantiate-or-fetch the session from the
+    /// shared parametric model, then answer the measures.
     fn run_sweep_point(
         &self,
         parametric: &Result<Arc<ParametricAnalyzer>>,
@@ -713,7 +857,7 @@ impl AnalysisService {
     }
 
     /// Cumulative cache counters since the service was created.
-    pub fn cache_stats(&self) -> CacheStats {
+    fn cache_stats(&self) -> CacheStats {
         let (entries, parametric_entries) = {
             let cache = self.cache.lock().expect("cache lock");
             (cache.entries.len(), cache.param_entries.len())
@@ -725,74 +869,20 @@ impl AnalysisService {
             entries,
             parametric_hits: self.parametric_hits.load(Ordering::Relaxed),
             parametric_misses: self.parametric_misses.load(Ordering::Relaxed),
+            parametric_evictions: self.parametric_evictions.load(Ordering::Relaxed),
             parametric_entries,
         }
     }
 
-    /// Drops every cached session and parametric model (the cumulative
-    /// hit/miss counters keep counting).
-    pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("cache lock");
-        cache.entries.clear();
-        cache.param_entries.clear();
-    }
-
-    fn worker_count(&self, jobs: usize) -> usize {
-        let configured = if self.options.workers == 0 {
-            thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.options.workers
-        };
-        configured.min(jobs).max(1)
-    }
-
-    fn run_job(&self, job: &AnalysisJob) -> JobReport {
-        let key = CacheKey::new(&job.dft, &job.options);
-        let fingerprint = key.fingerprint;
-        let build_start = Instant::now();
-        let (session, cache_hit, build_wait) = self.session_tracked(key, &job.dft, &job.options);
-        let build = build_start.elapsed();
-        match session {
-            Err(e) => JobReport {
-                fingerprint,
-                cache_hit,
-                results: Err(e),
-                aggregation_runs: 0,
-                build_wait,
-                build,
-                query: Duration::ZERO,
-            },
-            Ok(analyzer) => {
-                let aggregation_runs = if cache_hit {
-                    0
-                } else {
-                    analyzer.aggregation_runs()
-                };
-                let query_start = Instant::now();
-                let results = analyzer.query_all(&job.measures);
-                JobReport {
-                    fingerprint,
-                    cache_hit,
-                    results,
-                    aggregation_runs,
-                    build_wait,
-                    build,
-                    query: query_start.elapsed(),
-                }
-            }
-        }
-    }
-
-    fn session(
-        &self,
-        key: CacheKey,
-        dft: &Dft,
-        options: &AnalysisOptions,
-    ) -> (Result<Arc<Analyzer>>, bool) {
-        let (session, cache_hit, _) = self.session_tracked(key, dft, options);
-        (session, cache_hit)
+    /// Whether the session for `key` is already built (successfully or not).
+    /// Used by the queue's claim step to decide leadership; deliberately does
+    /// not touch the LRU order.
+    fn is_built(&self, key: &CacheKey) -> bool {
+        let cache = self.cache.lock().expect("cache lock");
+        cache
+            .entries
+            .get(key)
+            .is_some_and(|entry| entry.slot.get().is_some())
     }
 
     /// Get-or-build with exactly-once semantics; the first boolean is `true`
@@ -874,7 +964,8 @@ impl AnalysisService {
     /// [`reserve`](Self::reserve) for the parametric-model cache: same LRU
     /// policy and capacity, its own key space (parametric models are far
     /// rarer and far more valuable than instantiated sessions, so they do not
-    /// compete with them for slots).
+    /// compete with them for slots) and its own eviction counter
+    /// ([`CacheStats::parametric_evictions`]).
     fn reserve_param(&self, key: ParamCacheKey) -> ParamSlot {
         let mut cache = self.cache.lock().expect("cache lock");
         cache.tick += 1;
@@ -902,7 +993,7 @@ impl AnalysisService {
             match victim {
                 Some(k) => {
                     cache.param_entries.remove(&k);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.parametric_evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
@@ -949,6 +1040,7 @@ mod tests {
         assert_eq!(report.stats.cache_misses, 1);
         assert_eq!(report.stats.cache_hits, 4);
         assert_eq!(report.stats.aggregation_runs, 1);
+        assert_eq!(report.stats.workers, 2);
         let expected = 1.0 - 2.0 * (-1.0f64).exp();
         for job in &report.jobs {
             let results = job.results.as_ref().unwrap();
@@ -959,6 +1051,94 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 4);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn submit_returns_immediately_and_handles_deliver() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 2,
+            cache_capacity: 8,
+        });
+        let mut handles: Vec<JobHandle> = (0..4)
+            .map(|i| {
+                service.submit(AnalysisJob::new(
+                    spare_tree(&format!("subm{i}"), 1.0 + i as f64),
+                    AnalysisOptions::default(),
+                    vec![Measure::Mttf],
+                ))
+            })
+            .collect();
+        assert_eq!(service.pool_workers(), 2);
+        // Polling eventually observes the report, and wait() returns the same
+        // one afterwards.
+        let mut last = handles.pop().unwrap();
+        while last.try_result().is_none() {
+            thread::yield_now();
+        }
+        let mttf = last.try_result().unwrap().results.as_ref().unwrap()[0].value();
+        assert!(mttf.is_finite() && mttf > 0.0);
+        let report = last.wait();
+        assert_eq!(report.results.unwrap()[0].value(), mttf);
+        for handle in handles {
+            assert!(handle.wait().results.is_ok());
+        }
+        // A handle can observe its report a moment before the worker records
+        // the completion; the counter settles immediately after.
+        while service.queue_stats().completed != 4 {
+            thread::yield_now();
+        }
+        let queue = service.queue_stats();
+        assert_eq!(queue.submitted, 4);
+        assert_eq!(queue.pending, 0);
+    }
+
+    #[test]
+    fn dropping_the_service_drains_pending_sweeps() {
+        // A sweep claimed from the draining queue expands its point tasks
+        // *after* shutdown began; the drain must still complete them and
+        // deliver the report.
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let dft = spare_tree("drain_sweep", 1.0);
+        let valuation = ParametricAnalyzer::new(&dft, AnalysisOptions::default())
+            .unwrap()
+            .params()
+            .base_valuation();
+        let handle = service.submit_sweep(SweepJob::new(
+            dft,
+            AnalysisOptions::default(),
+            vec![Measure::Unreliability(1.0)],
+            vec![valuation.clone(), valuation],
+        ));
+        drop(service);
+        let report = handle.wait();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(point.results.is_ok(), "drop must drain sweep points too");
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_drains_outstanding_handles() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|i| {
+                service.submit(AnalysisJob::new(
+                    spare_tree("drain", 1.0 + 0.5 * i as f64),
+                    AnalysisOptions::default(),
+                    vec![Measure::Unreliability(1.0)],
+                ))
+            })
+            .collect();
+        drop(service);
+        for handle in handles {
+            assert!(handle.wait().results.is_ok(), "drop must drain, not abort");
+        }
     }
 
     #[test]
@@ -1005,11 +1185,64 @@ mod tests {
         let stats = service.cache_stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
+        assert_eq!(
+            stats.parametric_evictions, 0,
+            "session evictions must not leak into the parametric counter"
+        );
         assert_eq!(stats.misses, 3);
         service.analyzer(&first, &options).unwrap();
         assert_eq!(service.cache_stats().hits, 2, "first survived the eviction");
         service.analyzer(&second, &options).unwrap();
         assert_eq!(service.cache_stats().misses, 4, "second was rebuilt");
+    }
+
+    /// An AND over `width` basic events: structurally distinct from
+    /// [`spare_tree`] (and from other widths), whatever the names and rates.
+    fn and_tree(prefix: &str, width: usize) -> Dft {
+        let mut b = DftBuilder::new();
+        let events: Vec<dft::ElementId> = (0..width)
+            .map(|i| {
+                b.basic_event(&format!("{prefix}_{i}"), 1.0, Dormancy::Hot)
+                    .unwrap()
+            })
+            .collect();
+        let top = b.and_gate(&format!("{prefix}_Top"), &events).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn parametric_evictions_are_counted_separately() {
+        // Capacity 1 on both key spaces: sweeping two structurally distinct
+        // trees (one valuation each) evicts one parametric model *and* one
+        // instantiated session, each into its own counter.
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 1,
+        });
+        let options = AnalysisOptions::default();
+        for width in [2, 3] {
+            let dft = and_tree("svc_pe", width);
+            let valuation = ParametricAnalyzer::new(&dft, options.clone())
+                .unwrap()
+                .params()
+                .base_valuation();
+            let report = service.run_sweep(&SweepJob::new(
+                dft,
+                options.clone(),
+                vec![Measure::Unreliability(1.0)],
+                vec![valuation],
+            ));
+            assert!(report.points[0].results.is_ok());
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.parametric_misses, 2);
+        assert_eq!(stats.parametric_entries, 1);
+        assert_eq!(
+            stats.parametric_evictions, 1,
+            "one parametric model evicted"
+        );
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1, "one instantiated session evicted");
     }
 
     #[test]
@@ -1041,9 +1274,39 @@ mod tests {
     #[test]
     fn empty_batch_is_a_clean_no_op() {
         let service = AnalysisService::new(ServiceOptions::default());
+
+        // Empty batch: no report rows, no cache traffic — and no worker
+        // thread is ever spawned (the pool starts on the first real job).
         let report = service.run_batch(&[]);
         assert_eq!(report.stats.jobs, 0);
         assert_eq!(report.stats.cache_hits + report.stats.cache_misses, 0);
+        assert_eq!(report.stats.workers, 0);
         assert!(report.jobs.is_empty());
+        assert_eq!(service.pool_workers(), 0, "empty batches must not spawn");
+
+        // Empty sweep: same contract — in particular the parametric model is
+        // *not* built just to answer zero valuations.
+        let sweep = service.run_sweep(&SweepJob::new(
+            spare_tree("svc_empty", 1.0),
+            AnalysisOptions::default(),
+            vec![Measure::Unreliability(1.0)],
+            Vec::new(),
+        ));
+        assert!(sweep.points.is_empty());
+        assert_eq!(sweep.stats.valuations, 0);
+        assert_eq!(sweep.stats.aggregation_runs, 0);
+        assert_eq!(sweep.stats.workers, 0);
+        assert_eq!(service.cache_stats().parametric_entries, 0);
+        assert_eq!(service.pool_workers(), 0, "empty sweeps must not spawn");
+        assert_eq!(service.queue_stats().submitted, 0);
+
+        // The first real submission starts the pool and still works.
+        let handle = service.submit(AnalysisJob::new(
+            spare_tree("svc_empty", 1.0),
+            AnalysisOptions::default(),
+            vec![Measure::Unreliability(1.0)],
+        ));
+        assert!(service.pool_workers() > 0);
+        assert!(handle.wait().results.is_ok());
     }
 }

@@ -1,0 +1,243 @@
+//! The persistent job queue the worker pool drains.
+//!
+//! One long-lived [`JobQueue`] connects any number of submitting threads to the
+//! pool: [`push`](JobQueue::push) enqueues under the mutex and signals the
+//! condvar, [`claim`](JobQueue::claim) blocks — **timeout-free** — until a task
+//! is claimable or shutdown drains the queue empty.  Every transition that can
+//! make work available (a submission, a leader releasing its parked followers,
+//! shutdown) happens under the same lock and notifies the condvar, so no wakeup
+//! can be lost and no worker ever has to poll.  This replaces the scoped
+//! per-batch pool whose idle loop papered over exactly that race with a 1 ms
+//! `wait_timeout` busy-poll.
+//!
+//! # Cache-aware leader/follower scheduling
+//!
+//! Tasks for the same [`CacheKey`] must not race: the second worker would block
+//! inside the cache's `OnceLock` for the whole build
+//! ([`BatchStats::build_waits`](super::BatchStats::build_waits)).  The queue
+//! ports the grouped dispatch of the old `run_batch` to the streaming setting:
+//!
+//! * the first claimant of a key whose session is not built yet becomes the
+//!   **leader** — the key enters the `building` set and the worker builds (and
+//!   queries) alone;
+//! * tasks for a key in `building` are **parked** per key instead of claimed;
+//! * when the leader completes, its parked followers are *released* to the
+//!   front of the ready queue — they are warm cache hits now and any number of
+//!   workers may serve them in parallel;
+//! * tasks for a key whose session is already built skip the protocol entirely.
+
+use super::handle::SweepState;
+use super::{AnalysisJob, CacheKey, JobReport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One unit of queued work.
+#[derive(Debug)]
+pub(super) enum Task {
+    /// A batch job: build-or-fetch the session, answer the measures, send the
+    /// report to the submitting handle.
+    Job {
+        /// The job to run, boxed so queued tasks stay uniformly small
+        /// (`AnalysisJob` carries a whole `Dft`).
+        job: Box<AnalysisJob>,
+        /// The job's cache key, computed once at submission.
+        key: CacheKey,
+        /// Delivers the [`JobReport`] to the job's handle.
+        tx: Sender<JobReport>,
+    },
+    /// The head task of a sweep: build-or-fetch the parametric model, then
+    /// expand one [`Task::SweepPoint`] per valuation.
+    SweepStart {
+        /// The shared sweep bookkeeping.
+        state: Arc<SweepState>,
+    },
+    /// One valuation of a sweep.
+    SweepPoint {
+        /// The shared sweep bookkeeping.
+        state: Arc<SweepState>,
+        /// Index into the sweep's valuation list.
+        index: usize,
+    },
+}
+
+/// A claimed task plus the leadership it carries: `leader_of` is `Some(key)`
+/// when this worker owns the in-flight build of `key` and must report back via
+/// [`JobQueue::complete`] so parked followers are released.
+#[derive(Debug)]
+pub(super) struct Claim {
+    pub(super) task: Task,
+    pub(super) leader_of: Option<CacheKey>,
+}
+
+/// Cumulative counters of the service's job queue.
+///
+/// `parked`/`released` make the leader/follower protocol observable: a
+/// duplicate job that arrives while its model is in flight is parked exactly
+/// once and released exactly once, instead of blocking a worker on the build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Tasks ever enqueued (batch jobs, sweep heads and sweep points).
+    pub submitted: u64,
+    /// Tasks that finished executing.
+    pub completed: u64,
+    /// Tasks currently queued, parked or executing.
+    pub pending: usize,
+    /// Tasks ever parked behind an in-flight build of their model.
+    pub parked: u64,
+    /// Parked tasks re-released after their leader finished.
+    pub released: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    /// Tasks any worker may claim, FIFO.
+    ready: VecDeque<Task>,
+    /// Keys whose session is being built by a leader right now.
+    building: HashSet<CacheKey>,
+    /// Followers parked per in-flight key, released when the leader completes.
+    parked: HashMap<CacheKey, Vec<Task>>,
+    /// Number of tasks currently parked (the map's total payload).
+    parked_count: usize,
+    /// Tasks submitted but not yet completed — tracked under this lock, so the
+    /// shutdown drain and the idle predicate never race a submission.
+    pending: usize,
+    /// Set once by the service's `Drop`; workers drain and exit.
+    shutdown: bool,
+    submitted: u64,
+    completed: u64,
+    parked_total: u64,
+    released_total: u64,
+}
+
+/// The Mutex+Condvar work queue shared by all workers of a service.
+#[derive(Debug, Default)]
+pub(super) struct JobQueue {
+    state: Mutex<QueueState>,
+    /// Signalled on every submission, release and shutdown — always under the
+    /// state lock, so a worker that observed "nothing claimable" and went to
+    /// sleep cannot miss the wakeup.
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// Enqueues one task and wakes a worker.
+    pub(super) fn push(&self, task: Task) {
+        let mut state = self.state.lock().expect("queue lock");
+        debug_assert!(!state.shutdown, "no submissions after shutdown");
+        state.ready.push_back(task);
+        state.pending += 1;
+        state.submitted += 1;
+        self.ready.notify_one();
+    }
+
+    /// Enqueues a batch of tasks and wakes every worker.
+    ///
+    /// Unlike [`push`](Self::push), this is legal *during* shutdown: a sweep
+    /// head claimed from the draining queue still expands its point tasks
+    /// here, and the drain completes them (the expanding worker at minimum
+    /// keeps claiming until the queue is truly empty).
+    pub(super) fn push_many(&self, tasks: Vec<Task>) {
+        let mut state = self.state.lock().expect("queue lock");
+        let n = tasks.len();
+        state.ready.extend(tasks);
+        state.pending += n;
+        state.submitted += n as u64;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a task is claimable and returns it, or `None` when the
+    /// queue has shut down and drained.
+    ///
+    /// `is_built` reports whether the session for a key is already available in
+    /// the service cache (claiming a built key needs no leader).  The waits are
+    /// plain [`Condvar::wait`] — no timeout, no polling: every state change
+    /// that could unblock this worker notifies the condvar under the lock.
+    pub(super) fn claim(&self, is_built: impl Fn(&CacheKey) -> bool) -> Option<Claim> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            while let Some(task) = state.ready.pop_front() {
+                let key = match &task {
+                    Task::Job { key, .. } => *key,
+                    // Sweep tasks coordinate through their own shared state
+                    // and never block on a batch build: claim directly.
+                    _ => {
+                        return Some(Claim {
+                            task,
+                            leader_of: None,
+                        })
+                    }
+                };
+                if state.building.contains(&key) {
+                    // A leader is building this model right now: parking the
+                    // duplicate keeps this worker free for other groups, where
+                    // claiming it would leave the worker blocking inside the
+                    // cache slot's `OnceLock` for the whole build.
+                    state.parked_count += 1;
+                    state.parked_total += 1;
+                    state.parked.entry(key).or_default().push(task);
+                    continue;
+                }
+                if !is_built(&key) {
+                    state.building.insert(key);
+                    return Some(Claim {
+                        task,
+                        leader_of: Some(key),
+                    });
+                }
+                return Some(Claim {
+                    task,
+                    leader_of: None,
+                });
+            }
+            // Nothing claimable.  Parked tasks are owed a release notification
+            // by their (still running) leader, so only an empty park means the
+            // drain is complete.  Tasks still *executing* on other workers add
+            // no new batch work except through `complete` (which notifies) or
+            // sweep expansion (whose worker keeps draining itself).
+            if state.shutdown && state.parked_count == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Marks a claimed task as finished.  A leader's completion releases its
+    /// parked followers to the *front* of the ready queue (they are warm cache
+    /// hits) and wakes every worker.
+    pub(super) fn complete(&self, leader_of: Option<CacheKey>) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.pending -= 1;
+        state.completed += 1;
+        if let Some(key) = leader_of {
+            state.building.remove(&key);
+            if let Some(tasks) = state.parked.remove(&key) {
+                state.parked_count -= tasks.len();
+                state.released_total += tasks.len() as u64;
+                for task in tasks.into_iter().rev() {
+                    state.ready.push_front(task);
+                }
+            }
+        }
+        self.ready.notify_all();
+    }
+
+    /// Initiates shutdown: workers drain the remaining work and exit.
+    pub(super) fn begin_shutdown(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Snapshot of the cumulative queue counters.
+    pub(super) fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("queue lock");
+        QueueStats {
+            submitted: state.submitted,
+            completed: state.completed,
+            pending: state.pending,
+            parked: state.parked_total,
+            released: state.released_total,
+        }
+    }
+}

@@ -18,7 +18,17 @@ pub struct PoissonWeights {
     pub weights: Vec<f64>,
     /// Right truncation point (inclusive).
     pub right: usize,
-    /// Total captured probability mass (at least `1 - epsilon`).
+    /// Total probability mass actually captured by the truncated window —
+    /// `Σ_{k=0}^{right} P[N = k]` before the weights were normalised to sum to
+    /// exactly 1.  At least `1 - epsilon` by construction of the truncation
+    /// for every `epsilon ≥ 1e-12` (the estimate carries ~1e-13 of deliberate
+    /// conservative rounding; tighter epsilons truncate even less tail but the
+    /// reported mass bottoms out around `1 - 2e-13`).
+    ///
+    /// Computed from the true Poisson density in log space (compensated
+    /// summation, Stirling for the anchor factorial) and rounded
+    /// *conservatively* — never above the captured mass — so
+    /// `1 - total_mass` is a trustworthy bound on the neglected tail.
     pub total_mass: f64,
 }
 
@@ -101,21 +111,63 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
         }
     }
 
-    let norm: f64 = unnormalised.iter().sum();
+    // Compensated summation keeps the norm's error at a few ulps however long
+    // the window is, so the conservative slack below can stay small and
+    // length-independent.
+    let norm = kahan_sum(&unnormalised);
     let weights: Vec<f64> = unnormalised.iter().map(|u| u / norm).collect();
 
-    // The normalisation maps the captured mass to exactly 1; estimate the true
-    // captured mass via the ratio to e^{mean} computed in log space.
-    // ln(norm_true) = ln(sum u[k] * mean^mode/mode! * e^{-mean}) — we avoid the
-    // explicit factorial by observing that the missing factor cancels in the
-    // normalised weights.  The reported total mass is therefore conservative.
-    let total_mass = 1.0 - epsilon / 2.0;
+    // The normalisation maps the captured mass to exactly 1.  The *true*
+    // captured mass is the unnormalised sum times the density at the anchor:
+    // every u[k] is P[N = k] / P[N = mode], so
+    //   Σ_{k=0}^{right} P[N = k]  =  norm · P[N = mode],
+    // with ln P[N = mode] = -mean + mode·ln(mean) - ln(mode!) evaluated in log
+    // space so neither e^{-mean} nor mode! can under/overflow.  The estimate's
+    // own error (compensated sum, Stirling tail of ln(mode!), one exp) is well
+    // below 1e-13 relative; subtracting that as a fixed slack makes the
+    // reported mass conservative — never above what the window really holds —
+    // while staying above `1 - epsilon` for every epsilon the truncation
+    // supports down to 1e-12.
+    let ln_mode_density = -mean + (mode as f64) * mean.ln() - ln_factorial(mode);
+    let captured = (norm.ln() + ln_mode_density).exp();
+    let total_mass = (captured * (1.0 - 1e-13)).clamp(0.0, 1.0);
 
     Ok(PoissonWeights {
         weights,
         right: k,
         total_mass,
     })
+}
+
+/// Kahan–Babuška compensated sum: error stays a few ulps of the result
+/// independent of the term count, where a naive sum drifts by O(n) ulps.
+fn kahan_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut compensation = 0.0f64;
+    for &value in values {
+        let y = value - compensation;
+        let t = sum + y;
+        compensation = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// `ln(n!)`, dependency-free: an exact log-sum for small `n`, the Stirling
+/// series (through the `1/n⁵` term, relative error well below `1e-13` at the
+/// switchover) for large `n`.
+fn ln_factorial(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|k| (k as f64).ln()).sum();
+    }
+    let x = n as f64;
+    let x2 = x * x;
+    0.5 * (2.0 * std::f64::consts::PI * x).ln() + x * x.ln() - x + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x2)
+        + 1.0 / (1260.0 * x * x2 * x2)
 }
 
 #[cfg(test)]
@@ -188,5 +240,77 @@ mod tests {
         let large = poisson_weights(100.0, 1e-9).unwrap();
         assert!(large.right > small.right);
         assert!(small.total_mass > 0.999_999_99);
+    }
+
+    #[test]
+    fn total_mass_matches_direct_summation_for_small_means() {
+        // The reported mass must be the *actually captured* mass — the direct
+        // sum of true Poisson probabilities over the truncated window — not a
+        // constant fabricated from epsilon.
+        for mean in [0.3, 1.5, 4.2, 9.7, 23.0] {
+            for epsilon in [1e-4, 1e-8, 1e-12] {
+                let w = poisson_weights(mean, epsilon).unwrap();
+                let direct: f64 = (0..=w.right).map(|k| exact_poisson(mean, k)).sum();
+                assert!(
+                    (w.total_mass - direct).abs() < 1e-10,
+                    "mean {mean}, eps {epsilon}: reported {} vs direct {direct}",
+                    w.total_mass
+                );
+                assert!(
+                    w.total_mass <= direct + 1e-13,
+                    "mean {mean}, eps {epsilon}: reported mass {} overstates \
+                     the captured {direct}",
+                    w.total_mass
+                );
+                assert!(
+                    w.total_mass >= 1.0 - epsilon,
+                    "mean {mean}, eps {epsilon}: captured only {}",
+                    w.total_mass
+                );
+                // Different epsilons capture *different* true masses — the old
+                // fabricated constant could not distinguish them.
+                assert!(w.total_mass < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn total_mass_stays_sane_for_large_means() {
+        // The log-space evaluation must survive means where e^{-mean} and
+        // mode! individually under/overflow, and the Stirling branch of
+        // ln(n!) must agree with the captured window.
+        for mean in [400.0, 2000.0] {
+            let w = poisson_weights(mean, 1e-9).unwrap();
+            assert!(w.total_mass <= 1.0);
+            assert!(
+                w.total_mass > 1.0 - 1e-8,
+                "mean {mean}: captured only {}",
+                w.total_mass
+            );
+        }
+        // Tight epsilon on a long window: the compensated sum keeps the
+        // estimate accurate enough that the documented `1 - epsilon` floor
+        // survives the conservative slack even at epsilon = 1e-12.
+        let w = poisson_weights(2000.0, 1e-12).unwrap();
+        assert!(w.total_mass <= 1.0);
+        assert!(
+            w.total_mass >= 1.0 - 1e-12,
+            "mean 2000, eps 1e-12: captured only {}",
+            w.total_mass
+        );
+    }
+
+    #[test]
+    fn ln_factorial_is_accurate_across_the_switchover() {
+        // Compare both branches against an exact log-sum reference.
+        for n in [0, 1, 2, 10, 255, 256, 300, 1000, 5000] {
+            let reference: f64 = (2..=n).map(|k| (k as f64).ln()).sum();
+            let relative = if reference > 0.0 {
+                (ln_factorial(n) - reference).abs() / reference
+            } else {
+                ln_factorial(n).abs()
+            };
+            assert!(relative < 1e-13, "n = {n}: relative error {relative}");
+        }
     }
 }

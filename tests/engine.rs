@@ -232,3 +232,86 @@ fn curve_edge_cases() {
         "negative mission times are rejected"
     );
 }
+
+/// Non-finite (and negative) mission times are rejected with the typed
+/// [`Error::InvalidMissionTime`] at the `query`/`query_all` boundary — before
+/// any uniformisation starts — across every [`Measure`] variant.  The
+/// time-less measures (`Unavailability`, `Mttf`) have nothing to validate and
+/// keep working unchanged in the same batch.
+#[test]
+fn non_finite_mission_times_are_typed_errors_at_the_query_boundary() {
+    use dftmc::dft_core::Error;
+
+    let analyzer = Analyzer::new(&cas(), AnalysisOptions::default()).unwrap();
+    let reject = |measure: Measure, expected: f64| {
+        match analyzer.query(&measure) {
+            Err(Error::InvalidMissionTime { value }) => {
+                // NaN never equals itself; compare representations instead.
+                assert_eq!(
+                    value.to_bits(),
+                    expected.to_bits(),
+                    "the error must carry the offending time"
+                );
+            }
+            other => panic!("{measure:?} must be InvalidMissionTime, got {other:?}"),
+        }
+        // `query_all` validates while merging the time grid: the same typed
+        // error, even when healthy measures surround the faulty one.
+        assert!(
+            matches!(
+                analyzer.query_all(&[Measure::Mttf, measure.clone(), Measure::Unreliability(1.0)]),
+                Err(Error::InvalidMissionTime { .. })
+            ),
+            "{measure:?} must fail the whole query_all batch with the typed error"
+        );
+    };
+
+    // Measure::Unreliability — scalar mission times.
+    reject(Measure::Unreliability(f64::NAN), f64::NAN);
+    reject(Measure::Unreliability(f64::INFINITY), f64::INFINITY);
+    reject(Measure::Unreliability(-1.0), -1.0);
+
+    // Measure::UnreliabilityCurve — any faulty point poisons the curve, also
+    // when it hides behind valid ones.
+    reject(Measure::curve([1.0, -1.0, 2.0]), -1.0);
+    reject(Measure::curve([f64::INFINITY]), f64::INFINITY);
+    reject(Measure::curve([0.5, f64::NAN]), f64::NAN);
+    reject(Measure::curve([f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+
+    // Measure::Unavailability and Measure::Mttf carry no mission time: they
+    // are unaffected by the boundary validation (and t = 0 stays valid).
+    assert!((analyzer.query(Measure::Unreliability(0.0)).unwrap().value()).abs() < 1e-12);
+    assert!(
+        matches!(
+            analyzer.query(Measure::Unavailability),
+            Err(Error::Unsupported { .. })
+        ),
+        "the CAS is not repairable; unavailability keeps its own typed error"
+    );
+
+    let mut b = DftBuilder::new();
+    let x = b
+        .repairable_basic_event("imt_X", 1.0, Dormancy::Hot, 9.0)
+        .unwrap();
+    let top = b.or_gate("imt_Top", &[x]).unwrap();
+    let repairable = Analyzer::new(&b.build(top).unwrap(), AnalysisOptions::default()).unwrap();
+    let batch = repairable
+        .query_all(&[Measure::Unavailability, Measure::Mttf])
+        .unwrap();
+    assert!((batch[0].value() - 0.1).abs() < 1e-6);
+    assert!((batch[1].value() - 1.0).abs() < 1e-6);
+
+    // The monolithic backend validates at the same boundary.
+    let monolithic = Analyzer::new(
+        &cas(),
+        AnalysisOptions {
+            method: Method::Monolithic,
+            ..AnalysisOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        monolithic.query(Measure::Unreliability(f64::NAN)),
+        Err(Error::InvalidMissionTime { .. })
+    ));
+}

@@ -16,18 +16,24 @@
 use dftmc::dft::{Dft, DftBuilder, Dormancy};
 use dftmc::dft_core::casestudies::{cas, cas_scaled, DEFAULT_MISSION_TIMES};
 use dftmc::dft_core::engine::Analyzer;
-use dftmc::dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+use dftmc::dft_core::service::{
+    AnalysisJob, AnalysisService, JobHandle, JobReport, ServiceOptions, SweepHandle,
+};
 use dftmc::dft_core::{AnalysisOptions, Error, Measure, MeasureResult};
 use std::sync::Arc;
 
 /// The load-bearing auto-trait guarantees, checked at compile time: the worker
-/// pool and the `Arc<Analyzer>` cache are sound only if these hold.
+/// pool and the `Arc<Analyzer>` cache are sound only if these hold, and the
+/// handles must be shippable to whatever thread wants to await them.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<Analyzer>();
     assert_send_sync::<AnalysisService>();
     assert_send_sync::<AnalysisJob>();
-    assert_send_sync::<Measure>()
+    assert_send_sync::<Measure>();
+    assert_send::<JobHandle>();
+    assert_send::<SweepHandle>()
 };
 
 fn bits_of(result: &MeasureResult) -> Vec<(Option<u64>, u64, u64, u64)> {
@@ -282,6 +288,138 @@ fn grouped_dispatch_eliminates_build_waits() {
     for (job, report) in jobs.iter().zip(&report.jobs) {
         assert_eq!(job.dft.fingerprint(), report.fingerprint);
     }
+}
+
+/// The async submission API under real concurrency: ≥ 4 submitting threads
+/// fire interleaved jobs over a small set of distinct structures against one
+/// shared long-lived service.  Every distinct structure aggregates exactly
+/// once, no job ever blocks on a concurrent build (`build_waits == 0` — the
+/// queue parks duplicates instead), and every job's results are bit-identical
+/// to a fresh sequential [`Analyzer`].
+#[test]
+fn concurrent_submitters_share_cached_models() {
+    let service = Arc::new(AnalysisService::new(ServiceOptions {
+        workers: 4,
+        cache_capacity: 32,
+    }));
+    let scales = [1.0, 1.15, 1.3];
+    let submitters = 4;
+    let jobs_each = 6;
+
+    let reference: Vec<Vec<MeasureResult>> = scales
+        .iter()
+        .map(|&scale| {
+            Analyzer::new(&cas_scaled(scale), AnalysisOptions::default())
+                .unwrap()
+                .query_all(&[Measure::Unreliability(1.0)])
+                .unwrap()
+        })
+        .collect();
+
+    let reports: Vec<Vec<JobReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                let shared = Arc::clone(&service);
+                scope.spawn(move || {
+                    // Submit the whole personal queue first (this is the
+                    // "return immediately" contract), then await it.
+                    let submitted: Vec<JobHandle> = (0..jobs_each)
+                        .map(|j| {
+                            shared.submit(AnalysisJob::new(
+                                cas_scaled(scales[(s + j) % scales.len()]),
+                                AnalysisOptions::default(),
+                                vec![Measure::Unreliability(1.0)],
+                            ))
+                        })
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(JobHandle::wait)
+                        .collect::<Vec<JobReport>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let all: Vec<&JobReport> = reports.iter().flatten().collect();
+    assert_eq!(all.len(), submitters * jobs_each);
+    let aggregations: usize = all.iter().map(|r| r.aggregation_runs).sum();
+    assert_eq!(
+        aggregations,
+        scales.len(),
+        "each distinct structure must aggregate exactly once across all submitters"
+    );
+    assert!(
+        all.iter().all(|r| !r.build_wait),
+        "no submitted job may block on a concurrent builder"
+    );
+    for (s, report) in reports.iter().enumerate() {
+        for (j, job) in report.iter().enumerate() {
+            let expected = &reference[(s + j) % scales.len()];
+            let results = job.results.as_ref().unwrap();
+            assert_eq!(bits_of(&results[0]), bits_of(&expected[0]));
+        }
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, scales.len());
+    assert_eq!(stats.hits, submitters * jobs_each - scales.len());
+}
+
+/// Regression test for the worker idle loop: the old per-batch pool papered
+/// over a lost-wakeup race with a 1 ms `wait_timeout` busy-poll.  The
+/// persistent queue parks followers of a slow leader and wakes idle workers
+/// through a timeout-free condvar protocol — so a 4-worker batch dominated by
+/// one slow leader with many released followers must complete with every
+/// parked job released exactly once and zero blocked builds.  (Under the old
+/// busy-poll a lost wakeup was invisible; under a broken condvar protocol this
+/// test hangs instead of spinning.)
+#[test]
+fn slow_leader_batch_completes_without_timed_out_waits() {
+    let service = AnalysisService::new(ServiceOptions {
+        workers: 4,
+        cache_capacity: 32,
+    });
+    // One expensive structure (the full CAS — a multi-millisecond aggregation)
+    // duplicated many times, plus cheap distinct trees to keep the other
+    // workers busy while the leader builds.
+    let copies = 8;
+    let mut jobs: Vec<AnalysisJob> = (0..copies)
+        .map(|_| {
+            AnalysisJob::new(
+                cas(),
+                AnalysisOptions::default(),
+                vec![Measure::Unreliability(1.0)],
+            )
+        })
+        .collect();
+    for i in 0..4 {
+        jobs.push(AnalysisJob::new(
+            variant(&format!("cheap{i}"), 1.0 + i as f64),
+            AnalysisOptions::default(),
+            vec![Measure::Unreliability(1.0)],
+        ));
+    }
+
+    let report = service.run_batch(&jobs);
+    assert_eq!(report.stats.jobs, copies + 4);
+    assert_eq!(report.stats.aggregation_runs, 5, "CAS once, 4 cheap trees");
+    assert_eq!(report.stats.cache_misses, 5);
+    assert_eq!(report.stats.cache_hits, copies - 1);
+    assert_eq!(
+        report.stats.build_waits, 0,
+        "followers of the slow leader must park, never block on its build"
+    );
+    assert!(report.jobs.iter().all(|j| !j.build_wait));
+    for job in &report.jobs {
+        assert!(job.results.is_ok());
+    }
+    let queue = service.queue_stats();
+    assert_eq!(
+        queue.released, queue.parked,
+        "every parked follower is released exactly once"
+    );
+    assert_eq!(queue.submitted, (copies + 4) as u64);
 }
 
 /// The service-level rate sweep: one parametric aggregation feeds a whole
