@@ -10,6 +10,11 @@
 //! `cargo run --release -p dftmc-bench --bin bench_diff -- [baseline_dir] [name...]`
 //! after the experiment bins; the default baseline dir is `BENCH_baseline` and
 //! the default name set is everything the baseline dir contains.
+//!
+//! `bench_diff -- --validate FILE...` instead only checks that each file is
+//! non-empty, well-formed JSON (using the in-repo [`json::parse`]), replacing
+//! the `python3 -m json.tool` shell-out CI used to depend on — the pipeline
+//! stays pure Rust.
 
 use dftmc_bench::json::{self, Json};
 use std::path::{Path, PathBuf};
@@ -114,8 +119,42 @@ fn smoke_flag(record: &Json) -> Option<bool> {
     }
 }
 
+/// `--validate FILE...`: each file must exist, be non-empty and parse as
+/// JSON.  No baseline comparison — this is the machine-readability gate the
+/// experiment bins' records pass through in CI.
+fn validate(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("--validate needs at least one file");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in files {
+        match load(Path::new(file)) {
+            Ok(Json::Obj(entries)) if !entries.is_empty() => {
+                println!("{file}: valid JSON ({} top-level fields)", entries.len());
+            }
+            Ok(_) => {
+                eprintln!("FAIL: {file}: expected a non-empty JSON object");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        return validate(&args[1..]);
+    }
     let baseline_dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("BENCH_baseline"));
 
     // Which experiments to diff: explicit names, or every BENCH_*.json in the

@@ -29,8 +29,9 @@ use dft_core::casestudies::{
 use dft_core::engine::{Analyzer, ParametricAnalyzer};
 use dft_core::parametric::Valuation;
 use dft_core::query::{Measure, MeasureResult};
-use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions};
+use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions, SweepJob};
 use dft_core::Result;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 pub mod json;
@@ -531,6 +532,7 @@ pub fn run_portfolio_experiment(
     let single = AnalysisService::new(ServiceOptions {
         workers: 1,
         cache_capacity: 0,
+        ..ServiceOptions::default()
     });
     let started = Instant::now();
     let single_report = single.run_batch(&jobs);
@@ -539,6 +541,7 @@ pub fn run_portfolio_experiment(
     let multi = AnalysisService::new(ServiceOptions {
         workers,
         cache_capacity: 0,
+        ..ServiceOptions::default()
     });
     let started = Instant::now();
     let multi_report = multi.run_batch(&jobs);
@@ -692,6 +695,7 @@ pub fn run_throughput_experiment(
         let sequential = AnalysisService::new(ServiceOptions {
             workers,
             cache_capacity: 0,
+            ..ServiceOptions::default()
         });
         let turn = std::sync::Mutex::new(());
         let started = Instant::now();
@@ -730,6 +734,7 @@ pub fn run_throughput_experiment(
         let queued = AnalysisService::new(ServiceOptions {
             workers,
             cache_capacity: 0,
+            ..ServiceOptions::default()
         });
         let started = Instant::now();
         let outcomes: Vec<SubmitterOutcome> = std::thread::scope(|scope| {
@@ -925,9 +930,222 @@ pub fn run_sweep_experiment(points: usize, mission_time: f64) -> Result<SweepExp
     })
 }
 
+/// Results of the persistence experiment: the same portfolio served by a
+/// cold and by a warm [`ModelStore`](dft_core::store::ModelStore)-backed
+/// service, plus an in-process cold-build vs warm-load micro-comparison.
+#[derive(Debug, Clone)]
+pub struct PersistenceExperiment {
+    /// Batch jobs run through the store-backed service.
+    pub jobs: usize,
+    /// Structurally distinct trees in the portfolio.
+    pub distinct_trees: usize,
+    /// Valuations of the rate sweep riding along (exercises the parametric
+    /// store entries).
+    pub sweep_points: usize,
+    /// Store loads that produced a usable model (0 on a cold store).
+    pub store_hits: u64,
+    /// Store loads that found nothing usable.
+    pub store_misses: u64,
+    /// Entries written back after building.
+    pub store_writes: u64,
+    /// Entries that existed but were refused (should be 0 on a healthy dir).
+    pub store_rejected: u64,
+    /// Bytes read from the store across all loads.
+    pub store_read_bytes: u64,
+    /// Bytes written to the store across all write-backs.
+    pub store_write_bytes: u64,
+    /// Aggregation pipelines actually executed by the service (batch + sweep);
+    /// 0 when every model came off disk.
+    pub aggregation_runs: usize,
+    /// End-to-end wall of the batch + sweep against the store-backed service.
+    pub service_wall: Duration,
+    /// Wall of one direct CAS `Analyzer::new` (the cost a warm store saves).
+    pub cold_build: Duration,
+    /// Wall of restoring the same session via `Analyzer::from_bytes`.
+    pub warm_load: Duration,
+    /// `cold_build / warm_load`.
+    pub load_speedup: f64,
+    /// Size of the serialized CAS session in bytes.
+    pub entry_bytes: usize,
+    /// States of the closed CAS model (deterministic; trend-gated).
+    pub model_states: usize,
+    /// `true` when the restored session answered bit-identically to the
+    /// freshly built one.
+    pub roundtrip_bit_identical: bool,
+    /// `true` when every service job matched a fresh sequential reference.
+    pub bit_identical: bool,
+}
+
+/// Runs the persistence experiment against `store_dir`: a portfolio of
+/// `distinct × copies` rate-scaled CAS jobs plus a `sweep_points`-point rate
+/// sweep, all through one [`AnalysisService`] with the persistent store
+/// enabled — then an in-process `Analyzer::new` vs `from_bytes` wall
+/// comparison on the CAS session.
+///
+/// Run twice against the same directory, the second call reports
+/// `store_hits > 0` and `aggregation_runs == 0` with bit-identical results:
+/// the CI `cache-warm` job asserts exactly that through the
+/// `persistence_experiment` bin's `--expect-warm` flag.
+///
+/// # Errors
+///
+/// Propagates analysis errors from the sequential reference and store errors
+/// from an unusable `store_dir` (the experiment *requires* the store, unlike
+/// the service, which would silently degrade).
+pub fn run_persistence_experiment(
+    store_dir: &Path,
+    distinct: usize,
+    copies: usize,
+    sweep_points: usize,
+) -> Result<PersistenceExperiment> {
+    // Fail loudly if the directory is unusable — a persistence experiment
+    // without persistence would silently measure nothing.
+    dft_core::store::ModelStore::open(store_dir)?;
+
+    let variants: Vec<Dft> = (0..distinct)
+        .map(|i| cas_scaled(1.0 + 0.05 * i as f64))
+        .collect();
+    let measures = vec![Measure::curve(DEFAULT_MISSION_TIMES)];
+    let reference: Vec<Vec<MeasureResult>> = variants
+        .iter()
+        .map(|dft| Analyzer::new(dft, AnalysisOptions::default())?.query_all(&measures))
+        .collect::<Result<_>>()?;
+
+    let jobs: Vec<AnalysisJob> = (0..distinct * copies)
+        .map(|i| {
+            AnalysisJob::new(
+                variants[i % distinct].clone(),
+                AnalysisOptions::default(),
+                measures.clone(),
+            )
+        })
+        .collect();
+    // The sweep valuations come from the conversion-only parameter table (no
+    // aggregation spent on bookkeeping).
+    let (_, params) = dft_core::convert_parametric(&variants[0])?;
+    let valuations: Vec<Valuation> = (0..sweep_points)
+        .map(|k| params.scaled_valuation(1.0 + 0.1 * k as f64))
+        .collect();
+    // Sweep reference: a freshly built parametric session, instantiated per
+    // valuation — what a (possibly store-loaded) service sweep must match
+    // bit-for-bit.
+    let sweep_reference: Vec<Vec<MeasureResult>> = {
+        let parametric = ParametricAnalyzer::new(&variants[0], AnalysisOptions::default())?;
+        valuations
+            .iter()
+            .map(|v| parametric.instantiate(v)?.query_all(&measures))
+            .collect::<Result<_>>()?
+    };
+    let sweep = SweepJob::new(
+        variants[0].clone(),
+        AnalysisOptions::default(),
+        measures.clone(),
+        valuations,
+    );
+
+    let service = AnalysisService::new(
+        ServiceOptions {
+            workers: 0,
+            cache_capacity: 0,
+            ..ServiceOptions::default()
+        }
+        .store(store_dir),
+    );
+    let started = Instant::now();
+    let batch_report = service.run_batch(&jobs);
+    let sweep_report = service.run_sweep(&sweep);
+    let service_wall = started.elapsed();
+
+    let bit_identical = batch_report.jobs.iter().enumerate().all(|(i, job)| {
+        job.results.as_ref().is_ok_and(|results| {
+            let expected = &reference[i % distinct];
+            results.len() == expected.len()
+                && results.iter().zip(expected).all(|(r, e)| bitwise_eq(r, e))
+        })
+    }) && sweep_report.points.len() == sweep_reference.len()
+        && sweep_report
+            .points
+            .iter()
+            .zip(&sweep_reference)
+            .all(|(point, expected)| {
+                point.results.as_ref().is_ok_and(|results| {
+                    results.len() == expected.len()
+                        && results.iter().zip(expected).all(|(r, e)| bitwise_eq(r, e))
+                })
+            });
+    let aggregation_runs =
+        batch_report.stats.aggregation_runs + sweep_report.stats.aggregation_runs;
+    let store = service
+        .store_stats()
+        .expect("the experiment opened the store up front");
+
+    // In-process micro-comparison: what one cold build costs versus one warm
+    // load of the identical session.
+    let cas_tree = cas();
+    let started = Instant::now();
+    let built = Analyzer::new(&cas_tree, AnalysisOptions::default())?;
+    let cold_build = started.elapsed();
+    let bytes = built.to_bytes();
+    let started = Instant::now();
+    let restored = Analyzer::from_bytes(&bytes)?;
+    let warm_load = started.elapsed();
+    let roundtrip_bit_identical = restored.aggregation_runs() == 0
+        && bitwise_eq(
+            &built.query_all(&measures)?[0],
+            &restored.query_all(&measures)?[0],
+        );
+
+    Ok(PersistenceExperiment {
+        jobs: jobs.len(),
+        distinct_trees: distinct,
+        sweep_points,
+        store_hits: store.hits,
+        store_misses: store.misses,
+        store_writes: store.writes,
+        store_rejected: store.rejected,
+        store_read_bytes: store.read_bytes,
+        store_write_bytes: store.write_bytes,
+        aggregation_runs,
+        service_wall,
+        cold_build,
+        warm_load,
+        load_speedup: cold_build.as_secs_f64() / warm_load.as_secs_f64().max(f64::MIN_POSITIVE),
+        entry_bytes: bytes.len(),
+        model_states: built.model_stats().states,
+        roundtrip_bit_identical,
+        bit_identical,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persistence_experiment_cold_then_warm() {
+        let dir =
+            std::env::temp_dir().join(format!("dftmc-bench-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cold = run_persistence_experiment(&dir, 2, 2, 2).unwrap();
+        assert_eq!(cold.jobs, 4);
+        assert_eq!(cold.store_hits, 0, "first run starts from an empty store");
+        assert!(cold.store_writes >= 3, "2 sessions + 1 parametric model");
+        assert_eq!(cold.aggregation_runs, 3);
+        assert!(cold.bit_identical && cold.roundtrip_bit_identical);
+
+        let warm = run_persistence_experiment(&dir, 2, 2, 2).unwrap();
+        assert!(warm.store_hits >= 3, "second run loads every model");
+        assert_eq!(
+            warm.aggregation_runs, 0,
+            "zero aggregations on a warm store"
+        );
+        assert_eq!(warm.store_rejected, 0);
+        assert!(warm.bit_identical && warm.roundtrip_bit_identical);
+        assert_eq!(warm.model_states, cold.model_states);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn cas_experiment_reproduces_the_paper() {

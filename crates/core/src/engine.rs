@@ -51,15 +51,17 @@ use crate::aggregate::{aggregate, AggregationOptions, AggregationStats};
 use crate::analysis::{AnalysisOptions, Method};
 use crate::baseline;
 use crate::convert::{convert, convert_parametric, CommunityOf};
-use crate::parametric::{ParamTable, Valuation};
+use crate::parametric::{ParamKind, ParamTable, Valuation};
 use crate::query::{Measure, MeasurePoint, MeasureResult};
 use crate::semantics::monitor;
+use crate::store;
 use crate::{Error, Result};
 use dft::Dft;
 use ioimc::bisim::minimize;
 use ioimc::closed::{
     can_fire_immediately, check_deterministic, drop_input_transitions, must_fire_immediately,
 };
+use ioimc::codec::{self, DecodeError, DecodeResult, Reader, Writer};
 use ioimc::stats::ModelStats;
 use ioimc::{Action, IoImc, IoImcOf, ParametricIoImc, Rate};
 use markov::ctmdp::{Ctmdp, CtmdpState};
@@ -149,6 +151,12 @@ pub struct Analyzer {
     aggregation: Option<AggregationStats>,
     model_stats: ModelStats,
     backend: Backend,
+    /// `true` only when *this* session executed the compositional pipeline:
+    /// set by the compositional constructor, cleared for monolithic builds,
+    /// parametric instantiations and sessions restored via
+    /// [`from_bytes`](Self::from_bytes) (whose `aggregation` stats describe
+    /// the run of the original builder, not of this process).
+    ran_aggregation: bool,
 }
 
 /// The service layer shares `Arc<Analyzer>` across worker threads; losing either
@@ -228,6 +236,7 @@ impl Analyzer {
                 lower,
                 tangible: OnceLock::new(),
             },
+            ran_aggregation: true,
         })
     }
 
@@ -247,6 +256,7 @@ impl Analyzer {
                 ctmc: result.ctmc,
                 goal: result.goal,
             },
+            ran_aggregation: false,
         })
     }
 
@@ -523,14 +533,16 @@ impl Analyzer {
         self.model_stats
     }
 
-    /// How many times this session has run compositional aggregation: 1 for the
-    /// compositional method, 0 for the monolithic baseline — and never more,
-    /// regardless of how many queries were answered.
+    /// How many times this session has run compositional aggregation: 1 for a
+    /// compositional build, 0 for the monolithic baseline, for parametric
+    /// instantiations *and* for sessions restored from bytes (a restored
+    /// session carries the original run's [`aggregation_stats`] but ran no
+    /// pipeline of its own — that is the entire point of persisting it) — and
+    /// never more, regardless of how many queries were answered.
+    ///
+    /// [`aggregation_stats`]: Self::aggregation_stats
     pub fn aggregation_runs(&self) -> usize {
-        // Aggregation happens in `new` and nowhere else, so the count is exactly
-        // "did the compositional pipeline run": derived, not stored, so no code
-        // path can ever update it inconsistently.
-        usize::from(self.aggregation.is_some())
+        usize::from(self.ran_aggregation)
     }
 
     /// Returns `true` if the final model contained immediate non-determinism, so
@@ -557,6 +569,161 @@ impl Analyzer {
             Backend::Compositional { top_failure, .. } => Some(*top_failure),
             Backend::Monolithic { .. } => None,
         }
+    }
+
+    /// Serializes the session into the versioned binary container of the
+    /// persistent model cache (see [`crate::store`]): the closed model, the
+    /// can/must CTMDP pair with their goal vectors, the statistics and the
+    /// options, framed with magic, format version and a payload checksum.
+    ///
+    /// The inverse is [`from_bytes`](Self::from_bytes); a restored session
+    /// answers every query bit-identically to this one and reports
+    /// [`aggregation_runs`](Self::aggregation_runs)` == 0`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        store::seal(
+            store::Kind::Session,
+            // A free-standing serialization is not bound to a DFT
+            // fingerprint; the store writes its own frames with the real one.
+            0,
+            self.options.epsilon.to_bits(),
+            &self.encode_payload(),
+        )
+    }
+
+    /// Restores a session serialized with [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Store`] when the bytes are truncated, corrupted, from
+    /// a different format version, or decode to a model that fails
+    /// validation.  Never panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Analyzer> {
+        store::unseal(bytes, store::Kind::Session, None)
+            .and_then(Analyzer::decode_payload)
+            .map_err(|e| Error::Store {
+                message: e.to_string(),
+            })
+    }
+
+    /// The unframed payload body of [`to_bytes`](Self::to_bytes); the store
+    /// frames it with the entry's real fingerprint.
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        store::encode_options(&self.options, &mut w);
+        w.bool(self.repairable);
+        match &self.aggregation {
+            None => w.bool(false),
+            Some(stats) => {
+                w.bool(true);
+                store::encode_aggregation_stats(stats, &mut w);
+            }
+        }
+        store::encode_model_stats(self.model_stats, &mut w);
+        match &self.backend {
+            Backend::Compositional {
+                closed,
+                top_failure,
+                has_repair,
+                point_valued,
+                upper,
+                lower,
+                tangible: _, // derived lazily and deterministically from `closed`
+            } => {
+                w.u8(0);
+                w.str(top_failure.name());
+                w.bool(*has_repair);
+                w.bool(*point_valued);
+                codec::encode_model(closed, &mut w);
+                store::encode_ctmdp(upper, &mut w);
+                store::encode_ctmdp(lower, &mut w);
+            }
+            Backend::Monolithic { ctmc, goal } => {
+                w.u8(1);
+                w.len_prefix(ctmc.num_states());
+                w.len_prefix(ctmc.initial());
+                let transitions = ctmc.transitions();
+                w.len_prefix(transitions.len());
+                for (from, to, rate) in transitions {
+                    w.u32(from);
+                    w.u32(to);
+                    w.f64(rate);
+                }
+                store::encode_bools(goal, &mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`encode_payload`](Self::encode_payload),
+    /// re-validating every embedded model.
+    pub(crate) fn decode_payload(payload: &[u8]) -> DecodeResult<Analyzer> {
+        let mut r = Reader::new(payload);
+        let options = store::decode_options(&mut r)?;
+        let repairable = r.bool()?;
+        let aggregation = if r.bool()? {
+            Some(store::decode_aggregation_stats(&mut r)?)
+        } else {
+            None
+        };
+        let model_stats = store::decode_model_stats(&mut r)?;
+        let backend = match (r.u8()?, options.method) {
+            (0, Method::Compositional) => {
+                let top_failure = Action::new(&r.str()?);
+                let has_repair = r.bool()?;
+                let point_valued = r.bool()?;
+                let closed = codec::decode_model::<f64>(&mut r)?;
+                let upper = store::decode_ctmdp(&mut r)?;
+                let lower = store::decode_ctmdp(&mut r)?;
+                if upper.num_states() != closed.num_states()
+                    || lower.num_states() != closed.num_states()
+                {
+                    return Err(DecodeError::new(
+                        "CTMDP state counts disagree with the closed model",
+                    ));
+                }
+                Backend::Compositional {
+                    closed,
+                    top_failure,
+                    has_repair,
+                    point_valued,
+                    upper,
+                    lower,
+                    tangible: OnceLock::new(),
+                }
+            }
+            (1, Method::Monolithic) => {
+                let num_states = r.len_prefix(0)?;
+                let initial = r.len_prefix(0)?;
+                let n = r.len_prefix(16)?;
+                let mut transitions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    transitions.push((r.u32()?, r.u32()?, r.f64()?));
+                }
+                let ctmc = Ctmc::from_transitions(num_states, initial, &transitions)
+                    .map_err(|e| DecodeError::new(format!("decoded CTMC is invalid: {e}")))?;
+                let goal = store::decode_bools(&mut r)?;
+                if goal.len() != num_states {
+                    return Err(DecodeError::new("goal vector length mismatch"));
+                }
+                Backend::Monolithic { ctmc, goal }
+            }
+            (tag, method) => {
+                return Err(DecodeError::new(format!(
+                    "backend tag {tag} disagrees with method {method:?}"
+                )))
+            }
+        };
+        if !r.is_done() {
+            return Err(DecodeError::new("trailing bytes after the session payload"));
+        }
+        Ok(Analyzer {
+            options,
+            repairable,
+            aggregation,
+            model_stats,
+            backend,
+            ran_aggregation: false,
+        })
     }
 }
 
@@ -609,6 +776,9 @@ pub struct ParametricAnalyzer {
     options: AnalysisOptions,
     repairable: bool,
     aggregation: AggregationStats,
+    /// `true` when this session executed the symbolic aggregation itself;
+    /// `false` for sessions restored via [`from_bytes`](Self::from_bytes).
+    ran_aggregation: bool,
     model_stats: ModelStats,
     /// The closed, minimised parametric model (rates are linear forms).
     closed: ParametricIoImc,
@@ -650,6 +820,7 @@ impl ParametricAnalyzer {
             options,
             repairable: dft.is_repairable(),
             aggregation: model.stats,
+            ran_aggregation: true,
             model_stats: ModelStats::of(&model.closed),
             closed: model.closed,
             top_failure: model.top_failure,
@@ -698,6 +869,7 @@ impl ParametricAnalyzer {
                 lower,
                 tangible: OnceLock::new(),
             },
+            ran_aggregation: false,
         })
     }
 
@@ -764,10 +936,13 @@ impl ParametricAnalyzer {
         self.model_stats
     }
 
-    /// How many times this session has run compositional aggregation: always 1,
-    /// however many valuations were instantiated or swept.
+    /// How many times this session has run compositional aggregation: 1 for a
+    /// freshly built session — however many valuations were instantiated or
+    /// swept — and 0 for a session restored via
+    /// [`from_bytes`](Self::from_bytes), which reuses the original builder's
+    /// aggregation instead of running its own.
     pub fn aggregation_runs(&self) -> usize {
-        1
+        usize::from(self.ran_aggregation)
     }
 
     /// Returns `true` if the parametric model contains immediate
@@ -784,6 +959,136 @@ impl ParametricAnalyzer {
     /// The observable top-failure action of the cached model.
     pub fn top_failure(&self) -> Action {
         self.top_failure
+    }
+
+    /// Serializes the parametric session into the versioned binary container
+    /// of the persistent model cache (see [`crate::store`]): the closed
+    /// parametric quotient (rates as sparse linear forms), the
+    /// [`ParamTable`], the precomputed can/must goal sets, statistics and
+    /// options.
+    ///
+    /// The inverse is [`from_bytes`](Self::from_bytes); a restored session
+    /// instantiates every valuation bit-identically to this one and reports
+    /// [`aggregation_runs`](Self::aggregation_runs)` == 0`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        store::seal(
+            store::Kind::Parametric,
+            0,
+            self.options.epsilon.to_bits(),
+            &self.encode_payload(),
+        )
+    }
+
+    /// Restores a session serialized with [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Store`] on truncated, corrupted or stale input; never
+    /// panics on malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ParametricAnalyzer> {
+        store::unseal(bytes, store::Kind::Parametric, None)
+            .and_then(ParametricAnalyzer::decode_payload)
+            .map_err(|e| Error::Store {
+                message: e.to_string(),
+            })
+    }
+
+    /// The unframed payload body of [`to_bytes`](Self::to_bytes).
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        store::encode_options(&self.options, &mut w);
+        w.bool(self.repairable);
+        store::encode_aggregation_stats(&self.aggregation, &mut w);
+        store::encode_model_stats(self.model_stats, &mut w);
+        w.str(self.top_failure.name());
+        w.bool(self.has_repair);
+        w.bool(self.point_valued);
+        w.len_prefix(self.params.len());
+        for slot in self.params.slots() {
+            w.str(&slot.element);
+            w.u8(match slot.kind {
+                ParamKind::Failure => 0,
+                ParamKind::Repair => 1,
+            });
+            w.f64(slot.base);
+        }
+        codec::encode_model(&self.closed, &mut w);
+        store::encode_bools(&self.can, &mut w);
+        store::encode_bools(&self.must, &mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`encode_payload`](Self::encode_payload).
+    pub(crate) fn decode_payload(payload: &[u8]) -> DecodeResult<ParametricAnalyzer> {
+        let mut r = Reader::new(payload);
+        let options = store::decode_options(&mut r)?;
+        if options.method != Method::Compositional {
+            return Err(DecodeError::new(
+                "parametric sessions are always compositional",
+            ));
+        }
+        let repairable = r.bool()?;
+        let aggregation = store::decode_aggregation_stats(&mut r)?;
+        let model_stats = store::decode_model_stats(&mut r)?;
+        let top_failure = Action::new(&r.str()?);
+        let has_repair = r.bool()?;
+        let point_valued = r.bool()?;
+        let num_slots = r.len_prefix(10)?;
+        let mut params = ParamTable::default();
+        for _ in 0..num_slots {
+            let element = r.str()?;
+            let kind = match r.u8()? {
+                0 => ParamKind::Failure,
+                1 => ParamKind::Repair,
+                other => {
+                    return Err(DecodeError::new(format!(
+                        "invalid parameter kind tag {other}"
+                    )))
+                }
+            };
+            let base = r.f64()?;
+            params.push(&element, kind, base);
+        }
+        let closed = codec::decode_model::<ioimc::RateForm>(&mut r)?;
+        // Every rate form must stay inside the decoded parameter table —
+        // `RateForm::eval` indexes the valuation unchecked at instantiation
+        // time, so an out-of-range slot in a corrupted entry must die here.
+        for t in closed.markovian() {
+            if let Some(max_slot) = t.rate.max_slot() {
+                if max_slot as usize >= params.len() {
+                    return Err(DecodeError::new(format!(
+                        "rate form references slot {max_slot} but the table has {} slots",
+                        params.len()
+                    )));
+                }
+            }
+        }
+        let can = store::decode_bools(&mut r)?;
+        let must = store::decode_bools(&mut r)?;
+        if can.len() != closed.num_states() || must.len() != closed.num_states() {
+            return Err(DecodeError::new(
+                "goal-set lengths disagree with the closed model",
+            ));
+        }
+        if !r.is_done() {
+            return Err(DecodeError::new(
+                "trailing bytes after the parametric payload",
+            ));
+        }
+        Ok(ParametricAnalyzer {
+            options,
+            repairable,
+            aggregation,
+            ran_aggregation: false,
+            model_stats,
+            closed,
+            top_failure,
+            has_repair,
+            params,
+            can,
+            must,
+            point_valued,
+        })
     }
 }
 
@@ -1038,6 +1343,146 @@ mod tests {
         let mttf = analyzer.mttf().unwrap();
         assert!((mttf.value() - 1.0).abs() < 1e-6, "{}", mttf.value());
         assert_eq!(analyzer.aggregation_runs(), 1);
+    }
+
+    fn bits_of(result: &MeasureResult) -> Vec<(Option<u64>, u64, u64, u64)> {
+        result
+            .points()
+            .iter()
+            .map(|p| {
+                (
+                    p.time().map(f64::to_bits),
+                    p.value().to_bits(),
+                    p.bounds().0.to_bits(),
+                    p.bounds().1.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sessions_round_trip_bit_identically_through_bytes() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("en6_P", 1.0, Dormancy::Hot).unwrap();
+        let s = b.basic_event("en6_S", 1.0, Dormancy::Cold).unwrap();
+        let top = b.spare_gate("en6_Top", &[p, s]).unwrap();
+        let dft = b.build(top).unwrap();
+        let built = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let restored = Analyzer::from_bytes(&built.to_bytes()).unwrap();
+
+        assert_eq!(restored.aggregation_runs(), 0, "no pipeline ran on restore");
+        assert_eq!(built.aggregation_runs(), 1);
+        let built_stats = built.aggregation_stats().unwrap();
+        let restored_stats = restored.aggregation_stats().unwrap();
+        assert_eq!(restored_stats.peak, built_stats.peak);
+        assert_eq!(restored_stats.steps.len(), built_stats.steps.len());
+        assert_eq!(restored.model_stats(), built.model_stats());
+
+        let measures = [
+            Measure::Unreliability(1.0),
+            Measure::curve([0.25, 0.5, 1.0, 2.0]),
+            Measure::Mttf,
+        ];
+        for measure in &measures {
+            let a = built.query(measure).unwrap();
+            let b = restored.query(measure).unwrap();
+            assert_eq!(bits_of(&a), bits_of(&b), "{measure:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn monolithic_sessions_round_trip_too() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("en7_X", 0.7, Dormancy::Hot).unwrap();
+        let y = b.basic_event("en7_Y", 1.3, Dormancy::Hot).unwrap();
+        let top = b.and_gate("en7_Top", &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let built = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Monolithic,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        let restored = Analyzer::from_bytes(&built.to_bytes()).unwrap();
+        assert_eq!(restored.method(), Method::Monolithic);
+        let a = built.query(Measure::curve([0.5, 1.0])).unwrap();
+        let b = restored.query(Measure::curve([0.5, 1.0])).unwrap();
+        assert_eq!(bits_of(&a), bits_of(&b));
+        let a = built.mttf().unwrap();
+        let b = restored.mttf().unwrap();
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn repairable_sessions_round_trip_with_unavailability() {
+        let mut b = DftBuilder::new();
+        let x = b
+            .repairable_basic_event("en8_X", 1.0, Dormancy::Hot, 9.0)
+            .unwrap();
+        let top = b.or_gate("en8_Top", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let built = Analyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let restored = Analyzer::from_bytes(&built.to_bytes()).unwrap();
+        // Unavailability exercises the lazily extracted tangible CTMC, which
+        // the restored session re-derives from the decoded closed model.
+        let a = built.unavailability().unwrap();
+        let b = restored.unavailability().unwrap();
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn parametric_sessions_round_trip_bit_identically_through_bytes() {
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("en9_P", 0.8, Dormancy::Hot).unwrap();
+        let s = b.basic_event("en9_S", 1.2, Dormancy::Cold).unwrap();
+        let top = b.spare_gate("en9_Top", &[p, s]).unwrap();
+        let dft = b.build(top).unwrap();
+        let built = ParametricAnalyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        let restored = ParametricAnalyzer::from_bytes(&built.to_bytes()).unwrap();
+
+        assert_eq!(restored.aggregation_runs(), 0);
+        assert_eq!(built.aggregation_runs(), 1);
+        assert_eq!(restored.params(), built.params());
+        assert_eq!(restored.model_stats(), built.model_stats());
+
+        for scale in [0.5, 1.0, 2.5] {
+            let valuation = built.params().scaled_valuation(scale);
+            let a = built.instantiate(&valuation).unwrap();
+            let b = restored.instantiate(&valuation).unwrap();
+            assert_eq!(b.aggregation_runs(), 0);
+            let qa = a.query(Measure::curve([0.5, 1.0])).unwrap();
+            let qb = b.query(Measure::curve([0.5, 1.0])).unwrap();
+            assert_eq!(bits_of(&qa), bits_of(&qb));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage_without_panicking() {
+        assert!(Analyzer::from_bytes(&[]).is_err());
+        assert!(Analyzer::from_bytes(b"not a store entry at all").is_err());
+        assert!(ParametricAnalyzer::from_bytes(&[0xff; 64]).is_err());
+
+        let mut bt = DftBuilder::new();
+        let x = bt.basic_event("en10_X", 1.0, Dormancy::Hot).unwrap();
+        let top = bt.or_gate("en10_Top", &[x]).unwrap();
+        let dft = bt.build(top).unwrap();
+        let bytes = Analyzer::new(&dft, AnalysisOptions::default())
+            .unwrap()
+            .to_bytes();
+        // Session bytes are not parametric bytes (the kind tag differs) …
+        assert!(ParametricAnalyzer::from_bytes(&bytes).is_err());
+        // … every truncation fails cleanly …
+        for cut in [0, 4, 9, 17, 33, bytes.len() - 1] {
+            assert!(Analyzer::from_bytes(&bytes[..cut]).is_err());
+        }
+        // … and any flipped payload byte trips the checksum.
+        for i in (41..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Analyzer::from_bytes(&bad).is_err());
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod semantics;
 pub mod service;
 pub mod signals;
 pub mod simulate;
+pub mod store;
 
 pub use analysis::{mean_time_to_failure, unavailability, unreliability, AnalysisOptions, Method};
 pub use convert::{convert_parametric, Community};
@@ -67,6 +68,7 @@ pub use service::{
     ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport, SweepReport,
     SweepStats,
 };
+pub use store::{ModelStore, StoreStats};
 
 use std::fmt;
 
@@ -115,6 +117,20 @@ pub enum Error {
         /// The offending mission time.
         value: f64,
     },
+    /// A persistent model-store operation failed: the store directory cannot
+    /// be created, an entry cannot be written, or bytes handed to
+    /// [`Analyzer::from_bytes`](engine::Analyzer::from_bytes) /
+    /// [`ParametricAnalyzer::from_bytes`](engine::ParametricAnalyzer::from_bytes)
+    /// do not decode.
+    ///
+    /// Raised only by the explicit [`store::ModelStore`] and `from_bytes`
+    /// APIs.  The [`service::AnalysisService`] cache path never surfaces it:
+    /// a load problem is a cache miss (the model is rebuilt) and a write-back
+    /// problem degrades to an in-memory-only entry.
+    Store {
+        /// Description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -139,6 +155,7 @@ impl fmt::Display for Error {
                     "invalid mission time {value}: mission times must be finite and non-negative"
                 )
             }
+            Error::Store { message } => write!(f, "model store error: {message}"),
         }
     }
 }

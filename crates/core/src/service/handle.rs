@@ -242,7 +242,13 @@ impl SweepState {
         let mut stats = SweepStats {
             valuations: points.len(),
             parametric_cache_hit: outcome.cache_hit,
-            aggregation_runs: usize::from(!outcome.cache_hit && outcome.model.is_ok()),
+            // A parametric model freshly *loaded from the persistent store*
+            // is an in-memory cache miss that still ran zero aggregations —
+            // ask the model itself instead of inferring from the hit flag.
+            aggregation_runs: match &outcome.model {
+                Ok(model) if !outcome.cache_hit => model.aggregation_runs(),
+                _ => 0,
+            },
             workers: self.workers,
             build_time: outcome.build_time,
             wall_time: self.started.elapsed(),

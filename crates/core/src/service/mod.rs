@@ -30,6 +30,14 @@
 //!   epsilon).  A batch over N copies of one tree runs aggregation exactly
 //!   once; the other N−1 jobs are cache hits that go straight to the query
 //!   phase.
+//! * **Persistence** — with [`ServiceOptions::store`] pointing at a shared
+//!   directory, built models are also written to a cross-process
+//!   [`ModelStore`]: a cache miss consults the
+//!   store before aggregating (a restarted or neighbouring server's work
+//!   becomes a disk read that reports zero aggregation runs), every fresh
+//!   build is written back atomically before its report is delivered, and
+//!   corrupt or stale entries are silently rebuilt.  Store problems never
+//!   fail a job — a failed write-back just leaves the entry in-memory-only.
 //! * **Exactly-once builds under concurrency** — each cache entry is an
 //!   `Arc<OnceLock<…>>`: when two workers race for the same fingerprint, one
 //!   builds while the other blocks on the lock and then shares the result,
@@ -98,11 +106,13 @@ use crate::analysis::{AnalysisOptions, Method};
 use crate::engine::{Analyzer, ParametricAnalyzer};
 use crate::parametric::Valuation;
 use crate::query::{Measure, MeasureResult};
+use crate::store::{ModelStore, StoreStats};
 use crate::{Error, Result};
 use dft::Dft;
 use handle::SweepState;
 use queue::{JobQueue, Task};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
@@ -151,6 +161,27 @@ pub struct ServiceOptions {
     /// used session is evicted beyond this.  `0` means unbounded.  The
     /// parametric-model cache has its own budget of the same size.
     pub cache_capacity: usize,
+    /// Directory of the persistent cross-process model cache
+    /// ([`ModelStore`]), or `None` (the default) for a purely in-memory
+    /// service.
+    ///
+    /// With a store configured, every in-memory cache miss consults the store
+    /// before building — a restart or a fleet neighbour that already
+    /// aggregated the same structure turns the build into a disk read — and
+    /// every freshly built model is written back (atomically, best-effort:
+    /// write failures degrade to an in-memory-only entry, they never fail the
+    /// job).  Set it with [`ServiceOptions::store`].
+    pub store: Option<PathBuf>,
+}
+
+impl ServiceOptions {
+    /// Returns the options with the persistent model store rooted at `path`
+    /// (see [`ServiceOptions::store`](struct@ServiceOptions#structfield.store)).
+    #[must_use]
+    pub fn store(mut self, path: impl Into<PathBuf>) -> ServiceOptions {
+        self.store = Some(path.into());
+        self
+    }
 }
 
 impl Default for ServiceOptions {
@@ -158,6 +189,7 @@ impl Default for ServiceOptions {
         ServiceOptions {
             workers: 0,
             cache_capacity: 128,
+            store: None,
         }
     }
 }
@@ -439,6 +471,12 @@ pub struct SweepReport {
 struct ServiceCore {
     options: ServiceOptions,
     cache: Mutex<Cache>,
+    /// The persistent cross-process store, when [`ServiceOptions::store`]
+    /// names one (and its directory is usable).  Owned by the core, so
+    /// write-back always happens *inside* the cache slot's one-time build —
+    /// strictly before the builder's report is delivered to any handle and
+    /// therefore before the service's drop-drain can possibly complete.
+    store: Option<ModelStore>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -492,10 +530,20 @@ const _: () = {
 impl AnalysisService {
     /// Creates a service with the given options.  No worker thread is spawned
     /// until the first (non-empty) submission.
+    ///
+    /// When [`ServiceOptions::store`] names a directory that cannot be opened
+    /// or created, the service degrades to purely in-memory caching (visible
+    /// through [`store_stats`](Self::store_stats) returning `None`) — the
+    /// cache path never fails because of the store.
     pub fn new(options: ServiceOptions) -> AnalysisService {
+        let store = options
+            .store
+            .as_ref()
+            .and_then(|path| ModelStore::open(path).ok());
         AnalysisService {
             core: Arc::new(ServiceCore {
                 options,
+                store,
                 ..ServiceCore::default()
             }),
             pool: Mutex::new(None),
@@ -648,6 +696,13 @@ impl AnalysisService {
         self.core.cache_stats()
     }
 
+    /// Cumulative counters of the persistent model store, or `None` when the
+    /// service runs without one (no [`ServiceOptions::store`], or its
+    /// directory was unusable at construction).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.core.store.as_ref().map(ModelStore::stats)
+    }
+
     /// Cumulative counters of the submission queue (tasks submitted, parked
     /// behind in-flight builds, released, completed).
     pub fn queue_stats(&self) -> QueueStats {
@@ -697,6 +752,13 @@ impl Drop for AnalysisService {
     /// Deterministic shutdown: drain the queue (every outstanding handle still
     /// receives its report), then join the workers.  Dropping a service whose
     /// pool never started is free.
+    ///
+    /// The persistent store needs no extra flushing here: the core owns the
+    /// [`ModelStore`] and write-back happens synchronously inside each cache
+    /// slot's one-time build — strictly *before* the building job's report is
+    /// sent to its handle — so by the time the drain completes, every model
+    /// the drained jobs built is already on disk (or was skipped by a counted
+    /// write error).
     fn drop(&mut self) {
         let pool = match self.pool.get_mut() {
             Ok(pool) => pool.take(),
@@ -840,7 +902,22 @@ impl ServiceCore {
         let mut built = false;
         let outcome = slot.get_or_init(|| {
             built = true;
-            ParametricAnalyzer::new(&job.dft, job.options.clone()).map(Arc::new)
+            // Consult the cross-process store first: a warm entry (written by
+            // an earlier run, or by a fleet neighbour sharing the directory)
+            // turns the aggregation into a disk read; the restored model
+            // reports `aggregation_runs() == 0`.
+            if let Some(store) = &self.store {
+                if let Some(parametric) = store.load_parametric(structural, &job.options) {
+                    return Ok(Arc::new(parametric));
+                }
+            }
+            let result = ParametricAnalyzer::new(&job.dft, job.options.clone()).map(Arc::new);
+            if let (Some(store), Ok(parametric)) = (&self.store, &result) {
+                // Best-effort write-back: a failure is counted in the store's
+                // own stats and the entry stays in-memory-only.
+                let _ = store.save_parametric(structural, parametric);
+            }
+            result
         });
         if built {
             self.parametric_misses.fetch_add(1, Ordering::Relaxed);
@@ -903,7 +980,21 @@ impl ServiceCore {
         let mut built = false;
         let outcome = slot.get_or_init(|| {
             built = true;
-            Analyzer::new(dft, options.clone()).map(Arc::new)
+            // Cross-process store first (see `parametric` above): a warm
+            // entry replaces the whole build with a disk read.  Instantiated
+            // parametric sessions never reach this path (they are built in
+            // `run_sweep_point`), so only directly built sessions are
+            // persisted.
+            if let Some(store) = &self.store {
+                if let Some(analyzer) = store.load_analyzer(key.fingerprint, options) {
+                    return Ok(Arc::new(analyzer));
+                }
+            }
+            let result = Analyzer::new(dft, options.clone()).map(Arc::new);
+            if let (Some(store), Ok(analyzer)) = (&self.store, &result) {
+                let _ = store.save_analyzer(key.fingerprint, analyzer);
+            }
+            result
         });
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -1024,6 +1115,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 2,
             cache_capacity: 8,
+            ..ServiceOptions::default()
         });
         let jobs: Vec<AnalysisJob> = (0..5)
             .map(|i| {
@@ -1058,6 +1150,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 2,
             cache_capacity: 8,
+            ..ServiceOptions::default()
         });
         let mut handles: Vec<JobHandle> = (0..4)
             .map(|i| {
@@ -1100,6 +1193,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 1,
             cache_capacity: 8,
+            ..ServiceOptions::default()
         });
         let dft = spare_tree("drain_sweep", 1.0);
         let valuation = ParametricAnalyzer::new(&dft, AnalysisOptions::default())
@@ -1125,6 +1219,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 1,
             cache_capacity: 8,
+            ..ServiceOptions::default()
         });
         let handles: Vec<JobHandle> = (0..3)
             .map(|i| {
@@ -1171,6 +1266,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 1,
             cache_capacity: 2,
+            ..ServiceOptions::default()
         });
         let options = AnalysisOptions::default();
         let first = spare_tree("svc_lru_a", 1.0);
@@ -1218,6 +1314,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 1,
             cache_capacity: 1,
+            ..ServiceOptions::default()
         });
         let options = AnalysisOptions::default();
         for width in [2, 3] {
@@ -1252,6 +1349,7 @@ mod tests {
         let service = AnalysisService::new(ServiceOptions {
             workers: 1,
             cache_capacity: 4,
+            ..ServiceOptions::default()
         });
         let jobs = vec![
             AnalysisJob::new(

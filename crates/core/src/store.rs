@@ -1,0 +1,678 @@
+//! The persistent cross-process model cache.
+//!
+//! Compositional aggregation (convert → compose → hide → lump) is by far the
+//! dominant cost per DFT, and it is fully determined by the tree's structure:
+//! [`Dft::fingerprint`](dft::Dft::fingerprint) and
+//! [`Dft::structural_fingerprint`](dft::Dft::structural_fingerprint) are stable
+//! across processes and platforms by construction.  A [`ModelStore`] therefore
+//! serializes *closed* models — the final minimised I/O-IMC with its can/must
+//! CTMDP pair and goal vectors, or the parametric quotient with its
+//! [`ParamTable`](crate::parametric::ParamTable) — into a directory shared
+//! between runs and between a fleet of analysis servers, turning a restart
+//! from N full aggregations into N disk reads.
+//!
+//! # Entry format
+//!
+//! Every entry is one file:
+//!
+//! ```text
+//! magic "DFTM" | format version u32 | kind u8 | fingerprint u64 |
+//! epsilon bits u64 | payload length u64 | payload FNV-1a checksum u64 | payload
+//! ```
+//!
+//! The payload is the [`Analyzer::to_bytes`](crate::engine::Analyzer) /
+//! [`ParametricAnalyzer`] body built on the
+//! rate-generic [`ioimc::codec`].  Readers reject — and callers then rebuild —
+//! on *any* mismatch: wrong magic or version, foreign fingerprint, different
+//! ε, short file, checksum failure, or a payload that decodes but fails model
+//! validation.  Rejections are counted in [`StoreStats::rejected`]; they are
+//! never errors on the cache path.
+//!
+//! # Concurrency
+//!
+//! Writers serialize to a temporary file in the store directory and publish
+//! it with an atomic `rename`, so a concurrent reader (another process, or
+//! another service sharing the directory) either sees the complete entry or
+//! none at all — never a torn write.  Last writer wins; entries for one key
+//! are deterministic, so the race is benign.
+//!
+//! # Errors
+//!
+//! Only the *explicit* [`ModelStore`] API ([`save_analyzer`],
+//! [`save_parametric`], [`ModelStore::open`]) reports typed
+//! [`Error::Store`] failures.  The [`AnalysisService`](crate::service) cache
+//! path treats every store problem as a miss (load) or a skipped write-back
+//! (save) and keeps serving from memory.
+//!
+//! [`save_analyzer`]: ModelStore::save_analyzer
+//! [`save_parametric`]: ModelStore::save_parametric
+
+use crate::aggregate::{AggregationStats, StepStats};
+use crate::analysis::{AnalysisOptions, Method};
+use crate::engine::{Analyzer, ParametricAnalyzer};
+use crate::{Error, Result};
+use ioimc::codec::{DecodeError, DecodeResult, Reader, Writer};
+use ioimc::stats::ModelStats;
+use markov::ctmdp::{Ctmdp, CtmdpState};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic: "DFTM" (dynamic fault tree model).
+const MAGIC: [u8; 4] = *b"DFTM";
+
+/// Version of the on-disk format.  Bumped on any incompatible layout change;
+/// readers reject every version but their own (a stale entry is rebuilt and
+/// overwritten, never migrated in place).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What an entry holds; part of the frame so a session entry renamed onto a
+/// parametric path (or vice versa) is rejected instead of misdecoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// A numeric closed model (an [`Analyzer`] payload).
+    Session,
+    /// A parametric closed model (a [`ParametricAnalyzer`] payload).
+    Parametric,
+}
+
+impl Kind {
+    fn tag(self) -> u8 {
+        match self {
+            Kind::Session => 1,
+            Kind::Parametric => 2,
+        }
+    }
+
+    fn prefix(self) -> char {
+        match self {
+            Kind::Session => 's',
+            Kind::Parametric => 'p',
+        }
+    }
+}
+
+/// FNV-1a over a byte slice: the payload checksum.  Not cryptographic — it
+/// guards against torn or bit-rotted files, not adversaries (the store
+/// directory is trusted infrastructure, like the build cache it is).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Frames a payload: magic, version, kind, identity, length, checksum, body.
+pub(crate) fn seal(kind: Kind, fingerprint: u64, epsilon_bits: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u8(kind.tag());
+    w.u64(fingerprint);
+    w.u64(epsilon_bits);
+    w.len_prefix(payload.len());
+    w.u64(fnv1a64(payload));
+    w.bytes(payload);
+    w.into_bytes()
+}
+
+/// Opens a frame and returns its payload slice.  `expected` carries the
+/// fingerprint and ε-bits the caller is looking up; `None` (the
+/// `from_bytes` path) accepts any identity but still verifies magic,
+/// version, kind, length and checksum.
+pub(crate) fn unseal(
+    bytes: &[u8],
+    kind: Kind,
+    expected: Option<(u64, u64)>,
+) -> DecodeResult<&[u8]> {
+    let mut r = Reader::new(bytes);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.u8()?;
+    }
+    if magic != MAGIC {
+        return Err(DecodeError::new("bad magic: not a model-store entry"));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::new(format!(
+            "format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let tag = r.u8()?;
+    if tag != kind.tag() {
+        return Err(DecodeError::new(format!(
+            "entry kind {tag} where {} was expected",
+            kind.tag()
+        )));
+    }
+    let fingerprint = r.u64()?;
+    let epsilon_bits = r.u64()?;
+    if let Some((expected_fp, expected_eps)) = expected {
+        if fingerprint != expected_fp {
+            return Err(DecodeError::new(format!(
+                "fingerprint {fingerprint:016x} does not match the requested {expected_fp:016x}"
+            )));
+        }
+        if epsilon_bits != expected_eps {
+            return Err(DecodeError::new("entry was built with a different epsilon"));
+        }
+    }
+    let len = r.len_prefix(0)?;
+    let checksum = r.u64()?;
+    if r.remaining() != len {
+        return Err(DecodeError::new(format!(
+            "payload length {len} disagrees with the {} bytes present",
+            r.remaining()
+        )));
+    }
+    let payload = &bytes[bytes.len() - len..];
+    if fnv1a64(payload) != checksum {
+        return Err(DecodeError::new("payload checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Shared payload helpers (used by the engine's to_bytes/from_bytes codecs).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn encode_method(method: Method, w: &mut Writer) {
+    w.u8(match method {
+        Method::Compositional => 0,
+        Method::Monolithic => 1,
+    });
+}
+
+pub(crate) fn decode_method(r: &mut Reader<'_>) -> DecodeResult<Method> {
+    match r.u8()? {
+        0 => Ok(Method::Compositional),
+        1 => Ok(Method::Monolithic),
+        other => Err(DecodeError::new(format!("invalid method tag {other}"))),
+    }
+}
+
+pub(crate) fn encode_options(options: &AnalysisOptions, w: &mut Writer) {
+    w.f64(options.epsilon);
+    encode_method(options.method, w);
+}
+
+pub(crate) fn decode_options(r: &mut Reader<'_>) -> DecodeResult<AnalysisOptions> {
+    let epsilon = r.f64()?;
+    let method = decode_method(r)?;
+    Ok(AnalysisOptions { epsilon, method })
+}
+
+pub(crate) fn encode_model_stats(stats: ModelStats, w: &mut Writer) {
+    w.len_prefix(stats.states);
+    w.len_prefix(stats.interactive_transitions);
+    w.len_prefix(stats.markovian_transitions);
+    w.len_prefix(stats.inputs);
+    w.len_prefix(stats.outputs);
+    w.len_prefix(stats.internals);
+}
+
+pub(crate) fn decode_model_stats(r: &mut Reader<'_>) -> DecodeResult<ModelStats> {
+    Ok(ModelStats {
+        states: r.len_prefix(0)?,
+        interactive_transitions: r.len_prefix(0)?,
+        markovian_transitions: r.len_prefix(0)?,
+        inputs: r.len_prefix(0)?,
+        outputs: r.len_prefix(0)?,
+        internals: r.len_prefix(0)?,
+    })
+}
+
+pub(crate) fn encode_aggregation_stats(stats: &AggregationStats, w: &mut Writer) {
+    w.len_prefix(stats.steps.len());
+    for step in &stats.steps {
+        w.str(&step.composed.0);
+        w.str(&step.composed.1);
+        encode_model_stats(step.before_aggregation, w);
+        encode_model_stats(step.after_aggregation, w);
+        w.len_prefix(step.hidden);
+    }
+    encode_model_stats(stats.peak, w);
+    encode_model_stats(stats.final_model, w);
+}
+
+pub(crate) fn decode_aggregation_stats(r: &mut Reader<'_>) -> DecodeResult<AggregationStats> {
+    let num_steps = r.len_prefix(1)?;
+    let mut steps = Vec::with_capacity(num_steps);
+    for _ in 0..num_steps {
+        let left = r.str()?;
+        let right = r.str()?;
+        let before_aggregation = decode_model_stats(r)?;
+        let after_aggregation = decode_model_stats(r)?;
+        let hidden = r.len_prefix(0)?;
+        steps.push(StepStats {
+            composed: (left, right),
+            before_aggregation,
+            after_aggregation,
+            hidden,
+        });
+    }
+    let peak = decode_model_stats(r)?;
+    let final_model = decode_model_stats(r)?;
+    Ok(AggregationStats {
+        steps,
+        peak,
+        final_model,
+    })
+}
+
+pub(crate) fn encode_bools(bools: &[bool], w: &mut Writer) {
+    w.len_prefix(bools.len());
+    for &b in bools {
+        w.bool(b);
+    }
+}
+
+pub(crate) fn decode_bools(r: &mut Reader<'_>) -> DecodeResult<Vec<bool>> {
+    let n = r.len_prefix(1)?;
+    (0..n).map(|_| r.bool()).collect()
+}
+
+/// Serializes a CTMDP: the state vector, the initial state and the goal
+/// vector — exactly the triple [`Ctmdp::new`] consumes on the way back.
+pub(crate) fn encode_ctmdp(ctmdp: &Ctmdp, w: &mut Writer) {
+    w.len_prefix(ctmdp.num_states());
+    for state in ctmdp.states() {
+        match state {
+            CtmdpState::Markovian(rates) => {
+                w.u8(0);
+                w.len_prefix(rates.len());
+                for &(target, rate) in rates {
+                    w.u32(target);
+                    w.f64(rate);
+                }
+            }
+            CtmdpState::Immediate(successors) => {
+                w.u8(1);
+                w.len_prefix(successors.len());
+                for &target in successors {
+                    w.u32(target);
+                }
+            }
+        }
+    }
+    w.len_prefix(ctmdp.initial());
+    encode_bools(ctmdp.goal(), w);
+}
+
+/// Decodes a CTMDP through the validating [`Ctmdp::new`] constructor, so
+/// out-of-range targets and invalid rates in a corrupted entry surface as a
+/// clean [`DecodeError`].
+pub(crate) fn decode_ctmdp(r: &mut Reader<'_>) -> DecodeResult<Ctmdp> {
+    let num_states = r.len_prefix(1)?;
+    let mut states = Vec::with_capacity(num_states);
+    for _ in 0..num_states {
+        states.push(match r.u8()? {
+            0 => {
+                let n = r.len_prefix(12)?;
+                let mut rates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rates.push((r.u32()?, r.f64()?));
+                }
+                CtmdpState::Markovian(rates)
+            }
+            1 => {
+                let n = r.len_prefix(4)?;
+                let mut successors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    successors.push(r.u32()?);
+                }
+                CtmdpState::Immediate(successors)
+            }
+            other => return Err(DecodeError::new(format!("invalid CTMDP state tag {other}"))),
+        });
+    }
+    let initial = r.len_prefix(0)?;
+    let goal = decode_bools(r)?;
+    Ctmdp::new(states, initial, goal)
+        .map_err(|e| DecodeError::new(format!("decoded CTMDP is invalid: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// The store itself.
+// ---------------------------------------------------------------------------
+
+/// Cumulative counters of one [`ModelStore`] handle.
+///
+/// `hits + misses` is the number of load attempts; `rejected` is the subset
+/// of misses where an entry *existed* but was refused (truncated, corrupted,
+/// wrong version, foreign fingerprint, failed validation) — the
+/// distinguishing signal between "cold store" and "store with a problem".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that produced a usable model.
+    pub hits: u64,
+    /// Loads that found nothing usable (absent entries and rejections).
+    pub misses: u64,
+    /// Entries that existed but were refused and will be rebuilt.
+    pub rejected: u64,
+    /// Entries successfully written (atomically published).
+    pub writes: u64,
+    /// Write-backs that failed; on the service path these degrade to an
+    /// in-memory-only cache entry, never to an error.
+    pub write_errors: u64,
+    /// Bytes read from disk across all load attempts.
+    pub read_bytes: u64,
+    /// Bytes written to disk across all successful writes.
+    pub write_bytes: u64,
+}
+
+/// A directory-backed, cross-process cache of closed models.
+///
+/// One handle is cheap and thread-safe (`&self` everywhere, atomic counters);
+/// any number of handles — in this process, in other processes, on other
+/// machines sharing the directory — may read and write concurrently, see the
+/// [module documentation](self) for the format and concurrency story.
+///
+/// # Example
+///
+/// ```no_run
+/// use dft_core::store::ModelStore;
+/// use dft_core::{AnalysisOptions, Analyzer};
+/// # fn main() -> Result<(), dft_core::Error> {
+/// # let dft = dft_core::casestudies::cas();
+/// let store = ModelStore::open("/var/cache/dftmc")?;
+/// let options = AnalysisOptions::default();
+/// let analyzer = match store.load_analyzer(dft.fingerprint(), &options) {
+///     Some(warm) => warm, // no aggregation ran
+///     None => {
+///         let built = Analyzer::new(&dft, options.clone())?;
+///         store.save_analyzer(dft.fingerprint(), &built)?;
+///         built
+///     }
+/// };
+/// # let _ = analyzer;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModelStore {
+    dir: PathBuf,
+    /// Distinguishes concurrent temporary files of one handle; combined with
+    /// the process id to distinguish handles.
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+}
+
+impl ModelStore {
+    /// Opens (creating if necessary) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Store`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ModelStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| Error::Store {
+            message: format!("cannot create store directory {}: {e}", dir.display()),
+        })?;
+        Ok(ModelStore {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            read_bytes: AtomicU64::new(0),
+            write_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the cumulative counters of this handle.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The entry path for a (kind, method, fingerprint, ε) quadruple.  All
+    /// four are part of the name, so distinct configurations never collide.
+    fn entry_path(&self, kind: Kind, method: Method, fingerprint: u64, eps_bits: u64) -> PathBuf {
+        let method = match method {
+            Method::Compositional => 'c',
+            Method::Monolithic => 'm',
+        };
+        self.dir.join(format!(
+            "{}{method}-{fingerprint:016x}-{eps_bits:016x}.dftm",
+            kind.prefix()
+        ))
+    }
+
+    /// Loads the numeric closed model cached for `fingerprint`
+    /// ([`Dft::fingerprint`](dft::Dft::fingerprint)) under `options`, or
+    /// `None` when no usable entry exists.  Corrupt, truncated, stale and
+    /// foreign entries are rejected (counted in [`StoreStats::rejected`]) and
+    /// reported as a miss — the caller rebuilds and overwrites.
+    pub fn load_analyzer(&self, fingerprint: u64, options: &AnalysisOptions) -> Option<Analyzer> {
+        let eps_bits = options.epsilon.to_bits();
+        let path = self.entry_path(Kind::Session, options.method, fingerprint, eps_bits);
+        // The frame carries fingerprint and ε; the method is encoded in the
+        // payload (and the file name), so verify it survived the round trip.
+        // The check lives inside the decode step so a mismatch counts as one
+        // rejection, like every other refusal — never as a hit.
+        self.load_entry(&path, Kind::Session, fingerprint, eps_bits, |payload| {
+            let decoded = Analyzer::decode_payload(payload)?;
+            if decoded.method() != options.method {
+                return Err(DecodeError::new("entry method disagrees with the request"));
+            }
+            Ok(decoded)
+        })
+    }
+
+    /// Writes the entry for `fingerprint` ([`Dft::fingerprint`](dft::Dft::fingerprint)),
+    /// atomically replacing any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Store`] when serialization cannot be persisted (I/O
+    /// failure); the failure is also counted in [`StoreStats::write_errors`].
+    pub fn save_analyzer(&self, fingerprint: u64, analyzer: &Analyzer) -> Result<()> {
+        let eps_bits = analyzer.options().epsilon.to_bits();
+        let path = self.entry_path(Kind::Session, analyzer.method(), fingerprint, eps_bits);
+        let framed = seal(
+            Kind::Session,
+            fingerprint,
+            eps_bits,
+            &analyzer.encode_payload(),
+        );
+        self.write_atomic(&path, &framed)
+    }
+
+    /// Loads the parametric closed model cached for `structural_fingerprint`
+    /// ([`Dft::structural_fingerprint`](dft::Dft::structural_fingerprint))
+    /// under `options`; same rejection semantics as
+    /// [`load_analyzer`](Self::load_analyzer).
+    pub fn load_parametric(
+        &self,
+        structural_fingerprint: u64,
+        options: &AnalysisOptions,
+    ) -> Option<ParametricAnalyzer> {
+        let eps_bits = options.epsilon.to_bits();
+        let path = self.entry_path(
+            Kind::Parametric,
+            options.method,
+            structural_fingerprint,
+            eps_bits,
+        );
+        self.load_entry(
+            &path,
+            Kind::Parametric,
+            structural_fingerprint,
+            eps_bits,
+            |payload| {
+                let decoded = ParametricAnalyzer::decode_payload(payload)?;
+                if decoded.options().method != options.method {
+                    return Err(DecodeError::new("entry method disagrees with the request"));
+                }
+                Ok(decoded)
+            },
+        )
+    }
+
+    /// Writes the parametric entry for `structural_fingerprint`, atomically
+    /// replacing any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Store`] when the entry cannot be persisted.
+    pub fn save_parametric(
+        &self,
+        structural_fingerprint: u64,
+        parametric: &ParametricAnalyzer,
+    ) -> Result<()> {
+        let eps_bits = parametric.options().epsilon.to_bits();
+        let path = self.entry_path(
+            Kind::Parametric,
+            parametric.options().method,
+            structural_fingerprint,
+            eps_bits,
+        );
+        let framed = seal(
+            Kind::Parametric,
+            structural_fingerprint,
+            eps_bits,
+            &parametric.encode_payload(),
+        );
+        self.write_atomic(&path, &framed)
+    }
+
+    /// Shared load path: read, unseal, decode; count the outcome.
+    fn load_entry<T>(
+        &self,
+        path: &Path,
+        kind: Kind,
+        fingerprint: u64,
+        eps_bits: u64,
+        decode: impl FnOnce(&[u8]) -> DecodeResult<T>,
+    ) -> Option<T> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // Absent entry: an ordinary cold miss, not a rejection.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        self.read_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        match unseal(&bytes, kind, Some((fingerprint, eps_bits))).and_then(decode) {
+            Ok(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Err(_) => {
+                self.reject_one();
+                None
+            }
+        }
+    }
+
+    /// Counts one rejection (an entry that existed but was refused).
+    fn reject_one(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes `bytes` to `path` via a unique temporary file in the same
+    /// directory and an atomic rename, so concurrent readers never observe a
+    /// partial entry.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("entry paths have UTF-8 file names");
+        let tmp = self.dir.join(format!(
+            ".{file_name}.tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let publish = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+        match publish {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.write_bytes
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&tmp);
+                Err(Error::Store {
+                    message: format!("cannot write store entry {}: {e}", path.display()),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_reject_mismatches() {
+        let payload = b"model bytes".to_vec();
+        let framed = seal(Kind::Session, 0xfeed, 0x1234, &payload);
+        assert_eq!(
+            unseal(&framed, Kind::Session, Some((0xfeed, 0x1234))).unwrap(),
+            payload.as_slice()
+        );
+        // Identity-agnostic open (the from_bytes path).
+        assert_eq!(
+            unseal(&framed, Kind::Session, None).unwrap(),
+            payload.as_slice()
+        );
+        // Foreign fingerprint, foreign epsilon, wrong kind.
+        assert!(unseal(&framed, Kind::Session, Some((0xbeef, 0x1234))).is_err());
+        assert!(unseal(&framed, Kind::Session, Some((0xfeed, 0x9999))).is_err());
+        assert!(unseal(&framed, Kind::Parametric, Some((0xfeed, 0x1234))).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let framed = seal(Kind::Parametric, 1, 2, b"payload!");
+        // Any strict prefix is truncated.
+        for cut in 0..framed.len() {
+            assert!(unseal(&framed[..cut], Kind::Parametric, None).is_err());
+        }
+        // Any single flipped payload byte breaks the checksum.
+        let payload_start = framed.len() - b"payload!".len();
+        for i in payload_start..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert!(unseal(&bad, Kind::Parametric, None).is_err());
+        }
+        // A bumped format version is stale.
+        let mut stale = framed.clone();
+        stale[4] = stale[4].wrapping_add(1);
+        assert!(unseal(&stale, Kind::Parametric, None).is_err());
+        // Bad magic.
+        let mut foreign = framed;
+        foreign[0] = b'X';
+        assert!(unseal(&foreign, Kind::Parametric, None).is_err());
+    }
+}

@@ -65,6 +65,7 @@ pub mod action;
 pub mod bisim;
 pub mod builder;
 pub mod closed;
+pub mod codec;
 pub mod compose;
 pub mod dot;
 pub mod hide;
@@ -76,6 +77,7 @@ pub mod stats;
 
 pub use action::{Action, ActionKind};
 pub use builder::{IoImcBuilder, IoImcBuilderOf, ParametricIoImcBuilder};
+pub use codec::{DecodeError, RateCodec};
 pub use model::{
     InteractiveTransition, IoImc, IoImcOf, Label, MarkovianTransition, MarkovianTransitionOf,
     ParametricIoImc, PropId, StateId,

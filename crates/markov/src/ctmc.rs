@@ -77,6 +77,26 @@ impl Ctmc {
         &self.rates
     }
 
+    /// The transitions as `(from, to, rate)` triplets, in row-major (CSR)
+    /// order.
+    ///
+    /// This is the externalizable form of the chain: feeding the triplets
+    /// back into [`from_transitions`](Self::from_transitions) with the same
+    /// state count and initial state reconstructs a chain that answers every
+    /// transient/steady-state query bit-identically (the triplets are already
+    /// deduplicated and self-loop-free, so re-assembly changes nothing) —
+    /// which is how the persistent model cache serializes monolithic models.
+    pub fn transitions(&self) -> Vec<(u32, u32, f64)> {
+        let mut triplets = Vec::with_capacity(self.num_transitions());
+        for s in 0..self.num_states {
+            let (cols, vals) = self.rates.row(s);
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((s as u32, c, v));
+            }
+        }
+        triplets
+    }
+
     /// Total exit rate of `state`.
     pub fn exit_rate(&self, state: usize) -> f64 {
         self.exit_rates[state]
@@ -296,6 +316,23 @@ impl Ctmc {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transitions_round_trip_through_from_transitions() {
+        // Duplicates sum and self-loops drop on construction, so the exported
+        // triplets are canonical: re-assembly is exact, down to the bits.
+        let ctmc =
+            Ctmc::from_transitions(3, 0, &[(0, 1, 0.3), (0, 1, 0.4), (1, 1, 9.0), (1, 2, 2.0)])
+                .unwrap();
+        let triplets = ctmc.transitions();
+        assert_eq!(triplets, vec![(0, 1, 0.3 + 0.4), (1, 2, 2.0)]);
+        let rebuilt = Ctmc::from_transitions(ctmc.num_states(), ctmc.initial(), &triplets).unwrap();
+        assert_eq!(rebuilt.transitions(), triplets);
+        let goal = [false, false, true];
+        let a = ctmc.reachability(&goal, 1.3, 1e-12).unwrap();
+        let b = rebuilt.reachability(&goal, 1.3, 1e-12).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 
     #[test]
     fn single_exponential_failure() {

@@ -102,6 +102,7 @@ fn duplicate_fingerprints_aggregate_once_per_distinct_tree() {
     let service = AnalysisService::new(ServiceOptions {
         workers: 2,
         cache_capacity: 16,
+        ..ServiceOptions::default()
     });
     let rates = [1.0, 1.25, 1.5];
     let jobs: Vec<AnalysisJob> = (0..9)
@@ -170,6 +171,7 @@ fn service_results_match_sequential_analyzer_runs_bitwise() {
         let service = AnalysisService::new(ServiceOptions {
             workers,
             cache_capacity: 8,
+            ..ServiceOptions::default()
         });
         let report = service.run_batch(&jobs);
         for (job, expected) in report.jobs.iter().zip(&sequential) {
@@ -260,6 +262,7 @@ fn grouped_dispatch_eliminates_build_waits() {
     let service = AnalysisService::new(ServiceOptions {
         workers: 4,
         cache_capacity: 16,
+        ..ServiceOptions::default()
     });
     // 12 jobs over 3 distinct structures, duplicates adjacent in submission
     // order — the worst case for naive in-order dispatch, where several
@@ -301,6 +304,7 @@ fn concurrent_submitters_share_cached_models() {
     let service = Arc::new(AnalysisService::new(ServiceOptions {
         workers: 4,
         cache_capacity: 32,
+        ..ServiceOptions::default()
     }));
     let scales = [1.0, 1.15, 1.3];
     let submitters = 4;
@@ -379,6 +383,7 @@ fn slow_leader_batch_completes_without_timed_out_waits() {
     let service = AnalysisService::new(ServiceOptions {
         workers: 4,
         cache_capacity: 32,
+        ..ServiceOptions::default()
     });
     // One expensive structure (the full CAS — a multi-millisecond aggregation)
     // duplicated many times, plus cheap distinct trees to keep the other
@@ -437,6 +442,7 @@ fn service_sweeps_share_one_parametric_model() {
     let service = AnalysisService::new(ServiceOptions {
         workers: 2,
         cache_capacity: 64,
+        ..ServiceOptions::default()
     });
 
     let parametric = ParametricAnalyzer::new(&cas(), options.clone()).unwrap();
@@ -507,6 +513,7 @@ fn monolithic_sweeps_do_not_poison_the_parametric_cache() {
     let service = AnalysisService::new(ServiceOptions {
         workers: 1,
         cache_capacity: 8,
+        ..ServiceOptions::default()
     });
     let mut b = DftBuilder::new();
     let x = b.basic_event("poison_X", 1.0, Dormancy::Hot).unwrap();
