@@ -16,6 +16,8 @@
 //! the `python3 -m json.tool` shell-out CI used to depend on — the pipeline
 //! stays pure Rust.
 
+#![forbid(unsafe_code)]
+
 use dftmc_bench::json::{self, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

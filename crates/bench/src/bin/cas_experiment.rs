@@ -3,6 +3,8 @@
 //! Run with `cargo run --release -p dftmc-bench --bin cas_experiment`
 //! (`--smoke` is accepted for CI uniformity; the experiment is already small).
 
+#![forbid(unsafe_code)]
+
 use dftmc_bench::json::{self, Json};
 
 fn main() {

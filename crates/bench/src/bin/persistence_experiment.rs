@@ -19,6 +19,8 @@
 //! `cache-warm` job runs the bin twice against one directory and passes the
 //! flag on the second run.
 
+#![forbid(unsafe_code)]
+
 use dftmc_bench::json::{self, Json};
 use dftmc_bench::timing::format_duration;
 use std::path::PathBuf;

@@ -5,6 +5,8 @@
 //! Run with `cargo run --release -p dftmc-bench --bin scaling_experiment`
 //! (add `--smoke` for the quick CI configuration).
 
+#![forbid(unsafe_code)]
+
 use dftmc_bench::json::{self, Json};
 
 fn main() {

@@ -5,6 +5,8 @@
 //! Run with `cargo run --release -p dftmc-bench --bin sweep_experiment`
 //! (add `--smoke` for the quick CI configuration).
 
+#![forbid(unsafe_code)]
+
 use dftmc_bench::json::{self, Json};
 use dftmc_bench::timing::format_duration;
 

@@ -67,8 +67,8 @@ impl Json {
                         '\n' => out.push_str("\\n"),
                         '\r' => out.push_str("\\r"),
                         '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        c if u32::from(c) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", u32::from(c));
                         }
                         c => out.push(c),
                     }
@@ -153,7 +153,7 @@ pub fn parse(text: &str) -> std::result::Result<Json, String> {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(&(b' ' | b'\t' | b'\n' | b'\r'))) {
         *pos += 1;
     }
 }
@@ -256,7 +256,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, Strin
                         // Consume one UTF-8 encoded character.
                         let start = *pos;
                         *pos += 1;
-                        while *pos < bytes.len() && (bytes[*pos] & 0xc0) == 0x80 {
+                        while bytes.get(*pos).is_some_and(|&b| b & 0xc0 == 0x80) {
                             *pos += 1;
                         }
                         out.push_str(text_slice(bytes, start, *pos)?);
@@ -264,23 +264,24 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, Strin
                 }
             }
         }
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+        Some(b't') if tail_starts_with(bytes, *pos, b"true") => {
             *pos += 4;
             Ok(Json::Bool(true))
         }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+        Some(b'f') if tail_starts_with(bytes, *pos, b"false") => {
             *pos += 5;
             Ok(Json::Bool(false))
         }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+        Some(b'n') if tail_starts_with(bytes, *pos, b"null") => {
             *pos += 4;
             Ok(Json::Null)
         }
         Some(_) => {
             let start = *pos;
-            while *pos < bytes.len()
-                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
+            while matches!(
+                bytes.get(*pos),
+                Some(&(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+            ) {
                 *pos += 1;
             }
             let token = text_slice(bytes, start, *pos)?;
@@ -291,6 +292,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, Strin
         }
         None => Err("unexpected end of input".to_owned()),
     }
+}
+
+fn tail_starts_with(bytes: &[u8], pos: usize, literal: &[u8]) -> bool {
+    bytes
+        .get(pos..)
+        .is_some_and(|tail| tail.starts_with(literal))
 }
 
 fn text_slice(bytes: &[u8], start: usize, end: usize) -> std::result::Result<&str, String> {

@@ -20,6 +20,8 @@
 //! separately — the build/query split is the engine's raison d'être, so the
 //! harness measures it everywhere.
 
+#![forbid(unsafe_code)]
+
 use dft::{Dft, DftBuilder, Dormancy, ElementId};
 use dft_core::analysis::{AnalysisOptions, Method};
 use dft_core::casestudies::{
@@ -34,6 +36,7 @@ use dft_core::Result;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+pub mod fuzz;
 pub mod json;
 pub mod timing;
 

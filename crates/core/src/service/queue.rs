@@ -241,3 +241,165 @@ impl JobQueue {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{AnalysisOptions, Method};
+    use std::sync::mpsc;
+    use std::thread;
+
+    fn tiny_dft() -> dft::Dft {
+        dft::galileo::parse(concat!(
+            "toplevel \"T\";\n",
+            "\"T\" and \"A\" \"B\";\n",
+            "\"A\" lambda=1.0;\n",
+            "\"B\" lambda=1.0;\n",
+        ))
+        .expect("the fixture tree is valid")
+    }
+
+    /// A job task whose cache key carries the given fingerprint; the paired
+    /// receiver keeps the report channel alive for the test's duration.
+    fn job(fingerprint: u64) -> (Task, CacheKey, mpsc::Receiver<JobReport>) {
+        let key = CacheKey {
+            fingerprint,
+            method: Method::Compositional,
+            epsilon_bits: 0,
+            valuation: None,
+        };
+        let (tx, rx) = mpsc::channel();
+        let task = Task::Job {
+            job: Box::new(AnalysisJob::new(
+                tiny_dft(),
+                AnalysisOptions::default(),
+                Vec::new(),
+            )),
+            key,
+            tx,
+        };
+        (task, key, rx)
+    }
+
+    fn key_of(claim: &Claim) -> u64 {
+        match &claim.task {
+            Task::Job { key, .. } => key.fingerprint,
+            other => panic!("expected a job task, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claims_in_fifo_order_when_sessions_are_built() {
+        let queue = JobQueue::default();
+        let mut rxs = Vec::new();
+        for fp in 0..3 {
+            let (task, _, rx) = job(fp);
+            queue.push(task);
+            rxs.push(rx);
+        }
+        for fp in 0..3 {
+            let claim = queue.claim(|_| true).expect("queue holds a task");
+            assert_eq!(key_of(&claim), fp);
+            assert_eq!(claim.leader_of, None, "built keys need no leader");
+            queue.complete(claim.leader_of);
+        }
+        let stats = queue.stats();
+        assert_eq!((stats.submitted, stats.completed), (3, 3));
+        assert_eq!((stats.pending, stats.parked, stats.released), (0, 0, 0));
+    }
+
+    #[test]
+    fn first_claim_of_an_unbuilt_key_becomes_leader() {
+        let queue = JobQueue::default();
+        let (task, key, _rx) = job(7);
+        queue.push(task);
+        let claim = queue.claim(|_| false).expect("queue holds a task");
+        assert_eq!(claim.leader_of, Some(key));
+        queue.complete(claim.leader_of);
+    }
+
+    #[test]
+    fn duplicate_keys_park_behind_the_leader_and_release_to_the_front() {
+        let queue = JobQueue::default();
+        let (first, key, _rx1) = job(1);
+        let (duplicate, _, _rx2) = job(1);
+        let (other, other_key, _rx3) = job(2);
+        queue.push(first);
+        queue.push(duplicate);
+        queue.push(other);
+
+        let leader = queue.claim(|_| false).expect("first task");
+        assert_eq!(leader.leader_of, Some(key));
+
+        // The duplicate is skipped (parked) and the next claim jumps to the
+        // unrelated key, keeping this worker busy during the build.
+        let unrelated = queue.claim(|_| false).expect("second claimable task");
+        assert_eq!(unrelated.leader_of, Some(other_key));
+        assert_eq!(queue.stats().parked, 1);
+
+        // The leader finishing releases the parked follower to the front; it
+        // is a warm hit now, so no new leadership is taken.
+        queue.complete(leader.leader_of);
+        let follower = queue.claim(|k| *k == key).expect("released follower");
+        assert_eq!(key_of(&follower), 1);
+        assert_eq!(follower.leader_of, None);
+        queue.complete(follower.leader_of);
+        queue.complete(unrelated.leader_of);
+
+        let stats = queue.stats();
+        assert_eq!((stats.parked, stats.released), (1, 1));
+        assert_eq!((stats.pending, stats.completed), (0, 3));
+    }
+
+    #[test]
+    fn shutdown_drains_remaining_work_then_returns_none() {
+        let queue = JobQueue::default();
+        let (task, _, _rx) = job(1);
+        queue.push(task);
+        queue.begin_shutdown();
+        let claim = queue.claim(|_| true).expect("shutdown still drains");
+        queue.complete(claim.leader_of);
+        assert!(queue.claim(|_| true).is_none());
+        assert!(queue.claim(|_| true).is_none(), "drained stays drained");
+    }
+
+    /// Multi-threaded drain: several workers block in `claim`, the submitter
+    /// pushes a batch and shuts down, and every task is completed exactly once.
+    /// Bounded counts keep this runnable under Miri.
+    #[test]
+    fn workers_drain_a_batch_without_polling() {
+        const WORKERS: usize = 3;
+        const JOBS: u64 = 12;
+        let queue = Arc::new(JobQueue::default());
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut served = 0u64;
+                    while let Some(claim) = queue.claim(|_| true) {
+                        served += 1;
+                        queue.complete(claim.leader_of);
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        let mut rxs = Vec::new();
+        for fp in 0..JOBS {
+            let (task, _, rx) = job(fp);
+            queue.push(task);
+            rxs.push(rx);
+        }
+        queue.begin_shutdown();
+
+        let served: u64 = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .sum();
+        assert_eq!(served, JOBS);
+        let stats = queue.stats();
+        assert_eq!((stats.submitted, stats.completed), (JOBS, JOBS));
+        assert_eq!(stats.pending, 0);
+    }
+}

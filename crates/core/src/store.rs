@@ -168,7 +168,13 @@ pub(crate) fn unseal(
             r.remaining()
         )));
     }
-    let payload = &bytes[bytes.len() - len..];
+    // `remaining == len` was just checked, so the suffix exists; go through
+    // get() anyway so a future refactor cannot reintroduce a panic here.
+    let payload = bytes
+        .len()
+        .checked_sub(len)
+        .and_then(|start| bytes.get(start..))
+        .ok_or_else(|| DecodeError::new("payload length exceeds the entry"))?;
     if fnv1a64(payload) != checksum {
         return Err(DecodeError::new("payload checksum mismatch"));
     }
@@ -577,8 +583,9 @@ impl ModelStore {
                 return None;
             }
         };
-        self.read_bytes
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        // xlint: allow(cast) -- usize to u64 widening is lossless on every supported target
+        let read = bytes.len() as u64;
+        self.read_bytes.fetch_add(read, Ordering::Relaxed);
         match unseal(&bytes, kind, Some((fingerprint, eps_bits))).and_then(decode) {
             Ok(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -601,10 +608,9 @@ impl ModelStore {
     /// directory and an atomic rename, so concurrent readers never observe a
     /// partial entry.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
-        let file_name = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .expect("entry paths have UTF-8 file names");
+        // Entry paths are built from hex fingerprints, so the file name is
+        // always UTF-8; the fallback merely keeps this path panic-free.
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
         let tmp = self.dir.join(format!(
             ".{file_name}.tmp-{}-{}",
             std::process::id(),
@@ -614,8 +620,9 @@ impl ModelStore {
         match publish {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
-                self.write_bytes
-                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                // xlint: allow(cast) -- usize to u64 widening is lossless on every supported target
+                let written = bytes.len() as u64;
+                self.write_bytes.fetch_add(written, Ordering::Relaxed);
                 Ok(())
             }
             Err(e) => {

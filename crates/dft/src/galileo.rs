@@ -42,17 +42,35 @@ enum RawDef {
     },
 }
 
-fn strip_quotes(token: &str) -> String {
-    token.trim_matches('"').to_owned()
+/// Strips the optional quotation marks around a token.  Quotes must balance:
+/// a token is either bare (no `"` at all) or fully quoted (`"name"`), and the
+/// name inside must be non-empty — anything else (an unterminated quote, a
+/// quote in the middle, `""`) is a syntax error, not a silently mangled name.
+fn strip_quotes(token: &str) -> std::result::Result<String, String> {
+    if !token.contains('"') {
+        return Ok(token.to_owned());
+    }
+    let inner = token
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| format!("unterminated quote in '{token}'"))?;
+    if inner.contains('"') {
+        return Err(format!("stray quote inside '{token}'"));
+    }
+    if inner.is_empty() {
+        return Err("empty quoted name".to_owned());
+    }
+    Ok(inner.to_owned())
 }
 
-fn parse_voting_keyword(keyword: &str) -> Option<u32> {
-    // "2of3", "3of5", ...; the trailing number is redundant with the input count.
+/// Parses a voting keyword `<K>of<M>` ("2of3", "3of5", …) into `(k, m)`.
+/// The caller checks `m` against the actual input count and `k` against `m`.
+fn parse_voting_keyword(keyword: &str) -> Option<(u32, u32)> {
     let lower = keyword.to_ascii_lowercase();
     let (k, rest) = lower.split_once("of")?;
     let k: u32 = k.parse().ok()?;
-    let _m: u32 = rest.parse().ok()?;
-    Some(k)
+    let m: u32 = rest.parse().ok()?;
+    Some((k, m))
 }
 
 /// Parses a Galileo DFT description.
@@ -75,35 +93,45 @@ pub fn parse(input: &str) -> Result<Dft> {
         if line.is_empty() {
             continue;
         }
-        let tokens: Vec<String> = line.split_whitespace().map(strip_quotes).collect();
-        if tokens[0].eq_ignore_ascii_case("toplevel") {
-            if tokens.len() != 2 {
+        let tokens: Vec<String> = line
+            .split_whitespace()
+            .map(strip_quotes)
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|message| Error::Parse {
+                line: line_no,
+                message,
+            })?;
+        let Some((head, rest)) = tokens.split_first() else {
+            continue;
+        };
+        if head.eq_ignore_ascii_case("toplevel") {
+            let [top_name] = rest else {
                 return Err(Error::Parse {
                     line: line_no,
                     message: "expected: toplevel \"<name>\";".to_owned(),
                 });
-            }
-            toplevel = Some(tokens[1].clone());
+            };
+            toplevel = Some(top_name.clone());
             continue;
         }
-        if tokens.len() < 2 {
+        let Some((keyword, gate_inputs)) = rest.split_first() else {
             return Err(Error::Parse {
                 line: line_no,
                 message: format!("cannot parse '{line}'"),
             });
-        }
-        let name = tokens[0].clone();
+        };
+        let name = head.clone();
         if by_name.contains_key(&name) {
             return Err(Error::DuplicateName { name });
         }
 
-        let keyword = tokens[1].to_ascii_lowercase();
+        let keyword = keyword.to_ascii_lowercase();
         let def = if keyword.contains('=') {
             // Basic event: parse key=value pairs.
             let mut rate: Option<f64> = None;
             let mut dormancy = 1.0;
             let mut repair: Option<f64> = None;
-            for pair in &tokens[1..] {
+            for pair in rest {
                 let Some((key, value)) = pair.split_once('=') else {
                     return Err(Error::Parse {
                         line: line_no,
@@ -136,6 +164,7 @@ pub fn parse(input: &str) -> Result<Dft> {
                 repair,
             }
         } else {
+            let inputs: Vec<String> = gate_inputs.to_vec();
             let kind = match keyword.as_str() {
                 "and" => GateKind::And,
                 "or" => GateKind::Or,
@@ -145,7 +174,26 @@ pub fn parse(input: &str) -> Result<Dft> {
                 "inhibit" => GateKind::Inhibit,
                 "spare" | "csp" | "wsp" | "hsp" => GateKind::Spare,
                 other => match parse_voting_keyword(other) {
-                    Some(k) => GateKind::Voting { k },
+                    Some((k, m)) => {
+                        if usize::try_from(m) != Ok(inputs.len()) {
+                            return Err(Error::Parse {
+                                line: line_no,
+                                message: format!(
+                                    "voting gate '{name}' says {k}of{m} but lists {} inputs",
+                                    inputs.len()
+                                ),
+                            });
+                        }
+                        if k == 0 || k > m {
+                            return Err(Error::Parse {
+                                line: line_no,
+                                message: format!(
+                                    "voting threshold {k}of{m} is out of range (need 1 <= k <= {m})"
+                                ),
+                            });
+                        }
+                        GateKind::Voting { k }
+                    }
                     None => {
                         return Err(Error::Parse {
                             line: line_no,
@@ -154,7 +202,6 @@ pub fn parse(input: &str) -> Result<Dft> {
                     }
                 },
             };
-            let inputs: Vec<String> = tokens[2..].to_vec();
             if inputs.is_empty() {
                 return Err(Error::Parse {
                     line: line_no,
@@ -193,13 +240,20 @@ pub fn parse(input: &str) -> Result<Dft> {
         let &def_index = by_name.get(name).ok_or_else(|| Error::UnknownElement {
             name: name.to_owned(),
         })?;
-        if in_progress[def_index] {
+        // `by_name` maps into `defs` (and `in_progress` mirrors it) by
+        // construction, so a miss here means the tables are corrupt — report
+        // the element as unknown rather than panicking.
+        if in_progress.get(def_index).copied().unwrap_or(false) {
             return Err(Error::Cyclic {
                 name: name.to_owned(),
             });
         }
-        in_progress[def_index] = true;
-        let (_, _, def) = &defs[def_index];
+        if let Some(flag) = in_progress.get_mut(def_index) {
+            *flag = true;
+        }
+        let (_, _, def) = defs.get(def_index).ok_or_else(|| Error::UnknownElement {
+            name: name.to_owned(),
+        })?;
         let id = match def {
             RawDef::BasicEvent {
                 rate,
@@ -224,6 +278,15 @@ pub fn parse(input: &str) -> Result<Dft> {
                         in_progress,
                     )?);
                 }
+                // Parsing rejects gates with zero inputs, so the split only
+                // fails if the tables are corrupt; surface that as the arity
+                // error it is instead of panicking.
+                let split_trigger = || {
+                    input_ids.split_first().ok_or(Error::InvalidGate {
+                        name: name.to_owned(),
+                        message: "needs a trigger input".to_owned(),
+                    })
+                };
                 match kind {
                     GateKind::And => builder.and_gate(name, &input_ids)?,
                     GateKind::Or => builder.or_gate(name, &input_ids)?,
@@ -231,14 +294,20 @@ pub fn parse(input: &str) -> Result<Dft> {
                     GateKind::Pand => builder.pand_gate(name, &input_ids)?,
                     GateKind::Spare => builder.spare_gate(name, &input_ids)?,
                     GateKind::Seq => builder.seq_gate(name, &input_ids)?,
-                    GateKind::Fdep => builder.fdep_gate(name, input_ids[0], &input_ids[1..])?,
+                    GateKind::Fdep => {
+                        let (&trigger, dependents) = split_trigger()?;
+                        builder.fdep_gate(name, trigger, dependents)?
+                    }
                     GateKind::Inhibit => {
-                        builder.inhibit_gate(name, input_ids[0], &input_ids[1..])?
+                        let (&condition, others) = split_trigger()?;
+                        builder.inhibit_gate(name, condition, others)?
                     }
                 }
             }
         };
-        in_progress[def_index] = false;
+        if let Some(flag) = in_progress.get_mut(def_index) {
+            *flag = false;
+        }
         built.insert(name.to_owned(), id);
         Ok(id)
     }

@@ -102,6 +102,7 @@ impl Writer {
 
     /// Appends a `usize` as a `u64` (the wire format is 64-bit everywhere).
     pub fn len_prefix(&mut self, v: usize) {
+        // xlint: allow(cast) -- usize to u64 widening is lossless on every supported target
         self.u64(v as u64);
     }
 
@@ -152,35 +153,46 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(DecodeError::new(format!(
+        let end = self.pos.checked_add(n);
+        match end.and_then(|end| self.bytes.get(self.pos..end)) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => Err(DecodeError::new(format!(
                 "truncated input: wanted {n} bytes at offset {}, {} remain",
                 self.pos,
                 self.remaining()
-            )));
+            ))),
         }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into a fixed-size array; infallible once the
+    /// length check passes, so the integer readers below need no conversion
+    /// that could panic.
+    fn take_array<const N: usize>(&mut self) -> DecodeResult<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut array = [0u8; N];
+        for (dst, src) in array.iter_mut().zip(slice) {
+            *dst = *src;
+        }
+        Ok(array)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> DecodeResult<u8> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> DecodeResult<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> DecodeResult<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a length prefix and sanity-checks it against the remaining input
@@ -289,16 +301,21 @@ pub fn encode_model<R: RateCodec>(model: &IoImcOf<R>, w: &mut Writer) {
         .chain(model.signature().outputs())
         .chain(model.signature().internals())
         .collect();
+    // Unreachable for validated models (every labelled action appears in the
+    // signature): instead of panicking on an unvalidated one, encode the
+    // sentinel index, which the decoder rejects as out of range — the store
+    // then treats the entry as corrupt and rebuilds.
     let index_of = |a: Action| -> u32 {
         actions
             .iter()
             .position(|&b| b == a)
-            .expect("validated models only label transitions with signature actions") as u32
+            .and_then(|i| u32::try_from(i).ok())
+            .unwrap_or(u32::MAX)
     };
 
     w.str(model.name());
     w.len_prefix(model.num_states());
-    w.u32(model.initial().index() as u32);
+    w.u32(model.initial().raw());
 
     w.len_prefix(actions.len());
     for &a in &actions {
@@ -310,7 +327,7 @@ pub fn encode_model<R: RateCodec>(model: &IoImcOf<R>, w: &mut Writer) {
 
     w.len_prefix(model.num_interactive());
     for t in model.interactive() {
-        w.u32(t.from.index() as u32);
+        w.u32(t.from.raw());
         let (kind, action) = match t.label {
             Label::Input(a) => (LABEL_INPUT, a),
             Label::Output(a) => (LABEL_OUTPUT, a),
@@ -318,14 +335,14 @@ pub fn encode_model<R: RateCodec>(model: &IoImcOf<R>, w: &mut Writer) {
         };
         w.u8(kind);
         w.u32(index_of(action));
-        w.u32(t.to.index() as u32);
+        w.u32(t.to.raw());
     }
 
     w.len_prefix(model.num_markovian());
     for t in model.markovian() {
-        w.u32(t.from.index() as u32);
+        w.u32(t.from.raw());
         t.rate.encode_rate(w);
-        w.u32(t.to.index() as u32);
+        w.u32(t.to.raw());
     }
 
     w.len_prefix(model.prop_names().len());
@@ -349,18 +366,34 @@ pub fn decode_model<R: RateCodec>(r: &mut Reader<'_>) -> DecodeResult<IoImcOf<R>
     let num_states = r.len_prefix(0)?;
     let num_states = u32::try_from(num_states)
         .map_err(|_| DecodeError::new(format!("state count {num_states} exceeds u32")))?;
-    let initial = r.u32()?;
+    // Every state index must be checked against the declared state count
+    // *here*: the model constructor indexes its per-state tables with them,
+    // so an out-of-range id from corrupt bytes must never reach it.
+    let state_at = |raw: u32| -> DecodeResult<StateId> {
+        if raw < num_states {
+            Ok(StateId::new(raw))
+        } else {
+            Err(DecodeError::new(format!(
+                "state index {raw} out of range ({num_states} states)"
+            )))
+        }
+    };
+    let initial = state_at(r.u32()?)?;
 
     let num_actions = r.len_prefix(8)?;
     let actions: Vec<Action> = (0..num_actions)
         .map(|_| Ok(Action::new(&r.str()?)))
         .collect::<DecodeResult<_>>()?;
     let action_at = |index: u32| -> DecodeResult<Action> {
-        actions.get(index as usize).copied().ok_or_else(|| {
-            DecodeError::new(format!(
-                "action index {index} out of range ({num_actions} actions)"
-            ))
-        })
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| actions.get(i))
+            .copied()
+            .ok_or_else(|| {
+                DecodeError::new(format!(
+                    "action index {index} out of range ({num_actions} actions)"
+                ))
+            })
     };
 
     let (inputs, outputs, internals) = (r.len_prefix(0)?, r.len_prefix(0)?, r.len_prefix(0)?);
@@ -383,10 +416,10 @@ pub fn decode_model<R: RateCodec>(r: &mut Reader<'_>) -> DecodeResult<IoImcOf<R>
     let num_interactive = r.len_prefix(13)?;
     let mut interactive = Vec::with_capacity(num_interactive);
     for _ in 0..num_interactive {
-        let from = StateId::new(r.u32()?);
+        let from = state_at(r.u32()?)?;
         let kind = r.u8()?;
         let action = action_at(r.u32()?)?;
-        let to = StateId::new(r.u32()?);
+        let to = state_at(r.u32()?)?;
         let label = match kind {
             LABEL_INPUT => Label::Input(action),
             LABEL_OUTPUT => Label::Output(action),
@@ -399,9 +432,9 @@ pub fn decode_model<R: RateCodec>(r: &mut Reader<'_>) -> DecodeResult<IoImcOf<R>
     let num_markovian = r.len_prefix(9)?;
     let mut markovian = Vec::with_capacity(num_markovian);
     for _ in 0..num_markovian {
-        let from = StateId::new(r.u32()?);
+        let from = state_at(r.u32()?)?;
         let rate = R::decode_rate(r)?;
-        let to = StateId::new(r.u32()?);
+        let to = state_at(r.u32()?)?;
         markovian.push(MarkovianTransitionOf { from, rate, to });
     }
 
@@ -422,7 +455,7 @@ pub fn decode_model<R: RateCodec>(r: &mut Reader<'_>) -> DecodeResult<IoImcOf<R>
         name,
         signature,
         num_states,
-        StateId::new(initial),
+        initial,
         interactive,
         markovian,
         prop_names,

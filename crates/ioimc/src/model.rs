@@ -33,6 +33,11 @@ impl StateId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw `u32` this id wraps — the codec's wire representation.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Display for StateId {

@@ -1,0 +1,460 @@
+//! A hand-rolled, dependency-free token-level lexer for Rust source.
+//!
+//! The rule engine ([`crate::rules`]) needs just enough lexical structure to
+//! reason about *code* without being fooled by *text*: a `wait_timeout`
+//! mentioned in a doc comment, an `unwrap` inside a string literal, or a
+//! lifetime `'a` mistaken for an unterminated character literal must never
+//! produce findings.  The lexer therefore handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), emitted as [`TokenKind::Comment`] so the allow-annotation
+//!   scanner can read them while every rule skips them;
+//! * string-ish literals: `"…"` with escapes, byte strings `b"…"`, raw strings
+//!   `r"…"` / `r#"…"#` with any number of hashes (and their `br` variants);
+//! * the `'a` lifetime vs `'a'` character-literal ambiguity (including escaped
+//!   chars like `'\''` and multi-byte chars like `'é'`);
+//! * raw identifiers (`r#match`), numeric literals with suffixes/exponents,
+//!   and plain punctuation.
+//!
+//! Everything the rules match on — method names, macro bangs, `as` casts,
+//! bracket nesting — is visible as a flat [`Token`] stream with line numbers.
+
+/// What a token is; the payload text lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#match`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`), *without* a
+    /// closing quote.
+    Lifetime,
+    /// A character or byte literal (`'x'`, `'\n'`, `b'0'`).
+    Char,
+    /// A string literal of any flavour (`"…"`, `b"…"`, `r#"…"#`).
+    Str,
+    /// A numeric literal (`0`, `0xff_u64`, `1.5e-3`).
+    Num,
+    /// One punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A line or block comment, full text included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes a whole source file into a flat token stream.
+///
+/// The lexer is total: any byte sequence produces *some* token stream (an
+/// unterminated literal simply runs to the end of input), so the linter can
+/// never panic on weird-but-compiling source, and malformed source is the
+/// compiler's problem, not ours.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Lexer {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, "b".to_owned());
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_literal(line, "b'".to_owned());
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                '\'' => self.quote(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// A `"`-delimited string with `\` escapes; the opening prefix (`b`) has
+    /// already been consumed into `text`.
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Is the cursor at `r"`, `r#…#"`, `br"` or `br#…#"`?  (`r#ident` raw
+    /// identifiers have exactly one hash followed by a non-quote, so they
+    /// fall through to [`ident`](Self::ident).)
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the r (or b)
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        self.peek(i + hashes) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push('b');
+            self.bump();
+        }
+        text.push('r');
+        self.bump();
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump();
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime/label): after
+    /// the quote, a backslash always means a char literal; otherwise it is a
+    /// char literal exactly when the character after the next one closes it.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => self.char_literal(line, "'".to_owned()),
+            Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
+                self.char_literal(line, "'".to_owned())
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut text = "'".to_owned();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            _ => {
+                // `'(`, `''` and friends: not valid Rust; emit punctuation so
+                // the stream stays total.
+                self.push(TokenKind::Punct('\''), "'".to_owned(), line);
+            }
+        }
+    }
+
+    /// The body of a char/byte literal after its opening quote (already in
+    /// `text`): consume an optional escape and everything up to the `'`.
+    fn char_literal(&mut self, line: u32, mut text: String) {
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Covers digits, hex, suffixes and the `e` of exponents.
+                text.push(c);
+                self.bump();
+                // An exponent sign directly after e/E belongs to the number.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    // Only in decimal floats; hex literals (0x1e+2) don't reach
+                    // here with a digit after the sign in this codebase.
+                    if !text.starts_with("0x") && !text.starts_with("0X") {
+                        text.push(self.bump().unwrap_or('+'));
+                    }
+                }
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` but not `0..n` (range) and not a second dot.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix `r#`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            text.push_str("r#");
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("x // unwrap() wait_timeout\ny");
+        assert_eq!(toks[0], (TokenKind::Ident, "x".to_owned()));
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert_eq!(toks[2], (TokenKind::Ident, "y".to_owned()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn strings_swallow_escapes_and_code_lookalikes() {
+        let toks = kinds(r#"let s = "a.unwrap() \" still a string";"#);
+        let strings: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strings.len(), 1);
+        assert!(strings[0].1.contains("unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"contains "quotes" and \ slashes"# + br##"more"##"###);
+        let strings: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strings.len(), 2);
+        assert!(strings[0].1.contains("quotes"));
+        assert!(strings[1].1.contains("more"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; let q = '\''; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let toks = kinds("let c = 'é'; let l: &'static str = \"s\";");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "'é'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Lifetime && t.1 == "'static"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"b"bytes" b'\n' b'0'"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#match + r#\"raw str\"#");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".to_owned()));
+        assert_eq!(toks[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0..bytes.len() 1.5e-3 0xff_u64");
+        assert_eq!(toks[0], (TokenKind::Num, "0".to_owned()));
+        assert_eq!(toks[1], (TokenKind::Punct('.'), ".".to_owned()));
+        assert_eq!(toks[2], (TokenKind::Punct('.'), ".".to_owned()));
+        assert!(toks.iter().any(|t| t.1 == "1.5e-3"));
+        assert!(toks.iter().any(|t| t.1 == "0xff_u64"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("\"never closed");
+        lex("r#\"never closed");
+        lex("/* never closed");
+        lex("'");
+    }
+}

@@ -1,0 +1,194 @@
+//! `xlint` — a dependency-free, token-level static-analysis pass over this
+//! workspace's own sources.
+//!
+//! The workspace holds several safety-critical guarantees purely by
+//! convention: untrusted-byte decoders return typed errors instead of
+//! panicking, the service coordinates through exactly one lock at a time,
+//! and no crate uses `unsafe`.  `xlint` turns those conventions into a merge
+//! gate.  It is deliberately *not* a general Rust linter: it knows this
+//! repository's layout ([`rules::classify`]) and checks exactly the
+//! invariants the design documents claim.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p xlint            # lints the enclosing workspace
+//! cargo run -p xlint -- <dir>   # lints an explicit source root
+//! ```
+//!
+//! The exit status is non-zero when any finding survives suppression.  The
+//! report prints every `// xlint: allow(<rule>) -- <reason>` annotation with
+//! its reason so exceptions stay visible; see [`rules::RULES`] for the rule
+//! catalogue and [`rules`] for the annotation grammar.
+//!
+//! The implementation is two layers with no dependencies beyond `std`:
+//!
+//! * [`lexer`] — a hand-rolled total lexer for Rust source.  It understands
+//!   line and nested block comments, string/char/byte/raw-string literals,
+//!   lifetimes versus char literals, and raw identifiers — enough to never
+//!   mistake text in comments or strings for code, which is the failure mode
+//!   that makes `grep`-based checks useless.
+//! * [`rules`] — the scoped rule engine: file classification, `#[test]` /
+//!   `#[cfg(test)]` masking, the allow-annotation parser, and the individual
+//!   rules.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{Allow, Finding, SourceFile};
+
+/// The outcome of linting a source tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files inspected.
+    pub files: usize,
+    /// Tokens lexed across all files.
+    pub tokens: usize,
+    /// Findings that survived allow suppression (including unused allows).
+    pub findings: Vec<Finding>,
+    /// Every parsed allow annotation, used or not.
+    pub allows: Vec<Allow>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root`'s `src/`, `crates/` and `tests/`
+/// directories and returns the aggregate report.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rust_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    let mut all_findings = Vec::new();
+    for path in files {
+        let source = fs::read_to_string(&path)?;
+        let rel = relative_display(root, &path);
+        let file = SourceFile::new(rel, &source);
+        report.files += 1;
+        report.tokens += file.tokens.len();
+        let (allows, bad) = rules::collect_allows(&file);
+        all_findings.extend(bad);
+        all_findings.extend(rules::check(&file));
+        report.allows.extend(allows);
+    }
+
+    rules::suppress(&mut all_findings, &mut report.allows);
+    for a in report.allows.iter().filter(|a| !a.used) {
+        all_findings.push(Finding {
+            rule: "unused-allow",
+            path: a.path.clone(),
+            line: a.line,
+            message: format!("allow({}) suppresses nothing; remove it", a.rule),
+        });
+    }
+    all_findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report.findings = all_findings;
+    Ok(report)
+}
+
+/// Renders the report in the format the CI log shows.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "xlint: {} files, {} tokens\n",
+        report.files, report.tokens
+    ));
+    for (id, summary) in rules::RULES {
+        let hits = report.findings.iter().filter(|f| f.rule == *id).count();
+        let allows = report.allows.iter().filter(|a| a.rule == *id).count();
+        out.push_str(&format!(
+            "  rule {id:<13} {:<4} {summary} ({hits} findings, {allows} allows)\n",
+            if hits == 0 { "ok" } else { "FAIL" },
+        ));
+    }
+    if !report.allows.is_empty() {
+        out.push_str(&format!("allows in effect: {}\n", report.allows.len()));
+        for a in &report.allows {
+            out.push_str(&format!(
+                "  {}:{} allow({}) -- {}\n",
+                a.path, a.line, a.rule, a.reason
+            ));
+        }
+    }
+    if report.findings.is_empty() {
+        out.push_str("xlint: clean\n");
+    } else {
+        out.push_str(&format!("findings: {}\n", report.findings.len()));
+        for f in &report.findings {
+            out.push_str(&format!(
+                "  {}:{} [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "xlint: FAIL ({} findings)\n",
+            report.findings.len()
+        ));
+    }
+    out
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lints_the_enclosing_workspace_cleanly() {
+        // The repository itself must satisfy its own linter; this is the
+        // same check CI runs via `cargo run -p xlint`.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_workspace(&root).expect("workspace sources are readable");
+        assert!(
+            report.files > 20,
+            "walker found only {} files",
+            report.files
+        );
+        assert!(
+            report.clean(),
+            "workspace has lint findings:\n{}",
+            render(&report)
+        );
+    }
+}

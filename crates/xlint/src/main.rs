@@ -1,0 +1,28 @@
+//! CLI driver: lint the enclosing workspace (or an explicit root) and exit
+//! non-zero on findings.  See the crate docs for the rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    match xlint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", xlint::render(&report));
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("xlint: cannot read {}: {err}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Galileo parser corpus tests: a negative corpus of malformed descriptions
+//! that must fail with *typed* errors (matching the `xlint` panic-freedom
+//! contract on `dft::galileo`), and a parse → print → parse round-trip
+//! property over randomly generated trees.
+
+use dftmc::dft::galileo::{parse, to_galileo};
+use dftmc::dft::{Dft, Error};
+use dftmc::dft_core::rng::SplitMix64;
+
+/// Every entry must be rejected with the expected typed error — unterminated
+/// quotes and out-of-range thresholds included, which earlier parser
+/// revisions silently accepted or mangled.
+#[test]
+fn negative_corpus_fails_typed() {
+    let parse_errors: &[(&str, &str)] = &[
+        (
+            "unterminated toplevel quote",
+            "toplevel \"T;\n\"T\" and \"A\" \"B\";",
+        ),
+        (
+            "unterminated name quote",
+            "toplevel \"T\";\n\"T and \"A\" \"B\";",
+        ),
+        (
+            "unterminated input quote",
+            "toplevel \"T\";\n\"T\" and \"A \"B\";",
+        ),
+        (
+            "stray quote inside a token",
+            "toplevel \"T\";\n\"T\"x and \"A\" \"B\";",
+        ),
+        (
+            "empty quoted name",
+            "toplevel \"T\";\n\"\" and \"A\" \"B\";",
+        ),
+        (
+            "unknown gate keyword",
+            "toplevel \"T\";\n\"T\" xor \"A\" \"B\";\n\"A\" lambda=1.0;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "voting threshold zero",
+            "toplevel \"T\";\n\"T\" 0of2 \"A\" \"B\";\n\"A\" lambda=1.0;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "voting threshold above m",
+            "toplevel \"T\";\n\"T\" 3of2 \"A\" \"B\";\n\"A\" lambda=1.0;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "voting arity mismatch",
+            "toplevel \"T\";\n\"T\" 2of3 \"A\" \"B\";\n\"A\" lambda=1.0;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "missing toplevel",
+            "\"T\" and \"A\" \"B\";\n\"A\" lambda=1.0;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "toplevel without a name",
+            "toplevel;\n\"T\" and \"A\" \"B\";",
+        ),
+        ("gate without inputs", "toplevel \"T\";\n\"T\" and;"),
+        (
+            "basic event without lambda",
+            "toplevel \"T\";\n\"T\" and \"A\" \"B\";\n\"A\" dorm=0.5;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "unparseable rate",
+            "toplevel \"T\";\n\"T\" and \"A\" \"B\";\n\"A\" lambda=abc;\n\"B\" lambda=1.0;",
+        ),
+        (
+            "unknown attribute",
+            "toplevel \"T\";\n\"T\" and \"A\" \"B\";\n\"A\" lambda=1.0 foo=1;\n\"B\" lambda=1.0;",
+        ),
+    ];
+    for (what, text) in parse_errors {
+        match parse(text) {
+            Err(Error::Parse { .. }) => {}
+            other => panic!("{what}: expected Error::Parse, got {other:?}"),
+        }
+    }
+
+    let dup = "toplevel \"T\";\n\"T\" and \"A\" \"B\";\n\"A\" lambda=1.0;\n\"A\" lambda=2.0;\n\"B\" lambda=1.0;";
+    assert!(matches!(parse(dup), Err(Error::DuplicateName { .. })));
+}
+
+/// Generates a random valid Galileo description: basic events, then gates in
+/// topological order drawing inputs from everything defined before them.
+/// Spare gates get dedicated fresh basic events (unique primaries, no shared
+/// subtrees), matching the wellformedness rules.
+fn random_galileo(rng: &mut SplitMix64) -> String {
+    let pick = |rng: &mut SplitMix64, n: usize| -> usize { (rng.next_u64() % n as u64) as usize };
+    let mut out = String::new();
+    let mut pool: Vec<String> = Vec::new();
+
+    let num_be = 4 + pick(rng, 5);
+    for i in 0..num_be {
+        let name = format!("E{i}");
+        let mut line = format!("\"{name}\" lambda={}", 0.1 + rng.next_f64() * 2.0);
+        if pick(rng, 3) == 0 {
+            line.push_str(&format!(" dorm={}", rng.next_f64()));
+        }
+        if pick(rng, 5) == 0 {
+            line.push_str(&format!(" repair={}", 0.5 + rng.next_f64()));
+        }
+        out.push_str(&line);
+        out.push_str(";\n");
+        pool.push(name);
+    }
+
+    let num_gates = 2 + pick(rng, 5);
+    let mut top = String::new();
+    for g in 0..num_gates {
+        let name = format!("G{g}");
+        let kind = pick(rng, 8);
+        if kind == 7 {
+            // Spare gate over fresh basic events of its own.
+            let spares = 2 + pick(rng, 2);
+            let mut inputs = Vec::new();
+            for j in 0..spares {
+                let be = format!("S{g}_{j}");
+                out.push_str(&format!("\"{be}\" lambda=1.0 dorm=0.5;\n"));
+                inputs.push(format!("\"{be}\""));
+            }
+            out.push_str(&format!("\"{name}\" wsp {};\n", inputs.join(" ")));
+        } else {
+            // Sample 2-4 distinct inputs from everything defined so far.
+            let want = (2 + pick(rng, 3)).min(pool.len());
+            let mut candidates = pool.clone();
+            let mut inputs = Vec::new();
+            for _ in 0..want {
+                let chosen = candidates.swap_remove(pick(rng, candidates.len()));
+                inputs.push(format!("\"{chosen}\""));
+            }
+            let keyword = match kind {
+                0 => "and".to_owned(),
+                1 => "or".to_owned(),
+                2 => "pand".to_owned(),
+                3 => "seq".to_owned(),
+                4 => "fdep".to_owned(),
+                5 => "inhibit".to_owned(),
+                _ => format!("{}of{}", 1 + pick(rng, inputs.len()), inputs.len()),
+            };
+            out.push_str(&format!("\"{name}\" {keyword} {};\n", inputs.join(" ")));
+        }
+        pool.push(name.clone());
+        top = name;
+    }
+    format!("toplevel \"{top}\";\n{out}")
+}
+
+/// Structural equality for round-trip checking: same names, and per name the
+/// same gate kind + input names or the same basic-event attributes.
+fn assert_same_tree(a: &Dft, b: &Dft) {
+    assert_eq!(a.num_elements(), b.num_elements());
+    assert_eq!(a.name(a.top()), b.name(b.top()));
+    for id in a.elements() {
+        let name = a.name(id);
+        let other = b.by_name(name).unwrap_or_else(|| panic!("{name} lost"));
+        let ea = a.element(id);
+        let eb = b.element(other);
+        match (ea.as_gate(), eb.as_gate()) {
+            (Some(ga), Some(gb)) => {
+                assert_eq!(ga.kind, gb.kind, "{name} changed kind");
+                let ins_a: Vec<&str> = ga.inputs.iter().map(|&i| a.name(i)).collect();
+                let ins_b: Vec<&str> = gb.inputs.iter().map(|&i| b.name(i)).collect();
+                assert_eq!(ins_a, ins_b, "{name} changed inputs");
+            }
+            (None, None) => {
+                let ba = ea.as_basic_event().expect("not a gate, so a basic event");
+                let bb = eb.as_basic_event().expect("not a gate, so a basic event");
+                assert_eq!(ba.rate, bb.rate, "{name} changed rate");
+                assert_eq!(
+                    ba.dormancy.factor(),
+                    bb.dormancy.factor(),
+                    "{name} changed dormancy"
+                );
+                assert_eq!(ba.repair_rate, bb.repair_rate, "{name} changed repair");
+            }
+            _ => panic!("{name} changed between gate and basic event"),
+        }
+    }
+}
+
+/// parse ∘ to_galileo is the identity (up to formatting) on random trees, and
+/// printing is idempotent after one round trip.
+#[test]
+fn random_trees_round_trip_through_printing() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let text = random_galileo(&mut rng);
+        let dft = parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated text invalid: {e}\n{text}"));
+        let printed = to_galileo(&dft);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: printed text invalid: {e}\n{printed}"));
+        assert_same_tree(&dft, &reparsed);
+        assert_eq!(
+            to_galileo(&reparsed),
+            printed,
+            "seed {seed}: printing is not idempotent"
+        );
+    }
+}
