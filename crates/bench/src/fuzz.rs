@@ -2,8 +2,9 @@
 //!
 //! The engine's hardening claim (see `xlint`'s `panic` rule and ROADMAP
 //! item 4) is that bytes from outside the process — model-cache entries,
-//! Galileo files, committed `BENCH_*.json` baselines — can be arbitrarily
-//! corrupt and the decoders still return a typed error instead of unwinding.
+//! Galileo files, committed `BENCH_*.json` baselines, raw HTTP requests on a
+//! `dftmc-serve` socket — can be arbitrarily corrupt and the decoders still
+//! return a typed error instead of unwinding.
 //! This module drives that claim dynamically: it mutates valid encodings and
 //! throws pure random bytes at each decoder, catching any panic.
 //!
@@ -128,6 +129,25 @@ fn session_corpus() -> Vec<Vec<u8>> {
     let parametric = ParametricAnalyzer::new(&dft, AnalysisOptions::default())
         .expect("the fuzz sample DFT analyzes parametrically");
     vec![analyzer.to_bytes(), parametric.to_bytes()]
+}
+
+/// Serialized HTTP/1.1 requests as `dftmc-serve` reads them off a socket:
+/// a JSON-bodied submit, a bare poll, and a shutdown — every branch of the
+/// head parser (body, no body, each verb) has a seed.
+fn http_corpus() -> Vec<Vec<u8>> {
+    let submit_body = "{\"galileo\": \"toplevel \\\"T\\\"; \\\"T\\\" lambda=1.0;\", \
+                       \"measures\": [{\"type\": \"mttf\"}]}";
+    let submit = format!(
+        "POST /submit HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{submit_body}",
+        submit_body.len()
+    );
+    let poll = "GET /result/7 HTTP/1.1\r\nHost: fuzz\r\n\r\n".to_owned();
+    let shutdown = "POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_owned();
+    vec![
+        submit.into_bytes(),
+        poll.into_bytes(),
+        shutdown.into_bytes(),
+    ]
 }
 
 fn json_corpus() -> Vec<Vec<u8>> {
@@ -303,6 +323,23 @@ pub fn run_all(seed: u64, iters: usize) -> Vec<FuzzReport> {
         run_target("json::parse", seed, iters, &json, |bytes| {
             crate::json::parse(&String::from_utf8_lossy(bytes)).is_ok()
         }),
+        run_target(
+            "http::parse_request",
+            seed,
+            iters,
+            &http_corpus(),
+            |bytes| {
+                // `Ok(None)` means "read more bytes" — a valid, non-accepting
+                // outcome for a truncated request; only a complete parse accepts.
+                matches!(
+                    dftmc_serve::http::parse_request(
+                        bytes,
+                        &dftmc_serve::http::HttpLimits::default()
+                    ),
+                    Ok(Some(_))
+                )
+            },
+        ),
     ]
 }
 
@@ -366,6 +403,7 @@ mod tests {
     fn report_corpus_len(target: &str) -> usize {
         match target {
             "galileo::parse" | "json::parse" => 1,
+            "http::parse_request" => 3,
             _ => 2,
         }
     }

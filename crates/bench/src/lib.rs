@@ -37,8 +37,14 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 pub mod fuzz;
-pub mod json;
+pub mod serve_load;
 pub mod timing;
+
+/// The dependency-free JSON tree and parser.  The type moved to
+/// [`dftmc_serve`] — where it decodes untrusted request bodies and so lives
+/// under the panic-freedom lint set — but every `BENCH_*.json` emitter keeps
+/// using it through this re-export.
+pub use dftmc_serve::json;
 
 /// Paper-vs-measured record for a single scalar result.
 #[derive(Debug, Clone, Copy)]

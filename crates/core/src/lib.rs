@@ -66,7 +66,7 @@ pub use parametric::{ParamKind, ParamSlot, ParamTable, Valuation};
 pub use query::{Measure, MeasurePoint, MeasureResult};
 pub use service::{
     AnalysisJob, AnalysisService, BatchStats, CacheStats, JobHandle, JobReport, QueueStats,
-    ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport, SweepReport,
+    ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport, SweepReport, SweepSpec,
     SweepStats,
 };
 pub use store::{ModelStore, StoreStats};

@@ -9,9 +9,13 @@
 //! independent of the service's lifetime: dropping the service drains the
 //! queue first, so every outstanding handle still receives its report.
 
-use super::{JobReport, ServiceCore, SweepJob, SweepPointReport, SweepReport, SweepStats};
+use super::{JobReport, ServiceCore, SweepPointReport, SweepReport, SweepSpec, SweepStats};
+use crate::analysis::AnalysisOptions;
 use crate::engine::ParametricAnalyzer;
-use crate::Result;
+use crate::parametric::Valuation;
+use crate::query::Measure;
+use crate::{Error, Result};
+use dft::Dft;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -162,17 +166,26 @@ struct ParametricOutcome {
 }
 
 /// The state one sweep's tasks share: the head task stores the parametric
-/// model, every point task fills its slot, and the *last* point to finish
-/// assembles the [`SweepReport`] and sends it to the handle.
+/// model and the valuations resolved from the [`SweepSpec`], every point task
+/// fills its slot, and the *last* point to finish assembles the
+/// [`SweepReport`] and sends it to the handle.
 #[derive(Debug)]
 pub(super) struct SweepState {
-    job: SweepJob,
+    dft: Dft,
+    options: AnalysisOptions,
+    measures: Vec<Measure>,
+    spec: SweepSpec,
     structural: u64,
     /// Pool size at submission, reported in [`SweepStats::workers`].
     workers: usize,
     /// Submission time; the report's wall clock covers queueing too.
     started: Instant,
     parametric: OnceLock<ParametricOutcome>,
+    /// The spec's concrete valuations, resolved by the head task (the
+    /// symbolic forms need the built model's
+    /// [`ParamTable`](crate::parametric::ParamTable)).  A resolution error
+    /// lands in every point's report instead of aborting the sweep.
+    resolved: OnceLock<Result<Vec<Valuation>>>,
     slots: Mutex<Vec<Option<SweepPointReport>>>,
     remaining: AtomicUsize,
     /// `Sender` is `Send` but not `Sync`; only the final point task ever uses
@@ -181,30 +194,58 @@ pub(super) struct SweepState {
 }
 
 impl SweepState {
-    pub(super) fn new(job: SweepJob, workers: usize, tx: mpsc::Sender<SweepReport>) -> SweepState {
-        let structural = job.dft.structural_fingerprint();
-        let valuations = job.valuations.len();
+    pub(super) fn new(
+        dft: Dft,
+        options: AnalysisOptions,
+        measures: Vec<Measure>,
+        spec: SweepSpec,
+        workers: usize,
+        tx: mpsc::Sender<SweepReport>,
+    ) -> SweepState {
+        let structural = dft.structural_fingerprint();
+        let points = spec.len();
         SweepState {
-            job,
+            dft,
+            options,
+            measures,
+            spec,
             structural,
             workers,
             started: Instant::now(),
             parametric: OnceLock::new(),
-            slots: Mutex::new(vec![None; valuations]),
-            remaining: AtomicUsize::new(valuations),
+            resolved: OnceLock::new(),
+            slots: Mutex::new(vec![None; points]),
+            remaining: AtomicUsize::new(points),
             tx: Mutex::new(tx),
         }
     }
 
-    /// Number of valuations (= point tasks to expand).
-    pub(super) fn valuations(&self) -> usize {
-        self.job.valuations.len()
+    /// Number of sweep points (= point tasks to expand); fixed by the spec at
+    /// submission time, before the model exists.
+    pub(super) fn points(&self) -> usize {
+        self.spec.len()
     }
 
-    /// The head task: get-or-build the shared parametric model.
+    /// The head task: get-or-build the shared parametric model, then resolve
+    /// the spec into concrete valuations against its parameter table.
     pub(super) fn build(&self, core: &ServiceCore) {
         let build_start = Instant::now();
-        let (model, cache_hit) = core.parametric(self.structural, &self.job);
+        let (model, cache_hit) = core.parametric(self.structural, &self.dft, &self.options);
+        let resolved = match &model {
+            Ok(model) => self.spec.resolve(model.params()),
+            // The model failed to build: every point will report the build
+            // error, so the valuations are moot.  Table-free specs still
+            // resolve (keeping the classic per-point fingerprints); symbolic
+            // ones resolve to nothing and the points fall back to the build
+            // error below.
+            Err(_) => match &self.spec {
+                SweepSpec::Valuations(valuations) => Ok(valuations.clone()),
+                _ => Ok(Vec::new()),
+            },
+        };
+        self.resolved
+            .set(resolved)
+            .expect("the sweep head task runs exactly once");
         let outcome = ParametricOutcome {
             model,
             cache_hit,
@@ -223,8 +264,42 @@ impl SweepState {
             .parametric
             .get()
             .expect("the sweep head task expands the points only after building");
-        let valuation = &self.job.valuations[index];
-        let report = core.run_sweep_point(&outcome.model, self.structural, &self.job, valuation);
+        let resolved = self
+            .resolved
+            .get()
+            .expect("the sweep head task resolves the spec before any point runs");
+        let report = match resolved {
+            Err(e) => SweepPointReport {
+                valuation_fingerprint: 0,
+                cache_hit: false,
+                results: Err(e.clone()),
+                instantiate: Duration::ZERO,
+                query: Duration::ZERO,
+            },
+            Ok(valuations) => match valuations.get(index) {
+                Some(valuation) => core.run_sweep_point(
+                    &outcome.model,
+                    self.structural,
+                    &self.options,
+                    &self.measures,
+                    valuation,
+                ),
+                // A symbolic spec with a failed model build resolved to no
+                // valuations; surface the build error per point.
+                None => SweepPointReport {
+                    valuation_fingerprint: 0,
+                    cache_hit: false,
+                    results: Err(match &outcome.model {
+                        Err(e) => e.clone(),
+                        Ok(_) => Error::InvalidValuation {
+                            message: "sweep point has no valuation".to_owned(),
+                        },
+                    }),
+                    instantiate: Duration::ZERO,
+                    query: Duration::ZERO,
+                },
+            },
+        };
         self.slots.lock().expect("sweep slots")[index] = Some(report);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.finish(outcome);

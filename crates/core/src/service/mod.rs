@@ -104,7 +104,7 @@ pub use queue::QueueStats;
 
 use crate::analysis::{AnalysisOptions, Method};
 use crate::engine::{Analyzer, ParametricAnalyzer};
-use crate::parametric::Valuation;
+use crate::parametric::{ParamKind, ParamTable, Valuation};
 use crate::query::{Measure, MeasureResult};
 use crate::store::{ModelStore, StoreStats};
 use crate::{Error, Result};
@@ -388,7 +388,7 @@ pub struct SweepJob {
     /// [`query_all`](Analyzer::query_all) pass each.
     pub measures: Vec<Measure>,
     /// The rate assignments to instantiate, typically built via
-    /// [`ParamTable`](crate::parametric::ParamTable) constructors.
+    /// [`ParamTable`] constructors.
     pub valuations: Vec<Valuation>,
 }
 
@@ -405,6 +405,96 @@ impl SweepJob {
             options,
             measures,
             valuations,
+        }
+    }
+}
+
+/// A symbolic description of the valuations a sweep should evaluate.
+///
+/// [`SweepJob`] carries concrete [`Valuation`]s, which forces the *submitter*
+/// to know the parametric model's slot layout — and the slot layout only
+/// exists once the model is built.  A `SweepSpec` defers that: the symbolic
+/// forms are resolved against the shared model's [`ParamTable`] by the
+/// sweep's head task, *after* the model is built (or loaded from the store)
+/// on the worker pool.  A front end that receives "sweep P's failure rate
+/// over these values" off the wire can thus enqueue the sweep without ever
+/// touching the model on its own threads.
+#[derive(Debug, Clone)]
+pub enum SweepSpec {
+    /// Explicit, pre-built valuations — the classic [`SweepJob`] path;
+    /// [`submit_sweep`](AnalysisService::submit_sweep) delegates through this
+    /// variant.
+    Valuations(Vec<Valuation>),
+    /// One point per factor: the base valuation with every *failure* rate
+    /// scaled by the factor (repair rates keep their base value); see
+    /// [`ParamTable::scaled_valuation`].
+    FailureScales(Vec<f64>),
+    /// One point per value: the base valuation with the named basic event's
+    /// rate of the given kind replaced by the value.
+    Element {
+        /// Name of the basic event whose rate is swept.
+        element: String,
+        /// Which of the event's rates is swept.
+        kind: ParamKind,
+        /// The values the rate sweeps over.
+        values: Vec<f64>,
+    },
+}
+
+impl SweepSpec {
+    /// Number of sweep points the spec expands to.  Known *without* the
+    /// model: every form fixes its point count at submission time, which is
+    /// what lets the service enqueue that many point tasks up front.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepSpec::Valuations(v) => v.len(),
+            SweepSpec::FailureScales(scales) => scales.len(),
+            SweepSpec::Element { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the spec expands to zero points (the sweep is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the spec into concrete valuations against a parametric
+    /// model's slot table.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidValuation`] when [`SweepSpec::Element`] names an
+    /// element/kind pair the table has no slot for.
+    pub fn resolve(&self, table: &ParamTable) -> Result<Vec<Valuation>> {
+        match self {
+            SweepSpec::Valuations(valuations) => Ok(valuations.clone()),
+            SweepSpec::FailureScales(scales) => Ok(scales
+                .iter()
+                .map(|&scale| table.scaled_valuation(scale))
+                .collect()),
+            SweepSpec::Element {
+                element,
+                kind,
+                values,
+            } => {
+                let slot =
+                    table
+                        .slot_of(element, *kind)
+                        .ok_or_else(|| Error::InvalidValuation {
+                            message: format!(
+                                "the parametric model has no {kind} parameter \
+                             for element '{element}'"
+                            ),
+                        })?;
+                Ok(values
+                    .iter()
+                    .map(|&value| {
+                        let mut valuation = table.base_valuation();
+                        valuation.set(slot, value);
+                        valuation
+                    })
+                    .collect())
+            }
         }
     }
 }
@@ -584,7 +674,34 @@ impl AnalysisService {
     /// sweep without valuations is a true no-op: nothing is built or enqueued,
     /// no thread is spawned, and the (empty) report is available immediately.
     pub fn submit_sweep(&self, job: SweepJob) -> SweepHandle {
-        if job.valuations.is_empty() {
+        self.submit_sweep_spec(
+            job.dft,
+            job.options,
+            job.measures,
+            SweepSpec::Valuations(job.valuations),
+        )
+    }
+
+    /// Enqueues a rate sweep described *symbolically*: the [`SweepSpec`] is
+    /// resolved into concrete valuations by the sweep's head task on the
+    /// worker pool, after the shared parametric model is built (or fetched).
+    ///
+    /// This is how a caller that has never seen the model's
+    /// [`ParamTable`] — a network front end, typically — sweeps by failure
+    /// scale or by element name.  [`submit_sweep`](Self::submit_sweep) is the
+    /// special case with pre-built valuations.  A resolution error (unknown
+    /// element) is reported in every point's
+    /// [`results`](SweepPointReport::results); like per-point query errors it
+    /// never panics the pool.  An empty spec is a true no-op, exactly like an
+    /// empty [`SweepJob`].
+    pub fn submit_sweep_spec(
+        &self,
+        dft: Dft,
+        options: AnalysisOptions,
+        measures: Vec<Measure>,
+        spec: SweepSpec,
+    ) -> SweepHandle {
+        if spec.is_empty() {
             // `SweepStats::default()` already says workers: 0 — the sweep
             // used none, whether or not earlier submissions started the pool.
             return SweepHandle::ready(SweepReport {
@@ -594,7 +711,7 @@ impl AnalysisService {
         }
         let workers = self.ensure_pool();
         let (tx, rx) = mpsc::channel();
-        let state = Arc::new(SweepState::new(job, workers, tx));
+        let state = Arc::new(SweepState::new(dft, options, measures, spec, workers, tx));
         self.core.queue.push(Task::SweepStart { state });
         SweepHandle::new(rx)
     }
@@ -832,7 +949,8 @@ impl ServiceCore {
         &self,
         parametric: &Result<Arc<ParametricAnalyzer>>,
         structural: u64,
-        job: &SweepJob,
+        options: &AnalysisOptions,
+        measures: &[Measure],
         valuation: &Valuation,
     ) -> SweepPointReport {
         let valuation_fingerprint = valuation.fingerprint();
@@ -849,7 +967,7 @@ impl ServiceCore {
             }
         };
 
-        let key = CacheKey::instance(structural, &job.options, valuation);
+        let key = CacheKey::instance(structural, options, valuation);
         let instantiate_start = Instant::now();
         let slot = self.reserve(key);
         let mut built = false;
@@ -874,7 +992,7 @@ impl ServiceCore {
             },
             Ok(session) => {
                 let query_start = Instant::now();
-                let results = session.query_all(&job.measures);
+                let results = session.query_all(measures);
                 SweepPointReport {
                     valuation_fingerprint,
                     cache_hit: !built,
@@ -891,12 +1009,13 @@ impl ServiceCore {
     fn parametric(
         &self,
         structural: u64,
-        job: &SweepJob,
+        dft: &Dft,
+        options: &AnalysisOptions,
     ) -> (Result<Arc<ParametricAnalyzer>>, bool) {
         let key = ParamCacheKey {
             structural_fingerprint: structural,
-            method: job.options.method,
-            epsilon_bits: job.options.epsilon.to_bits(),
+            method: options.method,
+            epsilon_bits: options.epsilon.to_bits(),
         };
         let slot = self.reserve_param(key);
         let mut built = false;
@@ -907,11 +1026,11 @@ impl ServiceCore {
             // turns the aggregation into a disk read; the restored model
             // reports `aggregation_runs() == 0`.
             if let Some(store) = &self.store {
-                if let Some(parametric) = store.load_parametric(structural, &job.options) {
+                if let Some(parametric) = store.load_parametric(structural, options) {
                     return Ok(Arc::new(parametric));
                 }
             }
-            let result = ParametricAnalyzer::new(&job.dft, job.options.clone()).map(Arc::new);
+            let result = ParametricAnalyzer::new(dft, options.clone()).map(Arc::new);
             if let (Some(store), Ok(parametric)) = (&self.store, &result) {
                 // Best-effort write-back: a failure is counted in the store's
                 // own stats and the entry stays in-memory-only.
@@ -1340,6 +1459,102 @@ mod tests {
         );
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1, "one instantiated session evicted");
+    }
+
+    #[test]
+    fn scale_specs_match_explicit_scaled_valuations() {
+        // A symbolic FailureScales spec, resolved on the pool, must be
+        // bit-identical to the classic path where the caller builds the
+        // scaled valuations against the ParamTable itself.
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 2,
+            cache_capacity: 16,
+            ..ServiceOptions::default()
+        });
+        let dft = spare_tree("svc_spec", 1.0);
+        let options = AnalysisOptions::default();
+        let measures = vec![Measure::Unreliability(1.0), Measure::Mttf];
+        let scales = vec![0.5, 1.0, 2.0];
+
+        let table = ParametricAnalyzer::new(&dft, options.clone())
+            .unwrap()
+            .params()
+            .clone();
+        let explicit = service.run_sweep(&SweepJob::new(
+            dft.clone(),
+            options.clone(),
+            measures.clone(),
+            scales.iter().map(|&s| table.scaled_valuation(s)).collect(),
+        ));
+
+        let symbolic = service
+            .submit_sweep_spec(dft, options, measures, SweepSpec::FailureScales(scales))
+            .wait();
+
+        assert_eq!(symbolic.points.len(), explicit.points.len());
+        for (a, b) in symbolic.points.iter().zip(&explicit.points) {
+            assert_eq!(a.valuation_fingerprint, b.valuation_fingerprint);
+            let (a, b) = (a.results.as_ref().unwrap(), b.results.as_ref().unwrap());
+            for (ra, rb) in a.iter().zip(b) {
+                for (pa, pb) in ra.points().iter().zip(rb.points()) {
+                    assert_eq!(pa.value().to_bits(), pb.value().to_bits());
+                }
+            }
+        }
+        // The second sweep instantiated nothing new: every valuation was
+        // already cached from the explicit run.
+        assert_eq!(symbolic.stats.cache_hits, symbolic.stats.valuations);
+    }
+
+    #[test]
+    fn element_specs_resolve_by_name_and_report_unknowns_per_point() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            cache_capacity: 16,
+            ..ServiceOptions::default()
+        });
+        let options = AnalysisOptions::default();
+        let measures = vec![Measure::Unreliability(1.0)];
+
+        // Sweeping a real element's failure rate produces distinct,
+        // monotonically worsening unreliabilities.
+        let report = service
+            .submit_sweep_spec(
+                spare_tree("svc_elem", 1.0),
+                options.clone(),
+                measures.clone(),
+                SweepSpec::Element {
+                    element: "svc_elem_P".to_owned(),
+                    kind: ParamKind::Failure,
+                    values: vec![0.5, 1.0, 2.0],
+                },
+            )
+            .wait();
+        let values: Vec<f64> = report
+            .points
+            .iter()
+            .map(|p| p.results.as_ref().unwrap()[0].value())
+            .collect();
+        assert!(values[0] < values[1] && values[1] < values[2]);
+
+        // An unknown element is a per-point InvalidValuation error — the
+        // sweep completes, nothing panics, and the handle still delivers.
+        let report = service
+            .submit_sweep_spec(
+                spare_tree("svc_elem", 1.0),
+                options,
+                measures,
+                SweepSpec::Element {
+                    element: "no_such_event".to_owned(),
+                    kind: ParamKind::Failure,
+                    values: vec![1.0, 2.0],
+                },
+            )
+            .wait();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(matches!(point.results, Err(Error::InvalidValuation { .. })));
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn execute(core: &ServiceCore, task: Task) {
         }
         Task::SweepStart { state } => {
             state.build(core);
-            let tasks: Vec<Task> = (0..state.valuations())
+            let tasks: Vec<Task> = (0..state.points())
                 .map(|index| Task::SweepPoint {
                     state: Arc::clone(&state),
                     index,

@@ -1,0 +1,656 @@
+//! Request routing and the API's JSON schemas.
+//!
+//! Like [`http`](crate::http), this module sits on the trust boundary — its
+//! input is an attacker-controlled request body — so it is held to the decode
+//! bar: typed errors, no panics, no indexing, with explicit caps on every
+//! client-controlled dimension (measure count, curve length, sweep size)
+//! *before* any expensive work is enqueued.
+//!
+//! # Endpoints
+//!
+//! **`POST /submit`** — body:
+//!
+//! ```json
+//! {
+//!   "galileo": "toplevel \"Top\"; ...",
+//!   "measures": [
+//!     {"type": "unreliability", "time": 1.0},
+//!     {"type": "curve", "times": [0.5, 1.0]},
+//!     {"type": "unavailability"},
+//!     {"type": "mttf"}
+//!   ],
+//!   "method": "compositional",
+//!   "epsilon": 1e-9
+//! }
+//! ```
+//!
+//! `method` and `epsilon` are optional.  Replies `202` with
+//! `{"id": n, "status": "pending"}`, or `429` when the registry is full.
+//!
+//! **`POST /sweep`** — same body plus a `"sweep"` object, either
+//! `{"scales": [0.5, 1.0, 2.0]}` (every failure rate scaled) or
+//! `{"element": "P", "kind": "failure", "values": [0.5, 1.0]}` (one named
+//! rate swept).  The symbolic spec is resolved *inside* the service
+//! ([`SweepSpec`]), so the HTTP layer never builds a model.
+//!
+//! **`GET /status/{id}`** — `{"id", "status": "pending" | "done" | "failed"}`.
+//!
+//! **`GET /result/{id}`** — `202` while pending, `404` for unknown ids,
+//! `200` with the full report once done (see [`Router`] for the layout;
+//! fingerprints render as 16-digit hex strings, durations as seconds).
+//!
+//! **`GET /metrics`** — see [`crate::metrics`].
+//!
+//! **`POST /shutdown`** — begins a graceful drain: the reply reports how many
+//! jobs are still in flight, the server stops accepting connections, every
+//! accepted job completes (and, with a store, persists) before exit.
+
+use crate::http::Request;
+use crate::json::{self, Json};
+use crate::metrics::{self, bump, json_count, HttpCounters};
+use crate::registry::{Lookup, Registry};
+use dft_core::service::{AnalysisJob, AnalysisService, SweepSpec};
+use dft_core::{
+    AnalysisOptions, JobReport, Measure, MeasureResult, Method, ParamKind, SweepReport,
+};
+use std::time::Instant;
+
+/// Most measures a single submission may request.
+pub const MAX_MEASURES: usize = 64;
+/// Most time points one curve measure may request.
+pub const MAX_CURVE_POINTS: usize = 4096;
+/// Most values one sweep may request.
+pub const MAX_SWEEP_VALUES: usize = 4096;
+
+/// A routed response, ready for [`http::response`](crate::http::response).
+#[derive(Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// `true` for `POST /shutdown`: the server should drain and exit after
+    /// writing this reply.
+    pub shutdown: bool,
+}
+
+fn reply(status: u16, body: &Json) -> Reply {
+    Reply {
+        status,
+        body: body.render(),
+        shutdown: false,
+    }
+}
+
+fn error_reply(status: u16, message: &str) -> Reply {
+    reply(status, &Json::obj([("error", message.into())]))
+}
+
+/// A client-visible failure: the status code and the `error` message.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+fn bad(message: impl Into<String>) -> ApiError {
+    ApiError {
+        status: 400,
+        message: message.into(),
+    }
+}
+
+type ApiResult<T> = std::result::Result<T, ApiError>;
+
+/// The application layer: owns the [`AnalysisService`], the job
+/// [`Registry`] and the HTTP counters, and maps parsed requests to replies.
+/// Everything here is `&self` — the server shares one router across its
+/// connection threads.
+#[derive(Debug)]
+pub struct Router {
+    service: AnalysisService,
+    registry: Registry,
+    http: HttpCounters,
+    started: Instant,
+}
+
+impl Router {
+    /// A router over `service` admitting at most `max_jobs` in-flight jobs
+    /// and retaining at most `max_done` finished reports.
+    pub fn new(service: AnalysisService, max_jobs: usize, max_done: usize) -> Router {
+        Router {
+            service,
+            registry: Registry::new(max_jobs, max_done),
+            http: HttpCounters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The HTTP-layer counters (the accept loop bumps the connection-level
+    /// ones; the router bumps the request-level ones).
+    pub fn http_counters(&self) -> &HttpCounters {
+        &self.http
+    }
+
+    /// The job registry (exposed for the drain on shutdown).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Routes one parsed request to a reply, updating the request counters.
+    pub fn handle(&self, request: &Request) -> Reply {
+        bump(&self.http.requests);
+        let reply = self.route(request);
+        if reply.status == 429 {
+            bump(&self.http.throttled);
+        } else if reply.status >= 400 {
+            bump(&self.http.bad_requests);
+        }
+        reply
+    }
+
+    fn route(&self, request: &Request) -> Reply {
+        let target = request.target.as_str();
+        match (request.method.as_str(), target) {
+            ("POST", "/submit") => self.submit(request, false),
+            ("POST", "/sweep") => self.submit(request, true),
+            ("GET", "/metrics") => reply(200, &self.metrics_document()),
+            ("GET", "/healthz") => reply(200, &Json::obj([("ok", true.into())])),
+            ("POST", "/shutdown") => Reply {
+                status: 200,
+                body: Json::obj([
+                    ("draining", Json::from(self.registry.pending())),
+                    ("status", "draining".into()),
+                ])
+                .render(),
+                shutdown: true,
+            },
+            ("GET", _) if target.starts_with("/status/") => {
+                self.lookup(target.trim_start_matches("/status/"), false)
+            }
+            ("GET", _) if target.starts_with("/result/") => {
+                self.lookup(target.trim_start_matches("/result/"), true)
+            }
+            // Known paths with the wrong verb are 405, unknown paths 404.
+            (_, "/submit" | "/sweep" | "/shutdown" | "/metrics" | "/healthz") => {
+                error_reply(405, "method not allowed on this endpoint")
+            }
+            (_, _) if target.starts_with("/status/") || target.starts_with("/result/") => {
+                error_reply(405, "method not allowed on this endpoint")
+            }
+            _ => error_reply(404, "no such endpoint"),
+        }
+    }
+
+    fn submit(&self, request: &Request, sweep: bool) -> Reply {
+        match self.try_submit(request, sweep) {
+            Ok(id) => reply(
+                202,
+                &Json::obj([("id", json_count(id)), ("status", "pending".into())]),
+            ),
+            Err(e) => error_reply(e.status, &e.message),
+        }
+    }
+
+    fn try_submit(&self, request: &Request, sweep: bool) -> ApiResult<u64> {
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| bad("request body is not valid UTF-8"))?;
+        let doc = json::parse(text).map_err(|e| bad(format!("invalid JSON body: {e}")))?;
+        let galileo = str_field(&doc, "galileo")
+            .ok_or_else(|| bad("missing string field 'galileo' (the tree in Galileo syntax)"))?;
+        let dft =
+            dft::galileo::parse(galileo).map_err(|e| bad(format!("invalid Galileo tree: {e}")))?;
+        let options = parse_options(&doc)?;
+        let measures = parse_measures(&doc)?;
+        let throttled = || ApiError {
+            status: 429,
+            message: "too many in-flight jobs; retry after fetching results".to_owned(),
+        };
+        let id = if sweep {
+            let spec = parse_sweep_spec(&doc)?;
+            let handle = self.service.submit_sweep_spec(dft, options, measures, spec);
+            self.registry.add_sweep(handle)
+        } else {
+            let handle = self
+                .service
+                .submit(AnalysisJob::new(dft, options, measures));
+            self.registry.add_job(handle)
+        };
+        id.ok_or_else(throttled)
+    }
+
+    fn lookup(&self, raw_id: &str, want_result: bool) -> Reply {
+        let Ok(id) = raw_id.parse::<u64>() else {
+            return error_reply(400, "job ids are decimal integers");
+        };
+        let status_doc =
+            |status: &str| Json::obj([("id", json_count(id)), ("status", status.into())]);
+        match self.registry.lookup(id) {
+            Lookup::Unknown => error_reply(404, "unknown job id (never issued, or evicted)"),
+            Lookup::Failed if want_result => {
+                error_reply(500, "the job failed: its worker panicked before reporting")
+            }
+            Lookup::Failed => reply(200, &status_doc("failed")),
+            Lookup::Pending if want_result => reply(202, &status_doc("pending")),
+            Lookup::Pending => reply(200, &status_doc("pending")),
+            Lookup::Job(report) if want_result => reply(200, &render_job(id, &report)),
+            Lookup::Sweep(report) if want_result => reply(200, &render_sweep(id, &report)),
+            Lookup::Job(_) | Lookup::Sweep(_) => reply(200, &status_doc("done")),
+        }
+    }
+
+    fn metrics_document(&self) -> Json {
+        metrics::render(
+            self.started.elapsed(),
+            &self.http,
+            self.registry.counters(),
+            self.registry.pending(),
+            self.service.queue_stats(),
+            self.service.cache_stats(),
+            self.service.store_stats(),
+        )
+    }
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    match field(doc, key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn num_field(doc: &Json, key: &str) -> Option<f64> {
+    match field(doc, key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// A numeric array field, with a cap enforced before collection.
+fn num_array(doc: &Json, key: &str, cap: usize) -> ApiResult<Option<Vec<f64>>> {
+    let Some(value) = field(doc, key) else {
+        return Ok(None);
+    };
+    let Json::Arr(items) = value else {
+        return Err(bad(format!("field '{key}' must be an array of numbers")));
+    };
+    if items.len() > cap {
+        return Err(bad(format!(
+            "field '{key}' has {} entries; the limit is {cap}",
+            items.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Json::Num(n) => out.push(*n),
+            _ => return Err(bad(format!("field '{key}' must contain only numbers"))),
+        }
+    }
+    Ok(Some(out))
+}
+
+fn parse_options(doc: &Json) -> ApiResult<AnalysisOptions> {
+    let mut options = AnalysisOptions::default();
+    match field(doc, "method") {
+        None => {}
+        Some(Json::Str(s)) if s == "compositional" => options.method = Method::Compositional,
+        Some(Json::Str(s)) if s == "monolithic" => options.method = Method::Monolithic,
+        Some(_) => {
+            return Err(bad(
+                "field 'method' must be \"compositional\" or \"monolithic\"",
+            ))
+        }
+    }
+    match field(doc, "epsilon") {
+        None => {}
+        Some(Json::Num(e)) if e.is_finite() && *e > 0.0 => options.epsilon = *e,
+        Some(_) => return Err(bad("field 'epsilon' must be a positive finite number")),
+    }
+    Ok(options)
+}
+
+fn parse_measures(doc: &Json) -> ApiResult<Vec<Measure>> {
+    let Some(Json::Arr(items)) = field(doc, "measures") else {
+        return Err(bad("missing array field 'measures'"));
+    };
+    if items.len() > MAX_MEASURES {
+        return Err(bad(format!(
+            "{} measures requested; the limit is {MAX_MEASURES}",
+            items.len()
+        )));
+    }
+    items.iter().map(parse_measure).collect()
+}
+
+fn parse_measure(doc: &Json) -> ApiResult<Measure> {
+    let kind =
+        str_field(doc, "type").ok_or_else(|| bad("every measure needs a string field 'type'"))?;
+    match kind {
+        "unreliability" => {
+            let time = num_field(doc, "time")
+                .ok_or_else(|| bad("measure 'unreliability' needs a numeric 'time'"))?;
+            Ok(Measure::Unreliability(time))
+        }
+        "curve" => {
+            let times = num_array(doc, "times", MAX_CURVE_POINTS)?
+                .ok_or_else(|| bad("measure 'curve' needs a numeric array 'times'"))?;
+            Ok(Measure::UnreliabilityCurve(times))
+        }
+        "unavailability" => Ok(Measure::Unavailability),
+        "mttf" => Ok(Measure::Mttf),
+        other => Err(bad(format!(
+            "unknown measure type '{other}' (expected unreliability, curve, unavailability or mttf)"
+        ))),
+    }
+}
+
+fn parse_sweep_spec(doc: &Json) -> ApiResult<SweepSpec> {
+    let spec = field(doc, "sweep")
+        .ok_or_else(|| bad("missing object field 'sweep' ({\"scales\": …} or {\"element\": …})"))?;
+    if let Some(scales) = num_array(spec, "scales", MAX_SWEEP_VALUES)? {
+        return Ok(SweepSpec::FailureScales(scales));
+    }
+    if let Some(element) = str_field(spec, "element") {
+        let kind = match str_field(spec, "kind") {
+            None | Some("failure") => ParamKind::Failure,
+            Some("repair") => ParamKind::Repair,
+            Some(other) => {
+                return Err(bad(format!(
+                    "unknown sweep kind '{other}' (expected \"failure\" or \"repair\")"
+                )))
+            }
+        };
+        let values = num_array(spec, "values", MAX_SWEEP_VALUES)?
+            .ok_or_else(|| bad("an element sweep needs a numeric array 'values'"))?;
+        return Ok(SweepSpec::Element {
+            element: element.to_owned(),
+            kind,
+            values,
+        });
+    }
+    Err(bad(
+        "field 'sweep' must carry either 'scales' or 'element' + 'values'",
+    ))
+}
+
+fn render_results(
+    results: &std::result::Result<Vec<MeasureResult>, dft_core::Error>,
+) -> (String, Json) {
+    match results {
+        Ok(results) => (
+            "results".to_owned(),
+            Json::Arr(results.iter().map(render_result).collect()),
+        ),
+        Err(e) => ("error".to_owned(), Json::Str(e.to_string())),
+    }
+}
+
+fn render_result(result: &MeasureResult) -> Json {
+    Json::obj([(
+        "points",
+        Json::Arr(result.points().iter().map(render_point).collect()),
+    )])
+}
+
+fn render_point(point: &dft_core::MeasurePoint) -> Json {
+    let (lower, upper) = point.bounds();
+    Json::obj([
+        ("time", point.time().map_or(Json::Null, Json::Num)),
+        ("value", point.value().into()),
+        ("lower", lower.into()),
+        ("upper", upper.into()),
+        ("nondeterministic", point.is_nondeterministic().into()),
+    ])
+}
+
+fn render_job(id: u64, report: &JobReport) -> Json {
+    let (results_key, results) = render_results(&report.results);
+    Json::Obj(vec![
+        ("id".to_owned(), json_count(id)),
+        ("status".to_owned(), "done".into()),
+        ("fingerprint".to_owned(), report.fingerprint.into()),
+        ("cache_hit".to_owned(), report.cache_hit.into()),
+        (
+            "aggregation_runs".to_owned(),
+            report.aggregation_runs.into(),
+        ),
+        ("build_seconds".to_owned(), Json::secs(report.build)),
+        ("query_seconds".to_owned(), Json::secs(report.query)),
+        (results_key, results),
+    ])
+}
+
+fn render_sweep(id: u64, report: &SweepReport) -> Json {
+    let stats = &report.stats;
+    let points = report
+        .points
+        .iter()
+        .map(|point| {
+            let (results_key, results) = render_results(&point.results);
+            Json::Obj(vec![
+                (
+                    "valuation_fingerprint".to_owned(),
+                    point.valuation_fingerprint.into(),
+                ),
+                ("cache_hit".to_owned(), point.cache_hit.into()),
+                (
+                    "instantiate_seconds".to_owned(),
+                    Json::secs(point.instantiate),
+                ),
+                ("query_seconds".to_owned(), Json::secs(point.query)),
+                (results_key, results),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("id", json_count(id)),
+        ("status", "done".into()),
+        (
+            "stats",
+            Json::obj([
+                ("valuations", stats.valuations.into()),
+                ("cache_hits", stats.cache_hits.into()),
+                ("cache_misses", stats.cache_misses.into()),
+                ("parametric_cache_hit", stats.parametric_cache_hit.into()),
+                ("aggregation_runs", stats.aggregation_runs.into()),
+                ("build_seconds", Json::secs(stats.build_time)),
+                ("instantiate_seconds", Json::secs(stats.instantiate_time)),
+                ("query_seconds", Json::secs(stats.query_time)),
+                ("wall_seconds", Json::secs(stats.wall_time)),
+            ]),
+        ),
+        ("points", Json::Arr(points)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_core::service::ServiceOptions;
+
+    fn router() -> Router {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            ..ServiceOptions::default()
+        });
+        Router::new(service, 8, 8)
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            target: target.to_owned(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            target: target.to_owned(),
+            body: Vec::new(),
+        }
+    }
+
+    const TREE: &str = "toplevel \"Top\";\n\"Top\" and \"A\" \"B\";\n\"A\" lambda=1.0 dorm=0.0;\n\"B\" lambda=2.0 dorm=0.0;\n";
+
+    fn submit_body() -> String {
+        let doc = Json::obj([
+            ("galileo", TREE.into()),
+            (
+                "measures",
+                Json::Arr(vec![Json::obj([
+                    ("type", "unreliability".into()),
+                    ("time", 1.0.into()),
+                ])]),
+            ),
+        ]);
+        doc.render()
+    }
+
+    fn wait_done(router: &Router, id: u64) -> Json {
+        loop {
+            let reply = router.handle(&get(&format!("/result/{id}")));
+            match reply.status {
+                202 => std::thread::yield_now(),
+                200 => return json::parse(&reply.body).unwrap(),
+                other => panic!("unexpected status {other}: {}", reply.body),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_status_result_roundtrip() {
+        let router = router();
+        let reply = router.handle(&post("/submit", &submit_body()));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let doc = json::parse(&reply.body).unwrap();
+        assert_eq!(num_field(&doc, "id"), Some(1.0));
+
+        let done = wait_done(&router, 1);
+        assert_eq!(str_field(&done, "status"), Some("done"));
+        let status = router.handle(&get("/status/1"));
+        assert_eq!(status.status, 200);
+        // The result survives repeated fetches.
+        assert_eq!(router.handle(&get("/result/1")).status, 200);
+    }
+
+    #[test]
+    fn unknown_routes_and_verbs_are_typed() {
+        let router = router();
+        assert_eq!(router.handle(&get("/nope")).status, 404);
+        assert_eq!(router.handle(&get("/submit")).status, 405);
+        assert_eq!(router.handle(&post("/metrics", "")).status, 405);
+        assert_eq!(router.handle(&get("/status/xyz")).status, 400);
+        assert_eq!(router.handle(&get("/status/99")).status, 404);
+        assert_eq!(router.handle(&get("/result/99")).status, 404);
+    }
+
+    #[test]
+    fn bad_bodies_are_400_with_an_error_message() {
+        let router = router();
+        for body in [
+            "",
+            "{",
+            "{}",
+            "{\"galileo\": 3}",
+            "{\"galileo\": \"nonsense\", \"measures\": []}",
+            &Json::obj([("galileo", TREE.into())]).render(),
+            &Json::obj([
+                ("galileo", TREE.into()),
+                (
+                    "measures",
+                    Json::Arr(vec![Json::obj([("type", "nope".into())])]),
+                ),
+            ])
+            .render(),
+            &Json::obj([
+                ("galileo", TREE.into()),
+                ("measures", Json::Arr(Vec::new())),
+                ("epsilon", (-1.0).into()),
+            ])
+            .render(),
+        ] {
+            let reply = router.handle(&post("/submit", body));
+            assert_eq!(reply.status, 400, "{body} -> {}", reply.body);
+            assert!(reply.body.contains("error"), "{}", reply.body);
+        }
+    }
+
+    #[test]
+    fn full_registry_throttles_with_429() {
+        let service = AnalysisService::new(ServiceOptions {
+            workers: 1,
+            ..ServiceOptions::default()
+        });
+        let router = Router::new(service, 0, 8);
+        let reply = router.handle(&post("/submit", &submit_body()));
+        assert_eq!(reply.status, 429, "{}", reply.body);
+        assert_eq!(
+            router
+                .http_counters()
+                .throttled
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn sweep_specs_are_parsed_and_resolved() {
+        let router = router();
+        let doc = Json::obj([
+            ("galileo", TREE.into()),
+            (
+                "measures",
+                Json::Arr(vec![Json::obj([
+                    ("type", "unreliability".into()),
+                    ("time", 1.0.into()),
+                ])]),
+            ),
+            (
+                "sweep",
+                Json::obj([(
+                    "scales",
+                    Json::Arr(vec![0.5.into(), 1.0.into(), 2.0.into()]),
+                )]),
+            ),
+        ]);
+        let reply = router.handle(&post("/sweep", &doc.render()));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let done = wait_done(&router, 1);
+        let Some(Json::Arr(points)) = field(&done, "points") else {
+            panic!("no points in {}", reply.body);
+        };
+        assert_eq!(points.len(), 3);
+
+        // A sweep without a spec is a 400, not a panic.
+        let doc = Json::obj([
+            ("galileo", TREE.into()),
+            ("measures", Json::Arr(Vec::new())),
+        ]);
+        assert_eq!(router.handle(&post("/sweep", &doc.render())).status, 400);
+    }
+
+    #[test]
+    fn metrics_and_health_answer() {
+        let router = router();
+        let health = router.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let metrics = router.handle(&get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        let doc = json::parse(&metrics.body).unwrap();
+        assert!(field(&doc, "queue").is_some());
+        assert!(field(&doc, "cache").is_some());
+
+        let shutdown = router.handle(&post("/shutdown", ""));
+        assert_eq!(shutdown.status, 200);
+        assert!(shutdown.shutdown);
+    }
+}

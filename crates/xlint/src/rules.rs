@@ -131,14 +131,17 @@ pub struct FileRules {
     pub crate_root: bool,
 }
 
-/// The four untrusted-byte decoder files the panic-freedom rules cover.
-/// Everything reaching these modules may come off a disk or (per ROADMAP
-/// item 4) a socket, so their non-test code must be textually panic-free.
+/// The untrusted-byte decoder files the panic-freedom rules cover.
+/// Everything reaching these modules comes off a disk or a socket — the
+/// `dftmc-serve` HTTP parser and router read raw network bytes — so their
+/// non-test code must be textually panic-free.
 pub const DECODE_FILES: &[&str] = &[
     "crates/ioimc/src/codec.rs",
     "crates/dft/src/galileo.rs",
     "crates/core/src/store.rs",
-    "crates/bench/src/json.rs",
+    "crates/serve/src/json.rs",
+    "crates/serve/src/http.rs",
+    "crates/serve/src/router.rs",
 ];
 
 /// Maps a workspace-relative path (forward slashes) to its rule set.
@@ -796,7 +799,10 @@ mod tests {
     #[test]
     fn classification_matches_the_layout() {
         assert!(classify("crates/ioimc/src/codec.rs").decode);
-        assert!(classify("crates/bench/src/json.rs").decode);
+        assert!(classify("crates/serve/src/json.rs").decode);
+        assert!(classify("crates/serve/src/http.rs").decode);
+        assert!(classify("crates/serve/src/router.rs").decode);
+        assert!(!classify("crates/serve/src/server.rs").decode);
         assert!(!classify("crates/ioimc/src/model.rs").decode);
         assert!(classify("crates/core/src/service/queue.rs").lock);
         assert!(classify("crates/core/src/service/mod.rs").lock);

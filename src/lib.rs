@@ -6,5 +6,6 @@
 
 pub use dft;
 pub use dft_core;
+pub use dftmc_serve;
 pub use ioimc;
 pub use markov;
