@@ -33,6 +33,17 @@ fn is_timing(key: &str) -> bool {
     key.ends_with("_seconds") || key == "speedup"
 }
 
+/// Marginal per-point cost is a timing, but one the kernel batching makes a
+/// promise about: a fresh value more than this factor above the committed
+/// baseline fails the diff.  The slack absorbs runner noise while still
+/// catching "the sweep quietly fell back to per-point instantiation".
+const MARGINAL_REGRESSION_FACTOR: f64 = 3.0;
+
+/// Timing metrics that *are* gated, with noise tolerance.
+fn is_gated_timing(key: &str) -> bool {
+    key == "marginal_us_per_point"
+}
+
 struct Diff {
     regressions: Vec<String>,
     notes: Vec<String>,
@@ -82,6 +93,17 @@ impl Diff {
                     } else if fresh < base {
                         self.notes.push(format!(
                             "{path}: improved {base} -> {fresh} (update baseline?)"
+                        ));
+                    }
+                } else if is_gated_timing(key) {
+                    if *fresh > base * MARGINAL_REGRESSION_FACTOR {
+                        self.regressions.push(format!(
+                            "{path}: marginal per-point cost regression {base} -> {fresh} \
+                             (more than {MARGINAL_REGRESSION_FACTOR}x the baseline)"
+                        ));
+                    } else if (fresh - base).abs() > f64::EPSILON {
+                        self.notes.push(format!(
+                            "{path}: {base} -> {fresh} (gated timing, within tolerance)"
                         ));
                     }
                 } else if is_timing(key) && (fresh - base).abs() > f64::EPSILON {

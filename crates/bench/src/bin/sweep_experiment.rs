@@ -33,11 +33,12 @@ fn main() {
     );
     println!(
         "independent: {} total ({} for one point) — end-to-end speedup {:.1}x, \
-         marginal (per amortized point) {:.1}x",
+         marginal (per amortized point) {:.1}x, marginal cost {:.1} µs/point",
         format_duration(e.independent_total),
         format_duration(e.single_point),
         e.speedup,
-        e.marginal_speedup
+        e.marginal_speedup,
+        e.marginal_us_per_point
     );
     println!(
         "agreement with per-point builds: max |diff| = {:.2e} ({})",
@@ -82,6 +83,7 @@ fn main() {
             ("independent_total_seconds", Json::secs(e.independent_total)),
             ("speedup", e.speedup.into()),
             ("marginal_speedup", e.marginal_speedup.into()),
+            ("marginal_us_per_point", e.marginal_us_per_point.into()),
             ("max_abs_diff", e.max_abs_diff.into()),
             ("within_tolerance", e.within_tolerance.into()),
             (

@@ -31,6 +31,7 @@ use dft_core::casestudies::{
 use dft_core::engine::{Analyzer, ParametricAnalyzer};
 use dft_core::parametric::Valuation;
 use dft_core::query::{Measure, MeasureResult};
+use dft_core::rng::SplitMix64;
 use dft_core::service::{AnalysisJob, AnalysisService, ServiceOptions, SweepJob};
 use dft_core::Result;
 use std::path::Path;
@@ -862,6 +863,12 @@ pub struct SweepExperiment {
     /// acceptance ratio "total query/instantiate time vs K× single-point
     /// cost", and what long sweeps converge to.
     pub marginal_speedup: f64,
+    /// Marginal cost of one *additional* sweep point in microseconds:
+    /// `(full sweep wall − one-point sweep wall) / (K − 1)`.  Unlike
+    /// `marginal_speedup` this is an absolute number the baseline gate can
+    /// hold on to: batching K points through one kernel traversal must keep
+    /// it well below the committed value.
+    pub marginal_us_per_point: f64,
     /// Largest absolute difference between sweep values/bounds and the
     /// per-point independent reference.
     pub max_abs_diff: f64,
@@ -896,7 +903,21 @@ pub fn run_sweep_experiment(points: usize, mission_time: f64) -> Result<SweepExp
         .iter()
         .map(|&s| parametric.params().scaled_valuation(s))
         .collect();
+    let sweep_wall_start = Instant::now();
     let sweep = parametric.sweep_unreliability(mission_time, &valuations)?;
+    let sweep_wall = sweep_wall_start.elapsed();
+    // Marginal cost of one additional point: subtract a one-point sweep's
+    // wall from the full sweep's wall.  The one-point run happens second, so
+    // any lazily built per-model state is warm for it but *charged* to the
+    // full sweep — the resulting marginal is conservative, never flattered.
+    let one_point_start = Instant::now();
+    parametric.sweep_unreliability(mission_time, &valuations[..1])?;
+    let one_point_wall = one_point_start.elapsed();
+    let marginal_us_per_point = if points > 1 {
+        (sweep_wall.saturating_sub(one_point_wall)).as_secs_f64() * 1e6 / (points - 1) as f64
+    } else {
+        sweep_wall.as_secs_f64() * 1e6
+    };
 
     let mut independent_total = Duration::ZERO;
     let mut single_point = Duration::ZERO;
@@ -934,8 +955,180 @@ pub fn run_sweep_experiment(points: usize, mission_time: f64) -> Result<SweepExp
         independent_total,
         speedup: independent_total.as_secs_f64() / sweep_total.as_secs_f64().max(f64::MIN_POSITIVE),
         marginal_speedup: single_point.as_secs_f64() / marginal.max(f64::MIN_POSITIVE),
+        marginal_us_per_point,
         max_abs_diff,
         within_tolerance: max_abs_diff <= 1e-12,
+    })
+}
+
+/// Results of the CSR relax-kernel experiment: the legacy nested-loop value
+/// iteration versus the flat [`RelaxKernel`](markov::RelaxKernel) on the same
+/// seeded random CTMDP, plus the lane-batched and multi-threaded variants.
+#[derive(Debug, Clone)]
+pub struct KernelExperiment {
+    /// States of the random CTMDP.
+    pub states: usize,
+    /// Markovian transitions (CSR edges) of the model.
+    pub markovian_transitions: usize,
+    /// Value vectors batched through one structure traversal.
+    pub lanes: usize,
+    /// Time bounds evaluated per reachability call.
+    pub time_points: usize,
+    /// Worker count [`RelaxKernel::auto_workers`](markov::RelaxKernel::auto_workers)
+    /// picks for the batched kernel on this host.
+    pub auto_workers: usize,
+    /// Workers actually used for the threaded measurement (≥ 2, so the
+    /// threaded driver is exercised even on small hosts).
+    pub threaded_workers: usize,
+    /// Wall-clock of the legacy nested-loop relax (one lane).
+    pub legacy: Duration,
+    /// Wall-clock of the CSR kernel, one lane, sequential.
+    pub kernel_sequential: Duration,
+    /// Wall-clock of `lanes` independent single-lane kernel runs.
+    pub scalar_total: Duration,
+    /// Wall-clock of one batched `lanes`-lane kernel run, sequential.
+    pub batched: Duration,
+    /// Wall-clock of the same batched run with `threaded_workers` workers.
+    pub threaded: Duration,
+    /// `scalar_total / batched`: the structure-traversal amortization win.
+    pub batch_speedup: f64,
+    /// Kernel (one lane, sequential) matches the legacy relax bit for bit.
+    pub bit_identical: bool,
+    /// Every batched lane matches its independent single-lane run bit for bit.
+    pub batch_identical: bool,
+    /// The threaded run matches the sequential run bit for bit.
+    pub worker_invariant: bool,
+}
+
+/// Builds a seeded random CTMDP shaped like the closed models the engine
+/// produces: mostly Markovian states with a handful of racing exponentials,
+/// interleaved immediate states with non-deterministic successor choices, and
+/// a sprinkling of goal states.  Equal seeds yield equal models.
+fn random_ctmdp_template(seed: u64, states: usize) -> (Vec<markov::CtmdpState>, Vec<bool>) {
+    use markov::CtmdpState;
+    let mut rng = SplitMix64::new(seed);
+    let mut template = Vec::with_capacity(states);
+    for s in 0..states {
+        // State 0 is always Markovian so the model has a hot numeric path.
+        if s == 0 || rng.next_f64() < 0.7 {
+            let fanout = 1 + (rng.next_u64() % 6) as usize;
+            let row = (0..fanout)
+                .map(|_| {
+                    let target = (rng.next_u64() % states as u64) as u32;
+                    (target, 0.1 + 2.9 * rng.next_f64())
+                })
+                .collect();
+            template.push(CtmdpState::Markovian(row));
+        } else {
+            let fanout = (rng.next_u64() % 4) as usize;
+            let succs = (0..fanout)
+                .map(|_| (rng.next_u64() % states as u64) as u32)
+                .collect();
+            template.push(CtmdpState::Immediate(succs));
+        }
+    }
+    let goal = (0..states).map(|_| rng.next_f64() < 0.15).collect();
+    (template, goal)
+}
+
+/// Runs the relax-kernel experiment: lowers a seeded random CTMDP into the
+/// flat CSR kernel and measures it against the legacy nested-loop relax, then
+/// batches `lanes` rate-scaled copies through one traversal (sequentially and
+/// with the threaded driver), asserting bit-identity at every step.
+///
+/// All three identity flags in the result must be `true`; the experiment bin
+/// fails hard when they are not.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the generated models).
+pub fn run_kernel_experiment(states: usize, lanes: usize) -> Result<KernelExperiment> {
+    use markov::{Ctmdp, CtmdpState, RelaxKernel};
+    assert!(states > 0 && lanes > 0, "the experiment needs a real model");
+    let epsilon = 1e-9;
+    let times = [0.25, 0.5, 1.0, 2.0];
+    let maximise = true;
+
+    let (template, goal) = random_ctmdp_template(0x0d51_2007, states);
+    let edge_rates: Vec<f64> = template
+        .iter()
+        .flat_map(|st| match st {
+            CtmdpState::Markovian(row) => row.iter().map(|&(_, r)| r).collect::<Vec<f64>>(),
+            CtmdpState::Immediate(_) => Vec::new(),
+        })
+        .collect();
+    let markovian_transitions = edge_rates.len();
+
+    // Legacy nested-loop relax vs the CSR kernel, one lane, sequential.
+    let ctmdp = Ctmdp::new(template.clone(), 0, goal.clone())?;
+    let started = Instant::now();
+    let legacy_values = ctmdp.reachability_extremal_multi_legacy(&times, epsilon, maximise)?;
+    let legacy = started.elapsed();
+    let kernel = RelaxKernel::from_states(&template);
+    let started = Instant::now();
+    let kernel_values = kernel.reachability(0, &goal, &times, epsilon, maximise, 1)?;
+    let kernel_sequential = started.elapsed();
+    let bit_identical = legacy_values.len() == kernel_values.len()
+        && legacy_values
+            .iter()
+            .zip(&kernel_values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // K rate-scaled lanes: once through the batched kernel, once as K
+    // independent single-lane kernels.
+    let scales: Vec<f64> = (0..lanes).map(|k| 0.75 + 0.1 * k as f64).collect();
+    let mut lane_rates = vec![0.0; markovian_transitions * lanes];
+    for (e, &rate) in edge_rates.iter().enumerate() {
+        for (k, &scale) in scales.iter().enumerate() {
+            lane_rates[e * lanes + k] = rate * scale;
+        }
+    }
+    let batched_kernel = RelaxKernel::from_template(&template, &lane_rates, lanes)?;
+    let started = Instant::now();
+    let batched_values = batched_kernel.reachability(0, &goal, &times, epsilon, maximise, 1)?;
+    let batched = started.elapsed();
+
+    let mut scalar_total = Duration::ZERO;
+    let mut batch_identical = true;
+    for (k, &scale) in scales.iter().enumerate() {
+        let scaled: Vec<f64> = edge_rates.iter().map(|&r| r * scale).collect();
+        let scalar_kernel = RelaxKernel::from_template(&template, &scaled, 1)?;
+        let started = Instant::now();
+        let scalar_values = scalar_kernel.reachability(0, &goal, &times, epsilon, maximise, 1)?;
+        scalar_total += started.elapsed();
+        batch_identical &= (0..times.len())
+            .all(|t| scalar_values[t].to_bits() == batched_values[t * lanes + k].to_bits());
+    }
+
+    // The same batched call through the threaded driver; ≥ 2 workers so the
+    // chunked relax actually runs even when `auto_workers` stays sequential.
+    let auto_workers = batched_kernel.auto_workers();
+    let threaded_workers = auto_workers.max(2);
+    let started = Instant::now();
+    let threaded_values =
+        batched_kernel.reachability(0, &goal, &times, epsilon, maximise, threaded_workers)?;
+    let threaded = started.elapsed();
+    let worker_invariant = threaded_values
+        .iter()
+        .zip(&batched_values)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    Ok(KernelExperiment {
+        states,
+        markovian_transitions,
+        lanes,
+        time_points: times.len(),
+        auto_workers,
+        threaded_workers,
+        legacy,
+        kernel_sequential,
+        scalar_total,
+        batched,
+        threaded,
+        batch_speedup: scalar_total.as_secs_f64() / batched.as_secs_f64().max(f64::MIN_POSITIVE),
+        bit_identical,
+        batch_identical,
+        worker_invariant,
     })
 }
 

@@ -65,6 +65,7 @@ use ioimc::codec::{self, DecodeError, DecodeResult, Reader, Writer};
 use ioimc::stats::ModelStats;
 use ioimc::{Action, IoImc, IoImcOf, ParametricIoImc, Rate};
 use markov::ctmdp::{Ctmdp, CtmdpState};
+use markov::kernel::RelaxKernel;
 use markov::steady::steady_state_probability;
 use markov::Ctmc;
 use std::borrow::Borrow;
@@ -791,6 +792,21 @@ pub struct ParametricAnalyzer {
     /// Pessimistic goal set ("must fire the top failure immediately").
     must: Vec<bool>,
     point_valued: bool,
+    /// The shared CTMDP structure of the closed model, lowered once on first
+    /// sweep: batched sweeps evaluate rate forms straight into kernel lanes
+    /// instead of instantiating one `Ctmdp` pair per valuation.
+    sweep_template: OnceLock<SweepTemplate>,
+}
+
+/// The lowering [`ParametricAnalyzer`] caches for batched sweeps: the CTMDP
+/// state vector with dummy Markovian rates (the structure), the rate form of
+/// every Markovian edge in kernel edge order (state order, row order within a
+/// state — exactly the walk of [`ctmdp_states_of`]), and the initial state.
+#[derive(Debug)]
+struct SweepTemplate {
+    states: Vec<CtmdpState>,
+    forms: Vec<ioimc::RateForm>,
+    initial: usize,
 }
 
 const _: () = {
@@ -829,6 +845,7 @@ impl ParametricAnalyzer {
             can: model.can,
             must: model.must,
             point_valued: model.point_valued,
+            sweep_template: OnceLock::new(),
         })
     }
 
@@ -873,14 +890,52 @@ impl ParametricAnalyzer {
         })
     }
 
-    /// Evaluates one measure across a whole sweep of valuations: one
-    /// instantiation plus one query per valuation, zero re-aggregations.
+    /// Evaluates one measure across a whole sweep of valuations with zero
+    /// re-aggregations.
+    ///
+    /// Time-bounded measures ([`Measure::Unreliability`] and
+    /// [`Measure::UnreliabilityCurve`]) run *batched*: every valuation
+    /// becomes one lane of a [`RelaxKernel`], so the whole sweep costs one
+    /// (or two, for non-deterministic models) traversal of the shared
+    /// structure instead of one value iteration per point.  Each lane keeps
+    /// its own uniformisation rate, so every result is bit-identical to
+    /// [`instantiate`](Self::instantiate)` + `[`Analyzer::query`] on that
+    /// valuation alone — and independent of the kernel's worker count.
+    /// [`Measure::Unavailability`] and [`Measure::Mttf`] fall back to the
+    /// per-point loop.
     ///
     /// # Errors
     ///
     /// Fails on the first invalid valuation or query error (see
-    /// [`instantiate`](Self::instantiate) and [`Analyzer::query`]).
+    /// [`instantiate`](Self::instantiate) and [`Analyzer::query`]).  A sweep
+    /// over zero valuations succeeds without validating the measure, like
+    /// the per-point loop it replaces.
     pub fn sweep_query(&self, measure: &Measure, valuations: &[Valuation]) -> Result<RateSweep> {
+        if valuations.is_empty() {
+            return Ok(RateSweep {
+                results: Vec::new(),
+                instantiate_time: Duration::ZERO,
+                query_time: Duration::ZERO,
+            });
+        }
+        let times: &[f64] = match measure {
+            Measure::Unreliability(t) => std::slice::from_ref(t),
+            Measure::UnreliabilityCurve(times) => {
+                if times.is_empty() {
+                    return Err(Error::EmptyCurve);
+                }
+                times
+            }
+            Measure::Unavailability | Measure::Mttf => {
+                return self.sweep_per_point(measure, valuations)
+            }
+        };
+        self.sweep_batched(times, valuations)
+    }
+
+    /// The pre-kernel sweep loop: instantiate + query per valuation.  Still
+    /// the path for measures the batched kernel does not cover.
+    fn sweep_per_point(&self, measure: &Measure, valuations: &[Valuation]) -> Result<RateSweep> {
         let mut results = Vec::with_capacity(valuations.len());
         let mut instantiate_time = Duration::ZERO;
         let mut query_time = Duration::ZERO;
@@ -896,6 +951,128 @@ impl ParametricAnalyzer {
             results,
             instantiate_time,
             query_time,
+        })
+    }
+
+    /// The batched sweep: K valuations become K lanes of one [`RelaxKernel`]
+    /// built from the cached [`SweepTemplate`], and one value-iteration pass
+    /// per goal set answers every lane and every time bound at once.
+    fn sweep_batched(&self, times: &[f64], valuations: &[Valuation]) -> Result<RateSweep> {
+        // Merge duplicate time bounds in first-occurrence order — the exact
+        // plan `Analyzer::query_all` builds — so each lane reads the same
+        // merged grid a per-point query would.
+        let mut unique_times: Vec<f64> = Vec::new();
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let slots = times
+            .iter()
+            .map(|&t| {
+                validate_mission_time(t)?;
+                Ok(*slot_of.entry(t.to_bits()).or_insert_with(|| {
+                    unique_times.push(t);
+                    unique_times.len() - 1
+                }))
+            })
+            .collect::<Result<Vec<usize>>>()?;
+
+        let started = Instant::now();
+        let template = self.sweep_template();
+        let lanes = valuations.len();
+        let mut lane_rates = vec![0.0f64; template.forms.len() * lanes];
+        for (k, valuation) in valuations.iter().enumerate() {
+            valuation.check_against(&self.params)?;
+            let values = valuation.values();
+            // Same forms, same eval, same slot order as `map_rates` inside
+            // `instantiate` — lane k's rates carry identical bits.
+            for (e, form) in template.forms.iter().enumerate() {
+                lane_rates[e * lanes + k] = form.eval(values);
+            }
+        }
+        let kernel = RelaxKernel::from_template(&template.states, &lane_rates, lanes)?;
+        let instantiate_time = started.elapsed();
+
+        let started = Instant::now();
+        let epsilon = self.options.epsilon;
+        let workers = kernel.auto_workers();
+        let uppers = kernel.reachability(
+            template.initial,
+            &self.can,
+            &unique_times,
+            epsilon,
+            true,
+            workers,
+        )?;
+        let lowers = if self.point_valued {
+            uppers.clone()
+        } else {
+            kernel.reachability(
+                template.initial,
+                &self.must,
+                &unique_times,
+                epsilon,
+                false,
+                workers,
+            )?
+        };
+        let results = (0..lanes)
+            .map(|k| {
+                let points: Vec<MeasurePoint> = unique_times
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &t)| {
+                        let hi = uppers[slot * lanes + k];
+                        let lo = lowers[slot * lanes + k];
+                        MeasurePoint::bounded(Some(t), self.point_valued.then_some(hi), (lo, hi))
+                    })
+                    .collect();
+                MeasureResult::new(slots.iter().map(|&slot| points[slot]).collect())
+            })
+            .collect();
+        let query_time = started.elapsed();
+        Ok(RateSweep {
+            results,
+            instantiate_time,
+            query_time,
+        })
+    }
+
+    /// The cached structure lowering behind [`sweep_batched`](Self::sweep_batched).
+    fn sweep_template(&self) -> &SweepTemplate {
+        self.sweep_template.get_or_init(|| {
+            let mut forms = Vec::new();
+            let states = self
+                .closed
+                .states()
+                .map(|s| {
+                    let immediate: Vec<u32> = self
+                        .closed
+                        .interactive_from(s)
+                        .iter()
+                        .filter(|t| t.label.is_immediate())
+                        .map(|t| t.to.index() as u32)
+                        .collect();
+                    if !immediate.is_empty() {
+                        CtmdpState::Immediate(immediate)
+                    } else {
+                        CtmdpState::Markovian(
+                            self.closed
+                                .markovian_from(s)
+                                .iter()
+                                .map(|t| {
+                                    forms.push(t.rate.clone());
+                                    // The rate is a template placeholder; the
+                                    // kernel takes real rates per lane.
+                                    (t.to.index() as u32, 1.0)
+                                })
+                                .collect(),
+                        )
+                    }
+                })
+                .collect();
+            SweepTemplate {
+                states,
+                forms,
+                initial: self.closed.initial().index(),
+            }
         })
     }
 
@@ -1088,6 +1265,7 @@ impl ParametricAnalyzer {
             can,
             must,
             point_valued,
+            sweep_template: OnceLock::new(),
         })
     }
 }
@@ -1455,6 +1633,81 @@ mod tests {
             let qa = a.query(Measure::curve([0.5, 1.0])).unwrap();
             let qb = b.query(Measure::curve([0.5, 1.0])).unwrap();
             assert_eq!(bits_of(&qa), bits_of(&qb));
+        }
+    }
+
+    #[test]
+    fn batched_sweeps_match_per_point_queries_bit_for_bit() {
+        // A nondeterministic model (FDEP trigger under a PAND) exercises both
+        // the optimistic and pessimistic kernel passes of the batched sweep.
+        let mut b = DftBuilder::new();
+        let t = b.basic_event("en11_T", 0.5, Dormancy::Hot).unwrap();
+        let x = b.basic_event("en11_X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("en11_Y", 1.3, Dormancy::Hot).unwrap();
+        let _f = b.fdep_gate("en11_F", t, &[x, y]).unwrap();
+        let top = b.pand_gate("en11_Top", &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let parametric = ParametricAnalyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        assert!(parametric.is_nondeterministic());
+
+        let valuations: Vec<Valuation> = [0.6, 1.0, 1.7]
+            .iter()
+            .map(|&s| parametric.params().scaled_valuation(s))
+            .collect();
+        // A curve with a duplicate time bound exercises the merged-grid plan.
+        let measure = Measure::curve([0.4, 1.0, 0.4, 2.0]);
+        for cap in [1usize, 2, 4] {
+            markov::kernel::set_max_workers(cap);
+            let sweep = parametric.sweep_query(&measure, &valuations).unwrap();
+            assert_eq!(sweep.len(), valuations.len());
+            for (valuation, result) in valuations.iter().zip(sweep.results()) {
+                let reference = parametric
+                    .instantiate(valuation)
+                    .unwrap()
+                    .query(measure.clone())
+                    .unwrap();
+                assert_eq!(bits_of(result), bits_of(&reference), "cap {cap}");
+            }
+        }
+        markov::kernel::set_max_workers(0);
+
+        // An empty sweep stays a no-op, and an empty curve still errors when
+        // there is at least one valuation to evaluate it for.
+        assert!(parametric.sweep_query(&measure, &[]).unwrap().is_empty());
+        assert!(parametric
+            .sweep_query(&Measure::curve([]), &valuations)
+            .is_err());
+        assert!(parametric
+            .sweep_query(&Measure::curve([]), &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn point_valued_sweeps_batch_through_one_pass() {
+        // A deterministic model takes the point-valued shortcut (the lower
+        // pass is the upper pass); results must still match per-point queries.
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("en12_P", 0.8, Dormancy::Hot).unwrap();
+        let s = b.basic_event("en12_S", 1.2, Dormancy::Cold).unwrap();
+        let top = b.spare_gate("en12_Top", &[p, s]).unwrap();
+        let dft = b.build(top).unwrap();
+        let parametric = ParametricAnalyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        assert!(!parametric.is_nondeterministic());
+
+        let valuations: Vec<Valuation> = [1.0, 1.5]
+            .iter()
+            .map(|&s| parametric.params().scaled_valuation(s))
+            .collect();
+        let sweep = parametric.sweep_unreliability(0.9, &valuations).unwrap();
+        for (valuation, result) in valuations.iter().zip(sweep.results()) {
+            assert!(!result.is_nondeterministic());
+            let reference = parametric
+                .instantiate(valuation)
+                .unwrap()
+                .unreliability(0.9)
+                .unwrap();
+            assert_eq!(bits_of(result), bits_of(&reference));
         }
     }
 

@@ -826,6 +826,15 @@ impl AnalysisService {
         self.core.queue.stats()
     }
 
+    /// Cumulative counters of the numeric relax kernel (value-iteration
+    /// passes, threaded passes, batched calls).  The counters are
+    /// process-global — they also count kernel work done outside this
+    /// service — and monotonically increasing, so accounting code should
+    /// report deltas between snapshots.
+    pub fn kernel_stats(&self) -> markov::kernel::KernelStats {
+        markov::kernel::stats()
+    }
+
     /// Size of the persistent worker pool: 0 while no submission has started
     /// it yet, [`ServiceOptions::workers`] (with 0 resolved to the core count)
     /// afterwards.
@@ -850,6 +859,14 @@ impl AnalysisService {
         let mut pool = self.pool.lock().expect("pool lock");
         if pool.is_none() {
             let size = resolved_workers(&self.core.options);
+            // The pool is about to occupy `size` threads; cap the numeric
+            // kernel's nested relax threading to the leftover parallelism so
+            // a saturated pool never oversubscribes the host.  The cap only
+            // affects wall-clock — kernel results are worker-count-invariant.
+            let cores = thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            markov::kernel::set_max_workers((cores / size).max(1));
             let workers = (0..size)
                 .map(|i| {
                     let core = Arc::clone(&self.core);

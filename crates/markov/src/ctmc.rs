@@ -1,6 +1,6 @@
 //! Continuous-time Markov chains and transient (uniformisation) analysis.
 
-use crate::poisson::poisson_weights;
+use crate::poisson::{poisson_weights, poisson_weights_multi};
 use crate::sparse::CsrMatrix;
 use crate::{Error, Result};
 
@@ -151,9 +151,12 @@ impl Ctmc {
         let weights = poisson_weights(lambda * t, epsilon)?;
         let mut result = vec![0.0; self.num_states];
         let mut current = pi;
+        // Ping-pong buffer for the power sequence: no per-step allocation.
+        let mut scratch = vec![0.0; self.num_states];
         for (k, &w) in weights.weights.iter().enumerate() {
             if k > 0 {
-                current = p.vec_mul(&current)?;
+                p.vec_mul_into(&current, &mut scratch)?;
+                std::mem::swap(&mut current, &mut scratch);
             }
             if w > 0.0 {
                 for (r, &c) in result.iter_mut().zip(current.iter()) {
@@ -246,10 +249,10 @@ impl Ctmc {
         poisson_weights(0.0, epsilon)?;
 
         let p = absorbed.uniformised(lambda)?;
-        let weights = times
-            .iter()
-            .map(|&t| poisson_weights(lambda * t, epsilon))
-            .collect::<Result<Vec<_>>>()?;
+        // One Poisson window per distinct mean: repeated time bounds (and the
+        // t = 0 degenerate window) are computed once and shared.
+        let means: Vec<f64> = times.iter().map(|&t| lambda * t).collect();
+        let weights = poisson_weights_multi(&means, epsilon)?;
         let k_max = weights
             .iter()
             .map(|w| w.weights.len() - 1)
@@ -257,9 +260,11 @@ impl Ctmc {
             .unwrap_or(0);
 
         let mut results = vec![0.0; times.len()];
+        let mut scratch = vec![0.0; self.num_states];
         for k in 0..=k_max {
             if k > 0 {
-                current = p.vec_mul(&current)?;
+                p.vec_mul_into(&current, &mut scratch)?;
+                std::mem::swap(&mut current, &mut scratch);
             }
             let mass = goal_mass(&current);
             for (result, w) in results.iter_mut().zip(weights.iter()) {
@@ -286,10 +291,11 @@ impl Ctmc {
             });
         }
         let mut value: Vec<f64> = goal.iter().map(|&g| if g { 1.0 } else { 0.0 }).collect();
+        let mut next = vec![0.0; self.num_states];
         let max_iter = 100_000;
         for _ in 0..max_iter {
             let mut delta: f64 = 0.0;
-            let mut next = value.clone();
+            next.copy_from_slice(&value);
             for s in 0..self.num_states {
                 if goal[s] || self.exit_rates[s] == 0.0 {
                     continue;
@@ -302,7 +308,7 @@ impl Ctmc {
                 delta = delta.max((acc - value[s]).abs());
                 next[s] = acc;
             }
-            value = next;
+            std::mem::swap(&mut value, &mut next);
             if delta < tolerance {
                 return Ok(value[self.initial]);
             }

@@ -17,8 +17,10 @@
 //! which yields the optimum over time-abstract schedulers — an upper, respectively
 //! lower, bound for the measure under general schedulers.
 
+use crate::kernel::RelaxKernel;
 use crate::poisson::poisson_weights;
 use crate::{Error, Result};
+use std::sync::OnceLock;
 
 /// One state of a CTMDP.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,9 @@ pub struct Ctmdp {
     states: Vec<CtmdpState>,
     initial: usize,
     goal: Vec<bool>,
+    /// The flat CSR lowering of `states`, built lazily on first query and
+    /// reused by every subsequent reachability call on this model.
+    kernel: OnceLock<RelaxKernel>,
 }
 
 /// The result of a bounded-reachability analysis: an interval.
@@ -99,7 +104,14 @@ impl Ctmdp {
             states,
             initial,
             goal,
+            kernel: OnceLock::new(),
         })
+    }
+
+    /// The cached CSR lowering of this model's states.
+    fn kernel(&self) -> &RelaxKernel {
+        self.kernel
+            .get_or_init(|| RelaxKernel::from_states(&self.states))
     }
 
     /// Number of states.
@@ -197,7 +209,33 @@ impl Ctmdp {
     /// depend on the time bound — only the Poisson mixture weights do — so a whole
     /// mission-time sweep costs one pass to the largest truncation point instead of
     /// one pass per point.  Results are returned in the same order as `times`.
+    ///
+    /// Runs on the cached [`RelaxKernel`]; results are bit-identical to
+    /// [`reachability_extremal_multi_legacy`](Self::reachability_extremal_multi_legacy)
+    /// regardless of the worker count the kernel chooses.
     fn reachability_extremal_multi(
+        &self,
+        times: &[f64],
+        epsilon: f64,
+        maximise: bool,
+    ) -> Result<Vec<f64>> {
+        let kernel = self.kernel();
+        kernel.reachability(
+            self.initial,
+            &self.goal,
+            times,
+            epsilon,
+            maximise,
+            kernel.auto_workers(),
+        )
+    }
+
+    /// The original nested-loop value iteration, kept verbatim as the
+    /// reference implementation for differential tests against the CSR
+    /// kernel ([`crate::kernel`]).  Semantics and bit patterns define the
+    /// contract the kernel must honour; not intended for production use.
+    #[doc(hidden)]
+    pub fn reachability_extremal_multi_legacy(
         &self,
         times: &[f64],
         epsilon: f64,

@@ -40,6 +40,7 @@
 
 pub mod ctmc;
 pub mod ctmdp;
+pub mod kernel;
 pub mod mttf;
 pub mod poisson;
 pub mod sparse;
@@ -47,6 +48,7 @@ pub mod steady;
 
 pub use ctmc::Ctmc;
 pub use ctmdp::{Ctmdp, CtmdpState};
+pub use kernel::RelaxKernel;
 pub use sparse::CsrMatrix;
 
 use std::fmt;

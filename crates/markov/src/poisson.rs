@@ -139,6 +139,40 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Result<PoissonWeights> {
     })
 }
 
+/// Truncated Poisson weights for a whole batch of means, computing each
+/// *distinct* mean exactly once.
+///
+/// Batched transient analyses (many mission times × many sweep valuations)
+/// produce one Poisson mean per (uniformisation rate, time) pair, and those
+/// pairs repeat whenever valuations share a uniformisation rate or a time
+/// bound occurs twice.  Deduplicating by the exact bit pattern of the mean
+/// keeps the result indistinguishable from calling [`poisson_weights`] in a
+/// loop — duplicates are clones of the first computation — while paying for
+/// each distinct window only once.
+///
+/// Results are returned in the same order as `means`.
+///
+/// # Errors
+///
+/// Same as [`poisson_weights`], failing on the first offending mean.
+pub fn poisson_weights_multi(means: &[f64], epsilon: f64) -> Result<Vec<PoissonWeights>> {
+    let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut out: Vec<PoissonWeights> = Vec::with_capacity(means.len());
+    for &mean in means {
+        match seen.entry(mean.to_bits()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let w = out[*e.get()].clone();
+                out.push(w);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push(poisson_weights(mean, epsilon)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Kahan–Babuška compensated sum: error stays a few ulps of the result
 /// independent of the term count, where a naive sum drifts by O(n) ulps.
 fn kahan_sum(values: &[f64]) -> f64 {
@@ -298,6 +332,24 @@ mod tests {
             "mean 2000, eps 1e-12: captured only {}",
             w.total_mass
         );
+    }
+
+    #[test]
+    fn multi_matches_individual_calls_bit_for_bit() {
+        let means = [0.0, 1.5, 7.3, 1.5, 0.0, 42.0, 7.3];
+        let batch = poisson_weights_multi(&means, 1e-11).unwrap();
+        assert_eq!(batch.len(), means.len());
+        for (&mean, w) in means.iter().zip(&batch) {
+            let reference = poisson_weights(mean, 1e-11).unwrap();
+            assert_eq!(w, &reference, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn multi_rejects_bad_means_like_the_scalar_call() {
+        assert!(poisson_weights_multi(&[1.0, -2.0], 1e-9).is_err());
+        assert!(poisson_weights_multi(&[1.0], 0.0).is_err());
+        assert_eq!(poisson_weights_multi(&[], 1e-9).unwrap().len(), 0);
     }
 
     #[test]

@@ -125,13 +125,35 @@ impl CsrMatrix {
     ///
     /// Returns [`Error::DimensionMismatch`] if `x.len() != num_rows`.
     pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.num_cols];
+        self.vec_mul_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `y = x · M` into a caller-provided buffer, so an iterative
+    /// solver can ping-pong two vectors without per-step allocation.
+    ///
+    /// `y` is fully overwritten; operation order matches [`vec_mul`](Self::vec_mul)
+    /// exactly, so swapping the allocating call for this one changes no bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != num_rows` or
+    /// `y.len() != num_cols`.
+    pub fn vec_mul_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
         if x.len() != self.num_rows {
             return Err(Error::DimensionMismatch {
                 expected: self.num_rows,
                 actual: x.len(),
             });
         }
-        let mut y = vec![0.0; self.num_cols];
+        if y.len() != self.num_cols {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_cols,
+                actual: y.len(),
+            });
+        }
+        y.fill(0.0);
         for (row, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
@@ -141,7 +163,7 @@ impl CsrMatrix {
                 y[c as usize] += xi * v;
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Computes the matrix–vector product `y = M · x`.
@@ -150,13 +172,32 @@ impl CsrMatrix {
     ///
     /// Returns [`Error::DimensionMismatch`] if `x.len() != num_cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.num_rows];
+        self.mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `y = M · x` into a caller-provided buffer, the allocation-free
+    /// counterpart of [`mul_vec`](Self::mul_vec) with identical operation
+    /// order (bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != num_cols` or
+    /// `y.len() != num_rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
         if x.len() != self.num_cols {
             return Err(Error::DimensionMismatch {
                 expected: self.num_cols,
                 actual: x.len(),
             });
         }
-        let mut y = vec![0.0; self.num_rows];
+        if y.len() != self.num_rows {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_rows,
+                actual: y.len(),
+            });
+        }
         for (row, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(row);
             let mut acc = 0.0;
@@ -165,7 +206,7 @@ impl CsrMatrix {
             }
             *out = acc;
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Sum of the stored entries of `row`.
@@ -239,6 +280,23 @@ mod tests {
         // y_i = sum_j M[i][j] * x_j
         assert_eq!(y, vec![13.0, 1.0, 12.0]);
         assert!(m.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn in_place_products_match_the_allocating_calls() {
+        let m = sample();
+        let x = [1.0, 2.0, 0.5];
+        let mut y = vec![7.0; 3];
+        m.vec_mul_into(&x, &mut y).unwrap();
+        assert_eq!(y, m.vec_mul(&x).unwrap());
+        m.mul_vec_into(&x, &mut y).unwrap();
+        assert_eq!(y, m.mul_vec(&x).unwrap());
+        // Buffer-length mismatches are rejected, as are input mismatches.
+        let mut short = vec![0.0; 2];
+        assert!(m.vec_mul_into(&x, &mut short).is_err());
+        assert!(m.mul_vec_into(&x, &mut short).is_err());
+        assert!(m.vec_mul_into(&[1.0], &mut y).is_err());
+        assert!(m.mul_vec_into(&[1.0], &mut y).is_err());
     }
 
     #[test]

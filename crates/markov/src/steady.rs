@@ -59,15 +59,18 @@ pub fn steady_state(ctmc: &Ctmc, tolerance: f64) -> Result<Vec<f64>> {
     let p = CsrMatrix::from_triplets(n, n, &triplets)?;
 
     let mut pi = vec![1.0 / n as f64; n];
+    // Ping-pong two buffers through the power iteration instead of allocating
+    // a fresh vector per step; vec_mul_into is bit-identical to vec_mul.
+    let mut next = vec![0.0; n];
     let max_iter = 1_000_000;
     for it in 0..max_iter {
-        let next = p.vec_mul(&pi)?;
+        p.vec_mul_into(&pi, &mut next)?;
         let delta: f64 = next
             .iter()
             .zip(pi.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        pi = next;
+        std::mem::swap(&mut pi, &mut next);
         if delta < tolerance {
             // Normalise away accumulated rounding drift.
             let total: f64 = pi.iter().sum();
