@@ -1319,6 +1319,131 @@ pub fn run_persistence_experiment(
     })
 }
 
+/// Results of the hybrid static-module experiment: the same static-heavy tree
+/// analysed by the pure compositional pipeline and by the hybrid backend that
+/// BDD-solves the static crown and keeps state space only inside the dynamic
+/// cores.
+#[derive(Debug, Clone)]
+pub struct HybridExperiment {
+    /// Basic events in the static crown structure (the spare pair is extra).
+    pub static_width: usize,
+    /// Closed-model states of the pure compositional session.
+    pub compositional_states: usize,
+    /// Summed core states of the hybrid session (0 for a fully static tree).
+    pub hybrid_states: usize,
+    /// `compositional_states / max(hybrid_states, 1)`.
+    pub reduction_factor: f64,
+    /// Dynamic cores found by the modularization pass.
+    pub cores: usize,
+    /// Elements solved in the BDD crown.
+    pub crown_elements: usize,
+    /// Elements left to the state-space cores.
+    pub core_elements: usize,
+    /// Largest absolute difference between the two unreliability curves over
+    /// [`DEFAULT_MISSION_TIMES`].
+    pub max_curve_diff: f64,
+    /// Build/query split of the pure compositional session.
+    pub compositional_timings: PhaseTimings,
+    /// Build/query split of the hybrid session.
+    pub hybrid_timings: PhaseTimings,
+}
+
+/// The experiment's subject: `static_width` distinct-rate basic events grouped
+/// three at a time under alternating AND / 2-of-3 / OR gates, OR'd at the top
+/// with one cold-spare pair — all the dynamism in a two-element core, all the
+/// bulk in the static crown.
+pub fn static_heavy_tree(static_width: usize) -> Dft {
+    let mut b = DftBuilder::new();
+    let mut groups = Vec::new();
+    let mut leaves = Vec::new();
+    for i in 0..static_width {
+        let rate = 0.25 + 0.05 * i as f64;
+        let be = b
+            .basic_event(&format!("hx_e{i}"), rate, Dormancy::Hot)
+            .expect("fresh name");
+        leaves.push(be);
+        if leaves.len() == 3 {
+            let inputs: Vec<ElementId> = std::mem::take(&mut leaves);
+            let name = format!("hx_g{}", groups.len());
+            let gate = match groups.len() % 3 {
+                0 => b.and_gate(&name, &inputs).expect("fresh gate"),
+                1 => b.voting_gate(&name, 2, &inputs).expect("fresh gate"),
+                _ => b.or_gate(&name, &inputs).expect("fresh gate"),
+            };
+            groups.push(gate);
+        }
+    }
+    groups.extend(leaves);
+    let p = b
+        .basic_event("hx_p", 1.0, Dormancy::Hot)
+        .expect("fresh name");
+    let s = b
+        .basic_event("hx_s", 1.0, Dormancy::Cold)
+        .expect("fresh name");
+    groups.push(b.spare_gate("hx_spare", &[p, s]).expect("fresh gate"));
+    let top = b.or_gate("hx_top", &groups).expect("fresh gate");
+    b.build(top).expect("well-formed tree")
+}
+
+/// Runs the hybrid experiment on [`static_heavy_tree`]`(static_width)`.
+///
+/// # Errors
+///
+/// Propagates analysis errors (none occur for the fixed tree family).
+pub fn run_hybrid_experiment(static_width: usize) -> Result<HybridExperiment> {
+    let dft = static_heavy_tree(static_width);
+    let times = DEFAULT_MISSION_TIMES.to_vec();
+
+    let run = |method: Method| -> Result<(Analyzer, Vec<f64>, PhaseTimings)> {
+        let options = AnalysisOptions {
+            method,
+            // Tight truncation bound: the curves are compared against each
+            // other, so the numerical error must sit far below the gap the
+            // comparison is meant to detect.
+            epsilon: 1e-13,
+        };
+        let build_start = Instant::now();
+        let analyzer = Analyzer::new(&dft, options)?;
+        let build = build_start.elapsed();
+        let query_start = Instant::now();
+        let curve = analyzer
+            .unreliability_curve(&times)?
+            .points()
+            .iter()
+            .map(|p| p.value())
+            .collect();
+        let query = query_start.elapsed();
+        Ok((analyzer, curve, PhaseTimings { build, query }))
+    };
+
+    let (pure, reference, compositional_timings) = run(Method::Compositional)?;
+    let (hybrid, reduced, hybrid_timings) = run(Method::Hybrid)?;
+    let stats = hybrid
+        .module_stats()
+        .expect("a spare pair under an OR of static modules must decompose");
+
+    let compositional_states = pure.model_stats().states;
+    let hybrid_states = hybrid.model_stats().states;
+    let max_curve_diff = reference
+        .iter()
+        .zip(&reduced)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    Ok(HybridExperiment {
+        static_width,
+        compositional_states,
+        hybrid_states,
+        reduction_factor: compositional_states as f64 / hybrid_states.max(1) as f64,
+        cores: stats.core_count,
+        crown_elements: stats.crown_elements,
+        core_elements: stats.core_elements,
+        max_curve_diff,
+        compositional_timings,
+        hybrid_timings,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1434,6 +1559,23 @@ mod tests {
         assert_eq!(e.build_waits, 0, "duplicates park, they never block");
         assert!(e.bit_identical, "queued results must match sequential runs");
         assert!(e.latency_p99 >= e.latency_p50);
+    }
+
+    #[test]
+    fn hybrid_experiment_reduces_states_and_matches_curves() {
+        let e = run_hybrid_experiment(9).unwrap();
+        assert_eq!(e.cores, 1, "one spare pair, one dynamic core");
+        assert!(e.crown_elements > 0 && e.core_elements > 0);
+        assert!(
+            e.reduction_factor >= 10.0,
+            "reduction {} below the promised 10x",
+            e.reduction_factor
+        );
+        assert!(
+            e.max_curve_diff <= 1e-12,
+            "curves diverge by {}",
+            e.max_curve_diff
+        );
     }
 
     #[test]

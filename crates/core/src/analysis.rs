@@ -56,6 +56,14 @@ pub enum Method {
     Compositional,
     /// Direct generation of one CTMC for the whole tree (DIFTree-style baseline).
     Monolithic,
+    /// Hybrid static/dynamic decomposition: maximal dynamic cores are analysed
+    /// compositionally, the static crown above them is solved combinatorially
+    /// on a BDD (see [`dft::modules::hybrid_plan`]).  Exact — and typically
+    /// orders of magnitude smaller in state space — for unrepairable trees
+    /// whose dynamic cores are deterministic; repairable or non-deterministic
+    /// trees silently fall back to the full compositional pipeline, so the
+    /// method is always safe to request.
+    Hybrid,
 }
 
 /// Options shared by the analyses.
@@ -186,7 +194,9 @@ pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<Unavailabi
         });
     }
     match options.method {
-        Method::Compositional => {}
+        // Hybrid sessions over repairable trees fall back to the full
+        // compositional pipeline, which serves unavailability.
+        Method::Compositional | Method::Hybrid => {}
         Method::Monolithic => {
             return Err(Error::Unsupported {
                 message: "the monolithic baseline only supports unreliability analysis".to_owned(),

@@ -56,7 +56,9 @@ use crate::query::{Measure, MeasurePoint, MeasureResult};
 use crate::semantics::monitor;
 use crate::store;
 use crate::{Error, Result};
-use dft::Dft;
+use dft::bdd::{Bdd, BddNode};
+use dft::modules::{hybrid_plan, ModuleStats};
+use dft::{Dft, Element};
 use ioimc::bisim::minimize;
 use ioimc::closed::{
     can_fire_immediately, check_deterministic, drop_input_transitions, must_fire_immediately,
@@ -197,6 +199,83 @@ enum Backend {
     },
     /// The DIFTree-style baseline: one CTMC over the whole tree.
     Monolithic { ctmc: Ctmc, goal: Vec<bool> },
+    /// The hybrid static/dynamic decomposition (see
+    /// [`dft::modules::hybrid_plan`]): each maximal dynamic core is a nested
+    /// compositional session over its sub-DFT, and the static crown above the
+    /// cores is a BDD over crown basic events and core exits, evaluated
+    /// combinatorially at query time.  Only built for unrepairable trees whose
+    /// cores are all deterministic — the conditions under which crown
+    /// composition is exact; anything else falls back to
+    /// [`Backend::Compositional`] under the same [`Method::Hybrid`] label.
+    Hybrid {
+        /// The crown function; its variables are original [`dft::ElementId`]
+        /// indices described by `leaves`.
+        crown: Bdd,
+        /// One entry per element of the original tree: what the crown variable
+        /// with that index stands for.
+        leaves: Vec<HybridLeaf>,
+        /// The nested compositional sessions, one per dynamic core.
+        cores: Vec<Analyzer>,
+        /// The modularization decision record of the plan that produced this
+        /// decomposition.
+        modules: ModuleStats,
+    },
+}
+
+/// What one crown-BDD variable (an original element id) stands for in a hybrid
+/// session.
+#[derive(Debug, Clone, PartialEq)]
+enum HybridLeaf {
+    /// Not a crown leaf: an internal crown gate, or a core member that is not
+    /// an exit.  Never referenced by the crown BDD.
+    Unused,
+    /// A basic event of the crown; it fails exponentially with this rate.
+    Basic {
+        /// Active failure rate λ (crown events are never spare inputs, so
+        /// dormancy cannot apply).
+        rate: f64,
+    },
+    /// The exit of one dynamic core: its failure probability at `t` is that
+    /// core session's unreliability at `t`.
+    Core {
+        /// Index into [`Backend::Hybrid::cores`].
+        index: usize,
+    },
+}
+
+fn add_model_stats(a: ModelStats, b: ModelStats) -> ModelStats {
+    ModelStats {
+        states: a.states + b.states,
+        interactive_transitions: a.interactive_transitions + b.interactive_transitions,
+        markovian_transitions: a.markovian_transitions + b.markovian_transitions,
+        inputs: a.inputs + b.inputs,
+        outputs: a.outputs + b.outputs,
+        internals: a.internals + b.internals,
+    }
+}
+
+/// Sums the per-core model sizes into the session-level [`ModelStats`]: the
+/// hybrid state space is exactly the union of the (independent) core state
+/// spaces — the crown adds no states at all.
+fn sum_model_stats<'a>(cores: impl Iterator<Item = &'a Analyzer>) -> ModelStats {
+    cores.fold(ModelStats::default(), |acc, core| {
+        add_model_stats(acc, core.model_stats())
+    })
+}
+
+/// Merges the per-core aggregation records of a hybrid session: steps are
+/// concatenated in core order (the cores run their pipelines sequentially),
+/// the peak is the componentwise maximum, and the final model is the disjoint
+/// union of the core models.
+fn merge_aggregation_stats<'a>(
+    stats: impl Iterator<Item = &'a AggregationStats>,
+) -> AggregationStats {
+    stats.fold(AggregationStats::default(), |mut acc, s| {
+        acc.steps.extend(s.steps.iter().cloned());
+        acc.peak = acc.peak.max(s.peak);
+        acc.final_model = add_model_stats(acc.final_model, s.final_model);
+        acc
+    })
 }
 
 impl Analyzer {
@@ -212,6 +291,7 @@ impl Analyzer {
         match options.method {
             Method::Compositional => Analyzer::compositional(dft, options),
             Method::Monolithic => Analyzer::monolithic(dft, options),
+            Method::Hybrid => Analyzer::hybrid(dft, options),
         }
     }
 
@@ -258,6 +338,60 @@ impl Analyzer {
                 goal: result.goal,
             },
             ran_aggregation: false,
+        })
+    }
+
+    /// Builds the hybrid static/dynamic session, or falls back to the full
+    /// compositional pipeline (still labelled [`Method::Hybrid`]) whenever the
+    /// decomposition would not be exact: the tree is repairable (crown BDDs
+    /// assume monotone "failed by `t`" indicators) or some dynamic core turns
+    /// out non-deterministic (per-core bounds do not compose through the
+    /// crown).
+    fn hybrid(dft: &Dft, options: AnalysisOptions) -> Result<Analyzer> {
+        if dft.is_repairable() {
+            return Analyzer::compositional(dft, options);
+        }
+        let plan = hybrid_plan(dft);
+        let core_options = AnalysisOptions {
+            method: Method::Compositional,
+            ..options
+        };
+        let mut cores = Vec::with_capacity(plan.cores.len());
+        for core in &plan.cores {
+            let analyzer = Analyzer::compositional(&core.dft, core_options.clone())?;
+            if analyzer.is_nondeterministic() {
+                return Analyzer::compositional(dft, options);
+            }
+            cores.push(analyzer);
+        }
+
+        let mut leaves = vec![HybridLeaf::Unused; dft.num_elements()];
+        for &e in &plan.crown {
+            if let Element::BasicEvent(be) = dft.element(e) {
+                leaves[e.index()] = HybridLeaf::Basic { rate: be.rate };
+            }
+        }
+        for (index, core) in plan.cores.iter().enumerate() {
+            leaves[core.exit.index()] = HybridLeaf::Core { index };
+        }
+        let crown = Bdd::build(dft, dft.top(), |e| {
+            !matches!(leaves[e.index()], HybridLeaf::Unused)
+        })?;
+
+        Ok(Analyzer {
+            options,
+            repairable: false,
+            aggregation: Some(merge_aggregation_stats(
+                cores.iter().filter_map(Analyzer::aggregation_stats),
+            )),
+            model_stats: sum_model_stats(cores.iter()),
+            backend: Backend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                modules: plan.stats,
+            },
+            ran_aggregation: true,
         })
     }
 
@@ -453,6 +587,45 @@ impl Analyzer {
                         .collect(),
                 ))
             }
+            Backend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                ..
+            } => {
+                // One multi-time pass per dynamic core, then a combinatorial
+                // crown evaluation per time point.  Exact because the cores are
+                // pairwise independent and independent of every crown basic
+                // event, and all indicators are monotone ("failed by t").
+                let core_curves = cores
+                    .iter()
+                    .map(|core| {
+                        Ok(core
+                            .unreliability_points(times)?
+                            .points()
+                            .iter()
+                            .map(MeasurePoint::value)
+                            .collect::<Vec<f64>>())
+                    })
+                    .collect::<Result<Vec<Vec<f64>>>>()?;
+                let mut probabilities = vec![0.0f64; leaves.len()];
+                Ok(MeasureResult::new(
+                    times
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &t)| {
+                            for (p, leaf) in probabilities.iter_mut().zip(leaves) {
+                                *p = match leaf {
+                                    HybridLeaf::Unused => 0.0,
+                                    HybridLeaf::Basic { rate } => -(-rate * t).exp_m1(),
+                                    HybridLeaf::Core { index } => core_curves[*index][i],
+                                };
+                            }
+                            MeasurePoint::exact(Some(t), crown.probability(&probabilities))
+                        })
+                        .collect(),
+                ))
+            }
         }
     }
 
@@ -466,6 +639,11 @@ impl Analyzer {
         match &self.backend {
             Backend::Monolithic { .. } => Err(Error::Unsupported {
                 message: "the monolithic baseline only supports unreliability analysis".to_owned(),
+            }),
+            // Defensive: a genuine hybrid backend implies an unrepairable tree,
+            // so the check above already returned.
+            Backend::Hybrid { .. } => Err(Error::Unsupported {
+                message: "the hybrid decomposition only exists for unrepairable trees".to_owned(),
             }),
             Backend::Compositional { has_repair, .. } => {
                 if !has_repair {
@@ -491,6 +669,15 @@ impl Analyzer {
             Backend::Compositional { .. } => {
                 let (ctmc, down) = self.tangible()?;
                 markov::mttf::mean_time_to_absorption(ctmc, down, self.options.epsilon)?
+            }
+            // MTTF needs a single first-passage model; the hybrid crown only
+            // composes time-bounded failure probabilities.
+            Backend::Hybrid { .. } => {
+                return Err(Error::Unsupported {
+                    message: "the hybrid decomposition only supports unreliability analysis; \
+                              use the compositional method for MTTF"
+                        .to_owned(),
+                });
             }
         };
         Ok(MeasureResult::new(vec![MeasurePoint::exact(None, mttf)]))
@@ -535,15 +722,19 @@ impl Analyzer {
     }
 
     /// How many times this session has run compositional aggregation: 1 for a
-    /// compositional build, 0 for the monolithic baseline, for parametric
-    /// instantiations *and* for sessions restored from bytes (a restored
-    /// session carries the original run's [`aggregation_stats`] but ran no
-    /// pipeline of its own — that is the entire point of persisting it) — and
-    /// never more, regardless of how many queries were answered.
+    /// compositional build, one per dynamic core for a hybrid build, 0 for the
+    /// monolithic baseline, for parametric instantiations *and* for sessions
+    /// restored from bytes (a restored session carries the original run's
+    /// [`aggregation_stats`] but ran no pipeline of its own — that is the
+    /// entire point of persisting it) — and never more, regardless of how many
+    /// queries were answered.
     ///
     /// [`aggregation_stats`]: Self::aggregation_stats
     pub fn aggregation_runs(&self) -> usize {
-        usize::from(self.ran_aggregation)
+        match &self.backend {
+            Backend::Hybrid { cores, .. } if self.ran_aggregation => cores.len(),
+            _ => usize::from(self.ran_aggregation),
+        }
     }
 
     /// Returns `true` if the final model contained immediate non-determinism, so
@@ -551,15 +742,17 @@ impl Analyzer {
     pub fn is_nondeterministic(&self) -> bool {
         match &self.backend {
             Backend::Compositional { point_valued, .. } => !point_valued,
-            Backend::Monolithic { .. } => false,
+            // A hybrid backend is only ever built from deterministic cores.
+            Backend::Monolithic { .. } | Backend::Hybrid { .. } => false,
         }
     }
 
-    /// The closed, minimised final I/O-IMC (compositional method only).
+    /// The closed, minimised final I/O-IMC (compositional method only; a hybrid
+    /// session has one closed model *per core* and no single final I/O-IMC).
     pub fn final_model(&self) -> Option<&IoImc> {
         match &self.backend {
             Backend::Compositional { closed, .. } => Some(closed),
-            Backend::Monolithic { .. } => None,
+            Backend::Monolithic { .. } | Backend::Hybrid { .. } => None,
         }
     }
 
@@ -568,7 +761,20 @@ impl Analyzer {
     pub fn top_failure(&self) -> Option<Action> {
         match &self.backend {
             Backend::Compositional { top_failure, .. } => Some(*top_failure),
-            Backend::Monolithic { .. } => None,
+            Backend::Monolithic { .. } | Backend::Hybrid { .. } => None,
+        }
+    }
+
+    /// The modularization record of the hybrid decomposition: how many static
+    /// modules were found, how many elements ended up in the BDD crown and how
+    /// many in dynamic cores.  `None` for the other methods *and* for hybrid
+    /// sessions that fell back to the compositional pipeline (repairable tree
+    /// or a non-deterministic core) — so `Some` here certifies that the
+    /// decomposition actually happened.
+    pub fn module_stats(&self) -> Option<ModuleStats> {
+        match &self.backend {
+            Backend::Hybrid { modules, .. } => Some(*modules),
+            Backend::Compositional { .. } | Backend::Monolithic { .. } => None,
         }
     }
 
@@ -610,16 +816,24 @@ impl Analyzer {
     /// frames it with the entry's real fingerprint.
     pub(crate) fn encode_payload(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        store::encode_options(&self.options, &mut w);
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Writes the session body onto a shared writer, without framing or
+    /// trailing checks: a hybrid payload embeds one body per core back to back
+    /// on the same writer, so bodies must compose.
+    fn encode_body(&self, w: &mut Writer) {
+        store::encode_options(&self.options, w);
         w.bool(self.repairable);
         match &self.aggregation {
             None => w.bool(false),
             Some(stats) => {
                 w.bool(true);
-                store::encode_aggregation_stats(stats, &mut w);
+                store::encode_aggregation_stats(stats, w);
             }
         }
-        store::encode_model_stats(self.model_stats, &mut w);
+        store::encode_model_stats(self.model_stats, w);
         match &self.backend {
             Backend::Compositional {
                 closed,
@@ -634,9 +848,9 @@ impl Analyzer {
                 w.str(top_failure.name());
                 w.bool(*has_repair);
                 w.bool(*point_valued);
-                codec::encode_model(closed, &mut w);
-                store::encode_ctmdp(upper, &mut w);
-                store::encode_ctmdp(lower, &mut w);
+                codec::encode_model(closed, w);
+                store::encode_ctmdp(upper, w);
+                store::encode_ctmdp(lower, w);
             }
             Backend::Monolithic { ctmc, goal } => {
                 w.u8(1);
@@ -649,32 +863,79 @@ impl Analyzer {
                     w.u32(to);
                     w.f64(rate);
                 }
-                store::encode_bools(goal, &mut w);
+                store::encode_bools(goal, w);
+            }
+            Backend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                modules,
+            } => {
+                w.u8(2);
+                store::encode_module_stats(*modules, w);
+                w.len_prefix(crown.node_count());
+                for node in crown.nodes() {
+                    w.u32(node.var);
+                    w.u32(node.lo);
+                    w.u32(node.hi);
+                }
+                w.u32(crown.root());
+                w.len_prefix(leaves.len());
+                for leaf in leaves {
+                    match leaf {
+                        HybridLeaf::Unused => w.u8(0),
+                        HybridLeaf::Basic { rate } => {
+                            w.u8(1);
+                            w.f64(*rate);
+                        }
+                        HybridLeaf::Core { index } => {
+                            w.u8(2);
+                            w.u32(u32::try_from(*index).expect("core count fits in u32"));
+                        }
+                    }
+                }
+                w.len_prefix(cores.len());
+                for core in cores {
+                    core.encode_body(w);
+                }
             }
         }
-        w.into_bytes()
     }
 
     /// Decodes a payload produced by [`encode_payload`](Self::encode_payload),
     /// re-validating every embedded model.
     pub(crate) fn decode_payload(payload: &[u8]) -> DecodeResult<Analyzer> {
         let mut r = Reader::new(payload);
-        let options = store::decode_options(&mut r)?;
+        let analyzer = Analyzer::decode_body(&mut r)?;
+        if !r.is_done() {
+            return Err(DecodeError::new("trailing bytes after the session payload"));
+        }
+        Ok(analyzer)
+    }
+
+    /// Reads one session body from a shared reader (the inverse of
+    /// [`encode_body`](Self::encode_body)); the caller checks for trailing
+    /// bytes once the outermost body is done.
+    fn decode_body(r: &mut Reader) -> DecodeResult<Analyzer> {
+        let options = store::decode_options(r)?;
         let repairable = r.bool()?;
         let aggregation = if r.bool()? {
-            Some(store::decode_aggregation_stats(&mut r)?)
+            Some(store::decode_aggregation_stats(r)?)
         } else {
             None
         };
-        let model_stats = store::decode_model_stats(&mut r)?;
+        let model_stats = store::decode_model_stats(r)?;
         let backend = match (r.u8()?, options.method) {
-            (0, Method::Compositional) => {
+            // Tag 0 under `Method::Hybrid` is a hybrid session that fell back
+            // to the compositional pipeline (repairable tree or
+            // non-deterministic core): same body, different label.
+            (0, Method::Compositional | Method::Hybrid) => {
                 let top_failure = Action::new(&r.str()?);
                 let has_repair = r.bool()?;
                 let point_valued = r.bool()?;
-                let closed = codec::decode_model::<f64>(&mut r)?;
-                let upper = store::decode_ctmdp(&mut r)?;
-                let lower = store::decode_ctmdp(&mut r)?;
+                let closed = codec::decode_model::<f64>(r)?;
+                let upper = store::decode_ctmdp(r)?;
+                let lower = store::decode_ctmdp(r)?;
                 if upper.num_states() != closed.num_states()
                     || lower.num_states() != closed.num_states()
                 {
@@ -702,11 +963,85 @@ impl Analyzer {
                 }
                 let ctmc = Ctmc::from_transitions(num_states, initial, &transitions)
                     .map_err(|e| DecodeError::new(format!("decoded CTMC is invalid: {e}")))?;
-                let goal = store::decode_bools(&mut r)?;
+                let goal = store::decode_bools(&mut *r)?;
                 if goal.len() != num_states {
                     return Err(DecodeError::new("goal vector length mismatch"));
                 }
                 Backend::Monolithic { ctmc, goal }
+            }
+            (2, Method::Hybrid) => {
+                if repairable {
+                    return Err(DecodeError::new(
+                        "a hybrid decomposition cannot be repairable",
+                    ));
+                }
+                let modules = store::decode_module_stats(r)?;
+                let n = r.len_prefix(12)?;
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(BddNode {
+                        var: r.u32()?,
+                        lo: r.u32()?,
+                        hi: r.u32()?,
+                    });
+                }
+                let root = r.u32()?;
+                let crown = Bdd::from_parts(nodes, root)
+                    .map_err(|e| DecodeError::new(format!("decoded crown BDD is invalid: {e}")))?;
+                let n_leaves = r.len_prefix(1)?;
+                let mut leaves = Vec::with_capacity(n_leaves);
+                for _ in 0..n_leaves {
+                    leaves.push(match r.u8()? {
+                        0 => HybridLeaf::Unused,
+                        1 => {
+                            let rate = r.f64()?;
+                            if !rate.is_finite() || rate <= 0.0 {
+                                return Err(DecodeError::new(
+                                    "crown basic-event rate out of range",
+                                ));
+                            }
+                            HybridLeaf::Basic { rate }
+                        }
+                        2 => HybridLeaf::Core {
+                            index: r.u32()? as usize,
+                        },
+                        tag => {
+                            return Err(DecodeError::new(format!("unknown hybrid leaf tag {tag}")))
+                        }
+                    });
+                }
+                let n_cores = r.len_prefix(1)?;
+                let mut cores = Vec::with_capacity(n_cores);
+                for _ in 0..n_cores {
+                    let core = Analyzer::decode_body(r)?;
+                    if core.method() != Method::Compositional || core.is_nondeterministic() {
+                        return Err(DecodeError::new(
+                            "hybrid cores must be deterministic compositional sessions",
+                        ));
+                    }
+                    cores.push(core);
+                }
+                for leaf in &leaves {
+                    if let HybridLeaf::Core { index } = leaf {
+                        if *index >= cores.len() {
+                            return Err(DecodeError::new("hybrid leaf references a missing core"));
+                        }
+                    }
+                }
+                for var in crown.support() {
+                    if !matches!(
+                        leaves.get(var.index()),
+                        Some(HybridLeaf::Basic { .. } | HybridLeaf::Core { .. })
+                    ) {
+                        return Err(DecodeError::new("crown BDD references an unused leaf"));
+                    }
+                }
+                Backend::Hybrid {
+                    crown,
+                    leaves,
+                    cores,
+                    modules,
+                }
             }
             (tag, method) => {
                 return Err(DecodeError::new(format!(
@@ -714,9 +1049,6 @@ impl Analyzer {
                 )))
             }
         };
-        if !r.is_done() {
-            return Err(DecodeError::new("trailing bytes after the session payload"));
-        }
         Ok(Analyzer {
             options,
             repairable,
@@ -781,21 +1113,77 @@ pub struct ParametricAnalyzer {
     /// `false` for sessions restored via [`from_bytes`](Self::from_bytes).
     ran_aggregation: bool,
     model_stats: ModelStats,
-    /// The closed, minimised parametric model (rates are linear forms).
-    closed: ParametricIoImc,
-    top_failure: Action,
-    has_repair: bool,
+    /// What every slot of a [`Valuation`] means.  Always the table
+    /// [`convert_parametric`] builds for the tree — one failure (and, where
+    /// repairable, repair) slot per basic event in element order — whichever
+    /// backend answers the queries.
     params: ParamTable,
-    /// Optimistic goal set ("can fire the top failure immediately") — depends
-    /// only on the interactive structure, so it is shared by every valuation.
-    can: Vec<bool>,
-    /// Pessimistic goal set ("must fire the top failure immediately").
-    must: Vec<bool>,
-    point_valued: bool,
-    /// The shared CTMDP structure of the closed model, lowered once on first
-    /// sweep: batched sweeps evaluate rate forms straight into kernel lanes
-    /// instead of instantiating one `Ctmdp` pair per valuation.
-    sweep_template: OnceLock<SweepTemplate>,
+    backend: ParametricBackend,
+}
+
+/// The parametric counterpart of [`Backend`]: what [`ParametricAnalyzer`]
+/// caches between [`instantiate`](ParametricAnalyzer::instantiate) calls.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum ParametricBackend {
+    /// The symbolic closed model of the full tree.
+    Compositional {
+        /// The closed, minimised parametric model (rates are linear forms).
+        closed: ParametricIoImc,
+        top_failure: Action,
+        has_repair: bool,
+        /// Optimistic goal set ("can fire the top failure immediately") —
+        /// depends only on the interactive structure, so it is shared by every
+        /// valuation.
+        can: Vec<bool>,
+        /// Pessimistic goal set ("must fire the top failure immediately").
+        must: Vec<bool>,
+        point_valued: bool,
+        /// The shared CTMDP structure of the closed model, lowered once on
+        /// first sweep: batched sweeps evaluate rate forms straight into
+        /// kernel lanes instead of instantiating one `Ctmdp` pair per
+        /// valuation.
+        sweep_template: OnceLock<SweepTemplate>,
+    },
+    /// The parametric hybrid decomposition: one nested parametric session per
+    /// dynamic core, a shared crown BDD, and leaves that read failure rates
+    /// straight out of the session's global [`ParamTable`].
+    Hybrid {
+        crown: Bdd,
+        /// One entry per element of the original tree (same indexing as
+        /// [`Backend::Hybrid`]).
+        leaves: Vec<ParametricLeaf>,
+        cores: Vec<ParametricCore>,
+        modules: ModuleStats,
+    },
+}
+
+/// What one crown-BDD variable stands for in a *parametric* hybrid session.
+#[derive(Debug, Clone, PartialEq)]
+enum ParametricLeaf {
+    /// Never referenced by the crown BDD.
+    Unused,
+    /// A crown basic event; its failure rate is this slot of the session's
+    /// global [`ParamTable`].
+    Basic {
+        /// Slot index into the global table.
+        slot: u32,
+    },
+    /// The exit of one dynamic core.
+    Core {
+        /// Index into [`ParametricBackend::Hybrid::cores`].
+        index: usize,
+    },
+}
+
+/// One dynamic core of a parametric hybrid session: the nested parametric
+/// session over the core's sub-DFT plus the projection from the global
+/// parameter table onto the core's own table.
+#[derive(Debug)]
+struct ParametricCore {
+    analyzer: ParametricAnalyzer,
+    /// `slots[i]` is the global slot feeding slot `i` of `analyzer.params()`.
+    slots: Vec<u32>,
 }
 
 /// The lowering [`ParametricAnalyzer`] caches for batched sweeps: the CTMDP
@@ -809,6 +1197,50 @@ struct SweepTemplate {
     initial: usize,
 }
 
+/// The cached structure lowering behind
+/// [`ParametricAnalyzer::sweep_query`]: runs once per session (per
+/// compositional backend) and is shared by every subsequent batched sweep.
+fn lower_sweep_template<'a>(
+    closed: &ParametricIoImc,
+    lock: &'a OnceLock<SweepTemplate>,
+) -> &'a SweepTemplate {
+    lock.get_or_init(|| {
+        let mut forms = Vec::new();
+        let states = closed
+            .states()
+            .map(|s| {
+                let immediate: Vec<u32> = closed
+                    .interactive_from(s)
+                    .iter()
+                    .filter(|t| t.label.is_immediate())
+                    .map(|t| t.to.index() as u32)
+                    .collect();
+                if !immediate.is_empty() {
+                    CtmdpState::Immediate(immediate)
+                } else {
+                    CtmdpState::Markovian(
+                        closed
+                            .markovian_from(s)
+                            .iter()
+                            .map(|t| {
+                                forms.push(t.rate.clone());
+                                // The rate is a template placeholder; the
+                                // kernel takes real rates per lane.
+                                (t.to.index() as u32, 1.0)
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        SweepTemplate {
+            states,
+            forms,
+            initial: closed.initial().index(),
+        }
+    })
+}
+
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ParametricAnalyzer>()
@@ -816,7 +1248,8 @@ const _: () = {
 
 impl ParametricAnalyzer {
     /// Builds the parametric session: validates and converts the DFT with
-    /// symbolic rates and runs compositional aggregation exactly once.
+    /// symbolic rates and runs compositional aggregation exactly once — per
+    /// dynamic core for [`Method::Hybrid`], over the whole tree otherwise.
     ///
     /// # Errors
     ///
@@ -824,11 +1257,16 @@ impl ParametricAnalyzer {
     /// monolithic baseline has no parametric form) and propagates conversion
     /// and aggregation errors.
     pub fn new(dft: &Dft, options: AnalysisOptions) -> Result<ParametricAnalyzer> {
-        if options.method != Method::Compositional {
-            return Err(Error::Unsupported {
-                message: "parametric sessions require the compositional method".to_owned(),
-            });
+        match options.method {
+            Method::Compositional => ParametricAnalyzer::compositional(dft, options),
+            Method::Monolithic => Err(Error::Unsupported {
+                message: "the monolithic baseline has no parametric form".to_owned(),
+            }),
+            Method::Hybrid => ParametricAnalyzer::hybrid(dft, options),
         }
+    }
+
+    fn compositional(dft: &Dft, options: AnalysisOptions) -> Result<ParametricAnalyzer> {
         let (community, params) = convert_parametric(dft)?;
         let model = aggregate_and_close(community)?;
 
@@ -838,14 +1276,96 @@ impl ParametricAnalyzer {
             aggregation: model.stats,
             ran_aggregation: true,
             model_stats: ModelStats::of(&model.closed),
-            closed: model.closed,
-            top_failure: model.top_failure,
-            has_repair: model.has_repair,
             params,
-            can: model.can,
-            must: model.must,
-            point_valued: model.point_valued,
-            sweep_template: OnceLock::new(),
+            backend: ParametricBackend::Compositional {
+                closed: model.closed,
+                top_failure: model.top_failure,
+                has_repair: model.has_repair,
+                can: model.can,
+                must: model.must,
+                point_valued: model.point_valued,
+                sweep_template: OnceLock::new(),
+            },
+        })
+    }
+
+    /// The parametric hybrid build: one nested parametric session per dynamic
+    /// core, the crown on a BDD, with the same fallback rule as
+    /// [`Analyzer::hybrid`] (repairable tree or non-deterministic core ⇒ full
+    /// compositional pipeline under the [`Method::Hybrid`] label).
+    fn hybrid(dft: &Dft, options: AnalysisOptions) -> Result<ParametricAnalyzer> {
+        if dft.is_repairable() {
+            return ParametricAnalyzer::compositional(dft, options);
+        }
+        // The session-global parameter table: exactly what
+        // `convert_parametric` builds for an unrepairable tree — one failure
+        // slot per basic event in element order — so valuations, base
+        // valuations and slot lookups are identical across backends.
+        let mut params = ParamTable::default();
+        for id in dft.elements() {
+            if let Element::BasicEvent(be) = dft.element(id) {
+                params.push(dft.name(id), ParamKind::Failure, be.rate);
+            }
+        }
+
+        let plan = hybrid_plan(dft);
+        let core_options = AnalysisOptions {
+            method: Method::Compositional,
+            ..options
+        };
+        let mut cores = Vec::with_capacity(plan.cores.len());
+        for core in &plan.cores {
+            let analyzer = ParametricAnalyzer::compositional(&core.dft, core_options.clone())?;
+            if analyzer.is_nondeterministic() {
+                return ParametricAnalyzer::compositional(dft, options);
+            }
+            // Extraction preserves element names, so every core parameter maps
+            // onto a global slot.
+            let slots = analyzer
+                .params
+                .slots()
+                .iter()
+                .map(|slot| {
+                    params
+                        .slot_of(&slot.element, slot.kind)
+                        .expect("core basic events are basic events of the tree")
+                        as u32
+                })
+                .collect();
+            cores.push(ParametricCore { analyzer, slots });
+        }
+
+        let mut leaves = vec![ParametricLeaf::Unused; dft.num_elements()];
+        for &e in &plan.crown {
+            if dft.element(e).as_basic_event().is_some() {
+                let slot = params
+                    .slot_of(dft.name(e), ParamKind::Failure)
+                    .expect("every basic event has a failure slot");
+                leaves[e.index()] = ParametricLeaf::Basic { slot: slot as u32 };
+            }
+        }
+        for (index, core) in plan.cores.iter().enumerate() {
+            leaves[core.exit.index()] = ParametricLeaf::Core { index };
+        }
+        let crown = Bdd::build(dft, dft.top(), |e| {
+            !matches!(leaves[e.index()], ParametricLeaf::Unused)
+        })?;
+
+        Ok(ParametricAnalyzer {
+            options,
+            repairable: false,
+            aggregation: merge_aggregation_stats(cores.iter().map(|c| &c.analyzer.aggregation)),
+            ran_aggregation: true,
+            model_stats: cores.iter().fold(ModelStats::default(), |acc, c| {
+                add_model_stats(acc, c.analyzer.model_stats)
+            }),
+            params,
+            backend: ParametricBackend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                modules: plan.stats,
+            },
         })
     }
 
@@ -863,31 +1383,84 @@ impl ParametricAnalyzer {
     pub fn instantiate(&self, valuation: &Valuation) -> Result<Analyzer> {
         valuation.check_against(&self.params)?;
         let values = valuation.values();
-        let closed = self.closed.map_rates(|form| form.eval(values));
-        debug_assert!(closed.validate().is_ok());
-
-        let ctmdp_states = ctmdp_states_of(&closed);
-        let initial = closed.initial().index();
-        let upper = Ctmdp::new(ctmdp_states.clone(), initial, self.can.clone())?;
-        let lower = Ctmdp::new(ctmdp_states, initial, self.must.clone())?;
-
-        Ok(Analyzer {
-            options: self.options.clone(),
-            repairable: self.repairable,
-            // Instantiation runs no aggregation; the stats live on `self`.
-            aggregation: None,
-            model_stats: self.model_stats,
-            backend: Backend::Compositional {
+        match &self.backend {
+            ParametricBackend::Compositional {
                 closed,
-                top_failure: self.top_failure,
-                has_repair: self.has_repair,
-                point_valued: self.point_valued,
-                upper,
-                lower,
-                tangible: OnceLock::new(),
-            },
-            ran_aggregation: false,
-        })
+                top_failure,
+                has_repair,
+                can,
+                must,
+                point_valued,
+                ..
+            } => {
+                let closed = closed.map_rates(|form| form.eval(values));
+                debug_assert!(closed.validate().is_ok());
+
+                let ctmdp_states = ctmdp_states_of(&closed);
+                let initial = closed.initial().index();
+                let upper = Ctmdp::new(ctmdp_states.clone(), initial, can.clone())?;
+                let lower = Ctmdp::new(ctmdp_states, initial, must.clone())?;
+
+                Ok(Analyzer {
+                    options: self.options.clone(),
+                    repairable: self.repairable,
+                    // Instantiation runs no aggregation; the stats live on `self`.
+                    aggregation: None,
+                    model_stats: self.model_stats,
+                    backend: Backend::Compositional {
+                        closed,
+                        top_failure: *top_failure,
+                        has_repair: *has_repair,
+                        point_valued: *point_valued,
+                        upper,
+                        lower,
+                        tangible: OnceLock::new(),
+                    },
+                    ran_aggregation: false,
+                })
+            }
+            ParametricBackend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                modules,
+            } => {
+                // Instantiate every core through its slot projection; the
+                // crown structure is shared (it does not depend on rates).
+                let numeric_cores = cores
+                    .iter()
+                    .map(|core| {
+                        let projected = Valuation::new(
+                            core.slots.iter().map(|&s| values[s as usize]).collect(),
+                        );
+                        core.analyzer.instantiate(&projected)
+                    })
+                    .collect::<Result<Vec<Analyzer>>>()?;
+                let numeric_leaves = leaves
+                    .iter()
+                    .map(|leaf| match leaf {
+                        ParametricLeaf::Unused => HybridLeaf::Unused,
+                        ParametricLeaf::Basic { slot } => HybridLeaf::Basic {
+                            rate: values[*slot as usize],
+                        },
+                        ParametricLeaf::Core { index } => HybridLeaf::Core { index: *index },
+                    })
+                    .collect();
+                Ok(Analyzer {
+                    options: self.options.clone(),
+                    repairable: self.repairable,
+                    aggregation: None,
+                    model_stats: self.model_stats,
+                    backend: Backend::Hybrid {
+                        crown: crown.clone(),
+                        leaves: numeric_leaves,
+                        cores: numeric_cores,
+                        modules: *modules,
+                    },
+                    ran_aggregation: false,
+                })
+            }
+        }
     }
 
     /// Evaluates one measure across a whole sweep of valuations with zero
@@ -974,106 +1547,149 @@ impl ParametricAnalyzer {
             })
             .collect::<Result<Vec<usize>>>()?;
 
-        let started = Instant::now();
-        let template = self.sweep_template();
-        let lanes = valuations.len();
-        let mut lane_rates = vec![0.0f64; template.forms.len() * lanes];
-        for (k, valuation) in valuations.iter().enumerate() {
-            valuation.check_against(&self.params)?;
-            let values = valuation.values();
-            // Same forms, same eval, same slot order as `map_rates` inside
-            // `instantiate` — lane k's rates carry identical bits.
-            for (e, form) in template.forms.iter().enumerate() {
-                lane_rates[e * lanes + k] = form.eval(values);
-            }
-        }
-        let kernel = RelaxKernel::from_template(&template.states, &lane_rates, lanes)?;
-        let instantiate_time = started.elapsed();
+        match &self.backend {
+            ParametricBackend::Compositional {
+                closed,
+                can,
+                must,
+                point_valued,
+                sweep_template,
+                ..
+            } => {
+                let started = Instant::now();
+                let template = lower_sweep_template(closed, sweep_template);
+                let lanes = valuations.len();
+                let mut lane_rates = vec![0.0f64; template.forms.len() * lanes];
+                for (k, valuation) in valuations.iter().enumerate() {
+                    valuation.check_against(&self.params)?;
+                    let values = valuation.values();
+                    // Same forms, same eval, same slot order as `map_rates`
+                    // inside `instantiate` — lane k's rates carry identical
+                    // bits.
+                    for (e, form) in template.forms.iter().enumerate() {
+                        lane_rates[e * lanes + k] = form.eval(values);
+                    }
+                }
+                let kernel = RelaxKernel::from_template(&template.states, &lane_rates, lanes)?;
+                let instantiate_time = started.elapsed();
 
-        let started = Instant::now();
-        let epsilon = self.options.epsilon;
-        let workers = kernel.auto_workers();
-        let uppers = kernel.reachability(
-            template.initial,
-            &self.can,
-            &unique_times,
-            epsilon,
-            true,
-            workers,
-        )?;
-        let lowers = if self.point_valued {
-            uppers.clone()
-        } else {
-            kernel.reachability(
-                template.initial,
-                &self.must,
-                &unique_times,
-                epsilon,
-                false,
-                workers,
-            )?
-        };
-        let results = (0..lanes)
-            .map(|k| {
-                let points: Vec<MeasurePoint> = unique_times
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, &t)| {
-                        let hi = uppers[slot * lanes + k];
-                        let lo = lowers[slot * lanes + k];
-                        MeasurePoint::bounded(Some(t), self.point_valued.then_some(hi), (lo, hi))
+                let started = Instant::now();
+                let epsilon = self.options.epsilon;
+                let workers = kernel.auto_workers();
+                let uppers = kernel.reachability(
+                    template.initial,
+                    can,
+                    &unique_times,
+                    epsilon,
+                    true,
+                    workers,
+                )?;
+                let lowers = if *point_valued {
+                    uppers.clone()
+                } else {
+                    kernel.reachability(
+                        template.initial,
+                        must,
+                        &unique_times,
+                        epsilon,
+                        false,
+                        workers,
+                    )?
+                };
+                let results = (0..lanes)
+                    .map(|k| {
+                        let points: Vec<MeasurePoint> = unique_times
+                            .iter()
+                            .enumerate()
+                            .map(|(slot, &t)| {
+                                let hi = uppers[slot * lanes + k];
+                                let lo = lowers[slot * lanes + k];
+                                MeasurePoint::bounded(Some(t), point_valued.then_some(hi), (lo, hi))
+                            })
+                            .collect();
+                        MeasureResult::new(slots.iter().map(|&slot| points[slot]).collect())
                     })
                     .collect();
-                MeasureResult::new(slots.iter().map(|&slot| points[slot]).collect())
-            })
-            .collect();
-        let query_time = started.elapsed();
-        Ok(RateSweep {
-            results,
-            instantiate_time,
-            query_time,
-        })
-    }
-
-    /// The cached structure lowering behind [`sweep_batched`](Self::sweep_batched).
-    fn sweep_template(&self) -> &SweepTemplate {
-        self.sweep_template.get_or_init(|| {
-            let mut forms = Vec::new();
-            let states = self
-                .closed
-                .states()
-                .map(|s| {
-                    let immediate: Vec<u32> = self
-                        .closed
-                        .interactive_from(s)
-                        .iter()
-                        .filter(|t| t.label.is_immediate())
-                        .map(|t| t.to.index() as u32)
-                        .collect();
-                    if !immediate.is_empty() {
-                        CtmdpState::Immediate(immediate)
-                    } else {
-                        CtmdpState::Markovian(
-                            self.closed
-                                .markovian_from(s)
-                                .iter()
-                                .map(|t| {
-                                    forms.push(t.rate.clone());
-                                    // The rate is a template placeholder; the
-                                    // kernel takes real rates per lane.
-                                    (t.to.index() as u32, 1.0)
-                                })
-                                .collect(),
-                        )
-                    }
+                let query_time = started.elapsed();
+                Ok(RateSweep {
+                    results,
+                    instantiate_time,
+                    query_time,
                 })
-                .collect();
-            SweepTemplate {
-                states,
-                forms,
-                initial: self.closed.initial().index(),
             }
-        })
+            ParametricBackend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                ..
+            } => {
+                let started = Instant::now();
+                for valuation in valuations {
+                    valuation.check_against(&self.params)?;
+                }
+                let mut instantiate_time = started.elapsed();
+                let mut query_time = Duration::ZERO;
+
+                // One nested batched sweep per core over the merged grid.
+                // Each core sweep is bit-identical to instantiating that core
+                // per valuation, so the whole hybrid sweep matches the
+                // per-point hybrid path bit for bit.
+                let measure = Measure::UnreliabilityCurve(unique_times.clone());
+                // core_curves[core][lane][time slot]
+                let mut core_curves: Vec<Vec<Vec<f64>>> = Vec::with_capacity(cores.len());
+                for core in cores {
+                    let projected: Vec<Valuation> = valuations
+                        .iter()
+                        .map(|v| {
+                            let values = v.values();
+                            Valuation::new(core.slots.iter().map(|&s| values[s as usize]).collect())
+                        })
+                        .collect();
+                    let sweep = core.analyzer.sweep_query(&measure, &projected)?;
+                    instantiate_time += sweep.instantiate_time();
+                    query_time += sweep.query_time();
+                    core_curves.push(
+                        sweep
+                            .results()
+                            .iter()
+                            .map(|result| result.points().iter().map(MeasurePoint::value).collect())
+                            .collect(),
+                    );
+                }
+
+                let started = Instant::now();
+                let mut probabilities = vec![0.0f64; leaves.len()];
+                let mut results = Vec::with_capacity(valuations.len());
+                for (k, valuation) in valuations.iter().enumerate() {
+                    let values = valuation.values();
+                    let mut points = Vec::with_capacity(unique_times.len());
+                    for (slot, &t) in unique_times.iter().enumerate() {
+                        for (p, leaf) in probabilities.iter_mut().zip(leaves) {
+                            *p = match leaf {
+                                ParametricLeaf::Unused => 0.0,
+                                ParametricLeaf::Basic { slot } => {
+                                    -(-values[*slot as usize] * t).exp_m1()
+                                }
+                                ParametricLeaf::Core { index } => core_curves[*index][k][slot],
+                            };
+                        }
+                        points.push(MeasurePoint::exact(
+                            Some(t),
+                            crown.probability(&probabilities),
+                        ));
+                    }
+                    results.push(MeasureResult::new(
+                        slots.iter().map(|&slot| points[slot]).collect(),
+                    ));
+                }
+                query_time += started.elapsed();
+                Ok(RateSweep {
+                    results,
+                    instantiate_time,
+                    query_time,
+                })
+            }
+        }
     }
 
     /// Convenience sweep of [`Measure::Unreliability`] at mission time `t`: the
@@ -1115,27 +1731,52 @@ impl ParametricAnalyzer {
 
     /// How many times this session has run compositional aggregation: 1 for a
     /// freshly built session — however many valuations were instantiated or
-    /// swept — and 0 for a session restored via
-    /// [`from_bytes`](Self::from_bytes), which reuses the original builder's
-    /// aggregation instead of running its own.
+    /// swept — one per dynamic core for a hybrid build, and 0 for a session
+    /// restored via [`from_bytes`](Self::from_bytes), which reuses the
+    /// original builder's aggregation instead of running its own.
     pub fn aggregation_runs(&self) -> usize {
-        usize::from(self.ran_aggregation)
+        match &self.backend {
+            ParametricBackend::Hybrid { cores, .. } if self.ran_aggregation => cores.len(),
+            _ => usize::from(self.ran_aggregation),
+        }
     }
 
     /// Returns `true` if the parametric model contains immediate
     /// non-determinism, so instantiated sessions report scheduler bounds.
     pub fn is_nondeterministic(&self) -> bool {
-        !self.point_valued
+        match &self.backend {
+            ParametricBackend::Compositional { point_valued, .. } => !point_valued,
+            // Hybrid sessions are only ever built from deterministic cores.
+            ParametricBackend::Hybrid { .. } => false,
+        }
     }
 
-    /// The closed, minimised parametric I/O-IMC.
-    pub fn final_model(&self) -> &ParametricIoImc {
-        &self.closed
+    /// The closed, minimised parametric I/O-IMC (compositional backend only; a
+    /// hybrid session has one parametric model per core).
+    pub fn final_model(&self) -> Option<&ParametricIoImc> {
+        match &self.backend {
+            ParametricBackend::Compositional { closed, .. } => Some(closed),
+            ParametricBackend::Hybrid { .. } => None,
+        }
     }
 
-    /// The observable top-failure action of the cached model.
-    pub fn top_failure(&self) -> Action {
-        self.top_failure
+    /// The observable top-failure action of the cached model (compositional
+    /// backend only).
+    pub fn top_failure(&self) -> Option<Action> {
+        match &self.backend {
+            ParametricBackend::Compositional { top_failure, .. } => Some(*top_failure),
+            ParametricBackend::Hybrid { .. } => None,
+        }
+    }
+
+    /// The modularization record of the hybrid decomposition — same contract
+    /// as [`Analyzer::module_stats`]: `Some` certifies that the decomposition
+    /// actually happened rather than falling back.
+    pub fn module_stats(&self) -> Option<ModuleStats> {
+        match &self.backend {
+            ParametricBackend::Hybrid { modules, .. } => Some(*modules),
+            ParametricBackend::Compositional { .. } => None,
+        }
     }
 
     /// Serializes the parametric session into the versioned binary container
@@ -1173,101 +1814,295 @@ impl ParametricAnalyzer {
     /// The unframed payload body of [`to_bytes`](Self::to_bytes).
     pub(crate) fn encode_payload(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        store::encode_options(&self.options, &mut w);
-        w.bool(self.repairable);
-        store::encode_aggregation_stats(&self.aggregation, &mut w);
-        store::encode_model_stats(self.model_stats, &mut w);
-        w.str(self.top_failure.name());
-        w.bool(self.has_repair);
-        w.bool(self.point_valued);
-        w.len_prefix(self.params.len());
-        for slot in self.params.slots() {
-            w.str(&slot.element);
-            w.u8(match slot.kind {
-                ParamKind::Failure => 0,
-                ParamKind::Repair => 1,
-            });
-            w.f64(slot.base);
-        }
-        codec::encode_model(&self.closed, &mut w);
-        store::encode_bools(&self.can, &mut w);
-        store::encode_bools(&self.must, &mut w);
+        self.encode_body(&mut w);
         w.into_bytes()
+    }
+
+    /// Writes the session body onto a shared writer (hybrid payloads embed one
+    /// body per core).  Compositional-method payloads keep the exact format-1
+    /// byte layout; under [`Method::Hybrid`] a backend tag follows the model
+    /// statistics (0 = compositional fallback, 2 = genuine hybrid).
+    fn encode_body(&self, w: &mut Writer) {
+        store::encode_options(&self.options, w);
+        w.bool(self.repairable);
+        store::encode_aggregation_stats(&self.aggregation, w);
+        store::encode_model_stats(self.model_stats, w);
+        match &self.backend {
+            ParametricBackend::Compositional {
+                closed,
+                top_failure,
+                has_repair,
+                can,
+                must,
+                point_valued,
+                sweep_template: _, // derived lazily and deterministically
+            } => {
+                if self.options.method == Method::Hybrid {
+                    w.u8(0);
+                }
+                w.str(top_failure.name());
+                w.bool(*has_repair);
+                w.bool(*point_valued);
+                encode_params(&self.params, w);
+                codec::encode_model(closed, w);
+                store::encode_bools(can, w);
+                store::encode_bools(must, w);
+            }
+            ParametricBackend::Hybrid {
+                crown,
+                leaves,
+                cores,
+                modules,
+            } => {
+                w.u8(2);
+                encode_params(&self.params, w);
+                store::encode_module_stats(*modules, w);
+                w.len_prefix(crown.node_count());
+                for node in crown.nodes() {
+                    w.u32(node.var);
+                    w.u32(node.lo);
+                    w.u32(node.hi);
+                }
+                w.u32(crown.root());
+                w.len_prefix(leaves.len());
+                for leaf in leaves {
+                    match leaf {
+                        ParametricLeaf::Unused => w.u8(0),
+                        ParametricLeaf::Basic { slot } => {
+                            w.u8(1);
+                            w.u32(*slot);
+                        }
+                        ParametricLeaf::Core { index } => {
+                            w.u8(2);
+                            w.u32(u32::try_from(*index).expect("core count fits in u32"));
+                        }
+                    }
+                }
+                w.len_prefix(cores.len());
+                for core in cores {
+                    w.len_prefix(core.slots.len());
+                    for &slot in &core.slots {
+                        w.u32(slot);
+                    }
+                    core.analyzer.encode_body(w);
+                }
+            }
+        }
     }
 
     /// Decodes a payload produced by [`encode_payload`](Self::encode_payload).
     pub(crate) fn decode_payload(payload: &[u8]) -> DecodeResult<ParametricAnalyzer> {
         let mut r = Reader::new(payload);
-        let options = store::decode_options(&mut r)?;
-        if options.method != Method::Compositional {
-            return Err(DecodeError::new(
-                "parametric sessions are always compositional",
-            ));
-        }
-        let repairable = r.bool()?;
-        let aggregation = store::decode_aggregation_stats(&mut r)?;
-        let model_stats = store::decode_model_stats(&mut r)?;
-        let top_failure = Action::new(&r.str()?);
-        let has_repair = r.bool()?;
-        let point_valued = r.bool()?;
-        let num_slots = r.len_prefix(10)?;
-        let mut params = ParamTable::default();
-        for _ in 0..num_slots {
-            let element = r.str()?;
-            let kind = match r.u8()? {
-                0 => ParamKind::Failure,
-                1 => ParamKind::Repair,
-                other => {
-                    return Err(DecodeError::new(format!(
-                        "invalid parameter kind tag {other}"
-                    )))
-                }
-            };
-            let base = r.f64()?;
-            params.push(&element, kind, base);
-        }
-        let closed = codec::decode_model::<ioimc::RateForm>(&mut r)?;
-        // Every rate form must stay inside the decoded parameter table —
-        // `RateForm::eval` indexes the valuation unchecked at instantiation
-        // time, so an out-of-range slot in a corrupted entry must die here.
-        for t in closed.markovian() {
-            if let Some(max_slot) = t.rate.max_slot() {
-                if max_slot as usize >= params.len() {
-                    return Err(DecodeError::new(format!(
-                        "rate form references slot {max_slot} but the table has {} slots",
-                        params.len()
-                    )));
-                }
-            }
-        }
-        let can = store::decode_bools(&mut r)?;
-        let must = store::decode_bools(&mut r)?;
-        if can.len() != closed.num_states() || must.len() != closed.num_states() {
-            return Err(DecodeError::new(
-                "goal-set lengths disagree with the closed model",
-            ));
-        }
+        let session = ParametricAnalyzer::decode_body(&mut r)?;
         if !r.is_done() {
             return Err(DecodeError::new(
                 "trailing bytes after the parametric payload",
             ));
         }
+        Ok(session)
+    }
+
+    /// Reads one parametric session body from a shared reader (the inverse of
+    /// [`encode_body`](Self::encode_body)).
+    fn decode_body(r: &mut Reader) -> DecodeResult<ParametricAnalyzer> {
+        let options = store::decode_options(r)?;
+        if options.method == Method::Monolithic {
+            return Err(DecodeError::new("parametric sessions are never monolithic"));
+        }
+        let repairable = r.bool()?;
+        let aggregation = store::decode_aggregation_stats(r)?;
+        let model_stats = store::decode_model_stats(r)?;
+        let backend_tag = if options.method == Method::Hybrid {
+            r.u8()?
+        } else {
+            0
+        };
+        let (params, backend) = match backend_tag {
+            0 => {
+                let top_failure = Action::new(&r.str()?);
+                let has_repair = r.bool()?;
+                let point_valued = r.bool()?;
+                let params = decode_params(r)?;
+                let closed = codec::decode_model::<ioimc::RateForm>(r)?;
+                // Every rate form must stay inside the decoded parameter table —
+                // `RateForm::eval` indexes the valuation unchecked at
+                // instantiation time, so an out-of-range slot in a corrupted
+                // entry must die here.
+                for t in closed.markovian() {
+                    if let Some(max_slot) = t.rate.max_slot() {
+                        if max_slot as usize >= params.len() {
+                            return Err(DecodeError::new(format!(
+                                "rate form references slot {max_slot} but the table has {} slots",
+                                params.len()
+                            )));
+                        }
+                    }
+                }
+                let can = store::decode_bools(r)?;
+                let must = store::decode_bools(r)?;
+                if can.len() != closed.num_states() || must.len() != closed.num_states() {
+                    return Err(DecodeError::new(
+                        "goal-set lengths disagree with the closed model",
+                    ));
+                }
+                (
+                    params,
+                    ParametricBackend::Compositional {
+                        closed,
+                        top_failure,
+                        has_repair,
+                        can,
+                        must,
+                        point_valued,
+                        sweep_template: OnceLock::new(),
+                    },
+                )
+            }
+            2 => {
+                if repairable {
+                    return Err(DecodeError::new(
+                        "a hybrid decomposition cannot be repairable",
+                    ));
+                }
+                let params = decode_params(r)?;
+                let modules = store::decode_module_stats(r)?;
+                let n = r.len_prefix(12)?;
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(BddNode {
+                        var: r.u32()?,
+                        lo: r.u32()?,
+                        hi: r.u32()?,
+                    });
+                }
+                let root = r.u32()?;
+                let crown = Bdd::from_parts(nodes, root)
+                    .map_err(|e| DecodeError::new(format!("decoded crown BDD is invalid: {e}")))?;
+                let n_leaves = r.len_prefix(1)?;
+                let mut leaves = Vec::with_capacity(n_leaves);
+                for _ in 0..n_leaves {
+                    leaves.push(match r.u8()? {
+                        0 => ParametricLeaf::Unused,
+                        1 => {
+                            let slot = r.u32()?;
+                            if slot as usize >= params.len() {
+                                return Err(DecodeError::new(
+                                    "crown leaf references a missing parameter slot",
+                                ));
+                            }
+                            ParametricLeaf::Basic { slot }
+                        }
+                        2 => ParametricLeaf::Core {
+                            index: r.u32()? as usize,
+                        },
+                        tag => {
+                            return Err(DecodeError::new(format!("unknown hybrid leaf tag {tag}")))
+                        }
+                    });
+                }
+                let n_cores = r.len_prefix(1)?;
+                let mut cores = Vec::with_capacity(n_cores);
+                for _ in 0..n_cores {
+                    let n_slots = r.len_prefix(4)?;
+                    let mut slots = Vec::with_capacity(n_slots);
+                    for _ in 0..n_slots {
+                        let slot = r.u32()?;
+                        if slot as usize >= params.len() {
+                            return Err(DecodeError::new(
+                                "core projection references a missing parameter slot",
+                            ));
+                        }
+                        slots.push(slot);
+                    }
+                    let analyzer = ParametricAnalyzer::decode_body(r)?;
+                    if analyzer.options.method != Method::Compositional
+                        || analyzer.is_nondeterministic()
+                    {
+                        return Err(DecodeError::new(
+                            "hybrid cores must be deterministic compositional sessions",
+                        ));
+                    }
+                    if slots.len() != analyzer.params.len() {
+                        return Err(DecodeError::new(
+                            "core projection length disagrees with the core's parameter table",
+                        ));
+                    }
+                    cores.push(ParametricCore { analyzer, slots });
+                }
+                for leaf in &leaves {
+                    if let ParametricLeaf::Core { index } = leaf {
+                        if *index >= cores.len() {
+                            return Err(DecodeError::new("hybrid leaf references a missing core"));
+                        }
+                    }
+                }
+                for var in crown.support() {
+                    if !matches!(
+                        leaves.get(var.index()),
+                        Some(ParametricLeaf::Basic { .. } | ParametricLeaf::Core { .. })
+                    ) {
+                        return Err(DecodeError::new("crown BDD references an unused leaf"));
+                    }
+                }
+                (
+                    params,
+                    ParametricBackend::Hybrid {
+                        crown,
+                        leaves,
+                        cores,
+                        modules,
+                    },
+                )
+            }
+            tag => {
+                return Err(DecodeError::new(format!(
+                    "unknown parametric backend tag {tag}"
+                )))
+            }
+        };
         Ok(ParametricAnalyzer {
             options,
             repairable,
             aggregation,
             ran_aggregation: false,
             model_stats,
-            closed,
-            top_failure,
-            has_repair,
             params,
-            can,
-            must,
-            point_valued,
-            sweep_template: OnceLock::new(),
+            backend,
         })
     }
+}
+
+/// Shared [`ParamTable`] codec for the parametric payload layouts.
+fn encode_params(params: &ParamTable, w: &mut Writer) {
+    w.len_prefix(params.len());
+    for slot in params.slots() {
+        w.str(&slot.element);
+        w.u8(match slot.kind {
+            ParamKind::Failure => 0,
+            ParamKind::Repair => 1,
+        });
+        w.f64(slot.base);
+    }
+}
+
+fn decode_params(r: &mut Reader) -> DecodeResult<ParamTable> {
+    let num_slots = r.len_prefix(10)?;
+    let mut params = ParamTable::default();
+    for _ in 0..num_slots {
+        let element = r.str()?;
+        let kind = match r.u8()? {
+            0 => ParamKind::Failure,
+            1 => ParamKind::Repair,
+            other => {
+                return Err(DecodeError::new(format!(
+                    "invalid parameter kind tag {other}"
+                )))
+            }
+        };
+        let base = r.f64()?;
+        params.push(&element, kind, base);
+    }
+    Ok(params)
 }
 
 /// The result of a rate sweep: one [`MeasureResult`] per valuation, in request
@@ -1757,5 +2592,267 @@ mod tests {
         assert!(lo < hi, "bounds ({lo}, {hi}) should be a proper interval");
         // MTTF needs a CTMC; the CTMDP must be rejected, not mis-analysed.
         assert!(analyzer.mttf().is_err());
+    }
+
+    /// A mixed tree whose dynamic core (a spare pair) sits under a static
+    /// crown: OR(SPARE(P, S), AND(X, Y)).
+    fn mixed_tree(prefix: &str) -> Dft {
+        let mut b = DftBuilder::new();
+        let p = b
+            .basic_event(&format!("{prefix}_P"), 1.0, Dormancy::Hot)
+            .unwrap();
+        let s = b
+            .basic_event(&format!("{prefix}_S"), 1.0, Dormancy::Cold)
+            .unwrap();
+        let core = b.spare_gate(&format!("{prefix}_Core"), &[p, s]).unwrap();
+        let x = b
+            .basic_event(&format!("{prefix}_X"), 0.5, Dormancy::Hot)
+            .unwrap();
+        let y = b
+            .basic_event(&format!("{prefix}_Y"), 0.25, Dormancy::Hot)
+            .unwrap();
+        let stat = b.and_gate(&format!("{prefix}_Stat"), &[x, y]).unwrap();
+        let top = b.or_gate(&format!("{prefix}_Top"), &[core, stat]).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn hybrid_matches_compositional_on_a_mixed_tree() {
+        let dft = mixed_tree("en13");
+        let options = AnalysisOptions {
+            epsilon: 1e-13,
+            ..AnalysisOptions::default()
+        };
+        let reference = Analyzer::new(&dft, options.clone()).unwrap();
+        let hybrid = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Hybrid,
+                ..options
+            },
+        )
+        .unwrap();
+
+        assert_eq!(hybrid.method(), Method::Hybrid);
+        let modules = hybrid
+            .module_stats()
+            .expect("the decomposition must happen");
+        assert_eq!(modules.core_count, 1);
+        assert!(
+            hybrid.model_stats().states < reference.model_stats().states,
+            "{} vs {}",
+            hybrid.model_stats().states,
+            reference.model_stats().states
+        );
+        // One aggregation pipeline per core.
+        assert_eq!(hybrid.aggregation_runs(), 1);
+        assert!(hybrid.aggregation_stats().is_some());
+        assert!(!hybrid.is_nondeterministic());
+
+        let times = [0.25, 0.5, 1.0, 2.0];
+        let h = hybrid.unreliability_curve(&times).unwrap();
+        let c = reference.unreliability_curve(&times).unwrap();
+        for (hp, cp) in h.points().iter().zip(c.points()) {
+            assert!(
+                (hp.value() - cp.value()).abs() < 1e-12,
+                "{} vs {}",
+                hp.value(),
+                cp.value()
+            );
+        }
+        // MTTF and unavailability are outside the hybrid crown's scope.
+        assert!(hybrid.mttf().is_err());
+        assert!(hybrid.unavailability().is_err());
+    }
+
+    #[test]
+    fn hybrid_on_a_fully_static_tree_needs_no_states_at_all() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("en14_X", 0.5, Dormancy::Hot).unwrap();
+        let y = b.basic_event("en14_Y", 1.0, Dormancy::Hot).unwrap();
+        let z = b.basic_event("en14_Z", 2.0, Dormancy::Hot).unwrap();
+        let vote = b.voting_gate("en14_Top", 2, &[x, y, z]).unwrap();
+        let dft = b.build(vote).unwrap();
+        let hybrid = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Hybrid,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        let modules = hybrid.module_stats().unwrap();
+        assert_eq!(modules.core_count, 0);
+        assert_eq!(hybrid.model_stats().states, 0);
+        assert_eq!(hybrid.aggregation_runs(), 0);
+
+        // 2-of-3 closed form: sum of pairs minus twice the triple.
+        let t = 0.8;
+        let (px, py, pz) = (exp_cdf(0.5, t), exp_cdf(1.0, t), exp_cdf(2.0, t));
+        let exact = px * py + px * pz + py * pz - 2.0 * px * py * pz;
+        let r = hybrid.unreliability(t).unwrap();
+        assert!(
+            (r.value() - exact).abs() < 1e-14,
+            "{} vs {exact}",
+            r.value()
+        );
+    }
+
+    #[test]
+    fn hybrid_falls_back_for_repairable_and_nondeterministic_trees() {
+        // Repairable tree: the fallback must still serve unavailability.
+        let mut b = DftBuilder::new();
+        let x = b
+            .repairable_basic_event("en15_X", 1.0, Dormancy::Hot, 2.0)
+            .unwrap();
+        let top = b.or_gate("en15_Top", &[x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let hybrid = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Hybrid,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hybrid.method(), Method::Hybrid);
+        assert!(hybrid.module_stats().is_none(), "fallback, not hybrid");
+        // Steady-state unavailability of a single repairable event: λ/(λ+μ).
+        let u = hybrid.unavailability().unwrap();
+        assert!((u.value() - 1.0 / 3.0).abs() < 1e-6, "{}", u.value());
+
+        // Non-deterministic core (FDEP trigger into a PAND): the hybrid label
+        // must keep reporting honest scheduler bounds via the fallback.
+        let mut b = DftBuilder::new();
+        let t = b.basic_event("en15_T", 0.5, Dormancy::Hot).unwrap();
+        let p = b.basic_event("en15_P", 1.0, Dormancy::Hot).unwrap();
+        let q = b.basic_event("en15_Q", 1.0, Dormancy::Hot).unwrap();
+        let _f = b.fdep_gate("en15_F", t, &[p, q]).unwrap();
+        let pand = b.pand_gate("en15_Pand", &[p, q]).unwrap();
+        let dft = b.build(pand).unwrap();
+        let hybrid = Analyzer::new(
+            &dft,
+            AnalysisOptions {
+                method: Method::Hybrid,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(hybrid.module_stats().is_none(), "fallback, not hybrid");
+        assert!(hybrid.is_nondeterministic());
+        let r = hybrid.unreliability(1.0).unwrap();
+        let (lo, hi) = r.bounds();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn hybrid_sessions_roundtrip_through_bytes() {
+        let dft = mixed_tree("en16");
+        let options = AnalysisOptions {
+            method: Method::Hybrid,
+            ..AnalysisOptions::default()
+        };
+        let hybrid = Analyzer::new(&dft, options).unwrap();
+        let restored = Analyzer::from_bytes(&hybrid.to_bytes()).unwrap();
+
+        assert_eq!(restored.method(), Method::Hybrid);
+        assert_eq!(restored.module_stats(), hybrid.module_stats());
+        assert_eq!(restored.model_stats(), hybrid.model_stats());
+        assert_eq!(
+            restored.aggregation_runs(),
+            0,
+            "restored sessions ran nothing"
+        );
+
+        let measure = Measure::UnreliabilityCurve(vec![0.5, 1.0, 3.0]);
+        assert_eq!(
+            bits_of(&hybrid.query(&measure).unwrap()),
+            bits_of(&restored.query(&measure).unwrap()),
+            "a restored hybrid session must answer bit-identically"
+        );
+
+        // Corruption safety: truncations and bit flips die cleanly.
+        let bytes = hybrid.to_bytes();
+        for cut in [0, 4, 9, 17, 33, bytes.len() - 1] {
+            assert!(Analyzer::from_bytes(&bytes[..cut]).is_err());
+        }
+        for i in (41..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Analyzer::from_bytes(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn parametric_hybrid_matches_instantiate_plus_query() {
+        let dft = mixed_tree("en17");
+        let options = AnalysisOptions {
+            method: Method::Hybrid,
+            ..AnalysisOptions::default()
+        };
+        let parametric = ParametricAnalyzer::new(&dft, options.clone()).unwrap();
+        assert!(parametric.module_stats().is_some());
+        assert_eq!(parametric.aggregation_runs(), 1);
+
+        // The parameter surface is the same table the compositional session
+        // exposes: one failure slot per basic event, in element order.
+        let reference = ParametricAnalyzer::new(&dft, AnalysisOptions::default()).unwrap();
+        assert_eq!(
+            parametric.params().len(),
+            reference.params().len(),
+            "hybrid and compositional sessions must agree on the slots"
+        );
+
+        let valuations: Vec<Valuation> = (1..=4)
+            .map(|i| parametric.params().scaled_valuation(i as f64 * 0.5))
+            .collect();
+        let measure = Measure::UnreliabilityCurve(vec![0.5, 1.0, 2.0]);
+        let sweep = parametric.sweep_query(&measure, &valuations).unwrap();
+
+        for (valuation, swept) in valuations.iter().zip(sweep.results()) {
+            // Bit-identical to the per-point path on the hybrid session …
+            let direct = parametric
+                .instantiate(valuation)
+                .unwrap()
+                .query(&measure)
+                .unwrap();
+            assert_eq!(bits_of(swept), bits_of(&direct));
+            // … and within tolerance of the compositional reference.
+            let full = reference
+                .instantiate(valuation)
+                .unwrap()
+                .query(&measure)
+                .unwrap();
+            for (hp, cp) in swept.points().iter().zip(full.points()) {
+                assert!(
+                    (hp.value() - cp.value()).abs() < 1e-7,
+                    "{} vs {}",
+                    hp.value(),
+                    cp.value()
+                );
+            }
+        }
+
+        // The parametric hybrid session roundtrips through bytes.
+        let restored = ParametricAnalyzer::from_bytes(&parametric.to_bytes()).unwrap();
+        assert_eq!(restored.module_stats(), parametric.module_stats());
+        assert_eq!(restored.aggregation_runs(), 0);
+        let base = parametric.base_valuation();
+        assert_eq!(
+            bits_of(
+                &restored
+                    .instantiate(&base)
+                    .unwrap()
+                    .query(&measure)
+                    .unwrap()
+            ),
+            bits_of(
+                &parametric
+                    .instantiate(&base)
+                    .unwrap()
+                    .query(&measure)
+                    .unwrap()
+            ),
+        );
     }
 }

@@ -65,9 +65,9 @@ pub use engine::{Analyzer, ParametricAnalyzer, RateSweep};
 pub use parametric::{ParamKind, ParamSlot, ParamTable, Valuation};
 pub use query::{Measure, MeasurePoint, MeasureResult};
 pub use service::{
-    AnalysisJob, AnalysisService, BatchStats, CacheStats, JobHandle, JobReport, QueueStats,
-    ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport, SweepReport, SweepSpec,
-    SweepStats,
+    AnalysisJob, AnalysisService, BatchStats, CacheStats, HybridStats, JobHandle, JobReport,
+    QueueStats, ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport,
+    SweepReport, SweepSpec, SweepStats,
 };
 pub use store::{ModelStore, StoreStats};
 

@@ -300,6 +300,30 @@ pub struct CacheStats {
     pub parametric_entries: usize,
 }
 
+/// Cumulative counters of the hybrid static/dynamic backend, across every
+/// fresh [`Method::Hybrid`] build the service performed (sessions and
+/// parametric models alike; cache hits bump nothing).
+///
+/// `builds` counts sessions whose decomposition actually happened, `fallbacks`
+/// those that silently reverted to the full compositional pipeline (repairable
+/// tree or non-deterministic core).  The element counters accumulate the
+/// [`ModuleStats`](dft::modules::ModuleStats) of genuine decompositions, so
+/// `crown_elements / (crown_elements + core_elements)` is the fraction of the
+/// fleet's workload solved combinatorially instead of by state space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Fresh hybrid builds where the decomposition happened.
+    pub builds: usize,
+    /// Fresh hybrid builds that fell back to the compositional pipeline.
+    pub fallbacks: usize,
+    /// Dynamic cores analysed by state space, summed over all `builds`.
+    pub cores: usize,
+    /// Elements solved on the crown BDD, summed over all `builds`.
+    pub crown_elements: usize,
+    /// Elements left in dynamic cores, summed over all `builds`.
+    pub core_elements: usize,
+}
+
 /// Per-batch accounting of a [`run_batch`](AnalysisService::run_batch) call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchStats {
@@ -573,6 +597,14 @@ struct ServiceCore {
     parametric_hits: AtomicUsize,
     parametric_misses: AtomicUsize,
     parametric_evictions: AtomicUsize,
+    /// Hybrid-decomposition counters (see [`HybridStats`]), bumped on every
+    /// fresh [`Method::Hybrid`] build — session or parametric, including
+    /// sessions restored from the persistent store.
+    hybrid_builds: AtomicUsize,
+    hybrid_fallbacks: AtomicUsize,
+    hybrid_cores: AtomicUsize,
+    hybrid_crown_elements: AtomicUsize,
+    hybrid_core_elements: AtomicUsize,
     queue: JobQueue,
 }
 
@@ -811,6 +843,12 @@ impl AnalysisService {
     /// Cumulative cache counters since the service was created.
     pub fn cache_stats(&self) -> CacheStats {
         self.core.cache_stats()
+    }
+
+    /// Cumulative hybrid-decomposition counters since the service was created
+    /// (see [`HybridStats`]).
+    pub fn hybrid_stats(&self) -> HybridStats {
+        self.core.hybrid_stats()
     }
 
     /// Cumulative counters of the persistent model store, or `None` when the
@@ -1057,6 +1095,9 @@ impl ServiceCore {
         });
         if built {
             self.parametric_misses.fetch_add(1, Ordering::Relaxed);
+            if let Ok(parametric) = outcome {
+                self.record_hybrid(parametric.options().method, parametric.module_stats());
+            }
         } else {
             self.parametric_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -1134,6 +1175,9 @@ impl ServiceCore {
         });
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Ok(analyzer) = outcome {
+                self.record_hybrid(analyzer.method(), analyzer.module_stats());
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -1145,6 +1189,39 @@ impl ServiceCore {
             !built,
             !built && !ready,
         )
+    }
+
+    /// Bumps the [`HybridStats`] counters for one fresh build (no-op for the
+    /// other methods).
+    fn record_hybrid(&self, method: Method, modules: Option<dft::modules::ModuleStats>) {
+        if method != Method::Hybrid {
+            return;
+        }
+        match modules {
+            Some(modules) => {
+                self.hybrid_builds.fetch_add(1, Ordering::Relaxed);
+                self.hybrid_cores
+                    .fetch_add(modules.core_count, Ordering::Relaxed);
+                self.hybrid_crown_elements
+                    .fetch_add(modules.crown_elements, Ordering::Relaxed);
+                self.hybrid_core_elements
+                    .fetch_add(modules.core_elements, Ordering::Relaxed);
+            }
+            None => {
+                self.hybrid_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cumulative hybrid-decomposition counters since the service was created.
+    fn hybrid_stats(&self) -> HybridStats {
+        HybridStats {
+            builds: self.hybrid_builds.load(Ordering::Relaxed),
+            fallbacks: self.hybrid_fallbacks.load(Ordering::Relaxed),
+            cores: self.hybrid_cores.load(Ordering::Relaxed),
+            crown_elements: self.hybrid_crown_elements.load(Ordering::Relaxed),
+            core_elements: self.hybrid_core_elements.load(Ordering::Relaxed),
+        }
     }
 
     /// Returns the slot for `key`, inserting a fresh one (and evicting the

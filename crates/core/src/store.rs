@@ -51,6 +51,7 @@ use crate::aggregate::{AggregationStats, StepStats};
 use crate::analysis::{AnalysisOptions, Method};
 use crate::engine::{Analyzer, ParametricAnalyzer};
 use crate::{Error, Result};
+use dft::modules::ModuleStats;
 use ioimc::codec::{DecodeError, DecodeResult, Reader, Writer};
 use ioimc::stats::ModelStats;
 use markov::ctmdp::{Ctmdp, CtmdpState};
@@ -189,6 +190,7 @@ pub(crate) fn encode_method(method: Method, w: &mut Writer) {
     w.u8(match method {
         Method::Compositional => 0,
         Method::Monolithic => 1,
+        Method::Hybrid => 2,
     });
 }
 
@@ -196,6 +198,7 @@ pub(crate) fn decode_method(r: &mut Reader<'_>) -> DecodeResult<Method> {
     match r.u8()? {
         0 => Ok(Method::Compositional),
         1 => Ok(Method::Monolithic),
+        2 => Ok(Method::Hybrid),
         other => Err(DecodeError::new(format!("invalid method tag {other}"))),
     }
 }
@@ -228,6 +231,28 @@ pub(crate) fn decode_model_stats(r: &mut Reader<'_>) -> DecodeResult<ModelStats>
         inputs: r.len_prefix(0)?,
         outputs: r.len_prefix(0)?,
         internals: r.len_prefix(0)?,
+    })
+}
+
+pub(crate) fn encode_module_stats(stats: ModuleStats, w: &mut Writer) {
+    w.len_prefix(stats.total_elements);
+    w.len_prefix(stats.static_modules);
+    w.len_prefix(stats.dynamic_modules);
+    w.len_prefix(stats.static_modules_retained);
+    w.len_prefix(stats.crown_elements);
+    w.len_prefix(stats.core_count);
+    w.len_prefix(stats.core_elements);
+}
+
+pub(crate) fn decode_module_stats(r: &mut Reader<'_>) -> DecodeResult<ModuleStats> {
+    Ok(ModuleStats {
+        total_elements: r.len_prefix(0)?,
+        static_modules: r.len_prefix(0)?,
+        dynamic_modules: r.len_prefix(0)?,
+        static_modules_retained: r.len_prefix(0)?,
+        crown_elements: r.len_prefix(0)?,
+        core_count: r.len_prefix(0)?,
+        core_elements: r.len_prefix(0)?,
     })
 }
 
@@ -461,6 +486,7 @@ impl ModelStore {
         let method = match method {
             Method::Compositional => 'c',
             Method::Monolithic => 'm',
+            Method::Hybrid => 'h',
         };
         self.dir.join(format!(
             "{}{method}-{fingerprint:016x}-{eps_bits:016x}.dftm",

@@ -15,8 +15,11 @@
 //! * wellformedness validation ([`validate`]),
 //! * a parser and printer for the Galileo textual format ([`galileo`]) used by the
 //!   original DIFTree/Galileo tool and by the paper's case studies,
-//! * detection of independent modules ([`modules`]), the structural notion behind
-//!   the paper's modularity discussion.
+//! * detection of independent modules and the static/dynamic hybrid
+//!   decomposition ([`modules`]), the structural notion behind the paper's
+//!   modularity discussion,
+//! * a hash-consed BDD engine ([`bdd`]) that solves static (sub)trees
+//!   combinatorially.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bdd;
 pub mod builder;
 pub mod element;
 pub mod galileo;

@@ -1,4 +1,4 @@
-//! Independent-module detection.
+//! Independent-module detection and the static/dynamic hybrid decomposition.
 //!
 //! Section 5.2 of the paper contrasts the DIFTree modularisation (which cannot
 //! exploit independent sub-trees underneath dynamic gates) with the I/O-IMC
@@ -7,10 +7,20 @@
 //! at `m` references anything strictly inside that subtree.  FDEP gates are parents
 //! of their dependent events in our representation, so functional dependencies
 //! crossing a subtree boundary correctly prevent it from being a module.
+//!
+//! On top of that notion, [`hybrid_plan`] partitions a tree for the hybrid
+//! analysis backend: the maximal connected regions that contain dynamism (the
+//! *cores*, each observed by the rest of the tree through a single exit
+//! element) versus the purely static *crown* above them, which a [`crate::bdd`]
+//! diagram solves combinatorially.  [`collapse_static_modules`] is the separate,
+//! explicitly *approximate* rewrite that replaces static modules under dynamic
+//! gates by exponential pseudo events.
 
-use crate::element::{ElementId, GateKind};
+use crate::bdd::{exponential_probabilities, Bdd};
+use crate::element::{BasicEvent, Dormancy, Element, ElementId, GateKind};
 use crate::tree::Dft;
-use std::collections::BTreeSet;
+use crate::Result;
+use std::collections::{BTreeSet, HashMap};
 
 /// Information about one independent module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +91,33 @@ pub fn independent_modules(dft: &Dft) -> Vec<ModuleInfo> {
 /// separately: modules whose *parent gates are all static* (an independent module
 /// below a dynamic gate cannot be replaced by a constant-probability basic event,
 /// cf. Section 2 of the paper).
+///
+/// This is the *classification* the hybrid backend's exactness boundary is
+/// built on: [`hybrid_plan`] keeps everything below a dynamic gate in the
+/// state-space cores, precisely because such modules are not in this list;
+/// only [`collapse_static_modules`] — the explicit opt-in approximation —
+/// will replace them with pseudo events.
+///
+/// # Examples
+///
+/// An AND module below a PAND gate is independent, yet not DIFTree-solvable:
+///
+/// ```
+/// use dft::modules::{diftree_solvable_modules, independent_modules};
+/// use dft::{DftBuilder, Dormancy};
+/// # fn main() -> Result<(), dft::Error> {
+/// let mut b = DftBuilder::new();
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let y = b.basic_event("Y", 1.0, Dormancy::Hot)?;
+/// let a = b.and_gate("A", &[x, y])?;
+/// let z = b.basic_event("Z", 1.0, Dormancy::Hot)?;
+/// let top = b.pand_gate("Top", &[a, z])?;
+/// let dft = b.build(top)?;
+/// assert!(independent_modules(&dft).iter().any(|m| m.root == a));
+/// assert!(!diftree_solvable_modules(&dft).iter().any(|m| m.root == a));
+/// # Ok(())
+/// # }
+/// ```
 pub fn diftree_solvable_modules(dft: &Dft) -> Vec<ModuleInfo> {
     independent_modules(dft)
         .into_iter()
@@ -93,6 +130,374 @@ pub fn diftree_solvable_modules(dft: &Dft) -> Vec<ModuleInfo> {
             })
         })
         .collect()
+}
+
+/// Statistics of a hybrid static/dynamic decomposition: how much of the tree
+/// the combinatorial crown absorbed and how much state-space analysis remains.
+///
+/// The `static_modules` / `dynamic_modules` counts classify every independent
+/// module of the tree; `static_modules_retained` records the reduction
+/// *decisions* — static modules that stay in the state space because they sit
+/// underneath dynamic gates (the exactness boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleStats {
+    /// Elements of the original tree.
+    pub total_elements: usize,
+    /// Independent modules without any dynamic gate.
+    pub static_modules: usize,
+    /// Independent modules containing at least one dynamic gate.
+    pub dynamic_modules: usize,
+    /// Static independent modules kept in the state space because they live
+    /// inside a dynamic core (collapsing them would be approximate).
+    pub static_modules_retained: usize,
+    /// Elements solved combinatorially (static gates and basic events of the crown).
+    pub crown_elements: usize,
+    /// Dynamic cores that still need state-space analysis.
+    pub core_count: usize,
+    /// Elements inside those cores.
+    pub core_elements: usize,
+}
+
+/// One dynamic core of a [`HybridPlan`]: a maximal connected region of the tree
+/// that needs state-space analysis, observed by the crown through a single
+/// *exit* element.
+#[derive(Debug, Clone)]
+pub struct CoreModule {
+    /// The element through which the crown observes the core.  Usually a gate,
+    /// but a basic event when e.g. an FDEP-triggered event feeds a static gate.
+    pub exit: ElementId,
+    /// Every element of the core, ascending by id (including `exit` and any
+    /// parentless FDEP gates whose trigger or dependents belong to the core).
+    pub members: Vec<ElementId>,
+    /// The core as a standalone DFT whose top is `exit`: element `i` of this
+    /// tree is `members[i]` of the original, names preserved.
+    pub dft: Dft,
+}
+
+/// The hybrid decomposition of a tree: dynamic [`CoreModule`]s plus the static
+/// crown above them.
+///
+/// Built by [`hybrid_plan`].  The decomposition is *exact* for unrepairable
+/// trees: cores are pairwise disjoint and share no element with the crown, so
+/// their failure times are independent of each other and of the crown's basic
+/// events, and the crown combines them combinatorially.  A tree whose top is
+/// itself dynamic degenerates to a single core containing everything (the plan
+/// then adds no reduction, but stays correct).
+#[derive(Debug, Clone)]
+pub struct HybridPlan {
+    /// The dynamic cores, ordered by exit id.
+    pub cores: Vec<CoreModule>,
+    /// Crown elements (everything outside all cores), ascending by id.  All
+    /// crown gates are static, and no crown element is shared with a core.
+    pub crown: Vec<ElementId>,
+    /// Reduction accounting for reports and `/metrics`.
+    pub stats: ModuleStats,
+}
+
+/// Computes the hybrid static/dynamic decomposition of a tree.
+///
+/// Every dynamic gate and all its descendants must be analysed in the state
+/// space; connected regions of such elements form core candidates.  A core must
+/// be observed through a *single* exit (one element with parents outside the
+/// core), because a pseudo event summarises exactly one failure distribution —
+/// components observed through several exits absorb the static gates above
+/// those exits until a single exit remains (in the worst case, the top, which
+/// makes the plan degenerate but never wrong).  Dynamic regions that the top
+/// does not observe at all produce no core.
+///
+/// # Examples
+///
+/// ```
+/// use dft::modules::hybrid_plan;
+/// use dft::{DftBuilder, Dormancy};
+/// # fn main() -> Result<(), dft::Error> {
+/// let mut b = DftBuilder::new();
+/// let d1 = b.basic_event("D1", 1.0, Dormancy::Hot)?;
+/// let d2 = b.basic_event("D2", 1.0, Dormancy::Hot)?;
+/// let core = b.pand_gate("Core", &[d1, d2])?;
+/// let x = b.basic_event("X", 1.0, Dormancy::Hot)?;
+/// let y = b.basic_event("Y", 1.0, Dormancy::Hot)?;
+/// let crown = b.and_gate("Crown", &[x, y])?;
+/// let top = b.or_gate("Top", &[crown, core])?;
+/// let dft = b.build(top)?;
+/// let plan = hybrid_plan(&dft);
+/// assert_eq!(plan.cores.len(), 1);
+/// assert_eq!(plan.cores[0].exit, core);
+/// assert_eq!(plan.stats.crown_elements, 4); // X, Y, Crown, Top
+/// # Ok(())
+/// # }
+/// ```
+pub fn hybrid_plan(dft: &Dft) -> HybridPlan {
+    let n = dft.num_elements();
+    // Seed: dynamism contaminates everything below it.
+    let mut in_core = vec![false; n];
+    for id in dft.elements() {
+        if dft.element(id).is_dynamic_gate() {
+            for d in dft.descendants(id) {
+                in_core[d.index()] = true;
+            }
+        }
+    }
+    // Grow the core set until every connected core component is observed
+    // through a single exit.  The set only grows, so this terminates (at the
+    // latest once the top joins a core and becomes its only exit).
+    let components = loop {
+        // Label connected components over input/parent adjacency.  The core
+        // set is descendant-closed, so every input of a core element is a core
+        // element of the same component.
+        let mut label = vec![usize::MAX; n];
+        let mut components: Vec<Vec<ElementId>> = Vec::new();
+        for start in dft.elements() {
+            if !in_core[start.index()] || label[start.index()] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut members = Vec::new();
+            let mut stack = vec![start];
+            label[start.index()] = id;
+            while let Some(e) = stack.pop() {
+                members.push(e);
+                let inputs = dft.element(e).inputs().iter();
+                for &next in inputs.chain(dft.parents(e)) {
+                    if in_core[next.index()] && label[next.index()] == usize::MAX {
+                        label[next.index()] = id;
+                        stack.push(next);
+                    }
+                }
+            }
+            members.sort();
+            components.push(members);
+        }
+        let exits: Vec<Vec<ElementId>> = components
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        e == dft.top() || dft.parents(e).iter().any(|p| !in_core[p.index()])
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut grew = false;
+        for exit_set in &exits {
+            if exit_set.len() < 2 {
+                continue;
+            }
+            for &exit in exit_set {
+                for &parent in dft.parents(exit) {
+                    if !in_core[parent.index()] {
+                        for d in dft.descendants(parent) {
+                            in_core[d.index()] = true;
+                        }
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break components.into_iter().zip(exits).collect::<Vec<_>>();
+        }
+    };
+    let mut cores: Vec<CoreModule> = components
+        .into_iter()
+        .filter_map(|(members, exits)| {
+            // A dynamic island the top never observes contributes nothing.
+            let &exit = exits.first()?;
+            let sub = extract_subtree(dft, &members, exit);
+            Some(CoreModule {
+                exit,
+                members,
+                dft: sub,
+            })
+        })
+        .collect();
+    cores.sort_by_key(|c| c.exit);
+    let crown: Vec<ElementId> = dft.elements().filter(|&e| !in_core[e.index()]).collect();
+    let modules = independent_modules(dft);
+    let static_modules = modules.iter().filter(|m| !m.dynamic).count();
+    let static_modules_retained = modules
+        .iter()
+        .filter(|m| !m.dynamic && m.members.iter().all(|&e| in_core[e.index()]))
+        .count();
+    let stats = ModuleStats {
+        total_elements: n,
+        static_modules,
+        dynamic_modules: modules.len() - static_modules,
+        static_modules_retained,
+        crown_elements: crown.len(),
+        core_count: cores.len(),
+        core_elements: cores.iter().map(|c| c.members.len()).sum(),
+    };
+    HybridPlan {
+        cores,
+        crown,
+        stats,
+    }
+}
+
+/// Extracts `members` of `dft` into a standalone tree topped by `exit`.
+/// Element `i` of the result is `members[i]`; names are preserved.  `members`
+/// must be input-closed (every input of a member is a member), which both the
+/// core components of [`hybrid_plan`] and independent modules guarantee.
+fn extract_subtree(dft: &Dft, members: &[ElementId], exit: ElementId) -> Dft {
+    let mut index_of = vec![u32::MAX; dft.num_elements()];
+    for (i, &m) in members.iter().enumerate() {
+        index_of[m.index()] = i as u32;
+    }
+    let mut names = Vec::with_capacity(members.len());
+    let mut elements = Vec::with_capacity(members.len());
+    let mut by_name = HashMap::with_capacity(members.len());
+    for (i, &m) in members.iter().enumerate() {
+        let name = dft.name(m).to_owned();
+        by_name.insert(name.clone(), ElementId::new(i as u32));
+        names.push(name);
+        let mut element = dft.element(m).clone();
+        if let Element::Gate(gate) = &mut element {
+            for input in &mut gate.inputs {
+                *input = ElementId::new(index_of[input.index()]);
+            }
+        }
+        elements.push(element);
+    }
+    Dft::assemble(
+        names,
+        elements,
+        by_name,
+        ElementId::new(index_of[exit.index()]),
+    )
+}
+
+/// Statistics of an approximate [`collapse_static_modules`] rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollapseStats {
+    /// Static modules replaced by exponential pseudo events.
+    pub collapsed_modules: usize,
+    /// Elements removed from the tree by those replacements.
+    pub removed_elements: usize,
+}
+
+/// **Approximate**, opt-in rewrite: replaces every maximal unrepairable static
+/// independent module — *including those underneath dynamic gates* — with a
+/// single exponential pseudo basic event whose rate is the reciprocal of the
+/// module's mean time to failure.
+///
+/// The hybrid backend never does this on its own: a static module below a
+/// dynamic gate has a non-exponential failure distribution, and summarising it
+/// by its MTTF changes results.  Calling this function is the explicit
+/// approximation flag.  Modules serving as spare-gate inputs keep their
+/// structure (activation and dormancy are not combinatorial notions), as do
+/// repairable modules and the top itself.
+///
+/// The MTTF `∫₀^∞ R(t) dt` is evaluated from the module's BDD by midpoint
+/// quadrature after the substitution `u = e^(−ct)` (with `c` the smallest leaf
+/// rate), which maps the integral onto `[0, 1]` with a bounded integrand.
+///
+/// # Errors
+///
+/// Propagates [`crate::Error::InvalidGate`] from BDD compilation; unreachable
+/// for the static modules this function selects.
+pub fn collapse_static_modules(dft: &Dft) -> Result<(Dft, CollapseStats)> {
+    let modules = independent_modules(dft);
+    let candidates: Vec<&ModuleInfo> = modules
+        .iter()
+        .filter(|m| {
+            !m.dynamic
+                && m.root != dft.top()
+                && !dft.parents(m.root).iter().any(|&p| {
+                    matches!(
+                        dft.element(p).as_gate().map(|g| g.kind),
+                        Some(GateKind::Spare)
+                    )
+                })
+                && m.members.iter().all(|&e| match dft.element(e) {
+                    Element::BasicEvent(be) => be.repair_rate.is_none(),
+                    Element::Gate(g) => !g.repairable,
+                })
+        })
+        .collect();
+    // Independent modules are nested or disjoint; keep the maximal ones.
+    let chosen: Vec<&ModuleInfo> = candidates
+        .iter()
+        .filter(|m| {
+            !candidates
+                .iter()
+                .any(|other| other.root != m.root && other.members.binary_search(&m.root).is_ok())
+        })
+        .copied()
+        .collect();
+    let mut replacement: HashMap<ElementId, f64> = HashMap::with_capacity(chosen.len());
+    let mut removed = vec![false; dft.num_elements()];
+    let mut removed_elements = 0;
+    for module in &chosen {
+        let sub = extract_subtree(dft, &module.members, module.root);
+        replacement.insert(module.root, 1.0 / module_mttf(&sub)?);
+        for &e in &module.members {
+            if e != module.root {
+                removed[e.index()] = true;
+                removed_elements += 1;
+            }
+        }
+    }
+    let mut index_of = vec![u32::MAX; dft.num_elements()];
+    let mut names = Vec::new();
+    let mut by_name = HashMap::new();
+    for id in dft.elements() {
+        if removed[id.index()] {
+            continue;
+        }
+        index_of[id.index()] = names.len() as u32;
+        by_name.insert(dft.name(id).to_owned(), ElementId::new(names.len() as u32));
+        names.push(dft.name(id).to_owned());
+    }
+    let mut elements = Vec::with_capacity(names.len());
+    for id in dft.elements() {
+        if removed[id.index()] {
+            continue;
+        }
+        if let Some(&rate) = replacement.get(&id) {
+            elements.push(Element::BasicEvent(BasicEvent {
+                rate,
+                dormancy: Dormancy::Hot,
+                repair_rate: None,
+            }));
+        } else {
+            let mut element = dft.element(id).clone();
+            if let Element::Gate(gate) = &mut element {
+                for input in &mut gate.inputs {
+                    *input = ElementId::new(index_of[input.index()]);
+                }
+            }
+            elements.push(element);
+        }
+    }
+    let top = ElementId::new(index_of[dft.top().index()]);
+    let stats = CollapseStats {
+        collapsed_modules: chosen.len(),
+        removed_elements,
+    };
+    Ok((Dft::assemble(names, elements, by_name, top), stats))
+}
+
+/// Mean time to failure of an unrepairable static tree, by BDD evaluation and
+/// midpoint quadrature (see [`collapse_static_modules`]).
+fn module_mttf(sub: &Dft) -> Result<f64> {
+    let bdd = Bdd::for_tree(sub)?;
+    let c = sub
+        .basic_events()
+        .iter()
+        .filter_map(|&e| sub.element(e).as_basic_event().map(|be| be.rate))
+        .fold(f64::INFINITY, f64::min);
+    const STEPS: usize = 4096;
+    let mut total = 0.0;
+    for i in 0..STEPS {
+        let u = (i as f64 + 0.5) / STEPS as f64;
+        let t = -u.ln() / c;
+        let reliability = 1.0 - bdd.probability(&exponential_probabilities(sub, t));
+        total += reliability / (c * u);
+    }
+    Ok(total / STEPS as f64)
 }
 
 #[cfg(test)]
@@ -170,5 +575,180 @@ mod tests {
         let roots: Vec<&str> = modules.iter().map(|m| dft.name(m.root)).collect();
         // C is functionally dependent on a trigger outside "Module".
         assert!(!roots.contains(&"Module"));
+    }
+
+    /// Static crown (OR over an AND module) above one PAND core that itself
+    /// contains a static AND module.
+    fn mixed() -> Dft {
+        let mut b = DftBuilder::new();
+        let a1 = b.basic_event("A1", 1.0, Dormancy::Hot).unwrap();
+        let a2 = b.basic_event("A2", 1.0, Dormancy::Hot).unwrap();
+        let crown_module = b.and_gate("CrownMod", &[a1, a2]).unwrap();
+        let b1 = b.basic_event("B1", 1.0, Dormancy::Hot).unwrap();
+        let b2 = b.basic_event("B2", 1.0, Dormancy::Hot).unwrap();
+        let core_module = b.and_gate("CoreMod", &[b1, b2]).unwrap();
+        let d = b.basic_event("D", 1.0, Dormancy::Hot).unwrap();
+        let core = b.pand_gate("Core", &[core_module, d]).unwrap();
+        let top = b.or_gate("Top", &[crown_module, core]).unwrap();
+        b.build(top).unwrap()
+    }
+
+    #[test]
+    fn hybrid_plan_keeps_static_modules_under_dynamic_gates_in_the_core() {
+        let dft = mixed();
+        let plan = hybrid_plan(&dft);
+        assert_eq!(plan.cores.len(), 1);
+        let core = &plan.cores[0];
+        assert_eq!(dft.name(core.exit), "Core");
+        // The AND module below the PAND stays in the state space: the
+        // exactness boundary of the hybrid backend.
+        let member_names: Vec<&str> = core.members.iter().map(|&m| dft.name(m)).collect();
+        assert_eq!(member_names, vec!["B1", "B2", "CoreMod", "D", "Core"]);
+        assert_eq!(core.dft.name(core.dft.top()), "Core");
+        assert_eq!(core.dft.num_elements(), 5);
+        let crown_names: Vec<&str> = plan.crown.iter().map(|&m| dft.name(m)).collect();
+        assert_eq!(crown_names, vec!["A1", "A2", "CrownMod", "Top"]);
+        assert_eq!(plan.stats.core_count, 1);
+        assert_eq!(plan.stats.core_elements, 5);
+        assert_eq!(plan.stats.crown_elements, 4);
+        assert_eq!(plan.stats.total_elements, 9);
+        // CrownMod and CoreMod are static modules; only CoreMod is retained in
+        // the state space.
+        assert_eq!(plan.stats.static_modules, 2);
+        assert_eq!(plan.stats.static_modules_retained, 1);
+    }
+
+    #[test]
+    fn fully_static_trees_plan_without_cores() {
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("Y", 1.0, Dormancy::Hot).unwrap();
+        let top = b.voting_gate("Top", 1, &[x, y]).unwrap();
+        let dft = b.build(top).unwrap();
+        let plan = hybrid_plan(&dft);
+        assert!(plan.cores.is_empty());
+        assert_eq!(plan.crown.len(), 3);
+        assert_eq!(plan.stats.core_elements, 0);
+    }
+
+    #[test]
+    fn dynamic_top_degenerates_to_a_single_core() {
+        let dft = cascaded();
+        let plan = hybrid_plan(&dft);
+        assert_eq!(plan.cores.len(), 1);
+        assert_eq!(plan.cores[0].exit, dft.top());
+        assert_eq!(plan.cores[0].members.len(), dft.num_elements());
+        assert!(plan.crown.is_empty());
+    }
+
+    #[test]
+    fn multi_exit_components_absorb_their_crown_parents() {
+        // Two spare gates share one pool spare: a single stochastic component
+        // observed through two exits.  The plan must absorb the static gates
+        // above the exits until one exit remains — here, all the way to the top.
+        let mut b = DftBuilder::new();
+        let pa = b.basic_event("PA", 1.0, Dormancy::Hot).unwrap();
+        let pb = b.basic_event("PB", 1.0, Dormancy::Hot).unwrap();
+        let ps = b.basic_event("PS", 1.0, Dormancy::Cold).unwrap();
+        let ga = b.spare_gate("GA", &[pa, ps]).unwrap();
+        let gb = b.spare_gate("GB", &[pb, ps]).unwrap();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("Y", 1.0, Dormancy::Hot).unwrap();
+        let and1 = b.and_gate("And1", &[ga, x]).unwrap();
+        let and2 = b.and_gate("And2", &[gb, y]).unwrap();
+        let top = b.or_gate("Top", &[and1, and2]).unwrap();
+        let dft = b.build(top).unwrap();
+        let plan = hybrid_plan(&dft);
+        assert_eq!(plan.cores.len(), 1);
+        assert_eq!(plan.cores[0].exit, dft.top());
+        assert!(plan.crown.is_empty());
+    }
+
+    #[test]
+    fn fdep_core_can_exit_through_a_basic_event() {
+        // The trigger is only observed through the FDEP; the crown sees the
+        // dependent basic event directly.
+        let mut b = DftBuilder::new();
+        let t = b.basic_event("T", 1.0, Dormancy::Hot).unwrap();
+        let c = b.basic_event("C", 1.0, Dormancy::Hot).unwrap();
+        let _fdep = b.fdep_gate("Fdep", t, &[c]).unwrap();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let top = b.and_gate("Top", &[c, x]).unwrap();
+        let dft = b.build(top).unwrap();
+        let plan = hybrid_plan(&dft);
+        assert_eq!(plan.cores.len(), 1);
+        let core = &plan.cores[0];
+        assert_eq!(dft.name(core.exit), "C");
+        let member_names: Vec<&str> = core.members.iter().map(|&m| dft.name(m)).collect();
+        assert_eq!(member_names, vec!["T", "C", "Fdep"]);
+        assert_eq!(core.dft.name(core.dft.top()), "C");
+        let crown_names: Vec<&str> = plan.crown.iter().map(|&m| dft.name(m)).collect();
+        assert_eq!(crown_names, vec!["X", "Top"]);
+    }
+
+    #[test]
+    fn collapse_replaces_static_modules_with_pseudo_events() {
+        let dft = cascaded();
+        let (reduced, stats) = collapse_static_modules(&dft).unwrap();
+        assert_eq!(stats.collapsed_modules, 2);
+        assert_eq!(stats.removed_elements, 4);
+        assert_eq!(reduced.num_elements(), 3);
+        assert_eq!(reduced.num_basic_events(), 2);
+        assert_eq!(reduced.name(reduced.top()), "Top");
+        // AND of two unit-rate events: MTTF = 2 − 1/2 = 3/2, rate = 2/3.  The
+        // transformed integrand is linear in u, so midpoint quadrature is exact.
+        let mod_a = reduced.require("ModA").unwrap();
+        let be = reduced.element(mod_a).as_basic_event().unwrap();
+        assert!((be.rate - 2.0 / 3.0).abs() < 1e-9, "rate {}", be.rate);
+    }
+
+    #[test]
+    fn collapse_quadrature_is_accurate_for_uneven_rates() {
+        // AND(λ=1, λ=2): MTTF = 1 + 1/2 − 1/3 = 7/6.
+        let mut b = DftBuilder::new();
+        let x = b.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b.basic_event("Y", 2.0, Dormancy::Hot).unwrap();
+        let m = b.and_gate("M", &[x, y]).unwrap();
+        let z = b.basic_event("Z", 1.0, Dormancy::Hot).unwrap();
+        let top = b.pand_gate("Top", &[m, z]).unwrap();
+        let dft = b.build(top).unwrap();
+        let (reduced, stats) = collapse_static_modules(&dft).unwrap();
+        assert_eq!(stats.collapsed_modules, 1);
+        let m = reduced.require("M").unwrap();
+        let be = reduced.element(m).as_basic_event().unwrap();
+        assert!((be.rate - 6.0 / 7.0).abs() < 1e-6, "rate {}", be.rate);
+    }
+
+    #[test]
+    fn collapse_skips_spare_modules_repairable_modules_and_the_top() {
+        // A complex spare module must keep its structure (activation), and a
+        // repairable module must keep its state space.
+        let mut b = DftBuilder::new();
+        let p = b.basic_event("P", 1.0, Dormancy::Hot).unwrap();
+        let c = b.basic_event("C", 1.0, Dormancy::Cold).unwrap();
+        let d = b.basic_event("D", 1.0, Dormancy::Cold).unwrap();
+        let spare_module = b.and_gate("SpareModule", &[c, d]).unwrap();
+        let spare = b.spare_gate("Spare", &[p, spare_module]).unwrap();
+        let r1 = b
+            .repairable_basic_event("R1", 1.0, Dormancy::Hot, 2.0)
+            .unwrap();
+        let r2 = b.basic_event("R2", 1.0, Dormancy::Hot).unwrap();
+        let repairable = b.and_gate("Repairable", &[r1, r2]).unwrap();
+        let top = b.or_gate("Top", &[spare, repairable]).unwrap();
+        let dft = b.build(top).unwrap();
+        let (reduced, stats) = collapse_static_modules(&dft).unwrap();
+        assert_eq!(stats.collapsed_modules, 0);
+        assert_eq!(reduced.num_elements(), dft.num_elements());
+
+        // A fully static tree's top is itself a maximal static module, but the
+        // top is never collapsed.
+        let mut b2 = DftBuilder::new();
+        let x = b2.basic_event("X", 1.0, Dormancy::Hot).unwrap();
+        let y = b2.basic_event("Y", 1.0, Dormancy::Hot).unwrap();
+        let top2 = b2.and_gate("Top", &[x, y]).unwrap();
+        let static_dft = b2.build(top2).unwrap();
+        let (kept, stats2) = collapse_static_modules(&static_dft).unwrap();
+        assert_eq!(stats2.collapsed_modules, 0);
+        assert_eq!(kept.num_elements(), 3);
     }
 }

@@ -9,6 +9,8 @@
 //! 3. Start server B on the *same* store directory and submit the same tree:
 //!    the report must say `aggregation_runs == 0` (the model came off disk)
 //!    and `/metrics` must show `store.hits > 0`.
+//! 4. Submit a static-heavy tree with `"method": "hybrid"` and check the
+//!    hybrid backend's reduction counters surface in `/metrics`.
 //!
 //! The harness finds the `dftmc-serve` binary next to its own executable, so
 //! run it via `cargo run --release -p dftmc-serve --bin serve_smoke` after a
@@ -143,7 +145,7 @@ fn main() {
         .value();
 
     // --- Process A: cold store -------------------------------------------
-    println!("[1/3] cold server: submit CAS over HTTP, check bit-identity");
+    println!("[1/4] cold server: submit CAS over HTTP, check bit-identity");
     let a = start_server(&binary, &store);
     let id = submit(a.addr, &body);
     let report = wait_result(a.addr, id);
@@ -159,7 +161,7 @@ fn main() {
         report.render()
     );
 
-    println!("[2/3] shutdown with an in-flight job: the drain must finish it");
+    println!("[2/4] shutdown with an in-flight job: the drain must finish it");
     let in_flight = submit(a.addr, &body);
     assert!(in_flight > id);
     let (status, doc) = client::request(a.addr, "POST", "/shutdown", "").expect("shutdown I/O");
@@ -169,7 +171,7 @@ fn main() {
     assert!(exit.success(), "server A exited with {exit:?}");
 
     // --- Process B: same store directory ---------------------------------
-    println!("[3/3] warm server on the same store: zero aggregations");
+    println!("[3/4] warm server on the same store: zero aggregations");
     let b = start_server(&binary, &store);
     let id = submit(b.addr, &body);
     let report = wait_result(b.addr, id);
@@ -195,6 +197,42 @@ fn main() {
     assert!(
         num(&store_stats, "hits") > 0.0,
         "server B never hit the shared store: {}",
+        metrics.render()
+    );
+
+    // --- Hybrid backend over HTTP -----------------------------------------
+    println!("[4/4] hybrid job on a static-heavy tree: reduction counters in /metrics");
+    let static_heavy = "toplevel \"Top\";\n\
+                        \"Top\" or \"Dyn\" \"Static\";\n\
+                        \"Dyn\" wsp \"P\" \"S\";\n\
+                        \"Static\" and \"X\" \"Y\" \"Z\";\n\
+                        \"P\" lambda=1.0 dorm=0.0;\n\
+                        \"S\" lambda=1.0 dorm=0.0;\n\
+                        \"X\" lambda=0.5 dorm=0.0;\n\
+                        \"Y\" lambda=0.5 dorm=0.0;\n\
+                        \"Z\" lambda=0.5 dorm=0.0;\n";
+    let hybrid_body = Json::obj([
+        ("galileo", static_heavy.into()),
+        ("method", "hybrid".into()),
+        (
+            "measures",
+            Json::Arr(vec![Json::obj([
+                ("type", "unreliability".into()),
+                ("time", 1.0.into()),
+            ])]),
+        ),
+    ])
+    .render();
+    let id = submit(b.addr, &hybrid_body);
+    let _ = wait_result(b.addr, id);
+    let (status, metrics) = client::request(b.addr, "GET", "/metrics", "").expect("metrics I/O");
+    assert_eq!(status, 200);
+    let hybrid = field(&metrics, "hybrid").expect("hybrid section present");
+    assert_eq!(num(&hybrid, "builds"), 1.0, "{}", metrics.render());
+    assert_eq!(num(&hybrid, "fallbacks"), 0.0, "{}", metrics.render());
+    assert!(
+        num(&hybrid, "crown_elements") > 0.0 && num(&hybrid, "core_elements") > 0.0,
+        "the static crown never collapsed: {}",
         metrics.render()
     );
 

@@ -7,7 +7,7 @@
 //! degradation signals like `store.write_errors` from outside the process.
 
 use crate::json::Json;
-use dft_core::service::{CacheStats, QueueStats};
+use dft_core::service::{CacheStats, HybridStats, QueueStats};
 use dft_core::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -89,6 +89,7 @@ pub fn json_count(value: u64) -> Json {
 /// (submitted, not yet harvested); `store` is `None` for a storeless server
 /// and must render as JSON `null` so a scraper can tell "no store" from
 /// "store with zero traffic".
+#[allow(clippy::too_many_arguments)] // one parameter per /metrics section, wired from a single call site
 pub fn render(
     uptime: Duration,
     http: &HttpCounters,
@@ -96,6 +97,7 @@ pub fn render(
     pending: usize,
     queue: QueueStats,
     cache: CacheStats,
+    hybrid: HybridStats,
     store: Option<StoreStats>,
 ) -> Json {
     Json::obj([
@@ -147,6 +149,16 @@ pub fn render(
             ]),
         ),
         (
+            "hybrid",
+            Json::obj([
+                ("builds", count(hybrid.builds)),
+                ("fallbacks", count(hybrid.fallbacks)),
+                ("cores", count(hybrid.cores)),
+                ("crown_elements", count(hybrid.crown_elements)),
+                ("core_elements", count(hybrid.core_elements)),
+            ]),
+        ),
+        (
             "store",
             match store {
                 None => Json::Null,
@@ -182,6 +194,13 @@ mod tests {
             3,
             QueueStats::default(),
             CacheStats::default(),
+            HybridStats {
+                builds: 2,
+                fallbacks: 1,
+                cores: 4,
+                crown_elements: 9,
+                core_elements: 6,
+            },
             Some(StoreStats {
                 write_errors: 7,
                 ..StoreStats::default()
@@ -193,6 +212,10 @@ mod tests {
         assert!(doc.contains("\"parametric_evictions\":0"));
         assert!(doc.contains("\"build_seconds\":1.5"));
         assert!(doc.contains("\"pending\":3"));
+        // The hybrid-backend reduction counters must be visible too.
+        assert!(doc.contains("\"fallbacks\":1"));
+        assert!(doc.contains("\"crown_elements\":9"));
+        assert!(doc.contains("\"core_elements\":6"));
 
         // A storeless server renders `null`, not a zeroed object.
         let doc = render(
@@ -202,6 +225,7 @@ mod tests {
             0,
             QueueStats::default(),
             CacheStats::default(),
+            HybridStats::default(),
             None,
         )
         .render();

@@ -246,6 +246,7 @@ impl Router {
             self.registry.pending(),
             self.service.queue_stats(),
             self.service.cache_stats(),
+            self.service.hybrid_stats(),
             self.service.store_stats(),
         )
     }
@@ -302,9 +303,10 @@ fn parse_options(doc: &Json) -> ApiResult<AnalysisOptions> {
         None => {}
         Some(Json::Str(s)) if s == "compositional" => options.method = Method::Compositional,
         Some(Json::Str(s)) if s == "monolithic" => options.method = Method::Monolithic,
+        Some(Json::Str(s)) if s == "hybrid" => options.method = Method::Hybrid,
         Some(_) => {
             return Err(bad(
-                "field 'method' must be \"compositional\" or \"monolithic\"",
+                "field 'method' must be \"compositional\", \"monolithic\" or \"hybrid\"",
             ))
         }
     }
@@ -652,5 +654,47 @@ mod tests {
         let shutdown = router.handle(&post("/shutdown", ""));
         assert_eq!(shutdown.status, 200);
         assert!(shutdown.shutdown);
+    }
+
+    #[test]
+    fn hybrid_jobs_surface_reduction_counters_in_metrics() {
+        // A static-heavy tree: one spare pair carries the dynamism, a 3-wide
+        // AND rides above it as a static module the hybrid backend collapses.
+        let tree = "toplevel \"Top\";\n\
+                    \"Top\" or \"Dyn\" \"Static\";\n\
+                    \"Dyn\" wsp \"P\" \"S\";\n\
+                    \"Static\" and \"X\" \"Y\" \"Z\";\n\
+                    \"P\" lambda=1.0 dorm=0.0;\n\
+                    \"S\" lambda=1.0 dorm=0.0;\n\
+                    \"X\" lambda=0.5 dorm=0.0;\n\
+                    \"Y\" lambda=0.5 dorm=0.0;\n\
+                    \"Z\" lambda=0.5 dorm=0.0;\n";
+        let router = router();
+        let doc = Json::obj([
+            ("galileo", tree.into()),
+            ("method", "hybrid".into()),
+            (
+                "measures",
+                Json::Arr(vec![Json::obj([
+                    ("type", "unreliability".into()),
+                    ("time", 1.0.into()),
+                ])]),
+            ),
+        ]);
+        let reply = router.handle(&post("/submit", &doc.render()));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let done = wait_done(&router, 1);
+        assert_eq!(str_field(&done, "status"), Some("done"));
+
+        let metrics = router.handle(&get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        let doc = json::parse(&metrics.body).unwrap();
+        let hybrid = field(&doc, "hybrid").expect("metrics carry a hybrid section");
+        assert_eq!(num_field(hybrid, "builds"), Some(1.0));
+        assert_eq!(num_field(hybrid, "fallbacks"), Some(0.0));
+        // One core (the spare pair) plus a collapsed static crown.
+        assert_eq!(num_field(hybrid, "cores"), Some(1.0));
+        assert!(num_field(hybrid, "crown_elements").unwrap() > 0.0);
+        assert!(num_field(hybrid, "core_elements").unwrap() > 0.0);
     }
 }

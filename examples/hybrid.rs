@@ -1,0 +1,79 @@
+//! The hybrid static/dynamic backend: BDD-solve the static crown, pay state
+//! space only where the dynamism lives.
+//!
+//! The tree below is typical of industrial DFTs: one cold-spare pair carries
+//! all the dynamic behaviour, while the bulk of the model is a static
+//! AND/OR/voting structure.  `Method::Hybrid` detects that split, runs the
+//! compositional I/O-IMC pipeline only on the spare pair (4 states) and
+//! evaluates everything else exactly on a BDD — against ~1800 states for the
+//! pure state-space session, at identical unreliability.
+//!
+//! Run with `cargo run --release --example hybrid`.
+
+use dftmc::dft::{DftBuilder, Dormancy};
+use dftmc::dft_core::engine::Analyzer;
+use dftmc::dft_core::{AnalysisOptions, Method};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Nine static basic events in three groups, plus one cold-spare pair.
+    let mut b = DftBuilder::new();
+    let mut groups = Vec::new();
+    for (g, kind) in ["and", "vote", "or"].iter().enumerate() {
+        let events: Vec<_> = (0..3)
+            .map(|i| {
+                b.basic_event(
+                    &format!("e{g}{i}"),
+                    0.3 + 0.1 * (3 * g + i) as f64,
+                    Dormancy::Hot,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        groups.push(match *kind {
+            "and" => b.and_gate(&format!("g{g}"), &events)?,
+            "vote" => b.voting_gate(&format!("g{g}"), 2, &events)?,
+            _ => b.or_gate(&format!("g{g}"), &events)?,
+        });
+    }
+    let p = b.basic_event("P", 1.0, Dormancy::Hot)?;
+    let s = b.basic_event("S", 1.0, Dormancy::Cold)?;
+    groups.push(b.spare_gate("Spare", &[p, s])?);
+    let top = b.or_gate("Top", &groups)?;
+    let dft = b.build(top)?;
+
+    let times = [0.25, 0.5, 1.0, 2.0];
+
+    // The pure state-space reference …
+    let pure = Analyzer::new(&dft, AnalysisOptions::default())?;
+    // … and the hybrid session on the same tree.
+    let options = AnalysisOptions {
+        method: Method::Hybrid,
+        ..AnalysisOptions::default()
+    };
+    let hybrid = Analyzer::new(&dft, options)?;
+
+    let stats = hybrid
+        .module_stats()
+        .expect("the spare pair under a static crown decomposes");
+    println!(
+        "decomposition: {} dynamic core(s) holding {} element(s), {} elements in the BDD crown",
+        stats.core_count, stats.core_elements, stats.crown_elements
+    );
+    println!(
+        "closed-model states: {} (pure state space) vs {} (hybrid cores)",
+        pure.model_stats().states,
+        hybrid.model_stats().states
+    );
+
+    println!("\n  t      pure           hybrid         |diff|");
+    let reference = pure.unreliability_curve(&times)?;
+    let reduced = hybrid.unreliability_curve(&times)?;
+    for ((t, a), b) in times.iter().zip(reference.points()).zip(reduced.points()) {
+        println!(
+            "  {t:<5} {:.12} {:.12} {:.1e}",
+            a.value(),
+            b.value(),
+            (a.value() - b.value()).abs()
+        );
+    }
+    Ok(())
+}
