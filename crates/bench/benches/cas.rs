@@ -6,6 +6,9 @@
 //! phases separately for both methods, plus the legacy one-shot entry point that
 //! pays for both on every call.
 
+// This bench deliberately measures the deprecated one-shot wrapper against
+// the session engine; see `dft_core::analysis` for the migration.
+#![allow(deprecated)]
 use dft_core::analysis::{unreliability, AnalysisOptions, Method};
 use dft_core::casestudies::cas;
 use dft_core::engine::Analyzer;

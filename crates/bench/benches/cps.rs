@@ -3,6 +3,9 @@
 //! than an order of magnitude in state count.  Build and query phases are
 //! measured separately; the curve query shows the session amortising its build.
 
+// This bench deliberately measures the deprecated one-shot wrapper against
+// the session engine; see `dft_core::analysis` for the migration.
+#![allow(deprecated)]
 use dft_core::analysis::{aggregated_model, unreliability, AnalysisOptions, Method};
 use dft_core::casestudies::cps;
 use dft_core::engine::Analyzer;

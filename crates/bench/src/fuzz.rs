@@ -150,6 +150,14 @@ fn http_corpus() -> Vec<Vec<u8>> {
     ]
 }
 
+/// A dftlib-schema interchange document covering every node flavour the
+/// decoder handles, derived from the Galileo seed so the two text corpora
+/// describe the same tree.
+fn json_tree_corpus() -> Vec<Vec<u8>> {
+    let dft = dft::galileo::parse(GALILEO_SEED_TEXT).expect("the fuzz Galileo corpus parses");
+    vec![dft::json_format::to_json(&dft).into_bytes()]
+}
+
 fn json_corpus() -> Vec<Vec<u8>> {
     let doc = crate::json::Json::obj([
         ("name", "fuzz".into()),
@@ -324,6 +332,13 @@ pub fn run_all(seed: u64, iters: usize) -> Vec<FuzzReport> {
             crate::json::parse(&String::from_utf8_lossy(bytes)).is_ok()
         }),
         run_target(
+            "json_format::parse",
+            seed,
+            iters,
+            &json_tree_corpus(),
+            |bytes| dft::json_format::parse(&String::from_utf8_lossy(bytes)).is_ok(),
+        ),
+        run_target(
             "http::parse_request",
             seed,
             iters,
@@ -402,7 +417,7 @@ mod tests {
 
     fn report_corpus_len(target: &str) -> usize {
         match target {
-            "galileo::parse" | "json::parse" => 1,
+            "galileo::parse" | "json::parse" | "json_format::parse" => 1,
             "http::parse_request" => 3,
             _ => 2,
         }

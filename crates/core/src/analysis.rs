@@ -14,9 +14,9 @@
 //!
 //! # Prefer the [`Analyzer`] session API
 //!
-//! [`unreliability`], [`unavailability`] and [`mean_time_to_failure`] are retained
-//! for backwards compatibility, but each call rebuilds the whole aggregation
-//! pipeline from scratch.  They are now thin wrappers that construct a one-shot
+//! [`unreliability`], [`unavailability`] and [`mean_time_to_failure`] are
+//! **deprecated**: they are retained for backwards compatibility, but each call
+//! rebuilds the whole aggregation pipeline from scratch.  They are now thin wrappers that construct a one-shot
 //! [`Analyzer`] and immediately discard it, so they
 //! return exactly the engine's values — at N times the construction cost when
 //! asked N questions.  New code, and anything that sweeps mission times or mixes
@@ -143,6 +143,12 @@ pub struct UnavailabilityResult {
 /// Computes the system unreliability: the probability that the top event has
 /// occurred by `mission_time`.
 ///
+/// This one-shot wrapper rebuilds the model on every call.  Prefer an
+/// [`Analyzer`] session ([`Analyzer::unreliability`]) — it pays aggregation
+/// once and answers any number of queries — or describe the whole analysis
+/// as an [`AnalysisRequest`](crate::request::AnalysisRequest) and run it via
+/// [`AnalysisService::run_request`](crate::service::AnalysisService::run_request).
+///
 /// # Errors
 ///
 /// Propagates conversion, aggregation and numerical errors; returns
@@ -152,8 +158,11 @@ pub struct UnavailabilityResult {
 ///
 /// ```
 /// use dft::{DftBuilder, Dormancy};
-/// use dft_core::analysis::{unreliability, AnalysisOptions};
+/// use dft_core::analysis::AnalysisOptions;
 /// # fn main() -> Result<(), dft_core::Error> {
+/// # #[allow(deprecated)]
+/// # fn run() -> Result<(), dft_core::Error> {
+/// use dft_core::analysis::unreliability;
 /// let mut b = DftBuilder::new();
 /// let x = b.basic_event("lamp", 0.1, Dormancy::Hot)?;
 /// let top = b.or_gate("system", &[x])?;
@@ -162,7 +171,14 @@ pub struct UnavailabilityResult {
 /// assert!((r.probability() - (1.0 - (-0.2f64).exp())).abs() < 1e-6);
 /// # Ok(())
 /// # }
+/// # run()
+/// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use an `Analyzer` session (`Analyzer::unreliability`) or \
+            `AnalysisService::run_request`"
+)]
 pub fn unreliability(
     dft: &Dft,
     mission_time: f64,
@@ -183,10 +199,19 @@ pub fn unreliability(
 /// Computes the long-run unavailability of a repairable DFT: the steady-state
 /// probability that the top event is currently failed.
 ///
+/// This one-shot wrapper rebuilds the model on every call.  Prefer an
+/// [`Analyzer`] session ([`Analyzer::unavailability`]) or
+/// [`AnalysisService::run_request`](crate::service::AnalysisService::run_request).
+///
 /// # Errors
 ///
 /// Returns [`Error::Unsupported`] if the DFT is not repairable (no repair rates) or
 /// uses dynamic gates, and propagates numerical errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use an `Analyzer` session (`Analyzer::unavailability`) or \
+            `AnalysisService::run_request`"
+)]
 pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<UnavailabilityResult> {
     if !dft.is_repairable() {
         return Err(Error::Unsupported {
@@ -223,12 +248,19 @@ pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<Unavailabi
 /// Returns [`Error::Nondeterministic`] if the final model is a CTMDP (the MTTF is
 /// then not a single number), and propagates conversion/numerical errors.
 ///
+/// This one-shot wrapper rebuilds the model on every call.  Prefer an
+/// [`Analyzer`] session ([`Analyzer::mttf`]) or
+/// [`AnalysisService::run_request`](crate::service::AnalysisService::run_request).
+///
 /// # Examples
 ///
 /// ```
 /// use dft::{DftBuilder, Dormancy};
-/// use dft_core::analysis::{mean_time_to_failure, AnalysisOptions};
+/// use dft_core::analysis::AnalysisOptions;
 /// # fn main() -> Result<(), dft_core::Error> {
+/// # #[allow(deprecated)]
+/// # fn run() -> Result<(), dft_core::Error> {
+/// use dft_core::analysis::mean_time_to_failure;
 /// let mut b = DftBuilder::new();
 /// let p = b.basic_event("P", 2.0, Dormancy::Hot)?;
 /// let s = b.basic_event("S", 2.0, Dormancy::Cold)?;
@@ -238,7 +270,14 @@ pub fn unavailability(dft: &Dft, options: &AnalysisOptions) -> Result<Unavailabi
 /// assert!((mttf - 1.0).abs() < 1e-6); // two cold stages of mean 1/2 each
 /// # Ok(())
 /// # }
+/// # run()
+/// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use an `Analyzer` session (`Analyzer::mttf`) or \
+            `AnalysisService::run_request`"
+)]
 pub fn mean_time_to_failure(dft: &Dft, options: &AnalysisOptions) -> Result<f64> {
     Ok(Analyzer::new(dft, options.clone())?.mttf()?.value())
 }
@@ -272,6 +311,8 @@ pub fn community_of(dft: &Dft) -> Result<(Vec<IoImc>, Action)> {
 }
 
 #[cfg(test)]
+// These tests pin the one-shot wrappers' behaviour for as long as they exist.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dft::{DftBuilder, Dormancy};

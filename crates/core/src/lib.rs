@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use dft::{DftBuilder, Dormancy};
-//! use dft_core::analysis::{unreliability, AnalysisOptions};
+//! use dft_core::{AnalysisOptions, Analyzer};
 //!
 //! # fn main() -> Result<(), dft_core::Error> {
 //! // A primary with a cold spare, sharing nothing.
@@ -32,10 +32,11 @@
 //! let top = b.spare_gate("Top", &[p, s])?;
 //! let dft = b.build(top)?;
 //!
-//! let result = unreliability(&dft, 1.0, &AnalysisOptions::default())?;
+//! let analyzer = Analyzer::new(&dft, AnalysisOptions::default())?;
+//! let result = analyzer.unreliability(1.0)?;
 //! // Time to failure is Erlang(2, 1): P(T <= 1) = 1 - 2·exp(-1).
 //! let exact = 1.0 - 2.0 * (-1.0f64).exp();
-//! assert!((result.probability() - exact).abs() < 1e-6);
+//! assert!((result.value() - exact).abs() < 1e-6);
 //! # Ok(())
 //! # }
 //! ```
@@ -52,6 +53,7 @@ pub mod convert;
 pub mod engine;
 pub mod parametric;
 pub mod query;
+pub mod request;
 pub mod rng;
 pub mod semantics;
 pub mod service;
@@ -59,15 +61,20 @@ pub mod signals;
 pub mod simulate;
 pub mod store;
 
-pub use analysis::{mean_time_to_failure, unavailability, unreliability, AnalysisOptions, Method};
+pub use analysis::{AnalysisOptions, Method};
+// The one-shot wrappers stay re-exported for path compatibility; they are
+// deprecated in favour of `Analyzer` sessions and `AnalysisService::run_request`.
+#[allow(deprecated)]
+pub use analysis::{mean_time_to_failure, unavailability, unreliability};
 pub use convert::{convert_parametric, Community};
 pub use engine::{Analyzer, ParametricAnalyzer, RateSweep};
 pub use parametric::{ParamKind, ParamSlot, ParamTable, Valuation};
 pub use query::{Measure, MeasurePoint, MeasureResult};
+pub use request::{AnalysisRequest, MethodSpec, QuerySpec, RequestError, SweepSpec};
 pub use service::{
     AnalysisJob, AnalysisService, BatchStats, CacheStats, HybridStats, JobHandle, JobReport,
-    QueueStats, ServiceOptions, ServiceReport, SweepHandle, SweepJob, SweepPointReport,
-    SweepReport, SweepSpec, SweepStats,
+    QueueStats, RequestHandle, RequestOutcome, ServiceOptions, ServiceReport, SweepHandle,
+    SweepJob, SweepPointReport, SweepReport, SweepStats,
 };
 pub use store::{ModelStore, StoreStats};
 

@@ -104,8 +104,9 @@ pub use queue::QueueStats;
 
 use crate::analysis::{AnalysisOptions, Method};
 use crate::engine::{Analyzer, ParametricAnalyzer};
-use crate::parametric::{ParamKind, ParamTable, Valuation};
+use crate::parametric::Valuation;
 use crate::query::{Measure, MeasureResult};
+use crate::request::AnalysisRequest;
 use crate::store::{ModelStore, StoreStats};
 use crate::{Error, Result};
 use dft::Dft;
@@ -412,7 +413,7 @@ pub struct SweepJob {
     /// [`query_all`](Analyzer::query_all) pass each.
     pub measures: Vec<Measure>,
     /// The rate assignments to instantiate, typically built via
-    /// [`ParamTable`] constructors.
+    /// [`ParamTable`](crate::parametric::ParamTable) constructors.
     pub valuations: Vec<Valuation>,
 }
 
@@ -433,94 +434,35 @@ impl SweepJob {
     }
 }
 
-/// A symbolic description of the valuations a sweep should evaluate.
-///
-/// [`SweepJob`] carries concrete [`Valuation`]s, which forces the *submitter*
-/// to know the parametric model's slot layout — and the slot layout only
-/// exists once the model is built.  A `SweepSpec` defers that: the symbolic
-/// forms are resolved against the shared model's [`ParamTable`] by the
-/// sweep's head task, *after* the model is built (or loaded from the store)
-/// on the worker pool.  A front end that receives "sweep P's failure rate
-/// over these values" off the wire can thus enqueue the sweep without ever
-/// touching the model on its own threads.
-#[derive(Debug, Clone)]
-pub enum SweepSpec {
-    /// Explicit, pre-built valuations — the classic [`SweepJob`] path;
-    /// [`submit_sweep`](AnalysisService::submit_sweep) delegates through this
-    /// variant.
-    Valuations(Vec<Valuation>),
-    /// One point per factor: the base valuation with every *failure* rate
-    /// scaled by the factor (repair rates keep their base value); see
-    /// [`ParamTable::scaled_valuation`].
-    FailureScales(Vec<f64>),
-    /// One point per value: the base valuation with the named basic event's
-    /// rate of the given kind replaced by the value.
-    Element {
-        /// Name of the basic event whose rate is swept.
-        element: String,
-        /// Which of the event's rates is swept.
-        kind: ParamKind,
-        /// The values the rate sweeps over.
-        values: Vec<f64>,
-    },
+pub use crate::request::SweepSpec;
+
+/// The pending side of a submitted [`AnalysisRequest`]: a [`JobHandle`] for
+/// plain requests, a [`SweepHandle`] when a sweep was attached.
+#[derive(Debug)]
+pub enum RequestHandle {
+    /// The request had no sweep and went down the [`AnalysisJob`] path.
+    Job(JobHandle),
+    /// The request carried a [`SweepSpec`] and went down the sweep path.
+    Sweep(SweepHandle),
 }
 
-impl SweepSpec {
-    /// Number of sweep points the spec expands to.  Known *without* the
-    /// model: every form fixes its point count at submission time, which is
-    /// what lets the service enqueue that many point tasks up front.
-    pub fn len(&self) -> usize {
+impl RequestHandle {
+    /// Blocks until the pool delivers the report.
+    pub fn wait(self) -> RequestOutcome {
         match self {
-            SweepSpec::Valuations(v) => v.len(),
-            SweepSpec::FailureScales(scales) => scales.len(),
-            SweepSpec::Element { values, .. } => values.len(),
+            RequestHandle::Job(handle) => RequestOutcome::Job(handle.wait()),
+            RequestHandle::Sweep(handle) => RequestOutcome::Sweep(handle.wait()),
         }
     }
+}
 
-    /// True when the spec expands to zero points (the sweep is a no-op).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Resolves the spec into concrete valuations against a parametric
-    /// model's slot table.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::InvalidValuation`] when [`SweepSpec::Element`] names an
-    /// element/kind pair the table has no slot for.
-    pub fn resolve(&self, table: &ParamTable) -> Result<Vec<Valuation>> {
-        match self {
-            SweepSpec::Valuations(valuations) => Ok(valuations.clone()),
-            SweepSpec::FailureScales(scales) => Ok(scales
-                .iter()
-                .map(|&scale| table.scaled_valuation(scale))
-                .collect()),
-            SweepSpec::Element {
-                element,
-                kind,
-                values,
-            } => {
-                let slot =
-                    table
-                        .slot_of(element, *kind)
-                        .ok_or_else(|| Error::InvalidValuation {
-                            message: format!(
-                                "the parametric model has no {kind} parameter \
-                             for element '{element}'"
-                            ),
-                        })?;
-                Ok(values
-                    .iter()
-                    .map(|&value| {
-                        let mut valuation = table.base_valuation();
-                        valuation.set(slot, value);
-                        valuation
-                    })
-                    .collect())
-            }
-        }
-    }
+/// The outcome of an [`AnalysisRequest`], mirroring [`RequestHandle`].
+#[derive(Debug, Clone)]
+pub enum RequestOutcome {
+    /// Report of a plain (no-sweep) request.
+    Job(JobReport),
+    /// Report of a sweep request.
+    Sweep(SweepReport),
 }
 
 /// The outcome of one valuation of a [`SweepJob`].
@@ -719,7 +661,8 @@ impl AnalysisService {
     /// worker pool, after the shared parametric model is built (or fetched).
     ///
     /// This is how a caller that has never seen the model's
-    /// [`ParamTable`] — a network front end, typically — sweeps by failure
+    /// [`ParamTable`](crate::parametric::ParamTable) — a network front end,
+    /// typically — sweeps by failure
     /// scale or by element name.  [`submit_sweep`](Self::submit_sweep) is the
     /// special case with pre-built valuations.  A resolution error (unknown
     /// element) is reported in every point's
@@ -838,6 +781,37 @@ impl AnalysisService {
     /// or enqueued).
     pub fn run_sweep(&self, job: &SweepJob) -> SweepReport {
         self.submit_sweep(job.clone()).wait()
+    }
+
+    /// Enqueues an [`AnalysisRequest`] — the surface-agnostic "tree +
+    /// options + measures + optional sweep" description every front end
+    /// produces — and returns immediately.
+    ///
+    /// This is *the* entry point behind the HTTP server and the `dftmc`
+    /// CLI: a request with a sweep goes down the
+    /// [`submit_sweep_spec`](Self::submit_sweep_spec) path, one without
+    /// down the [`submit`](Self::submit) path, so every surface gets
+    /// bit-identical results to the equivalent library calls.
+    pub fn submit_request(&self, request: AnalysisRequest) -> RequestHandle {
+        match request.sweep {
+            Some(spec) => RequestHandle::Sweep(self.submit_sweep_spec(
+                request.dft,
+                request.options,
+                request.measures,
+                spec,
+            )),
+            None => RequestHandle::Job(self.submit(AnalysisJob::new(
+                request.dft,
+                request.options,
+                request.measures,
+            ))),
+        }
+    }
+
+    /// Runs an [`AnalysisRequest`] to completion: the blocking wrapper over
+    /// [`submit_request`](Self::submit_request).
+    pub fn run_request(&self, request: AnalysisRequest) -> RequestOutcome {
+        self.submit_request(request).wait()
     }
 
     /// Cumulative cache counters since the service was created.
@@ -1309,6 +1283,7 @@ impl ServiceCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parametric::ParamKind;
     use dft::{DftBuilder, Dormancy};
 
     fn spare_tree(prefix: &str, rate: f64) -> Dft {

@@ -186,8 +186,9 @@ fn simulate_one(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{unreliability, AnalysisOptions};
+    use crate::analysis::AnalysisOptions;
     use crate::casestudies::{cas, CAS_PAPER_UNRELIABILITY};
+    use crate::engine::Analyzer;
     use dft::{DftBuilder, Dormancy};
 
     fn options(samples: usize, seed: u64) -> SimulationOptions {
@@ -237,10 +238,12 @@ mod tests {
             "simulated {} vs paper {CAS_PAPER_UNRELIABILITY}",
             estimate.probability
         );
-        let analytical = unreliability(&dft, 1.0, &AnalysisOptions::default()).unwrap();
+        let analytical = Analyzer::new(&dft, AnalysisOptions::default())
+            .unwrap()
+            .unreliability(1.0)
+            .unwrap();
         assert!(
-            (estimate.probability - analytical.probability()).abs()
-                < 4.0 * estimate.std_error + 2e-3
+            (estimate.probability - analytical.value()).abs() < 4.0 * estimate.std_error + 2e-3
         );
     }
 

@@ -15,7 +15,10 @@
 //! ```
 //!
 //! * Quotation marks around names are optional; a trailing `;` per line is
-//!   expected but tolerated if missing; `//` and `#` start comments.
+//!   expected but tolerated if missing; `//` and `#` start comments.  Quotes
+//!   bind tighter than comments and separators, so a quoted name may contain
+//!   spaces, `;`, `#`, `//` and `=` — any name without `"` or a newline
+//!   round-trips through [`to_galileo`] ∘ [`parse`] unchanged.
 //! * Gate keywords: `and`, `or`, `pand`, `fdep`, `seq`, `inhibit`, `KofM` (voting),
 //!   and the three spare flavours `csp`, `wsp`, `hsp` (all map to a spare gate —
 //!   in a DFT the dormancy is a property of the spare's basic events, the keyword
@@ -42,25 +45,91 @@ enum RawDef {
     },
 }
 
-/// Strips the optional quotation marks around a token.  Quotes must balance:
-/// a token is either bare (no `"` at all) or fully quoted (`"name"`), and the
-/// name inside must be non-empty — anything else (an unterminated quote, a
-/// quote in the middle, `""`) is a syntax error, not a silently mangled name.
-fn strip_quotes(token: &str) -> std::result::Result<String, String> {
-    if !token.contains('"') {
-        return Ok(token.to_owned());
+/// One token of a Galileo statement: its text, with the quotes already
+/// stripped, and whether it was quoted in the source.  Quoted tokens are
+/// always names — never the `toplevel` keyword, a gate type or a `key=value`
+/// attribute — which is what makes names like `"a and b"` unambiguous.
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    quoted: bool,
+}
+
+/// Splits one source line into statements (separated by unquoted `;`) of
+/// whitespace-separated tokens.  Quotes are honoured *before* comments and
+/// separators, so a quoted name may contain spaces, `;`, `#`, `//` and `=` —
+/// this is what makes [`parse`] ∘ [`to_galileo`] the identity on every tree
+/// whose names are printable (i.e. contain no `"` and no newline).  A quote
+/// must open at the start of a token, the name inside must be non-empty, and
+/// the closing quote must end the token; anything else (an unterminated
+/// quote, `"T"x`, `x"T"`, `""`) is a syntax error, not a silently mangled
+/// name.
+fn tokenize(line: &str) -> std::result::Result<Vec<Vec<Token>>, String> {
+    let starts_comment =
+        |chars: &std::iter::Peekable<std::str::Chars<'_>>| chars.clone().nth(1) == Some('/');
+    let mut statements = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '#' || (c == '/' && starts_comment(&chars)) {
+            break;
+        }
+        if c == ';' {
+            chars.next();
+            if !current.is_empty() {
+                statements.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if c == '"' {
+            chars.next();
+            let mut name = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(format!("unterminated quote in '\"{name}'")),
+                    Some('"') => break,
+                    Some(ch) => name.push(ch),
+                }
+            }
+            if name.is_empty() {
+                return Err("empty quoted name".to_owned());
+            }
+            if let Some(&next) = chars.peek() {
+                if !next.is_whitespace() && next != ';' && next != '#' {
+                    return Err(format!("stray quote inside '\"{name}\"{next}'"));
+                }
+            }
+            current.push(Token {
+                text: name,
+                quoted: true,
+            });
+            continue;
+        }
+        let mut text = String::new();
+        while let Some(&ch) = chars.peek() {
+            if ch.is_whitespace() || ch == ';' || ch == '#' || (ch == '/' && starts_comment(&chars))
+            {
+                break;
+            }
+            if ch == '"' {
+                return Err(format!("stray quote inside '{text}\"'"));
+            }
+            text.push(ch);
+            chars.next();
+        }
+        current.push(Token {
+            text,
+            quoted: false,
+        });
     }
-    let inner = token
-        .strip_prefix('"')
-        .and_then(|rest| rest.strip_suffix('"'))
-        .ok_or_else(|| format!("unterminated quote in '{token}'"))?;
-    if inner.contains('"') {
-        return Err(format!("stray quote inside '{token}'"));
+    if !current.is_empty() {
+        statements.push(current);
     }
-    if inner.is_empty() {
-        return Err("empty quoted name".to_owned());
-    }
-    Ok(inner.to_owned())
+    Ok(statements)
 }
 
 /// Parses a voting keyword `<K>of<M>` ("2of3", "3of5", …) into `(k, m)`.
@@ -87,131 +156,134 @@ pub fn parse(input: &str) -> Result<Dft> {
 
     for (idx, raw_line) in input.lines().enumerate() {
         let line_no = idx + 1;
-        let without_comment = raw_line.split("//").next().unwrap_or("");
-        let without_comment = without_comment.split('#').next().unwrap_or("");
-        let line = without_comment.trim().trim_end_matches(';').trim();
-        if line.is_empty() {
-            continue;
-        }
-        let tokens: Vec<String> = line
-            .split_whitespace()
-            .map(strip_quotes)
-            .collect::<std::result::Result<_, _>>()
-            .map_err(|message| Error::Parse {
-                line: line_no,
-                message,
-            })?;
-        let Some((head, rest)) = tokens.split_first() else {
-            continue;
-        };
-        if head.eq_ignore_ascii_case("toplevel") {
-            let [top_name] = rest else {
-                return Err(Error::Parse {
-                    line: line_no,
-                    message: "expected: toplevel \"<name>\";".to_owned(),
-                });
+        let statements = tokenize(raw_line).map_err(|message| Error::Parse {
+            line: line_no,
+            message,
+        })?;
+        for tokens in statements {
+            let Some((head, rest)) = tokens.split_first() else {
+                continue;
             };
-            toplevel = Some(top_name.clone());
-            continue;
-        }
-        let Some((keyword, gate_inputs)) = rest.split_first() else {
-            return Err(Error::Parse {
-                line: line_no,
-                message: format!("cannot parse '{line}'"),
-            });
-        };
-        let name = head.clone();
-        if by_name.contains_key(&name) {
-            return Err(Error::DuplicateName { name });
-        }
-
-        let keyword = keyword.to_ascii_lowercase();
-        let def = if keyword.contains('=') {
-            // Basic event: parse key=value pairs.
-            let mut rate: Option<f64> = None;
-            let mut dormancy = 1.0;
-            let mut repair: Option<f64> = None;
-            for pair in rest {
-                let Some((key, value)) = pair.split_once('=') else {
+            if !head.quoted && head.text.eq_ignore_ascii_case("toplevel") {
+                let [top_name] = rest else {
                     return Err(Error::Parse {
                         line: line_no,
-                        message: format!("expected key=value, got '{pair}'"),
+                        message: "expected: toplevel \"<name>\";".to_owned(),
                     });
                 };
-                let value: f64 = value.parse().map_err(|_| Error::Parse {
-                    line: line_no,
-                    message: format!("cannot parse number '{value}'"),
-                })?;
-                match key.to_ascii_lowercase().as_str() {
-                    "lambda" | "rate" => rate = Some(value),
-                    "dorm" | "dormancy" => dormancy = value,
-                    "repair" | "mu" => repair = Some(value),
-                    other => {
-                        return Err(Error::Parse {
-                            line: line_no,
-                            message: format!("unknown basic-event attribute '{other}'"),
-                        })
-                    }
-                }
+                toplevel = Some(top_name.text.clone());
+                continue;
             }
-            let rate = rate.ok_or(Error::Parse {
-                line: line_no,
-                message: format!("basic event '{name}' needs lambda=<rate>"),
-            })?;
-            RawDef::BasicEvent {
-                rate,
-                dormancy,
-                repair,
-            }
-        } else {
-            let inputs: Vec<String> = gate_inputs.to_vec();
-            let kind = match keyword.as_str() {
-                "and" => GateKind::And,
-                "or" => GateKind::Or,
-                "pand" => GateKind::Pand,
-                "fdep" => GateKind::Fdep,
-                "seq" => GateKind::Seq,
-                "inhibit" => GateKind::Inhibit,
-                "spare" | "csp" | "wsp" | "hsp" => GateKind::Spare,
-                other => match parse_voting_keyword(other) {
-                    Some((k, m)) => {
-                        if usize::try_from(m) != Ok(inputs.len()) {
-                            return Err(Error::Parse {
-                                line: line_no,
-                                message: format!(
-                                    "voting gate '{name}' says {k}of{m} but lists {} inputs",
-                                    inputs.len()
-                                ),
-                            });
-                        }
-                        if k == 0 || k > m {
-                            return Err(Error::Parse {
-                                line: line_no,
-                                message: format!(
-                                    "voting threshold {k}of{m} is out of range (need 1 <= k <= {m})"
-                                ),
-                            });
-                        }
-                        GateKind::Voting { k }
-                    }
-                    None => {
-                        return Err(Error::Parse {
-                            line: line_no,
-                            message: format!("unknown gate type '{other}'"),
-                        })
-                    }
-                },
-            };
-            if inputs.is_empty() {
+            let Some((keyword, gate_inputs)) = rest.split_first() else {
                 return Err(Error::Parse {
                     line: line_no,
-                    message: format!("gate '{name}' has no inputs"),
+                    message: format!("cannot parse '{}'", head.text),
                 });
+            };
+            let name = head.text.clone();
+            if by_name.contains_key(&name) {
+                return Err(Error::DuplicateName { name });
             }
-            RawDef::Gate { kind, inputs }
-        };
-        by_name.insert(name.clone(), defs.len());
-        defs.push((line_no, name, def));
+
+            let def = if !keyword.quoted && keyword.text.contains('=') {
+                // Basic event: parse key=value pairs (attributes are never quoted).
+                let mut rate: Option<f64> = None;
+                let mut dormancy = 1.0;
+                let mut repair: Option<f64> = None;
+                for pair in rest {
+                    let Some((key, value)) = (!pair.quoted)
+                        .then_some(pair.text.as_str())
+                        .and_then(|text| text.split_once('='))
+                    else {
+                        return Err(Error::Parse {
+                            line: line_no,
+                            message: format!("expected key=value, got '{}'", pair.text),
+                        });
+                    };
+                    let value: f64 = value.parse().map_err(|_| Error::Parse {
+                        line: line_no,
+                        message: format!("cannot parse number '{value}'"),
+                    })?;
+                    match key.to_ascii_lowercase().as_str() {
+                        "lambda" | "rate" => rate = Some(value),
+                        "dorm" | "dormancy" => dormancy = value,
+                        "repair" | "mu" => repair = Some(value),
+                        other => {
+                            return Err(Error::Parse {
+                                line: line_no,
+                                message: format!("unknown basic-event attribute '{other}'"),
+                            })
+                        }
+                    }
+                }
+                let rate = rate.ok_or(Error::Parse {
+                    line: line_no,
+                    message: format!("basic event '{name}' needs lambda=<rate>"),
+                })?;
+                RawDef::BasicEvent {
+                    rate,
+                    dormancy,
+                    repair,
+                }
+            } else if keyword.quoted {
+                return Err(Error::Parse {
+                line: line_no,
+                message: format!(
+                    "expected a gate type or key=value attributes after '{name}', got quoted name '{}'",
+                    keyword.text
+                ),
+            });
+            } else {
+                let inputs: Vec<String> = gate_inputs.iter().map(|t| t.text.clone()).collect();
+                let keyword = keyword.text.to_ascii_lowercase();
+                let kind = match keyword.as_str() {
+                    "and" => GateKind::And,
+                    "or" => GateKind::Or,
+                    "pand" => GateKind::Pand,
+                    "fdep" => GateKind::Fdep,
+                    "seq" => GateKind::Seq,
+                    "inhibit" => GateKind::Inhibit,
+                    "spare" | "csp" | "wsp" | "hsp" => GateKind::Spare,
+                    other => match parse_voting_keyword(other) {
+                        Some((k, m)) => {
+                            if usize::try_from(m) != Ok(inputs.len()) {
+                                return Err(Error::Parse {
+                                    line: line_no,
+                                    message: format!(
+                                        "voting gate '{name}' says {k}of{m} but lists {} inputs",
+                                        inputs.len()
+                                    ),
+                                });
+                            }
+                            if k == 0 || k > m {
+                                return Err(Error::Parse {
+                                    line: line_no,
+                                    message: format!(
+                                    "voting threshold {k}of{m} is out of range (need 1 <= k <= {m})"
+                                ),
+                                });
+                            }
+                            GateKind::Voting { k }
+                        }
+                        None => {
+                            return Err(Error::Parse {
+                                line: line_no,
+                                message: format!("unknown gate type '{other}'"),
+                            })
+                        }
+                    },
+                };
+                if inputs.is_empty() {
+                    return Err(Error::Parse {
+                        line: line_no,
+                        message: format!("gate '{name}' has no inputs"),
+                    });
+                }
+                RawDef::Gate { kind, inputs }
+            };
+            by_name.insert(name.clone(), defs.len());
+            defs.push((line_no, name, def));
+        }
     }
 
     let toplevel = toplevel.ok_or(Error::Parse {
@@ -520,6 +592,31 @@ mod tests {
             "B" lambda=1.0;
         "#;
         assert!(matches!(parse(text), Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn quoted_names_may_contain_separators() {
+        // Spaces, comment markers, `=` and `;` inside quotes are part of the
+        // name; print → parse is the identity on such trees.
+        let text = "toplevel \"the system\";\n\
+                    \"the system\" and \"a // b\" \"k=v; #x\";\n\
+                    \"a // b\" lambda=1.0;\n\
+                    \"k=v; #x\" lambda=2.0;\n";
+        let dft = parse(text).unwrap();
+        assert_eq!(dft.name(dft.top()), "the system");
+        assert!(dft.by_name("a // b").is_some());
+        assert!(dft.by_name("k=v; #x").is_some());
+        let printed = to_galileo(&dft);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(to_galileo(&reparsed), printed);
+        assert_eq!(reparsed.num_elements(), 3);
+    }
+
+    #[test]
+    fn multiple_statements_per_line_parse() {
+        let text = r#"toplevel "T"; "T" and "A" "B"; "A" lambda=1.0; "B" lambda=2.0;"#;
+        let dft = parse(text).unwrap();
+        assert_eq!(dft.num_elements(), 3);
     }
 
     #[test]

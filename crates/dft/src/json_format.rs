@@ -1,0 +1,510 @@
+//! JSON tree interchange, compatible with the dftlib/SAFEST schema.
+//!
+//! dftlib (and the SAFEST GUI built on it) exchanges DFTs as JSON documents of
+//! the shape
+//!
+//! ```json
+//! {
+//!   "toplevel": "2",
+//!   "nodes": [
+//!     { "data": { "id": "0", "name": "A", "type": "be", "rate": "0.5",
+//!                 "dorm": "1", "repair": "0" }, "group": "nodes" },
+//!     { "data": { "id": "1", "name": "B", "type": "be", "rate": "0.5",
+//!                 "dorm": "1" }, "group": "nodes" },
+//!     { "data": { "id": "2", "name": "T", "type": "and",
+//!                 "children": ["0", "1"] }, "group": "nodes" }
+//!   ]
+//! }
+//! ```
+//!
+//! where ids and numeric attributes are carried as strings (dftlib does this so
+//! rates can later become symbolic parameters).  [`encode`] produces exactly
+//! this shape; [`decode`] additionally tolerates plain JSON numbers for
+//! `rate`/`dorm`/`repair`/`voting`, numeric ids, a missing `dorm` (hot), and a
+//! `repair` of `0` (non-repairable, which is how dftlib spells "no repair").
+//! Unknown keys (`position`, `classes`, `parameters`, …) are ignored, so
+//! documents exported by SAFEST load unchanged.
+//!
+//! Gate types are the dftlib names: `and`, `or`, `vot` (threshold in
+//! `voting`), `pand`, `spare`, `fdep`, `seq`, plus our `inhibit` extension;
+//! basic events are `be` (written) or `be_exp` (accepted).  FDEP and inhibit
+//! gates list the trigger/condition as the first child, matching the Galileo
+//! convention.
+//!
+//! This module parses untrusted bytes and is held to the workspace decode bar
+//! (xlint `panic`/`index`/`cast` rules): total, typed-error, panic-free.
+//! Round-tripping is exact: rates are rendered with Rust's shortest-round-trip
+//! formatting and parsed back bit-identically.
+
+use crate::builder::DftBuilder;
+use crate::element::{Dormancy, Element, GateKind};
+use crate::json::{self, Json};
+use crate::tree::Dft;
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+fn err(message: String) -> Error {
+    Error::Json { message }
+}
+
+/// Encodes a DFT as a dftlib-schema JSON value.
+///
+/// Node ids are the element indices rendered as decimal strings; nodes appear
+/// in element order, so `decode(encode(dft))` preserves ids, names, attributes
+/// and input order exactly.
+pub fn encode(dft: &Dft) -> Json {
+    let nodes: Vec<Json> = dft
+        .elements()
+        .map(|id| {
+            let name = dft.name(id);
+            let mut data: Vec<(String, Json)> = vec![
+                ("id".to_owned(), Json::Str(id.index().to_string())),
+                ("name".to_owned(), Json::Str(name.to_owned())),
+            ];
+            match dft.element(id) {
+                Element::BasicEvent(be) => {
+                    data.push(("type".to_owned(), Json::Str("be".to_owned())));
+                    data.push(("rate".to_owned(), Json::Str(format!("{}", be.rate))));
+                    data.push((
+                        "dorm".to_owned(),
+                        Json::Str(format!("{}", be.dormancy.factor())),
+                    ));
+                    if let Some(mu) = be.repair_rate {
+                        data.push(("repair".to_owned(), Json::Str(format!("{mu}"))));
+                    }
+                }
+                Element::Gate(gate) => {
+                    let type_name = match gate.kind {
+                        GateKind::And => "and",
+                        GateKind::Or => "or",
+                        GateKind::Voting { .. } => "vot",
+                        GateKind::Pand => "pand",
+                        GateKind::Spare => "spare",
+                        GateKind::Fdep => "fdep",
+                        GateKind::Seq => "seq",
+                        GateKind::Inhibit => "inhibit",
+                    };
+                    data.push(("type".to_owned(), Json::Str(type_name.to_owned())));
+                    if let GateKind::Voting { k } = gate.kind {
+                        data.push(("voting".to_owned(), Json::Str(k.to_string())));
+                    }
+                    let children: Vec<Json> = gate
+                        .inputs
+                        .iter()
+                        .map(|input| Json::Str(input.index().to_string()))
+                        .collect();
+                    data.push(("children".to_owned(), Json::Arr(children)));
+                }
+            }
+            Json::Obj(vec![
+                ("data".to_owned(), Json::Obj(data)),
+                ("group".to_owned(), Json::Str("nodes".to_owned())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "toplevel".to_owned(),
+            Json::Str(dft.top().index().to_string()),
+        ),
+        ("nodes".to_owned(), Json::Arr(nodes)),
+    ])
+}
+
+/// Renders a DFT as a compact single-line dftlib-schema JSON document.
+pub fn to_json(dft: &Dft) -> String {
+    encode(dft).render()
+}
+
+/// Parses a dftlib-schema JSON document into a DFT.
+///
+/// # Errors
+///
+/// Returns [`Error::Json`] for syntactic and schema problems, and the usual
+/// construction/validation errors ([`Error::DuplicateName`],
+/// [`Error::Cyclic`], arity and wellformedness violations) for semantic ones.
+pub fn parse(text: &str) -> Result<Dft> {
+    let value = json::parse(text).map_err(err)?;
+    decode(&value)
+}
+
+/// One node, extracted from the document in the first pass.
+#[derive(Debug)]
+enum RawNode {
+    Gate {
+        kind: GateKind,
+        children: Vec<String>,
+    },
+    BasicEvent {
+        rate: f64,
+        dorm: f64,
+        repair: f64,
+    },
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Reads an id field: dftlib writes strings, but plain integers are accepted.
+fn id_string(value: &Json, what: &str) -> Result<String> {
+    match value {
+        Json::Str(s) if !s.is_empty() => Ok(s.clone()),
+        Json::Num(n) => Ok(format!("{n}")),
+        _ => Err(err(format!("{what} must be a string id"))),
+    }
+}
+
+/// Reads a numeric attribute carried as either a JSON number or a string.
+fn number(value: &Json, what: &str) -> Result<f64> {
+    match value {
+        Json::Num(n) => Ok(*n),
+        Json::Str(s) => s
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| err(format!("{what}: cannot parse number '{s}'"))),
+        _ => Err(err(format!("{what} must be a number or numeric string"))),
+    }
+}
+
+/// Reads a voting threshold: a non-negative integer as number or string.
+fn threshold(value: &Json, what: &str) -> Result<u32> {
+    let text = match value {
+        Json::Str(s) => s.trim().to_owned(),
+        Json::Num(n) => format!("{n}"),
+        _ => return Err(err(format!("{what} must be an integer"))),
+    };
+    text.parse::<u32>()
+        .map_err(|_| err(format!("{what}: '{text}' is not a valid threshold")))
+}
+
+/// Decodes a parsed JSON value into a DFT (see the module docs for the schema).
+///
+/// # Errors
+///
+/// As for [`parse`].
+pub fn decode(value: &Json) -> Result<Dft> {
+    let Json::Obj(root) = value else {
+        return Err(err("document root must be an object".to_owned()));
+    };
+    let toplevel = field(root, "toplevel")
+        .ok_or_else(|| err("missing 'toplevel'".to_owned()))
+        .and_then(|v| id_string(v, "'toplevel'"))?;
+    let Some(Json::Arr(nodes)) = field(root, "nodes") else {
+        return Err(err("missing 'nodes' array".to_owned()));
+    };
+
+    // First pass: pull out (id, name, definition) per node, keeping document
+    // order so the second pass can build deterministically.
+    let mut defs: Vec<(String, String, RawNode)> = Vec::new();
+    let mut by_id: HashMap<String, usize> = HashMap::new();
+    for (position, node) in nodes.iter().enumerate() {
+        let Json::Obj(entries) = node else {
+            return Err(err(format!("node #{position} must be an object")));
+        };
+        let Some(Json::Obj(data)) = field(entries, "data") else {
+            return Err(err(format!("node #{position} has no 'data' object")));
+        };
+        let id = field(data, "id")
+            .ok_or_else(|| err(format!("node #{position} has no 'id'")))
+            .and_then(|v| id_string(v, "'id'"))?;
+        let name = match field(data, "name") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            Some(_) => return Err(err(format!("node '{id}': 'name' must be a string"))),
+            None => id.clone(),
+        };
+        let Some(Json::Str(type_name)) = field(data, "type") else {
+            return Err(err(format!("node '{id}': missing 'type'")));
+        };
+        let raw = match type_name.as_str() {
+            "be" | "be_exp" => {
+                let rate = field(data, "rate")
+                    .ok_or_else(|| err(format!("basic event '{id}': missing 'rate'")))
+                    .and_then(|v| number(v, &format!("basic event '{id}' rate")))?;
+                let dorm = match field(data, "dorm") {
+                    Some(v) => number(v, &format!("basic event '{id}' dorm"))?,
+                    None => 1.0,
+                };
+                let repair = match field(data, "repair") {
+                    Some(v) => number(v, &format!("basic event '{id}' repair"))?,
+                    None => 0.0,
+                };
+                RawNode::BasicEvent { rate, dorm, repair }
+            }
+            gate_type => {
+                let kind = match gate_type {
+                    "and" => GateKind::And,
+                    "or" => GateKind::Or,
+                    "vot" => {
+                        let k = field(data, "voting")
+                            .ok_or_else(|| {
+                                err(format!("voting gate '{id}': missing 'voting' threshold"))
+                            })
+                            .and_then(|v| threshold(v, &format!("voting gate '{id}'")))?;
+                        GateKind::Voting { k }
+                    }
+                    "pand" => GateKind::Pand,
+                    "spare" | "csp" | "wsp" | "hsp" => GateKind::Spare,
+                    "fdep" => GateKind::Fdep,
+                    "seq" => GateKind::Seq,
+                    "inhibit" => GateKind::Inhibit,
+                    other => {
+                        return Err(err(format!("node '{id}': unknown type '{other}'")));
+                    }
+                };
+                let Some(Json::Arr(child_values)) = field(data, "children") else {
+                    return Err(err(format!("gate '{id}': missing 'children' array")));
+                };
+                let mut children = Vec::with_capacity(child_values.len());
+                for child in child_values {
+                    children.push(id_string(child, &format!("gate '{id}' child"))?);
+                }
+                if children.is_empty() {
+                    return Err(err(format!("gate '{id}' has no children")));
+                }
+                RawNode::Gate { kind, children }
+            }
+        };
+        if by_id.contains_key(&id) {
+            return Err(err(format!("duplicate node id '{id}'")));
+        }
+        by_id.insert(id.clone(), defs.len());
+        defs.push((id, name, raw));
+    }
+
+    // Second pass: build bottom-up (children first), with an in-progress marker
+    // for cycle detection — the same discipline as the Galileo parser.
+    let mut builder = DftBuilder::new();
+    let mut built: HashMap<String, crate::element::ElementId> = HashMap::new();
+    let mut in_progress: Vec<bool> = vec![false; defs.len()];
+
+    fn build_one(
+        id: &str,
+        defs: &[(String, String, RawNode)],
+        by_id: &HashMap<String, usize>,
+        builder: &mut DftBuilder,
+        built: &mut HashMap<String, crate::element::ElementId>,
+        in_progress: &mut [bool],
+    ) -> Result<crate::element::ElementId> {
+        if let Some(&done) = built.get(id) {
+            return Ok(done);
+        }
+        let &def_index = by_id.get(id).ok_or_else(|| Error::UnknownElement {
+            name: id.to_owned(),
+        })?;
+        if in_progress.get(def_index).copied().unwrap_or(false) {
+            return Err(Error::Cyclic {
+                name: id.to_owned(),
+            });
+        }
+        if let Some(flag) = in_progress.get_mut(def_index) {
+            *flag = true;
+        }
+        let (_, name, def) = defs.get(def_index).ok_or_else(|| Error::UnknownElement {
+            name: id.to_owned(),
+        })?;
+        let element = match def {
+            RawNode::BasicEvent { rate, dorm, repair } => {
+                let dormancy = Dormancy::from_factor(*dorm);
+                if *repair > 0.0 {
+                    builder.repairable_basic_event(name, *rate, dormancy, *repair)?
+                } else {
+                    builder.basic_event(name, *rate, dormancy)?
+                }
+            }
+            RawNode::Gate { kind, children } => {
+                let mut input_ids = Vec::with_capacity(children.len());
+                for child in children {
+                    input_ids.push(build_one(child, defs, by_id, builder, built, in_progress)?);
+                }
+                // Gates with zero children are rejected in the first pass, so
+                // the split can only fail on corrupt tables; surface that as
+                // the arity error it is instead of panicking.
+                let split_trigger = || {
+                    input_ids.split_first().ok_or(Error::InvalidGate {
+                        name: name.clone(),
+                        message: "needs a trigger input".to_owned(),
+                    })
+                };
+                match kind {
+                    GateKind::And => builder.and_gate(name, &input_ids)?,
+                    GateKind::Or => builder.or_gate(name, &input_ids)?,
+                    GateKind::Voting { k } => builder.voting_gate(name, *k, &input_ids)?,
+                    GateKind::Pand => builder.pand_gate(name, &input_ids)?,
+                    GateKind::Spare => builder.spare_gate(name, &input_ids)?,
+                    GateKind::Seq => builder.seq_gate(name, &input_ids)?,
+                    GateKind::Fdep => {
+                        let (&trigger, dependents) = split_trigger()?;
+                        builder.fdep_gate(name, trigger, dependents)?
+                    }
+                    GateKind::Inhibit => {
+                        let (&condition, others) = split_trigger()?;
+                        builder.inhibit_gate(name, condition, others)?
+                    }
+                }
+            }
+        };
+        if let Some(flag) = in_progress.get_mut(def_index) {
+            *flag = false;
+        }
+        built.insert(id.to_owned(), element);
+        Ok(element)
+    }
+
+    // Build every node, not just what the top event reaches, so FDEP gates
+    // hanging off to the side survive the round trip (as in the Galileo path).
+    for (id, _, _) in &defs {
+        build_one(
+            id,
+            &defs,
+            &by_id,
+            &mut builder,
+            &mut built,
+            &mut in_progress,
+        )?;
+    }
+    let top = *built.get(&toplevel).ok_or_else(|| Error::UnknownElement {
+        name: toplevel.clone(),
+    })?;
+    builder.build(top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galileo;
+
+    const CAS_LIKE: &str = r#"
+        toplevel "System";
+        "System" or "CPU_unit" "Pump_unit";
+        "CPU_unit" wsp "P" "B";
+        "CPU_fdep" fdep "Trigger" "P" "B";
+        "Trigger" or "CS" "SS";
+        "Pump_unit" and "Pump_A" "Pump_B";
+        "Pump_A" csp "PA" "PS";
+        "Pump_B" csp "PB" "PS";
+        "CS" lambda=0.2;
+        "SS" lambda=0.2;
+        "P"  lambda=0.5;
+        "B"  lambda=0.5 dorm=0.5;
+        "PA" lambda=1.0;
+        "PB" lambda=1.0;
+        "PS" lambda=1.0 dorm=0.0;
+    "#;
+
+    fn assert_same_tree(a: &Dft, b: &Dft) {
+        assert_eq!(a.num_elements(), b.num_elements());
+        assert_eq!(a.name(a.top()), b.name(b.top()));
+        for id in a.elements() {
+            let name = a.name(id);
+            let other = b.by_name(name).unwrap_or_else(|| panic!("{name} lost"));
+            match (a.element(id), b.element(other)) {
+                (Element::Gate(ga), Element::Gate(gb)) => {
+                    assert_eq!(ga.kind, gb.kind, "{name} changed kind");
+                    let ins_a: Vec<&str> = ga.inputs.iter().map(|&i| a.name(i)).collect();
+                    let ins_b: Vec<&str> = gb.inputs.iter().map(|&i| b.name(i)).collect();
+                    assert_eq!(ins_a, ins_b, "{name} changed inputs");
+                }
+                (Element::BasicEvent(ba), Element::BasicEvent(bb)) => {
+                    assert_eq!(ba.rate, bb.rate, "{name} changed rate");
+                    assert_eq!(ba.dormancy.factor(), bb.dormancy.factor());
+                    assert_eq!(ba.repair_rate, bb.repair_rate, "{name} changed repair");
+                }
+                _ => panic!("{name} changed between gate and basic event"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_a_galileo_tree() {
+        let dft = galileo::parse(CAS_LIKE).unwrap();
+        let reloaded = parse(&to_json(&dft)).unwrap();
+        assert_same_tree(&dft, &reloaded);
+        assert_eq!(dft.fingerprint(), reloaded.fingerprint());
+        // Printing is idempotent after one round trip.
+        assert_eq!(to_json(&reloaded), to_json(&dft));
+    }
+
+    #[test]
+    fn round_trips_repairable_and_voting_trees() {
+        let text = r#"
+            toplevel "T";
+            "T" 2of3 "A" "B" "C";
+            "A" lambda=1.0 repair=5.0;
+            "B" lambda=2.0 dorm=0.25;
+            "C" lambda=0.5;
+        "#;
+        let dft = galileo::parse(text).unwrap();
+        let reloaded = parse(&to_json(&dft)).unwrap();
+        assert_same_tree(&dft, &reloaded);
+    }
+
+    #[test]
+    fn accepts_dftlib_flavoured_documents() {
+        // Numeric attributes, be_exp, repair: "0", ignored extra keys.
+        let text = r#"{
+            "toplevel": "2",
+            "parameters": [],
+            "nodes": [
+                {"data": {"id": "0", "name": "A", "type": "be_exp",
+                          "rate": 0.5, "dorm": "1", "repair": "0"},
+                 "group": "nodes", "position": {"x": 10, "y": 20}},
+                {"data": {"id": "1", "name": "B", "type": "be",
+                          "rate": "2", "dorm": 0.5},
+                 "group": "nodes"},
+                {"data": {"id": "2", "name": "T", "type": "vot", "voting": 1,
+                          "children": ["0", "1"]},
+                 "group": "nodes"}
+            ]
+        }"#;
+        let dft = parse(text).unwrap();
+        assert_eq!(dft.name(dft.top()), "T");
+        assert_eq!(dft.num_basic_events(), 2);
+        let a = dft.element(dft.by_name("A").unwrap()).as_basic_event();
+        assert_eq!(a.and_then(|be| be.repair_rate), None);
+        let b = dft.element(dft.by_name("B").unwrap()).as_basic_event();
+        assert_eq!(b.map(|be| be.dormancy.factor()), Some(0.5));
+    }
+
+    #[test]
+    fn missing_name_falls_back_to_id() {
+        let text = r#"{
+            "toplevel": "g",
+            "nodes": [
+                {"data": {"id": "x", "type": "be", "rate": 1}, "group": "nodes"},
+                {"data": {"id": "y", "type": "be", "rate": 1}, "group": "nodes"},
+                {"data": {"id": "g", "type": "and", "children": ["x", "y"]},
+                 "group": "nodes"}
+            ]
+        }"#;
+        let dft = parse(text).unwrap();
+        assert_eq!(dft.name(dft.top()), "g");
+        assert!(dft.by_name("x").is_some());
+    }
+
+    #[test]
+    fn typed_errors_for_schema_violations() {
+        // Not an object.
+        assert!(matches!(parse("[1,2]"), Err(Error::Json { .. })));
+        // Missing toplevel.
+        assert!(matches!(parse(r#"{"nodes": []}"#), Err(Error::Json { .. })));
+        // Unknown child id.
+        let unknown = r#"{
+            "toplevel": "1",
+            "nodes": [
+                {"data": {"id": "1", "type": "and", "children": ["ghost"]},
+                 "group": "nodes"}
+            ]
+        }"#;
+        assert!(matches!(parse(unknown), Err(Error::UnknownElement { .. })));
+        // Cyclic children.
+        let cyclic = r#"{
+            "toplevel": "1",
+            "nodes": [
+                {"data": {"id": "1", "type": "and", "children": ["2"]}, "group": "nodes"},
+                {"data": {"id": "2", "type": "or", "children": ["1"]}, "group": "nodes"}
+            ]
+        }"#;
+        assert!(matches!(parse(cyclic), Err(Error::Cyclic { .. })));
+    }
+}

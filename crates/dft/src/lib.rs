@@ -50,6 +50,8 @@ pub mod bdd;
 pub mod builder;
 pub mod element;
 pub mod galileo;
+pub mod json;
+pub mod json_format;
 pub mod modules;
 pub mod tree;
 pub mod validate;
@@ -105,6 +107,11 @@ pub enum Error {
         /// Description of the problem.
         message: String,
     },
+    /// The JSON interchange document could not be decoded.
+    Json {
+        /// Description of the problem, naming the offending node where known.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -119,6 +126,7 @@ impl fmt::Display for Error {
             Error::Cyclic { name } => write!(f, "cycle through element '{name}'"),
             Error::Wellformedness { message } => write!(f, "ill-formed DFT: {message}"),
             Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Json { message } => write!(f, "invalid JSON fault tree: {message}"),
         }
     }
 }

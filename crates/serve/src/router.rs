@@ -1,14 +1,22 @@
-//! Request routing and the API's JSON schemas.
+//! Request routing over the shared request layer.
+//!
+//! The HTTP surface does **no request parsing of its own**: every submission
+//! body is deserialized by [`AnalysisRequest::from_json`] — the same code the
+//! `dftmc` CLI and library callers use — and executed through
+//! [`AnalysisService::submit_request`], so replies are bit-identical to the
+//! equivalent library calls.  This module only maps transport concerns
+//! (verbs, paths, status codes, the job registry) and renders reports back to
+//! JSON.
 //!
 //! Like [`http`](crate::http), this module sits on the trust boundary — its
-//! input is an attacker-controlled request body — so it is held to the decode
-//! bar: typed errors, no panics, no indexing, with explicit caps on every
-//! client-controlled dimension (measure count, curve length, sweep size)
-//! *before* any expensive work is enqueued.
+//! input is an attacker-controlled request body.  The request layer is held
+//! to the decode bar on our behalf: typed [`RequestError`]s, no panics, with
+//! explicit caps on every client-controlled dimension (measure count, curve
+//! length, sweep size) *before* any expensive work is enqueued.
 //!
 //! # Endpoints
 //!
-//! **`POST /submit`** — body:
+//! **`POST /submit`** — body (see [`dft_core::request`] for the full schema):
 //!
 //! ```json
 //! {
@@ -24,14 +32,20 @@
 //! }
 //! ```
 //!
-//! `method` and `epsilon` are optional.  Replies `202` with
-//! `{"id": n, "status": "pending"}`, or `429` when the registry is full.
+//! `method` and `epsilon` are optional; the tree may arrive as `"galileo"`
+//! text or as a `"tree"` object in the dftlib JSON interchange
+//! ([`dft::json_format`]), and `"queries"` may carry query lines
+//! (`"unreliability 1.0"`, …) instead of or alongside `"measures"`.  Replies
+//! `202` with `{"id": n, "status": "pending"}`, or `429` when the registry
+//! is full.
 //!
-//! **`POST /sweep`** — same body plus a `"sweep"` object, either
-//! `{"scales": [0.5, 1.0, 2.0]}` (every failure rate scaled) or
-//! `{"element": "P", "kind": "failure", "values": [0.5, 1.0]}` (one named
-//! rate swept).  The symbolic spec is resolved *inside* the service
-//! ([`SweepSpec`]), so the HTTP layer never builds a model.
+//! **`POST /sweep`** — same body plus a sweep: a `"sweep"` object (either
+//! `{"scales": [0.5, 1.0, 2.0]}`, `{"element": "P", "kind": "failure",
+//! "values": [0.5, 1.0]}`, or `{"query": "sweep lambda(P) in 0.5..2.0 step
+//! 0.1"}`) or a sweep query line.  The symbolic spec is resolved *inside*
+//! the service ([`SweepSpec`](dft_core::SweepSpec)), so the HTTP layer never
+//! builds a model.  Each endpoint insists on its own shape: a sweep posted
+//! to `/submit` or a sweep-less body posted to `/sweep` is a `400`.
 //!
 //! **`GET /status/{id}`** — `{"id", "status": "pending" | "done" | "failed"}`.
 //!
@@ -49,18 +63,13 @@ use crate::http::Request;
 use crate::json::{self, Json};
 use crate::metrics::{self, bump, json_count, HttpCounters};
 use crate::registry::{Lookup, Registry};
-use dft_core::service::{AnalysisJob, AnalysisService, SweepSpec};
-use dft_core::{
-    AnalysisOptions, JobReport, Measure, MeasureResult, Method, ParamKind, SweepReport,
-};
+use dft_core::service::{AnalysisService, RequestHandle, RequestOutcome};
+use dft_core::{AnalysisRequest, JobReport, MeasureResult, RequestError, SweepReport};
 use std::time::Instant;
 
-/// Most measures a single submission may request.
-pub const MAX_MEASURES: usize = 64;
-/// Most time points one curve measure may request.
-pub const MAX_CURVE_POINTS: usize = 4096;
-/// Most values one sweep may request.
-pub const MAX_SWEEP_VALUES: usize = 4096;
+// The submission caps live with the shared request layer; re-exported here
+// because they are part of the HTTP API's documented contract.
+pub use dft_core::request::{MAX_CURVE_POINTS, MAX_MEASURES, MAX_SWEEP_VALUES};
 
 /// A routed response, ready for [`http::response`](crate::http::response).
 #[derive(Debug)]
@@ -195,25 +204,24 @@ impl Router {
         let text = std::str::from_utf8(&request.body)
             .map_err(|_| bad("request body is not valid UTF-8"))?;
         let doc = json::parse(text).map_err(|e| bad(format!("invalid JSON body: {e}")))?;
-        let galileo = str_field(&doc, "galileo")
-            .ok_or_else(|| bad("missing string field 'galileo' (the tree in Galileo syntax)"))?;
-        let dft =
-            dft::galileo::parse(galileo).map_err(|e| bad(format!("invalid Galileo tree: {e}")))?;
-        let options = parse_options(&doc)?;
-        let measures = parse_measures(&doc)?;
+        let parsed = AnalysisRequest::from_json(&doc).map_err(request_error)?;
+        // Each endpoint insists on its own shape, so a client that meant the
+        // other one gets a typed 400 instead of a silently ignored sweep.
+        if sweep && parsed.sweep.is_none() {
+            return Err(bad(
+                "missing object field 'sweep' ({\"scales\": …} or {\"element\": …})",
+            ));
+        }
+        if !sweep && parsed.sweep.is_some() {
+            return Err(bad("this request carries a sweep; POST it to /sweep"));
+        }
         let throttled = || ApiError {
             status: 429,
             message: "too many in-flight jobs; retry after fetching results".to_owned(),
         };
-        let id = if sweep {
-            let spec = parse_sweep_spec(&doc)?;
-            let handle = self.service.submit_sweep_spec(dft, options, measures, spec);
-            self.registry.add_sweep(handle)
-        } else {
-            let handle = self
-                .service
-                .submit(AnalysisJob::new(dft, options, measures));
-            self.registry.add_job(handle)
+        let id = match self.service.submit_request(parsed) {
+            RequestHandle::Sweep(handle) => self.registry.add_sweep(handle),
+            RequestHandle::Job(handle) => self.registry.add_job(handle),
         };
         id.ok_or_else(throttled)
     }
@@ -252,134 +260,10 @@ impl Router {
     }
 }
 
-fn field<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
-    match doc {
-        Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn str_field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
-    match field(doc, key) {
-        Some(Json::Str(s)) => Some(s),
-        _ => None,
-    }
-}
-
-fn num_field(doc: &Json, key: &str) -> Option<f64> {
-    match field(doc, key) {
-        Some(Json::Num(n)) => Some(*n),
-        _ => None,
-    }
-}
-
-/// A numeric array field, with a cap enforced before collection.
-fn num_array(doc: &Json, key: &str, cap: usize) -> ApiResult<Option<Vec<f64>>> {
-    let Some(value) = field(doc, key) else {
-        return Ok(None);
-    };
-    let Json::Arr(items) = value else {
-        return Err(bad(format!("field '{key}' must be an array of numbers")));
-    };
-    if items.len() > cap {
-        return Err(bad(format!(
-            "field '{key}' has {} entries; the limit is {cap}",
-            items.len()
-        )));
-    }
-    let mut out = Vec::with_capacity(items.len());
-    for item in items {
-        match item {
-            Json::Num(n) => out.push(*n),
-            _ => return Err(bad(format!("field '{key}' must contain only numbers"))),
-        }
-    }
-    Ok(Some(out))
-}
-
-fn parse_options(doc: &Json) -> ApiResult<AnalysisOptions> {
-    let mut options = AnalysisOptions::default();
-    match field(doc, "method") {
-        None => {}
-        Some(Json::Str(s)) if s == "compositional" => options.method = Method::Compositional,
-        Some(Json::Str(s)) if s == "monolithic" => options.method = Method::Monolithic,
-        Some(Json::Str(s)) if s == "hybrid" => options.method = Method::Hybrid,
-        Some(_) => {
-            return Err(bad(
-                "field 'method' must be \"compositional\", \"monolithic\" or \"hybrid\"",
-            ))
-        }
-    }
-    match field(doc, "epsilon") {
-        None => {}
-        Some(Json::Num(e)) if e.is_finite() && *e > 0.0 => options.epsilon = *e,
-        Some(_) => return Err(bad("field 'epsilon' must be a positive finite number")),
-    }
-    Ok(options)
-}
-
-fn parse_measures(doc: &Json) -> ApiResult<Vec<Measure>> {
-    let Some(Json::Arr(items)) = field(doc, "measures") else {
-        return Err(bad("missing array field 'measures'"));
-    };
-    if items.len() > MAX_MEASURES {
-        return Err(bad(format!(
-            "{} measures requested; the limit is {MAX_MEASURES}",
-            items.len()
-        )));
-    }
-    items.iter().map(parse_measure).collect()
-}
-
-fn parse_measure(doc: &Json) -> ApiResult<Measure> {
-    let kind =
-        str_field(doc, "type").ok_or_else(|| bad("every measure needs a string field 'type'"))?;
-    match kind {
-        "unreliability" => {
-            let time = num_field(doc, "time")
-                .ok_or_else(|| bad("measure 'unreliability' needs a numeric 'time'"))?;
-            Ok(Measure::Unreliability(time))
-        }
-        "curve" => {
-            let times = num_array(doc, "times", MAX_CURVE_POINTS)?
-                .ok_or_else(|| bad("measure 'curve' needs a numeric array 'times'"))?;
-            Ok(Measure::UnreliabilityCurve(times))
-        }
-        "unavailability" => Ok(Measure::Unavailability),
-        "mttf" => Ok(Measure::Mttf),
-        other => Err(bad(format!(
-            "unknown measure type '{other}' (expected unreliability, curve, unavailability or mttf)"
-        ))),
-    }
-}
-
-fn parse_sweep_spec(doc: &Json) -> ApiResult<SweepSpec> {
-    let spec = field(doc, "sweep")
-        .ok_or_else(|| bad("missing object field 'sweep' ({\"scales\": …} or {\"element\": …})"))?;
-    if let Some(scales) = num_array(spec, "scales", MAX_SWEEP_VALUES)? {
-        return Ok(SweepSpec::FailureScales(scales));
-    }
-    if let Some(element) = str_field(spec, "element") {
-        let kind = match str_field(spec, "kind") {
-            None | Some("failure") => ParamKind::Failure,
-            Some("repair") => ParamKind::Repair,
-            Some(other) => {
-                return Err(bad(format!(
-                    "unknown sweep kind '{other}' (expected \"failure\" or \"repair\")"
-                )))
-            }
-        };
-        let values = num_array(spec, "values", MAX_SWEEP_VALUES)?
-            .ok_or_else(|| bad("an element sweep needs a numeric array 'values'"))?;
-        return Ok(SweepSpec::Element {
-            element: element.to_owned(),
-            kind,
-            values,
-        });
-    }
-    Err(bad(
-        "field 'sweep' must carry either 'scales' or 'element' + 'values'",
-    ))
+/// Every [`RequestError`] is a client error: the request was malformed or
+/// oversized, so it maps to a 400 with the typed message as the body.
+fn request_error(e: RequestError) -> ApiError {
+    bad(e.to_string())
 }
 
 fn render_results(
@@ -412,11 +296,12 @@ fn render_point(point: &dft_core::MeasurePoint) -> Json {
     ])
 }
 
-fn render_job(id: u64, report: &JobReport) -> Json {
+/// The report fields of a finished job, in the order `GET /result/{id}`
+/// renders them.  Public because the `dftmc` CLI builds its result document
+/// from the same fields — one renderer, so both surfaces stay bit-identical.
+pub fn job_fields(report: &JobReport) -> Vec<(String, Json)> {
     let (results_key, results) = render_results(&report.results);
-    Json::Obj(vec![
-        ("id".to_owned(), json_count(id)),
-        ("status".to_owned(), "done".into()),
+    vec![
         ("fingerprint".to_owned(), report.fingerprint.into()),
         ("cache_hit".to_owned(), report.cache_hit.into()),
         (
@@ -426,10 +311,12 @@ fn render_job(id: u64, report: &JobReport) -> Json {
         ("build_seconds".to_owned(), Json::secs(report.build)),
         ("query_seconds".to_owned(), Json::secs(report.query)),
         (results_key, results),
-    ])
+    ]
 }
 
-fn render_sweep(id: u64, report: &SweepReport) -> Json {
+/// The report fields of a finished sweep, in the order `GET /result/{id}`
+/// renders them; see [`job_fields`].
+pub fn sweep_fields(report: &SweepReport) -> Vec<(String, Json)> {
     let stats = &report.stats;
     let points = report
         .points
@@ -451,11 +338,9 @@ fn render_sweep(id: u64, report: &SweepReport) -> Json {
             ])
         })
         .collect();
-    Json::obj([
-        ("id", json_count(id)),
-        ("status", "done".into()),
+    vec![
         (
-            "stats",
+            "stats".to_owned(),
             Json::obj([
                 ("valuations", stats.valuations.into()),
                 ("cache_hits", stats.cache_hits.into()),
@@ -468,14 +353,62 @@ fn render_sweep(id: u64, report: &SweepReport) -> Json {
                 ("wall_seconds", Json::secs(stats.wall_time)),
             ]),
         ),
-        ("points", Json::Arr(points)),
-    ])
+        ("points".to_owned(), Json::Arr(points)),
+    ]
+}
+
+/// The report fields of either request outcome; dispatches to
+/// [`job_fields`]/[`sweep_fields`].
+pub fn outcome_fields(outcome: &RequestOutcome) -> Vec<(String, Json)> {
+    match outcome {
+        RequestOutcome::Job(report) => job_fields(report),
+        RequestOutcome::Sweep(report) => sweep_fields(report),
+    }
+}
+
+fn render_job(id: u64, report: &JobReport) -> Json {
+    let mut entries = vec![
+        ("id".to_owned(), json_count(id)),
+        ("status".to_owned(), "done".into()),
+    ];
+    entries.extend(job_fields(report));
+    Json::Obj(entries)
+}
+
+fn render_sweep(id: u64, report: &SweepReport) -> Json {
+    let mut entries = vec![
+        ("id".to_owned(), json_count(id)),
+        ("status".to_owned(), "done".into()),
+    ];
+    entries.extend(sweep_fields(report));
+    Json::Obj(entries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dft_core::service::ServiceOptions;
+
+    fn field<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+        match doc {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+        match field(doc, key) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num_field(doc: &Json, key: &str) -> Option<f64> {
+        match field(doc, key) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
 
     fn router() -> Router {
         let service = AnalysisService::new(ServiceOptions {
@@ -638,6 +571,47 @@ mod tests {
             ("measures", Json::Arr(Vec::new())),
         ]);
         assert_eq!(router.handle(&post("/sweep", &doc.render())).status, 400);
+    }
+
+    #[test]
+    fn endpoints_insist_on_their_own_shape() {
+        let router = router();
+        // A sweep posted to /submit is rejected, not silently ignored.
+        let doc = Json::obj([
+            ("galileo", TREE.into()),
+            ("measures", Json::Arr(Vec::new())),
+            (
+                "sweep",
+                Json::obj([("scales", Json::Arr(vec![1.0.into()]))]),
+            ),
+        ]);
+        let reply = router.handle(&post("/submit", &doc.render()));
+        assert_eq!(reply.status, 400, "{}", reply.body);
+        assert!(reply.body.contains("/sweep"), "{}", reply.body);
+    }
+
+    #[test]
+    fn query_lines_and_sweep_queries_are_accepted() {
+        let router = router();
+        // The CLI grammar works over HTTP too: measures and the sweep both
+        // arrive as query lines.
+        let doc = Json::obj([
+            ("galileo", TREE.into()),
+            (
+                "queries",
+                Json::Arr(vec![
+                    "unreliability 1.0".into(),
+                    "sweep scale in 0.5..2.0 step 0.5".into(),
+                ]),
+            ),
+        ]);
+        let reply = router.handle(&post("/sweep", &doc.render()));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let done = wait_done(&router, 1);
+        let Some(Json::Arr(points)) = field(&done, "points") else {
+            panic!("no points in {}", reply.body);
+        };
+        assert_eq!(points.len(), 4);
     }
 
     #[test]

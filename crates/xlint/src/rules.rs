@@ -138,8 +138,10 @@ pub struct FileRules {
 pub const DECODE_FILES: &[&str] = &[
     "crates/ioimc/src/codec.rs",
     "crates/dft/src/galileo.rs",
+    "crates/dft/src/json.rs",
+    "crates/dft/src/json_format.rs",
     "crates/core/src/store.rs",
-    "crates/serve/src/json.rs",
+    "crates/core/src/request.rs",
     "crates/serve/src/http.rs",
     "crates/serve/src/router.rs",
 ];
@@ -799,9 +801,12 @@ mod tests {
     #[test]
     fn classification_matches_the_layout() {
         assert!(classify("crates/ioimc/src/codec.rs").decode);
-        assert!(classify("crates/serve/src/json.rs").decode);
+        assert!(classify("crates/dft/src/json.rs").decode);
+        assert!(classify("crates/dft/src/json_format.rs").decode);
+        assert!(classify("crates/core/src/request.rs").decode);
         assert!(classify("crates/serve/src/http.rs").decode);
         assert!(classify("crates/serve/src/router.rs").decode);
+        assert!(!classify("crates/serve/src/json.rs").decode);
         assert!(!classify("crates/serve/src/server.rs").decode);
         assert!(!classify("crates/ioimc/src/model.rs").decode);
         assert!(classify("crates/core/src/service/queue.rs").lock);

@@ -2,6 +2,9 @@
 //! exclusive events, plus the SEQ gate that the paper notes is expressible as a
 //! cold spare.
 
+// These tests deliberately pin the deprecated one-shot wrappers' behaviour
+// against the session engine; see `dft_core::analysis` for the migration.
+#![allow(deprecated)]
 use dftmc::dft::{DftBuilder, Dormancy};
 use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
 

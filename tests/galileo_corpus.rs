@@ -4,8 +4,11 @@
 //! property over randomly generated trees.
 
 use dftmc::dft::galileo::{parse, to_galileo};
-use dftmc::dft::{Dft, Error};
+use dftmc::dft::Error;
 use dftmc::dft_core::rng::SplitMix64;
+
+mod common;
+use common::{assert_same_tree, random_galileo};
 
 /// Every entry must be rejected with the expected typed error — unterminated
 /// quotes and out-of-range thresholds included, which earlier parser
@@ -80,104 +83,6 @@ fn negative_corpus_fails_typed() {
 
     let dup = "toplevel \"T\";\n\"T\" and \"A\" \"B\";\n\"A\" lambda=1.0;\n\"A\" lambda=2.0;\n\"B\" lambda=1.0;";
     assert!(matches!(parse(dup), Err(Error::DuplicateName { .. })));
-}
-
-/// Generates a random valid Galileo description: basic events, then gates in
-/// topological order drawing inputs from everything defined before them.
-/// Spare gates get dedicated fresh basic events (unique primaries, no shared
-/// subtrees), matching the wellformedness rules.
-fn random_galileo(rng: &mut SplitMix64) -> String {
-    let pick = |rng: &mut SplitMix64, n: usize| -> usize { (rng.next_u64() % n as u64) as usize };
-    let mut out = String::new();
-    let mut pool: Vec<String> = Vec::new();
-
-    let num_be = 4 + pick(rng, 5);
-    for i in 0..num_be {
-        let name = format!("E{i}");
-        let mut line = format!("\"{name}\" lambda={}", 0.1 + rng.next_f64() * 2.0);
-        if pick(rng, 3) == 0 {
-            line.push_str(&format!(" dorm={}", rng.next_f64()));
-        }
-        if pick(rng, 5) == 0 {
-            line.push_str(&format!(" repair={}", 0.5 + rng.next_f64()));
-        }
-        out.push_str(&line);
-        out.push_str(";\n");
-        pool.push(name);
-    }
-
-    let num_gates = 2 + pick(rng, 5);
-    let mut top = String::new();
-    for g in 0..num_gates {
-        let name = format!("G{g}");
-        let kind = pick(rng, 8);
-        if kind == 7 {
-            // Spare gate over fresh basic events of its own.
-            let spares = 2 + pick(rng, 2);
-            let mut inputs = Vec::new();
-            for j in 0..spares {
-                let be = format!("S{g}_{j}");
-                out.push_str(&format!("\"{be}\" lambda=1.0 dorm=0.5;\n"));
-                inputs.push(format!("\"{be}\""));
-            }
-            out.push_str(&format!("\"{name}\" wsp {};\n", inputs.join(" ")));
-        } else {
-            // Sample 2-4 distinct inputs from everything defined so far.
-            let want = (2 + pick(rng, 3)).min(pool.len());
-            let mut candidates = pool.clone();
-            let mut inputs = Vec::new();
-            for _ in 0..want {
-                let chosen = candidates.swap_remove(pick(rng, candidates.len()));
-                inputs.push(format!("\"{chosen}\""));
-            }
-            let keyword = match kind {
-                0 => "and".to_owned(),
-                1 => "or".to_owned(),
-                2 => "pand".to_owned(),
-                3 => "seq".to_owned(),
-                4 => "fdep".to_owned(),
-                5 => "inhibit".to_owned(),
-                _ => format!("{}of{}", 1 + pick(rng, inputs.len()), inputs.len()),
-            };
-            out.push_str(&format!("\"{name}\" {keyword} {};\n", inputs.join(" ")));
-        }
-        pool.push(name.clone());
-        top = name;
-    }
-    format!("toplevel \"{top}\";\n{out}")
-}
-
-/// Structural equality for round-trip checking: same names, and per name the
-/// same gate kind + input names or the same basic-event attributes.
-fn assert_same_tree(a: &Dft, b: &Dft) {
-    assert_eq!(a.num_elements(), b.num_elements());
-    assert_eq!(a.name(a.top()), b.name(b.top()));
-    for id in a.elements() {
-        let name = a.name(id);
-        let other = b.by_name(name).unwrap_or_else(|| panic!("{name} lost"));
-        let ea = a.element(id);
-        let eb = b.element(other);
-        match (ea.as_gate(), eb.as_gate()) {
-            (Some(ga), Some(gb)) => {
-                assert_eq!(ga.kind, gb.kind, "{name} changed kind");
-                let ins_a: Vec<&str> = ga.inputs.iter().map(|&i| a.name(i)).collect();
-                let ins_b: Vec<&str> = gb.inputs.iter().map(|&i| b.name(i)).collect();
-                assert_eq!(ins_a, ins_b, "{name} changed inputs");
-            }
-            (None, None) => {
-                let ba = ea.as_basic_event().expect("not a gate, so a basic event");
-                let bb = eb.as_basic_event().expect("not a gate, so a basic event");
-                assert_eq!(ba.rate, bb.rate, "{name} changed rate");
-                assert_eq!(
-                    ba.dormancy.factor(),
-                    bb.dormancy.factor(),
-                    "{name} changed dormancy"
-                );
-                assert_eq!(ba.repair_rate, bb.repair_rate, "{name} changed repair");
-            }
-            _ => panic!("{name} changed between gate and basic event"),
-        }
-    }
 }
 
 /// parse ∘ to_galileo is the identity (up to formatting) on random trees, and

@@ -4,8 +4,18 @@
 //! "takes as input a DFT specified in the Galileo DFT format".
 
 use dftmc::dft::galileo::{parse, to_galileo};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft::Dft;
+use dftmc::dft_core::analysis::AnalysisOptions;
 use dftmc::dft_core::casestudies::{cas, CAS_PAPER_UNRELIABILITY};
+use dftmc::dft_core::Analyzer;
+
+fn unrel(dft: &Dft, t: f64) -> f64 {
+    Analyzer::new(dft, AnalysisOptions::default())
+        .unwrap()
+        .unreliability(t)
+        .unwrap()
+        .value()
+}
 
 const CAS_GALILEO: &str = r#"
     toplevel "System";
@@ -41,11 +51,10 @@ const CAS_GALILEO: &str = r#"
 fn galileo_cas_matches_the_paper_value() {
     let dft = parse(CAS_GALILEO).expect("the CAS parses");
     assert_eq!(dft.num_basic_events(), 10);
-    let r = unreliability(&dft, 1.0, &AnalysisOptions::default()).expect("analysis succeeds");
+    let p = unrel(&dft, 1.0);
     assert!(
-        (r.probability() - CAS_PAPER_UNRELIABILITY).abs() < 5e-4,
-        "parsed CAS gives {}",
-        r.probability()
+        (p - CAS_PAPER_UNRELIABILITY).abs() < 5e-4,
+        "parsed CAS gives {p}"
     );
 }
 
@@ -53,10 +62,9 @@ fn galileo_cas_matches_the_paper_value() {
 fn galileo_cas_matches_the_builder_cas() {
     let parsed = parse(CAS_GALILEO).expect("the CAS parses");
     let built = cas();
-    let options = AnalysisOptions::default();
     for t in [0.5, 1.0, 2.0] {
-        let a = unreliability(&parsed, t, &options).unwrap().probability();
-        let b = unreliability(&built, t, &options).unwrap().probability();
+        let a = unrel(&parsed, t);
+        let b = unrel(&built, t);
         assert!((a - b).abs() < 1e-9, "t={t}: parsed {a} vs built {b}");
     }
 }
@@ -66,12 +74,7 @@ fn printing_and_reparsing_preserves_the_measure() {
     let original = parse(CAS_GALILEO).expect("the CAS parses");
     let printed = to_galileo(&original);
     let reparsed = parse(&printed).expect("printed output parses");
-    let options = AnalysisOptions::default();
-    let a = unreliability(&original, 1.0, &options)
-        .unwrap()
-        .probability();
-    let b = unreliability(&reparsed, 1.0, &options)
-        .unwrap()
-        .probability();
+    let a = unrel(&original, 1.0);
+    let b = unrel(&reparsed, 1.0);
     assert!((a - b).abs() < 1e-9);
 }

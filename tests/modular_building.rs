@@ -3,14 +3,19 @@
 
 use dftmc::dft::modules::independent_modules;
 use dftmc::dft::{Dft, DftBuilder, Dormancy};
-use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
+use dftmc::dft_core::analysis::AnalysisOptions;
 use dftmc::dft_core::casestudies::cps;
+use dftmc::dft_core::Analyzer;
 use dftmc::ioimc::rename::rename;
 use dftmc::ioimc::Action;
 use std::collections::BTreeMap;
 
-fn options() -> AnalysisOptions {
-    AnalysisOptions::default()
+fn unrel(dft: &Dft, t: f64) -> f64 {
+    Analyzer::new(dft, AnalysisOptions::default())
+        .unwrap()
+        .unreliability(t)
+        .unwrap()
+        .value()
 }
 
 /// Figure 10(a): AND sub-systems as primary and spare of a spare gate.
@@ -33,14 +38,14 @@ fn cold_complex_spare_cannot_fail_before_activation() {
     // the sum of two independent "AND of two exp(1)" completions.
     let dft = complex_spare_system(Dormancy::Cold);
     let t = 1.0;
-    let r = unreliability(&dft, t, &options()).unwrap();
+    let p = unrel(&dft, t);
     // P(two-of-two AND completes by s) = (1 - e^-s)^2; the system failure time is
     // the convolution of two such phases.  Monte-Carlo-free bound checks: it must
     // be below the probability for a single AND phase and above the value for an
     // Erlang(4,1) (the slowest possible ordering).
     let single_phase = (1.0 - (-t).exp()).powi(2);
-    assert!(r.probability() < single_phase);
-    assert!(r.probability() > 0.0);
+    assert!(p < single_phase);
+    assert!(p > 0.0);
 }
 
 #[test]
@@ -49,28 +54,18 @@ fn hot_complex_spare_equals_and_of_all_events() {
     // degenerates to "system fails when both modules have failed".
     let dft = complex_spare_system(Dormancy::Hot);
     let t = 0.8;
-    let r = unreliability(&dft, t, &options()).unwrap();
+    let p = unrel(&dft, t);
     let p_module = (1.0 - (-t).exp()).powi(2);
     let exact = p_module * p_module;
-    assert!(
-        (r.probability() - exact).abs() < 1e-6,
-        "{} vs {exact}",
-        r.probability()
-    );
+    assert!((p - exact).abs() < 1e-6, "{p} vs {exact}");
 }
 
 #[test]
 fn warm_complex_spare_lies_between_cold_and_hot() {
     let t = 1.0;
-    let cold = unreliability(&complex_spare_system(Dormancy::Cold), t, &options())
-        .unwrap()
-        .probability();
-    let warm = unreliability(&complex_spare_system(Dormancy::Warm(0.5)), t, &options())
-        .unwrap()
-        .probability();
-    let hot = unreliability(&complex_spare_system(Dormancy::Hot), t, &options())
-        .unwrap()
-        .probability();
+    let cold = unrel(&complex_spare_system(Dormancy::Cold), t);
+    let warm = unrel(&complex_spare_system(Dormancy::Warm(0.5)), t);
+    let hot = unrel(&complex_spare_system(Dormancy::Hot), t);
     assert!(cold < warm, "cold {cold} should be below warm {warm}");
     assert!(warm < hot, "warm {warm} should be below hot {hot}");
 }
@@ -89,9 +84,7 @@ fn fdep_can_trigger_a_gate() {
     let top = b.and_gate("system", &[gate_a, bb]).unwrap();
     let dft = b.build(top).unwrap();
     let horizon = 1.0;
-    let with_trigger = unreliability(&dft, horizon, &options())
-        .unwrap()
-        .probability();
+    let with_trigger = unrel(&dft, horizon);
 
     // Without the FDEP the system is strictly more reliable.
     let mut b = DftBuilder::new();
@@ -100,9 +93,7 @@ fn fdep_can_trigger_a_gate() {
     let gate_a = b.and_gate("A", &[c, e]).unwrap();
     let bb = b.basic_event("B", 1.0, Dormancy::Hot).unwrap();
     let top = b.and_gate("system", &[gate_a, bb]).unwrap();
-    let without_trigger = unreliability(&b.build(top).unwrap(), horizon, &options())
-        .unwrap()
-        .probability();
+    let without_trigger = unrel(&b.build(top).unwrap(), horizon);
 
     assert!(with_trigger > without_trigger);
     // And the trigger alone is not enough: B must also fail, so the unreliability

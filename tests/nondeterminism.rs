@@ -5,6 +5,10 @@
 //! non-deterministic.  The framework must (a) detect this, (b) report bounds, and
 //! (c) keep the bounds tight (equal) whenever the non-determinism is confluent.
 
+// These tests deliberately pin the deprecated one-shot wrappers' behaviour
+// against the session engine; see `dft_core::analysis` for the migration.
+#![allow(deprecated)]
+
 use dftmc::dft::{Dft, DftBuilder, Dormancy};
 use dftmc::dft_core::analysis::{unreliability, AnalysisOptions};
 
